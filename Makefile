@@ -1,0 +1,42 @@
+# PADLL-Go build targets. Everything is plain `go` — this file only names
+# the common invocations.
+
+GO ?= go
+
+.PHONY: all build test race bench vet fmt experiments tools clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+# Regenerate every figure/table of the paper (tables printed to stdout,
+# plot series dumped under out/).
+experiments:
+	$(GO) run ./cmd/padll-experiments -fig all -table overhead -ext all -csv out
+
+# Build all command-line tools into ./bin.
+tools:
+	@mkdir -p bin
+	for t in padll-controller padll-ctl padll-replayer padll-ior \
+	         padll-mdtest padll-tracegen padll-experiments; do \
+		$(GO) build -o bin/$$t ./cmd/$$t; \
+	done
+
+clean:
+	rm -rf bin out test_output.txt bench_output.txt

@@ -1,0 +1,148 @@
+// Command padll-ctl is the administrator CLI for a running data-plane
+// stage: it inspects queue statistics and installs, retunes, or removes
+// QoS rules over the stage's control RPC service.
+//
+// Usage:
+//
+//	padll-ctl -stage 127.0.0.1:7171 ping
+//	padll-ctl -stage 127.0.0.1:7171 stats
+//	padll-ctl -stage 127.0.0.1:7171 apply 'limit id:open-cap op:open rate:10k burst:500'
+//	padll-ctl -stage 127.0.0.1:7171 set-rate open-cap 25k
+//	padll-ctl -stage 127.0.0.1:7171 remove open-cap
+//	padll-ctl -stage 127.0.0.1:7171 mode passthrough
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"padll/internal/policy"
+	"padll/internal/rpcio"
+	"padll/internal/stage"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: padll-ctl -stage host:port <command> [args]
+commands:
+  ping                 probe the stage and print its identity
+  stats                print per-queue statistics
+  apply '<rule dsl>'   install or update a rule
+  set-rate <id> <rate> retune a rule's rate (k/m suffixes accepted)
+  remove <id>          delete a rule
+  mode <enforce|passthrough>`)
+	os.Exit(2)
+}
+
+func main() {
+	stageAddr := flag.String("stage", "", "stage control address (host:port)")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if *stageAddr == "" || len(args) == 0 {
+		usage()
+	}
+
+	h, err := rpcio.DialStage(*stageAddr)
+	if err != nil {
+		fatal(err)
+	}
+	defer h.Close()
+
+	switch args[0] {
+	case "ping":
+		info, err := h.Ping()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("stage %s job=%s host=%s pid=%d user=%s\n",
+			info.StageID, info.JobID, info.Hostname, info.PID, info.User)
+
+	case "stats":
+		st, err := h.Collect()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("stage %s (job %s): %d queues, %d passthrough requests\n",
+			st.Info.StageID, st.Info.JobID, len(st.Queues), st.Passthrough)
+		for _, q := range st.Queues {
+			limit := "unlimited"
+			if q.Limit >= 0 {
+				limit = fmt.Sprintf("%.0f/s", q.Limit)
+			}
+			fmt.Printf("  %-16s limit=%-10s demand=%8.0f/s throughput=%8.0f/s total=%d waiting=%d\n",
+				q.RuleID, limit, q.DemandRate, q.ThroughputRate, q.Total, q.Waiting)
+		}
+
+	case "apply":
+		if len(args) != 2 {
+			usage()
+		}
+		rule, err := policy.Parse(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		if err := h.ApplyRule(rule); err != nil {
+			fatal(err)
+		}
+		fmt.Println("applied", rule.String())
+
+	case "set-rate":
+		if len(args) != 3 {
+			usage()
+		}
+		// Reuse the DSL's rate parser for k/m suffixes.
+		rule, err := policy.Parse("limit id:tmp rate:" + args[2])
+		if err != nil {
+			fatal(err)
+		}
+		found, err := h.SetRate(args[1], rule.Rate)
+		if err != nil {
+			fatal(err)
+		}
+		if !found {
+			fatal(fmt.Errorf("no rule %q on the stage", args[1]))
+		}
+		fmt.Printf("rule %s -> %.0f/s\n", args[1], rule.Rate)
+
+	case "remove":
+		if len(args) != 2 {
+			usage()
+		}
+		removed, err := h.RemoveRule(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		if !removed {
+			fatal(fmt.Errorf("no rule %q on the stage", args[1]))
+		}
+		fmt.Println("removed", args[1])
+
+	case "mode":
+		if len(args) != 2 {
+			usage()
+		}
+		var m stage.Mode
+		switch strings.ToLower(args[1]) {
+		case "enforce":
+			m = stage.Enforce
+		case "passthrough":
+			m = stage.Passthrough
+		default:
+			usage()
+		}
+		if err := h.SetMode(m); err != nil {
+			fatal(err)
+		}
+		fmt.Println("mode set to", args[1])
+
+	default:
+		usage()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "padll-ctl:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,151 @@
+// Command padll-experiments regenerates the tables and figures of the
+// PADLL paper's evaluation (see DESIGN.md for the experiment index) and
+// prints the rows/series the paper reports. Series can also be dumped as
+// CSV for plotting.
+//
+// Usage:
+//
+//	padll-experiments -fig all
+//	padll-experiments -fig 4 -csv out/
+//	padll-experiments -table overhead
+//	padll-experiments -ext drf,mds,ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"padll/internal/experiments"
+	"padll/internal/metrics"
+	"padll/internal/posix"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "", "figures to regenerate: 1,2,4,5 or all")
+		table  = flag.String("table", "", "tables to regenerate: overhead")
+		ext    = flag.String("ext", "", "extensions: drf,mds,ablation,scalability,adaptive or all")
+		seed   = flag.Int64("seed", experiments.DefaultSeed, "workload seed")
+		csvDir = flag.String("csv", "", "directory to dump series CSVs into")
+	)
+	flag.Parse()
+	if *fig == "" && *table == "" && *ext == "" {
+		*fig, *table, *ext = "all", "overhead", "all"
+	}
+
+	want := func(spec, key string) bool {
+		if spec == "" {
+			return false
+		}
+		if spec == "all" {
+			return true
+		}
+		for _, f := range strings.Split(spec, ",") {
+			if strings.TrimSpace(f) == key {
+				return true
+			}
+		}
+		return false
+	}
+
+	if want(*fig, "1") {
+		r := experiments.Fig1(*seed)
+		fmt.Println(r.Render())
+		dumpCSV(*csvDir, "fig1_hourly.csv", r.Hourly.CSV())
+	}
+	if want(*fig, "2") {
+		fmt.Println(experiments.Fig2(*seed).Render())
+	}
+	if want(*fig, "4") {
+		for _, op := range []posix.Op{posix.OpOpen, posix.OpClose, posix.OpGetAttr, posix.OpRename} {
+			r := experiments.Fig4PerOp(*seed, op)
+			fmt.Println(r.Render())
+			dumpCSV(*csvDir, "fig4_"+op.String()+".csv",
+				metrics.MergeCSV(named("baseline", r.Baseline), named("padll", r.Padll), named("limit", r.Limits)))
+		}
+		r := experiments.Fig4PerClass(*seed)
+		fmt.Println(r.Render())
+		dumpCSV(*csvDir, "fig4_metadata.csv",
+			metrics.MergeCSV(named("baseline", r.Baseline), named("padll", r.Padll), named("limit", r.Limits)))
+
+		for _, write := range []bool{true, false} {
+			d, err := experiments.Fig4Data(experiments.DefaultFig4DataConfig(write))
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(d.Render())
+			dumpCSV(*csvDir, "fig4_data_"+d.Mode+".csv", d.Padll.CSV())
+		}
+	}
+	if want(*fig, "5") {
+		for _, r := range experiments.Fig5All(*seed) {
+			fmt.Println(r.Render())
+			series := []*metrics.Series{named("aggregate", r.Aggregate)}
+			for id, s := range r.PerJob {
+				series = append(series, named(id, s))
+			}
+			dumpCSV(*csvDir, "fig5_"+string(r.Setup)+".csv", metrics.MergeCSV(series...))
+		}
+	}
+	if want(*table, "overhead") {
+		rows, err := experiments.OverheadTable(0)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderOverhead(rows))
+	}
+	if want(*ext, "drf") {
+		fmt.Println(experiments.DRFExtension().Render())
+	}
+	if want(*ext, "mds") {
+		fmt.Println(experiments.MDSProtection(*seed).Render())
+	}
+	if want(*ext, "adaptive") {
+		fmt.Println(experiments.AdaptiveLimit(*seed).Render())
+	}
+	if want(*ext, "scalability") {
+		rows, err := experiments.ControlPlaneScalability()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderScalability(rows))
+	}
+	if want(*ext, "ablation") {
+		burst := experiments.BurstAblation(*seed)
+		gran := experiments.GranularityAblation(*seed)
+		fmt.Println(experiments.RenderAblations(burst, gran))
+		mech, err := experiments.MechanismAblation()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderMechanism(mech))
+	}
+}
+
+// named relabels a series for CSV headers.
+func named(name string, s *metrics.Series) *metrics.Series {
+	out := metrics.NewSeries(name)
+	out.Points = s.Points
+	return out
+}
+
+func dumpCSV(dir, name, content string) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  wrote %s\n\n", filepath.Join(dir, name))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "padll-experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,145 @@
+// Command padll-ior runs the IOR-like synthetic data benchmark (the
+// paper's data-workload generator, §IV) against the simulated Lustre
+// parallel file system, optionally through a PADLL data plane so data
+// operations can be rate limited.
+//
+// Usage:
+//
+//	padll-ior -tasks 8 -transfer 1m -block 16m -segments 4 -mode writeread
+//	padll-ior -tasks 4 -rule 'limit id:data class:data rate:5k'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"padll"
+	"padll/internal/clock"
+	"padll/internal/ior"
+	"padll/internal/pfs"
+	"padll/internal/posix"
+)
+
+// parseSize parses values like 64k, 1m, 8m into bytes.
+func parseSize(s string) (int64, error) {
+	mult := int64(1)
+	s = strings.ToLower(strings.TrimSpace(s))
+	switch {
+	case strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	case strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	var v int64
+	if _, err := fmt.Sscanf(s, "%d", &v); err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return v * mult, nil
+}
+
+func main() {
+	var (
+		tasks    = flag.Int("tasks", 4, "parallel ranks")
+		transfer = flag.String("transfer", "256k", "transfer size per call")
+		block    = flag.String("block", "8m", "block size per task per segment")
+		segments = flag.Int("segments", 2, "segment count")
+		mode     = flag.String("mode", "writeread", "write | read | writeread")
+		fpp      = flag.Bool("file-per-process", false, "one file per rank instead of a shared file")
+		random   = flag.Bool("random", false, "random transfer order")
+		ruleFlag = flag.String("rule", "", "QoS rule installed on the data plane (DSL)")
+		ostBW    = flag.String("ost-bandwidth", "1g", "per-OST bandwidth")
+	)
+	flag.Parse()
+
+	tSize, err := parseSize(*transfer)
+	if err != nil {
+		fatal(err)
+	}
+	bSize, err := parseSize(*block)
+	if err != nil {
+		fatal(err)
+	}
+	bw, err := parseSize(*ostBW)
+	if err != nil {
+		fatal(err)
+	}
+	var m ior.Mode
+	switch *mode {
+	case "write":
+		m = ior.WriteOnly
+	case "read":
+		m = ior.ReadOnly
+	case "writeread":
+		m = ior.WriteThenRead
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	clk := clock.NewReal()
+	backend := pfs.New(clk, pfs.Config{OSTBandwidth: float64(bw)})
+	cfg := backend.Config()
+	fmt.Printf("simulated PFS: %d MDS / %d MDT / %d OST, %s/s per OST\n",
+		cfg.NumMDS, cfg.NumMDT, cfg.NumOST, *ostBW)
+
+	var client *posix.Client
+	if *ruleFlag != "" {
+		hostname, _ := os.Hostname()
+		dp, err := padll.NewDataPlane(
+			padll.JobInfo{JobID: "ior-job", PID: os.Getpid(), Hostname: hostname},
+			padll.MountPFS("/", backend))
+		if err != nil {
+			fatal(err)
+		}
+		defer dp.Close()
+		rule, err := padll.ParseRule(*ruleFlag)
+		if err != nil {
+			fatal(err)
+		}
+		dp.ApplyRule(rule)
+		fmt.Println("installed", rule.String())
+		client = dp.Client()
+	} else {
+		client = posix.NewClient(backend)
+	}
+
+	res, err := ior.Run(context.Background(), ior.Config{
+		Client:         client,
+		Dir:            "/ior",
+		NumTasks:       *tasks,
+		TransferSize:   tSize,
+		BlockSize:      bSize,
+		SegmentCount:   *segments,
+		Mode:           m,
+		FilePerProcess: *fpp,
+		Random:         *random,
+		Clock:          clk,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("elapsed %v, %d errors\n", res.Elapsed.Round(1e6), res.Errors)
+	if res.WriteOps > 0 {
+		fmt.Printf("  write: %d ops, %.1f MiB, %.1f MiB/s, %.0f ops/s\n",
+			res.WriteOps, float64(res.BytesWritten)/(1<<20),
+			res.WriteBandwidth()/(1<<20), float64(res.WriteOps)/res.Elapsed.Seconds())
+	}
+	if res.ReadOps > 0 {
+		fmt.Printf("  read:  %d ops, %.1f MiB, %.1f MiB/s, %.0f ops/s\n",
+			res.ReadOps, float64(res.BytesRead)/(1<<20),
+			res.ReadBandwidth()/(1<<20), float64(res.ReadOps)/res.Elapsed.Seconds())
+	}
+	st := backend.Stats()
+	fmt.Printf("  PFS: %d metadata ops, %.1f MiB written, %.1f MiB read\n",
+		st.MetadataOps, float64(st.BytesWritten)/(1<<20), float64(st.BytesRead)/(1<<20))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "padll-ior:", err)
+	os.Exit(1)
+}

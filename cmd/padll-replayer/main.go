@@ -1,0 +1,169 @@
+// Command padll-replayer replays a metadata trace against a PADLL-
+// interposed file-system stack, reproducing the paper's evaluation
+// methodology (§IV): one thread per operation type, rates scaled down,
+// time accelerated so each replayer second covers a minute of the log.
+//
+// The replayed operations run against an in-memory local file system (as
+// the paper's metadata experiments do, to avoid harming a production
+// PFS); the stage's control service can be exposed so padll-ctl or
+// padll-controller can throttle the replay live.
+//
+// Usage:
+//
+//	padll-replayer -synthetic -ops open,close,getattr -duration 30s \
+//	    -rule 'limit id:meta class:metadata rate:10k'
+//	padll-replayer -trace trace.csv -serve :7171 -controller 127.0.0.1:7070
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"padll"
+	"padll/internal/clock"
+	"padll/internal/localfs"
+	"padll/internal/posix"
+	"padll/internal/trace"
+)
+
+func main() {
+	var (
+		traceFile  = flag.String("trace", "", "trace CSV to replay (see padll-tracegen)")
+		synthetic  = flag.Bool("synthetic", false, "generate a single-MDT ABCI-like trace instead of reading one")
+		seed       = flag.Int64("seed", 2022, "seed for -synthetic")
+		opsFlag    = flag.String("ops", "", "comma-separated op types to replay (default: all in the trace)")
+		rateScale  = flag.Float64("rate-scale", 0.5, "rate scale (the paper replays at half rate)")
+		accel      = flag.Float64("accel", 60, "time acceleration (60: 1s wall = 1min trace)")
+		duration   = flag.Duration("duration", 30*time.Second, "wall-clock replay budget (0 = full trace)")
+		ruleFlag   = flag.String("rule", "", "QoS rule to install locally (DSL form)")
+		jobID      = flag.String("job", "replay-job", "job ID stamped on requests")
+		serve      = flag.String("serve", "", "expose the stage control service on this address")
+		controller = flag.String("controller", "", "register with this control plane")
+		files      = flag.Int("files", 128, "pre-created file population")
+	)
+	flag.Parse()
+
+	var tr *trace.Trace
+	switch {
+	case *traceFile != "":
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err = trace.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	case *synthetic:
+		tr = trace.SingleMDT(trace.PFSALike(*seed))
+	default:
+		fatal(fmt.Errorf("need -trace FILE or -synthetic"))
+	}
+
+	var ops []posix.Op
+	if *opsFlag != "" {
+		for _, name := range strings.Split(*opsFlag, ",") {
+			op, err := posix.ParseOp(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			ops = append(ops, op)
+		}
+		tr = tr.Filter(ops...)
+	}
+
+	// Build the stack: app -> shim -> local FS (the paper submits
+	// metadata workloads to the node-local file system).
+	backend := localfs.New(clock.NewReal())
+	hostname, _ := os.Hostname()
+	dp, err := padll.NewDataPlane(
+		padll.JobInfo{JobID: *jobID, User: os.Getenv("USER"), PID: os.Getpid(), Hostname: hostname},
+		padll.MountPFS("/", backend),
+	)
+	if err != nil {
+		fatal(err)
+	}
+	defer dp.Close()
+	if *ruleFlag != "" {
+		rule, err := padll.ParseRule(*ruleFlag)
+		if err != nil {
+			fatal(err)
+		}
+		dp.ApplyRule(rule)
+		fmt.Println("installed", rule.String())
+	}
+	if *serve != "" {
+		if err := dp.Serve(*serve, *controller); err != nil {
+			fatal(err)
+		}
+		fmt.Println("stage control service on", dp.Addr())
+	}
+
+	w := &trace.Workload{
+		Ctl:   dp.Client(),
+		Raw:   dp.RawClient(), // below the shim, same descriptor namespace
+		Dir:   "/replay",
+		Files: *files,
+	}
+	if err := w.Prepare(); err != nil {
+		fatal(err)
+	}
+
+	r := &trace.Replayer{
+		Trace:     tr,
+		Submit:    w.Submit,
+		Accel:     *accel,
+		RateScale: *rateScale,
+		Ops:       ops,
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	if *duration > 0 {
+		ctx, cancel = context.WithTimeout(ctx, *duration)
+	}
+	defer cancel()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		cancel()
+	}()
+
+	fmt.Printf("replaying %v of trace (%d samples, %d op types) at %.0fx accel, %.0f%% rate\n",
+		tr.Duration(), tr.Len(), len(tr.Ops), *accel, *rateScale*100)
+	start := time.Now()
+	if err := r.Run(ctx); err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("done in %v (%d submission errors)\n", elapsed.Round(time.Millisecond), r.Errors())
+	replayed := ops
+	if len(replayed) == 0 {
+		replayed = tr.Ops
+	}
+	for _, op := range replayed {
+		s := r.Series(op)
+		if s == nil || s.Len() == 0 {
+			continue
+		}
+		fmt.Printf("  %-10s total=%-10d mean=%8.0f/s peak=%8.0f/s\n",
+			op, r.Total(op), s.Mean(), s.Max())
+	}
+	stats := dp.Stats()
+	for _, q := range stats.Queues {
+		fmt.Printf("  queue %-12s throttled to %8.0f/s, admitted %d\n", q.RuleID, q.Limit, q.Total)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "padll-replayer:", err)
+	os.Exit(1)
+}

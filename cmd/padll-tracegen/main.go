@@ -1,0 +1,62 @@
+// Command padll-tracegen synthesizes ABCI-like metadata traces (§II-A of
+// the PADLL paper) and writes them as CSV, for use with padll-replayer
+// and offline analysis.
+//
+// Usage:
+//
+//	padll-tracegen -seed 2022 -days 30 -out trace.csv
+//	padll-tracegen -days 1 -mdt -scale 0.5 | head
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"padll/internal/trace"
+)
+
+func main() {
+	var (
+		seed  = flag.Int64("seed", 2022, "generator seed (deterministic)")
+		days  = flag.Float64("days", 30, "trace duration in days")
+		mdt   = flag.Bool("mdt", false, "emit a single-MDT trace (1/6 of the load)")
+		scale = flag.Float64("scale", 1.0, "rate scale applied after generation")
+		out   = flag.String("out", "", "output file (default stdout)")
+		stats = flag.Bool("stats", false, "print summary statistics to stderr")
+	)
+	flag.Parse()
+
+	cfg := trace.PFSAConfig(*seed)
+	cfg.Duration = time.Duration(*days * 24 * float64(time.Hour))
+	tr := trace.Generate(cfg)
+	if *mdt {
+		tr = trace.SingleMDT(tr)
+	}
+	if *scale != 1.0 {
+		tr = tr.Scale(*scale)
+	}
+
+	if *stats {
+		st := trace.Analyze(tr)
+		fmt.Fprintf(os.Stderr, "samples=%d mean=%.1fK peak=%.1fK min=%.1fK top4=%.1f%% sustained>400K=%dmin\n",
+			st.Samples, st.MeanTotal/1000, st.PeakTotal/1000, st.MinTotal/1000,
+			st.Top4Share*100, st.SustainedOver400K)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "padll-tracegen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tr.WriteCSV(w); err != nil {
+		fmt.Fprintln(os.Stderr, "padll-tracegen:", err)
+		os.Exit(1)
+	}
+}

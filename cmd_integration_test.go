@@ -1,0 +1,214 @@
+package padll_test
+
+// End-to-end integration of the command-line tools: build every binary,
+// generate a trace, replay it under a rule, run the benchmarks, and
+// drive a live controller + stage + padll-ctl session over TCP — the
+// two-terminal demo from the README, executed as a test.
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// lockedBuffer is an io.Writer safe to read while a child process writes.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// buildTools compiles every cmd/ binary into a temp dir once per test run.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	tools := []string{
+		"padll-tracegen", "padll-replayer", "padll-ior",
+		"padll-mdtest", "padll-ctl", "padll-controller", "padll-experiments",
+	}
+	for _, tool := range tools {
+		out, err := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool).CombinedOutput()
+		if err != nil {
+			t.Fatalf("build %s: %v\n%s", tool, err, out)
+		}
+	}
+	return dir
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, buf.String())
+	}
+	return buf.String()
+}
+
+func TestCommandLineToolsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	bins := buildTools(t)
+	work := t.TempDir()
+
+	// 1. Generate a small single-MDT trace.
+	traceFile := filepath.Join(work, "trace.csv")
+	out := run(t, filepath.Join(bins, "padll-tracegen"),
+		"-days", "0.02", "-mdt", "-seed", "7", "-out", traceFile, "-stats")
+	if _, err := os.Stat(traceFile); err != nil {
+		t.Fatalf("trace file missing: %v\n%s", err, out)
+	}
+
+	// 2. Replay it through a throttled stack for a couple of seconds.
+	out = run(t, filepath.Join(bins, "padll-replayer"),
+		"-trace", traceFile, "-duration", "2s",
+		"-rule", "limit id:meta class:metadata rate:5k")
+	if !strings.Contains(out, "installed") || !strings.Contains(out, "done in") {
+		t.Errorf("replayer output unexpected:\n%s", out)
+	}
+	if !strings.Contains(out, "queue meta") {
+		t.Errorf("replayer did not report the throttle queue:\n%s", out)
+	}
+
+	// 3. IOR and mdtest benchmarks complete and report.
+	out = run(t, filepath.Join(bins, "padll-ior"),
+		"-tasks", "2", "-transfer", "64k", "-block", "1m", "-segments", "1", "-mode", "writeread")
+	if !strings.Contains(out, "write:") || !strings.Contains(out, "read:") {
+		t.Errorf("ior output unexpected:\n%s", out)
+	}
+	out = run(t, filepath.Join(bins, "padll-mdtest"), "-ranks", "2", "-files", "50", "-dirs", "2")
+	if !strings.Contains(out, "file-create") || !strings.Contains(out, "dir-remove") {
+		t.Errorf("mdtest output unexpected:\n%s", out)
+	}
+
+	// 4. Live control plane: controller serves; a replayer stage
+	// registers; padll-ctl inspects and retunes it.
+	controller := exec.Command(filepath.Join(bins, "padll-controller"),
+		"-listen", "127.0.0.1:17070", "-algorithm", "proportional",
+		"-limit", "20000", "-reserve", "replay-job=5k", "-report", "0",
+		"-http", "127.0.0.1:17090")
+	var ctlOut lockedBuffer
+	controller.Stdout = &ctlOut
+	controller.Stderr = &ctlOut
+	if err := controller.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		controller.Process.Kill()
+		controller.Wait()
+	}()
+	waitForOutput(t, &ctlOut, "registrar on", 5*time.Second)
+
+	replayer := exec.Command(filepath.Join(bins, "padll-replayer"),
+		"-trace", traceFile, "-duration", "8s",
+		"-serve", "127.0.0.1:17171", "-controller", "127.0.0.1:17070")
+	var repOut lockedBuffer
+	replayer.Stdout = &repOut
+	replayer.Stderr = &repOut
+	if err := replayer.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		replayer.Process.Kill()
+		replayer.Wait()
+	}()
+	waitForOutput(t, &repOut, "stage control service on", 5*time.Second)
+
+	ctl := filepath.Join(bins, "padll-ctl")
+	out = run(t, ctl, "-stage", "127.0.0.1:17171", "ping")
+	if !strings.Contains(out, "replay-job") {
+		t.Errorf("ctl ping output:\n%s", out)
+	}
+	// Give the controller a loop iteration to install the managed queue.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		out = run(t, ctl, "-stage", "127.0.0.1:17171", "stats")
+		if strings.Contains(out, "padll-control") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("managed queue never appeared:\n%s", out)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	// Apply an extra administrator rule and retune it.
+	out = run(t, ctl, "-stage", "127.0.0.1:17171", "apply", "limit id:open-cap op:open rate:1k")
+	if !strings.Contains(out, "applied") {
+		t.Errorf("ctl apply output:\n%s", out)
+	}
+	out = run(t, ctl, "-stage", "127.0.0.1:17171", "set-rate", "open-cap", "2k")
+	if !strings.Contains(out, "2000") {
+		t.Errorf("ctl set-rate output:\n%s", out)
+	}
+	out = run(t, ctl, "-stage", "127.0.0.1:17171", "remove", "open-cap")
+	if !strings.Contains(out, "removed") {
+		t.Errorf("ctl remove output:\n%s", out)
+	}
+
+	// 5. The controller's HTTP monitor reports the job's allocation once
+	// the feedback loop has run (first tick lands within a second).
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		monBody := httpGetWithRetry(t, "http://127.0.0.1:17090/api/overview", 5*time.Second)
+		if strings.Contains(monBody, "replay-job") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("monitor overview never showed the job's allocation:\n%s", monBody)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// waitForOutput polls a process's captured output for a marker.
+func waitForOutput(t *testing.T, buf *lockedBuffer, marker string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !strings.Contains(buf.String(), marker) {
+		if time.Now().After(deadline) {
+			t.Fatalf("never saw %q in output:\n%s", marker, buf.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// httpGetWithRetry fetches a URL, retrying while the server warms up.
+func httpGetWithRetry(t *testing.T, url string, timeout time.Duration) string {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr == nil && resp.StatusCode == 200 {
+				return string(body)
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("GET %s never succeeded: %v", url, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

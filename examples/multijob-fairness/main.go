@@ -1,0 +1,100 @@
+// Multi-job fairness: three concurrent jobs with different reservations
+// share one metadata budget under the paper's Proportional Sharing
+// control algorithm. The control plane collects demand from every stage
+// each second and retunes the per-job rates: reserved rates are
+// guaranteed, leftover rate flows to the jobs that can use it — watch the
+// allocations shift as the light job goes idle.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"padll"
+	"padll/internal/clock"
+	"padll/internal/localfs"
+)
+
+const clusterLimit = 30_000 // aggregate metadata ops/s budget
+
+func main() {
+	cp := padll.NewControlPlane(
+		padll.WithAlgorithm(padll.ProportionalShare()),
+		padll.WithClusterLimit(clusterLimit),
+	)
+	defer cp.Stop()
+
+	// Three jobs with 1:2:3 reservations.
+	jobs := []struct {
+		id          string
+		reservation float64
+	}{
+		{"dl-training", 5_000},
+		{"analytics", 10_000},
+		{"checkpoint", 15_000},
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		backend := localfs.New(clock.NewReal())
+		dp, err := padll.NewDataPlane(
+			padll.JobInfo{JobID: j.id, User: "demo", Hostname: "node-" + j.id},
+			padll.MountPFS("/pfs", backend),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer dp.Close()
+		cp.SetReservation(j.id, j.reservation)
+		if err := cp.AttachLocal(dp); err != nil {
+			log.Fatal(err)
+		}
+
+		// Each job hammers getattr as fast as its queue admits. The
+		// "checkpoint" job goes idle halfway through, freeing its share.
+		wg.Add(1)
+		go func(id string, dp *padll.DataPlane) {
+			defer wg.Done()
+			c := dp.Client()
+			fd, err := c.Creat("/pfs/probe", 0o644)
+			if err != nil {
+				log.Fatal(err)
+			}
+			c.Close(fd)
+			idleAfter := time.Now().Add(3 * time.Second)
+			for !stop.Load() {
+				if id == "checkpoint" && time.Now().After(idleAfter) {
+					time.Sleep(50 * time.Millisecond) // idle: ~no demand
+					continue
+				}
+				c.GetAttr("/pfs/probe")
+			}
+		}(j.id, dp)
+	}
+
+	// Feedback loop: collect → allocate → push, every second.
+	cp.Run(time.Second)
+
+	for round := 1; round <= 6; round++ {
+		time.Sleep(time.Second)
+		alloc := cp.LastAllocation()
+		snaps := cp.Collect()
+		sort.Slice(snaps, func(i, j int) bool { return snaps[i].JobID < snaps[j].JobID })
+		fmt.Printf("t=%ds\n", round)
+		for _, s := range snaps {
+			fmt.Printf("  %-12s reserved %6.0f  demand %8.0f/s  allocated %8.0f/s  served %8.0f/s\n",
+				s.JobID, s.Reservation, s.Demand, alloc[s.JobID], s.Throughput)
+		}
+	}
+
+	stop.Store(true)
+	wg.Wait()
+	fmt.Println("\nnote how 'checkpoint' going idle after t=3s releases its 15k")
+	fmt.Println("reservation's unused share to the two busy jobs, while its own")
+	fmt.Println("allocation never drops below the guaranteed floor.")
+}

@@ -1,0 +1,102 @@
+// Priority scheduling: the paper's Fig. 5 "Priority" setup on a live
+// stack. Two jobs run the same metadata-heavy loop; the administrator
+// gives the production job three times the reserved rate of the
+// best-effort job. The control plane's feedback loop holds each job to
+// its priority rate, so the best-effort job finishes proportionally
+// later — without touching either application.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"padll"
+	"padll/internal/clock"
+	"padll/internal/localfs"
+)
+
+const (
+	opsPerJob    = 20_000
+	clusterLimit = 20_000 // ops/s
+)
+
+func main() {
+	cp := padll.NewControlPlane(
+		padll.WithAlgorithm(padll.Priority()),
+		padll.WithClusterLimit(clusterLimit),
+	)
+	defer cp.Stop()
+
+	jobs := []struct {
+		id   string
+		rate float64
+	}{
+		{"best-effort", 5_000},
+		{"production", 15_000},
+	}
+
+	// Attach every job first, then run one allocation round so workers
+	// start already held to their priority rates.
+	planes := make(map[string]*padll.DataPlane, len(jobs))
+	for _, j := range jobs {
+		backend := localfs.New(clock.NewReal())
+		dp, err := padll.NewDataPlane(
+			padll.JobInfo{JobID: j.id, User: "demo", Hostname: "node-" + j.id},
+			padll.MountPFS("/pfs", backend),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer dp.Close()
+		cp.SetReservation(j.id, j.rate)
+		if err := cp.AttachLocal(dp); err != nil {
+			log.Fatal(err)
+		}
+		planes[j.id] = dp
+	}
+	cp.RunOnce()
+
+	type result struct {
+		id      string
+		elapsed time.Duration
+	}
+	results := make(chan result, len(jobs))
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		dp := planes[j.id]
+		wg.Add(1)
+		go func(id string, dp *padll.DataPlane) {
+			defer wg.Done()
+			c := dp.Client()
+			fd, err := c.Creat("/pfs/f", 0o644)
+			if err != nil {
+				log.Fatal(err)
+			}
+			c.Close(fd)
+			start := time.Now()
+			for i := 0; i < opsPerJob; i++ {
+				if _, err := c.GetAttr("/pfs/f"); err != nil {
+					log.Fatal(err)
+				}
+			}
+			results <- result{id, time.Since(start)}
+		}(j.id, dp)
+	}
+
+	cp.Run(250 * time.Millisecond)
+	wg.Wait()
+	close(results)
+
+	byID := map[string]time.Duration{}
+	for r := range results {
+		byID[r.id] = r.elapsed
+		fmt.Printf("%-12s finished %d getattrs in %v (%.0f ops/s achieved)\n",
+			r.id, opsPerJob, r.elapsed.Round(time.Millisecond),
+			float64(opsPerJob)/r.elapsed.Seconds())
+	}
+	ratio := byID["best-effort"].Seconds() / byID["production"].Seconds()
+	fmt.Printf("\nbest-effort took %.1fx as long as production (reservations were 1:3)\n", ratio)
+	fmt.Println("the low-priority job pays with time, exactly as job1 does in Fig. 5.")
+}

@@ -1,0 +1,94 @@
+// Quickstart: embed PADLL into an application in three steps —
+// build a data plane over your mounts, install a QoS rule, and do I/O
+// through the interposed client. Requests to the controlled mount are
+// classified and rate limited; everything else passes straight through.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"padll"
+	"padll/internal/clock"
+	"padll/internal/localfs"
+	"padll/internal/pfs"
+)
+
+func main() {
+	// Backends: a simulated Lustre PFS (the shared, protected resource)
+	// and a node-local file system (not rate limited).
+	clk := clock.NewReal()
+	lustre := pfs.New(clk, pfs.Config{})
+	local := localfs.New(clk)
+
+	// Step 1: the data plane interposes on both mounts; only /lustre is
+	// controlled.
+	dp, err := padll.NewDataPlane(
+		padll.JobInfo{JobID: "quickstart-job", User: "demo", PID: 1, Hostname: "node-1"},
+		padll.MountPFS("/lustre", lustre),
+		padll.MountLocal("/", local),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dp.Close()
+
+	// Step 2: a QoS rule, in the administrator DSL — throttle all
+	// metadata operations of this job to 2000 ops/s.
+	rule, err := padll.ParseRule("limit id:meta class:metadata rate:2k burst:50")
+	if err != nil {
+		log.Fatal(err)
+	}
+	dp.ApplyRule(rule)
+
+	// Step 3: do I/O through the interposed client. The calls below are
+	// ordinary POSIX; the shim classifies and throttles them invisibly.
+	c := dp.Client()
+	start := time.Now()
+	for i := 0; i < 1000; i++ {
+		path := fmt.Sprintf("/lustre/dataset/file-%04d", i)
+		if i == 0 {
+			if err := c.Mkdir("/lustre/dataset", 0o755); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fd, err := c.Open(path, padll.OCreate|padll.OWrOnly, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := c.Write(fd, []byte("hello, lustre")); err != nil {
+			log.Fatal(err)
+		}
+		if err := c.Close(fd); err != nil {
+			log.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+
+	// Node-local scratch I/O resolves to the uncontrolled mount and is
+	// forwarded without throttling.
+	fd, err := c.Creat("/scratch-notes.txt", 0o644)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.Write(fd, []byte("not rate limited")); err != nil {
+		log.Fatal(err)
+	}
+	c.Close(fd)
+
+	// 1000 files need ~2000 metadata ops (open+close); at 2000 ops/s the
+	// loop takes about a second — the rule at work.
+	fmt.Printf("created 1000 files in %v (throttled to 2000 metadata ops/s)\n",
+		elapsed.Round(time.Millisecond))
+
+	stats := dp.Stats()
+	for _, q := range stats.Queues {
+		fmt.Printf("queue %q: admitted %d metadata requests under a %.0f ops/s limit\n",
+			q.RuleID, q.Total, q.Limit)
+	}
+	is := dp.InterceptionStats()
+	fmt.Printf("intercepted %d calls total: %d controlled (PFS), %d bypassed (local)\n",
+		is.Intercepted, is.Controlled, is.Bypassed)
+	fmt.Printf("PFS metadata server served %d operations\n", lustre.Stats().MetadataOps)
+}

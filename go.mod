@@ -1,0 +1,3 @@
+module padll
+
+go 1.22

@@ -1,0 +1,164 @@
+// Package clock abstracts time so that every rate-sensitive component in
+// PADLL (token buckets, feedback control loops, trace replay) can run
+// either against the wall clock or against a simulated clock that replays
+// a 45-minute experiment in milliseconds with identical arithmetic.
+package clock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time source used throughout the repository.
+// Implementations must be safe for concurrent use.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+	// Sleep blocks the caller for d. On a simulated clock the caller is
+	// parked until the simulation advances past Now()+d.
+	Sleep(d time.Duration)
+	// After returns a channel that receives the then-current time once d
+	// has elapsed.
+	After(d time.Duration) <-chan time.Time
+}
+
+// Real is a Clock backed by the wall clock.
+type Real struct{}
+
+// NewReal returns the wall-clock Clock.
+func NewReal() Real { return Real{} }
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Sim is a manually advanced simulated clock. Goroutines that Sleep or
+// select on After are parked in a waiter queue ordered by deadline and are
+// released when Advance (or AdvanceTo) moves the clock past their deadline.
+//
+// The zero value is not usable; construct with NewSim.
+type Sim struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters waiterHeap
+	seq     int64 // tiebreaker so equal deadlines release FIFO
+}
+
+// NewSim returns a simulated clock whose current instant is start.
+func NewSim(start time.Time) *Sim {
+	return &Sim{now: start}
+}
+
+type waiter struct {
+	deadline time.Time
+	seq      int64
+	ch       chan time.Time
+}
+
+type waiterHeap []*waiter
+
+func (h waiterHeap) Len() int { return len(h) }
+func (h waiterHeap) Less(i, j int) bool {
+	if h[i].deadline.Equal(h[j].deadline) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].deadline.Before(h[j].deadline)
+}
+func (h waiterHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *waiterHeap) Push(x interface{}) { *h = append(*h, x.(*waiter)) }
+func (h *waiterHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return w
+}
+
+// Now implements Clock.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Sleep implements Clock. It parks the calling goroutine until the clock
+// is advanced past Now()+d. Sleeping for d <= 0 returns immediately.
+func (s *Sim) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	<-s.After(d)
+}
+
+// After implements Clock.
+func (s *Sim) After(d time.Duration) <-chan time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	if d <= 0 {
+		ch <- s.now
+		return ch
+	}
+	s.seq++
+	heap.Push(&s.waiters, &waiter{deadline: s.now.Add(d), seq: s.seq, ch: ch})
+	return ch
+}
+
+// Advance moves the clock forward by d, releasing every waiter whose
+// deadline falls within the advanced window, in deadline order.
+func (s *Sim) Advance(d time.Duration) {
+	s.mu.Lock()
+	s.AdvanceToLocked(s.now.Add(d))
+	s.mu.Unlock()
+}
+
+// AdvanceTo moves the clock forward to instant t (no-op if t is not after
+// the current instant), releasing waiters in deadline order.
+func (s *Sim) AdvanceTo(t time.Time) {
+	s.mu.Lock()
+	s.AdvanceToLocked(t)
+	s.mu.Unlock()
+}
+
+// AdvanceToLocked is Advance's core; the caller must hold s.mu.
+func (s *Sim) AdvanceToLocked(t time.Time) {
+	if t.Before(s.now) {
+		return
+	}
+	for len(s.waiters) > 0 && !s.waiters[0].deadline.After(t) {
+		w := heap.Pop(&s.waiters).(*waiter)
+		// Waiters observe the clock at their own deadline, not the final
+		// target, so cascaded timers fire in causal order.
+		if w.deadline.After(s.now) {
+			s.now = w.deadline
+		}
+		w.ch <- s.now
+	}
+	s.now = t
+}
+
+// PendingWaiters reports how many goroutines are currently parked on the
+// clock. Useful for tests and for the simulator's quiescence detection.
+func (s *Sim) PendingWaiters() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.waiters)
+}
+
+// NextDeadline returns the earliest parked deadline and true, or the zero
+// time and false when no waiter is parked.
+func (s *Sim) NextDeadline() (time.Time, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.waiters) == 0 {
+		return time.Time{}, false
+	}
+	return s.waiters[0].deadline, true
+}

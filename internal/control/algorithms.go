@@ -1,0 +1,320 @@
+// Package control implements PADLL's control plane (§III-B): a logically
+// centralized component with system-wide visibility that registers every
+// data-plane stage, groups stages by job, and runs a feedback control loop
+// that ① collects I/O metrics from stages, ② evaluates the administrator's
+// policies, and ③ pushes new rates to stages.
+//
+// Policies range from simple static rules to control algorithms. This
+// package ships the algorithms evaluated in §IV-B — Static (equal share),
+// Priority (fixed per-job rates), and Proportional Sharing (per-job
+// reservations with proportional redistribution of leftover rate) — plus
+// Dominant Resource Fairness, listed as future work in §VI.
+package control
+
+import (
+	"math"
+	"sort"
+)
+
+// JobState is one job's view in an allocation round: what the control
+// plane learned from the job's stages in the collect step.
+type JobState struct {
+	// JobID identifies the job.
+	JobID string
+	// Demand is the job's aggregate arrival rate (ops/s) across stages,
+	// i.e. what the job would consume unthrottled.
+	Demand float64
+	// Reservation is the job's guaranteed rate (Priority and
+	// ProportionalShare interpret it; Static ignores it).
+	Reservation float64
+	// Stages is the number of data-plane stages serving the job.
+	Stages int
+}
+
+// Algorithm computes per-job rate allocations given the cluster-wide
+// limit. Implementations must be pure: same inputs, same outputs.
+type Algorithm interface {
+	// Name labels the algorithm in logs and reports.
+	Name() string
+	// Allocate returns each job's rate. The sum of allocations must not
+	// exceed total (work conservation up to total is allowed but not
+	// required).
+	Allocate(total float64, jobs []JobState) map[string]float64
+}
+
+// StaticEqualShare divides the cluster limit equally among active jobs,
+// regardless of demand — the paper's Static setup (75 KOps/s each under a
+// 300 KOps/s limit with 4 jobs).
+type StaticEqualShare struct {
+	// PerJob, when > 0, fixes each job's rate instead of dividing total
+	// by the active job count (the paper statically assigns 75 KOps/s
+	// even before all four jobs arrive).
+	PerJob float64
+}
+
+// Name implements Algorithm.
+func (StaticEqualShare) Name() string { return "static" }
+
+// Allocate implements Algorithm.
+func (a StaticEqualShare) Allocate(total float64, jobs []JobState) map[string]float64 {
+	out := make(map[string]float64, len(jobs))
+	if len(jobs) == 0 {
+		return out
+	}
+	share := a.PerJob
+	if share <= 0 {
+		share = total / float64(len(jobs))
+	}
+	for _, j := range jobs {
+		out[j.JobID] = share
+	}
+	return out
+}
+
+// FixedRates assigns each job its reservation verbatim — the paper's
+// Priority setup (40/60/80/120 KOps/s for job1..job4). Jobs without a
+// reservation fall back to an equal share of whatever the reserved jobs
+// leave unclaimed.
+type FixedRates struct{}
+
+// Name implements Algorithm.
+func (FixedRates) Name() string { return "priority" }
+
+// Allocate implements Algorithm.
+func (FixedRates) Allocate(total float64, jobs []JobState) map[string]float64 {
+	out := make(map[string]float64, len(jobs))
+	var reserved float64
+	var unreserved []string
+	for _, j := range jobs {
+		if j.Reservation > 0 {
+			out[j.JobID] = j.Reservation
+			reserved += j.Reservation
+		} else {
+			unreserved = append(unreserved, j.JobID)
+		}
+	}
+	if len(unreserved) > 0 {
+		left := total - reserved
+		if left < 0 {
+			left = 0
+		}
+		share := left / float64(len(unreserved))
+		for _, id := range unreserved {
+			out[id] = share
+		}
+	}
+	return out
+}
+
+// ProportionalShare implements the paper's proportional-sharing control
+// algorithm (§IV-B): every active job is guaranteed access to its
+// reserved rate, and whenever there is leftover rate (the cluster limit
+// exceeds what demands consume), the leftover is distributed among active
+// jobs in proportion to their reservations, capped by each job's demand —
+// so a lightly loaded job's unused share flows to the jobs that can use
+// it (progressive filling / water-filling).
+//
+// The returned rate for a job is never below its (scale-adjusted)
+// reservation: an idle job keeps an open bucket up to its guarantee so it
+// can ramp instantly, while the usable portion of that guarantee —
+// min(rate, demand cap) — stays within the cluster limit. Only the
+// demand-capped portions count against the limit, which is exactly the
+// load the PFS can observe.
+type ProportionalShare struct {
+	// DemandHeadroom inflates measured demand when capping allocations,
+	// so jobs whose demand was throttled last round can reveal more
+	// demand this round. 0 means 10%.
+	DemandHeadroom float64
+}
+
+// Name implements Algorithm.
+func (ProportionalShare) Name() string { return "proportional-share" }
+
+// Allocate implements Algorithm.
+func (a ProportionalShare) Allocate(total float64, jobs []JobState) map[string]float64 {
+	out := make(map[string]float64, len(jobs))
+	if len(jobs) == 0 || total <= 0 {
+		return out
+	}
+	headroom := a.DemandHeadroom
+	if headroom <= 0 {
+		headroom = 0.10
+	}
+
+	// A job's cap is its headroom-inflated demand: what it could
+	// actually consume next round. A tiny floor lets fully idle jobs
+	// reveal new demand.
+	cap_ := make(map[string]float64, len(jobs))
+	weight := make(map[string]float64, len(jobs))
+	var totalReserved float64
+	for _, j := range jobs {
+		c := j.Demand * (1 + headroom)
+		if c < 1 {
+			c = 1
+		}
+		cap_[j.JobID] = c
+		w := j.Reservation
+		if w <= 0 {
+			w = 1 // unreserved jobs share leftovers equally
+		}
+		weight[j.JobID] = w
+		totalReserved += j.Reservation
+	}
+
+	// Phase 1: grant each job the usable part of its reservation
+	// (scaled down if reservations oversubscribe the limit).
+	scale := 1.0
+	if totalReserved > total && totalReserved > 0 {
+		scale = total / totalReserved
+	}
+	remaining := total
+	for _, j := range jobs {
+		g := math.Min(j.Reservation*scale, cap_[j.JobID])
+		out[j.JobID] = g
+		remaining -= g
+	}
+
+	// Phase 2: water-fill the leftover proportionally to weights among
+	// jobs still below their cap.
+	active := make([]string, 0, len(jobs))
+	for _, j := range jobs {
+		active = append(active, j.JobID)
+	}
+	sort.Strings(active) // determinism
+	for remaining > 1e-9 {
+		var wsum float64
+		var eligible []string
+		for _, id := range active {
+			if out[id] < cap_[id]-1e-9 {
+				eligible = append(eligible, id)
+				wsum += weight[id]
+			}
+		}
+		if len(eligible) == 0 {
+			break
+		}
+		progressed := false
+		budget := remaining
+		for _, id := range eligible {
+			grant := budget * weight[id] / wsum
+			room := cap_[id] - out[id]
+			if grant > room {
+				grant = room
+			}
+			if grant > 0 {
+				out[id] += grant
+				remaining -= grant
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+
+	// Reservation floor: a job's bucket never drops below its
+	// (scale-adjusted) guarantee, so it can ramp back up to the reserved
+	// rate without waiting for the next control round. The portion above
+	// the demand cap is unusable by construction (the job is not asking
+	// for it), so the PFS-visible load stays within the limit.
+	for _, j := range jobs {
+		floor := j.Reservation * scale
+		if out[j.JobID] < floor {
+			out[j.JobID] = floor
+		}
+	}
+	return out
+}
+
+// DRFAllocate implements Dominant Resource Fairness (Ghodsi et al.,
+// NSDI'11 — the paper's reference [29] and §VI future work) via
+// progressive filling: each job demands a vector of resources (e.g.
+// metadata ops/s and data bytes/s); allocation repeatedly grants the job
+// with the smallest dominant share one unit of its demand vector until
+// some resource saturates or every demand is met.
+//
+// capacities[r] is resource r's total; demands[j][r] is job j's demand
+// for r. The result allocs[j][r] holds job j's allocation. Jobs with an
+// all-zero demand vector receive nothing.
+func DRFAllocate(capacities []float64, demands [][]float64) [][]float64 {
+	nJobs := len(demands)
+	nRes := len(capacities)
+	allocs := make([][]float64, nJobs)
+	for j := range allocs {
+		allocs[j] = make([]float64, nRes)
+	}
+	used := make([]float64, nRes)
+
+	// dominantShare returns job j's dominant share under its current
+	// allocation, and the per-unit demand vector normalized so that one
+	// "unit" is 1/1000 of the job's dominant resource demand.
+	unit := make([][]float64, nJobs)
+	dominantDemand := make([]float64, nJobs)
+	for j := 0; j < nJobs; j++ {
+		var maxShare float64
+		for r := 0; r < nRes; r++ {
+			if capacities[r] <= 0 {
+				continue
+			}
+			share := demands[j][r] / capacities[r]
+			if share > maxShare {
+				maxShare = share
+			}
+		}
+		dominantDemand[j] = maxShare
+		unit[j] = make([]float64, nRes)
+		if maxShare == 0 {
+			continue
+		}
+		for r := 0; r < nRes; r++ {
+			// A full grant of the demand vector is 1000 units.
+			unit[j][r] = demands[j][r] / 1000
+		}
+	}
+
+	granted := make([]int, nJobs) // units granted, max 1000 (full demand)
+	for {
+		// Pick the unsaturated job with the smallest dominant share.
+		best := -1
+		bestShare := math.Inf(1)
+		for j := 0; j < nJobs; j++ {
+			if dominantDemand[j] == 0 || granted[j] >= 1000 {
+				continue
+			}
+			var share float64
+			for r := 0; r < nRes; r++ {
+				if capacities[r] <= 0 {
+					continue
+				}
+				s := allocs[j][r] / capacities[r]
+				if s > share {
+					share = s
+				}
+			}
+			if share < bestShare {
+				bestShare = share
+				best = j
+			}
+		}
+		if best < 0 {
+			break
+		}
+		// Grant one unit if it fits in every resource.
+		fits := true
+		for r := 0; r < nRes; r++ {
+			if used[r]+unit[best][r] > capacities[r]+1e-9 {
+				fits = false
+				break
+			}
+		}
+		if !fits {
+			break
+		}
+		for r := 0; r < nRes; r++ {
+			allocs[best][r] += unit[best][r]
+			used[r] += unit[best][r]
+		}
+		granted[best]++
+	}
+	return allocs
+}

@@ -1,0 +1,105 @@
+package control
+
+import (
+	"padll/internal/policy"
+	"padll/internal/rpcio"
+	"padll/internal/stage"
+)
+
+// StageConn abstracts the control plane's channel to one data-plane
+// stage. Remote stages use the net/rpc transport (rpcio); the cluster
+// simulator and tests drive in-process stages directly. Either way the
+// control plane's logic is identical — the property that lets the same
+// control algorithms run against live and simulated clusters.
+type StageConn interface {
+	// Info returns the stage's registration identity.
+	Info() stage.Info
+	// ApplyRule installs or updates a rule/queue.
+	ApplyRule(r policy.Rule) error
+	// RemoveRule deletes a rule, reporting whether it existed.
+	RemoveRule(id string) (bool, error)
+	// SetRate retunes a queue, reporting whether the rule existed.
+	SetRate(id string, rate float64) (bool, error)
+	// Collect snapshots the stage's statistics.
+	Collect() (stage.Stats, error)
+	// SetMode switches Enforce/Passthrough.
+	SetMode(m stage.Mode) error
+	// Close releases the connection.
+	Close() error
+}
+
+// LocalConn drives an in-process stage directly.
+type LocalConn struct {
+	Stg *stage.Stage
+}
+
+var _ StageConn = (*LocalConn)(nil)
+
+// Info implements StageConn.
+func (c *LocalConn) Info() stage.Info { return c.Stg.Info() }
+
+// ApplyRule implements StageConn.
+func (c *LocalConn) ApplyRule(r policy.Rule) error {
+	c.Stg.ApplyRule(r)
+	return nil
+}
+
+// RemoveRule implements StageConn.
+func (c *LocalConn) RemoveRule(id string) (bool, error) {
+	return c.Stg.RemoveRule(id), nil
+}
+
+// SetRate implements StageConn.
+func (c *LocalConn) SetRate(id string, rate float64) (bool, error) {
+	return c.Stg.SetRate(id, rate), nil
+}
+
+// Collect implements StageConn.
+func (c *LocalConn) Collect() (stage.Stats, error) {
+	return c.Stg.Collect(), nil
+}
+
+// SetMode implements StageConn.
+func (c *LocalConn) SetMode(m stage.Mode) error {
+	c.Stg.SetMode(m)
+	return nil
+}
+
+// Close implements StageConn.
+func (c *LocalConn) Close() error { return nil }
+
+// RemoteConn drives a stage over the RPC transport.
+type RemoteConn struct {
+	info   stage.Info
+	handle *rpcio.StageHandle
+}
+
+var _ StageConn = (*RemoteConn)(nil)
+
+// NewRemoteConn wraps a dialed stage handle with its registered identity.
+func NewRemoteConn(info stage.Info, handle *rpcio.StageHandle) *RemoteConn {
+	return &RemoteConn{info: info, handle: handle}
+}
+
+// Info implements StageConn.
+func (c *RemoteConn) Info() stage.Info { return c.info }
+
+// ApplyRule implements StageConn.
+func (c *RemoteConn) ApplyRule(r policy.Rule) error { return c.handle.ApplyRule(r) }
+
+// RemoveRule implements StageConn.
+func (c *RemoteConn) RemoveRule(id string) (bool, error) { return c.handle.RemoveRule(id) }
+
+// SetRate implements StageConn.
+func (c *RemoteConn) SetRate(id string, rate float64) (bool, error) {
+	return c.handle.SetRate(id, rate)
+}
+
+// Collect implements StageConn.
+func (c *RemoteConn) Collect() (stage.Stats, error) { return c.handle.Collect() }
+
+// SetMode implements StageConn.
+func (c *RemoteConn) SetMode(m stage.Mode) error { return c.handle.SetMode(m) }
+
+// Close implements StageConn.
+func (c *RemoteConn) Close() error { return c.handle.Close() }

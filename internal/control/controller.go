@@ -1,0 +1,538 @@
+package control
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"padll/internal/clock"
+	"padll/internal/policy"
+	"padll/internal/posix"
+	"padll/internal/rpcio"
+	"padll/internal/stage"
+)
+
+// ControlRuleID is the rule/queue name the feedback loop manages on every
+// stage.
+const ControlRuleID = "padll-control"
+
+// Controller is the control plane core. It maintains the stage registry,
+// groups stages by job (§III-B: "orchestrating the stages that belong to
+// the same job-ID as a single one"), serves administrator policy
+// operations at per-job, group-of-jobs, and cluster-wide granularity, and
+// runs the feedback control loop when an Algorithm is installed.
+type Controller struct {
+	clk clock.Clock
+
+	mu           sync.Mutex
+	stages       map[string]StageConn // by StageID
+	reservations map[string]float64   // per-job reserved rate
+	clusterLimit float64
+	algorithm    Algorithm
+	// controlled is the matcher template for the feedback loop's managed
+	// queue on every stage.
+	controlled policy.Matcher
+	// limitAdapter, when set, retunes clusterLimit each loop iteration.
+	limitAdapter LimitAdapter
+	// groupBy derives the orchestration entity from a stage's identity;
+	// the default groups by JobID (§III-B), but administrators may group
+	// by user or project ("group of jobs" granularity).
+	groupBy          func(stage.Info) string
+	isDefaultGroupBy bool
+	onError          func(stageID string, err error)
+	lastAlloc        map[string]float64
+	loopStop         chan struct{}
+	loopDone         chan struct{}
+}
+
+// Option configures a Controller.
+type Option func(*Controller)
+
+// WithClusterLimit sets the maximum aggregate rate the algorithm may hand
+// out (the paper's 300 KOps/s PFS metadata cap in §IV-B).
+func WithClusterLimit(limit float64) Option {
+	return func(c *Controller) { c.clusterLimit = limit }
+}
+
+// WithAlgorithm installs the control algorithm evaluated by the loop.
+func WithAlgorithm(a Algorithm) Option {
+	return func(c *Controller) { c.algorithm = a }
+}
+
+// WithControlledMatcher overrides which requests the managed queue
+// throttles (default: metadata, directory, and ext-attr classes — the
+// operations that land on the MDS).
+func WithControlledMatcher(m policy.Matcher) Option {
+	return func(c *Controller) { c.controlled = m }
+}
+
+// WithLimitAdapter installs a dynamic cluster-limit policy (e.g.
+// AIMDLimit probing the MDS) applied at the start of every feedback-loop
+// iteration.
+func WithLimitAdapter(a LimitAdapter) Option {
+	return func(c *Controller) { c.limitAdapter = a }
+}
+
+// WithGroupBy overrides how stages aggregate into orchestration entities
+// for the feedback loop: the default is per job; GroupByUser implements
+// the paper's "group of jobs" granularity by sharing one allocation among
+// all of a user's jobs.
+func WithGroupBy(f func(stage.Info) string) Option {
+	return func(c *Controller) {
+		c.groupBy = f
+		c.isDefaultGroupBy = false
+	}
+}
+
+// GroupByUser groups stages by submitting user.
+func GroupByUser(info stage.Info) string { return info.User }
+
+// WithErrorHandler installs a sink for stage-communication errors; the
+// default drops them (a dead stage is simply skipped until it
+// re-registers).
+func WithErrorHandler(f func(stageID string, err error)) Option {
+	return func(c *Controller) { c.onError = f }
+}
+
+// New returns a controller.
+func New(clk clock.Clock, opts ...Option) *Controller {
+	c := &Controller{
+		clk:          clk,
+		stages:       make(map[string]StageConn),
+		reservations: make(map[string]float64),
+		controlled: policy.Matcher{Classes: []posix.Class{
+			posix.ClassMetadata, posix.ClassDirectory, posix.ClassExtAttr,
+		}},
+		groupBy:          func(info stage.Info) string { return info.JobID },
+		isDefaultGroupBy: true,
+		onError:          func(string, error) {},
+		lastAlloc:        make(map[string]float64),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// ---- registry ----
+
+// Register adds a stage to the registry. A stage re-registering under an
+// existing ID (restart or reconnect after a network failure — the
+// dependability case §VI highlights) replaces its previous connection,
+// which is closed. If an algorithm is active, the stage immediately
+// receives the managed control queue so a newly arrived job is throttled
+// from its first request.
+func (c *Controller) Register(conn StageConn) error {
+	c.mu.Lock()
+	id := conn.Info().StageID
+	old := c.stages[id]
+	c.stages[id] = conn
+	alg := c.algorithm
+	c.mu.Unlock()
+	if old != nil && old != conn {
+		old.Close()
+	}
+	if alg != nil {
+		// Install the managed queue with a conservative initial rate;
+		// the next loop iteration assigns the real allocation.
+		rule := c.managedRuleFor(c.groupKey(conn.Info()), c.initialRate())
+		if err := conn.ApplyRule(rule); err != nil {
+			return fmt.Errorf("control: install control rule on %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// groupKey derives the orchestration entity key for a stage.
+func (c *Controller) groupKey(info stage.Info) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.groupBy(info)
+}
+
+// initialRate is the rate a just-registered job starts at before
+// the first allocation round: an equal share of the cluster limit.
+func (c *Controller) initialRate() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.jobIDsLocked())
+	if n == 0 {
+		n = 1
+	}
+	if c.clusterLimit <= 0 {
+		return policy.Unlimited
+	}
+	return c.clusterLimit / float64(n)
+}
+
+// managedRuleFor builds the control rule for an entity's stages. Under
+// the default grouping the matcher scopes by job-ID; custom groupings
+// leave the matcher unscoped (each stage belongs to exactly one entity,
+// so the queue's rate is the scoping).
+func (c *Controller) managedRuleFor(key string, rate float64) policy.Rule {
+	m := c.controlled
+	if c.isDefaultGroupBy {
+		m.JobID = key
+	}
+	return policy.Rule{ID: ControlRuleID, Match: m, Rate: rate}
+}
+
+// Deregister removes a stage (job completion or node failure).
+func (c *Controller) Deregister(stageID string) bool {
+	c.mu.Lock()
+	conn, ok := c.stages[stageID]
+	if ok {
+		delete(c.stages, stageID)
+	}
+	c.mu.Unlock()
+	if ok {
+		conn.Close()
+	}
+	return ok
+}
+
+// Stages returns the registered stage identities, sorted by StageID.
+func (c *Controller) Stages() []stage.Info {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]stage.Info, 0, len(c.stages))
+	for _, conn := range c.stages {
+		out = append(out, conn.Info())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].StageID < out[j].StageID })
+	return out
+}
+
+// Jobs returns the distinct job IDs with at least one registered stage.
+func (c *Controller) Jobs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.jobIDsLocked()
+}
+
+func (c *Controller) jobIDsLocked() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, conn := range c.stages {
+		j := c.groupBy(conn.Info())
+		if !seen[j] {
+			seen[j] = true
+			out = append(out, j)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// stagesOfJobLocked returns the connections serving an orchestration
+// entity (a job under the default grouping).
+func (c *Controller) stagesOfJobLocked(jobID string) []StageConn {
+	var out []StageConn
+	for _, conn := range c.stages {
+		if c.groupBy(conn.Info()) == jobID {
+			out = append(out, conn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Info().StageID < out[j].Info().StageID })
+	return out
+}
+
+// ---- administrator operations (simple policies) ----
+
+// ApplyRuleToJob installs a rule on every stage of one job (per-job
+// granularity). The per-stage rate is the job rate divided by the job's
+// stage count, so a distributed job's aggregate stays at the intent.
+func (c *Controller) ApplyRuleToJob(jobID string, r policy.Rule) error {
+	c.mu.Lock()
+	conns := c.stagesOfJobLocked(jobID)
+	c.mu.Unlock()
+	if len(conns) == 0 {
+		return fmt.Errorf("control: no stages for job %q", jobID)
+	}
+	perStage := r
+	if r.Rate != policy.Unlimited && len(conns) > 1 {
+		perStage.Rate = r.Rate / float64(len(conns))
+	}
+	for _, conn := range conns {
+		if err := conn.ApplyRule(perStage); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ApplyRuleToJobs installs a rule on a group of jobs (group granularity),
+// splitting the rate equally across the jobs and then across each job's
+// stages.
+func (c *Controller) ApplyRuleToJobs(jobIDs []string, r policy.Rule) error {
+	if len(jobIDs) == 0 {
+		return fmt.Errorf("control: empty job group")
+	}
+	perJob := r
+	if r.Rate != policy.Unlimited {
+		perJob.Rate = r.Rate / float64(len(jobIDs))
+	}
+	for _, j := range jobIDs {
+		if err := c.ApplyRuleToJob(j, perJob); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ApplyRuleCluster installs a rule on every registered stage
+// (cluster-wide granularity), splitting the rate across all stages.
+func (c *Controller) ApplyRuleCluster(r policy.Rule) error {
+	c.mu.Lock()
+	conns := make([]StageConn, 0, len(c.stages))
+	for _, conn := range c.stages {
+		conns = append(conns, conn)
+	}
+	c.mu.Unlock()
+	if len(conns) == 0 {
+		return fmt.Errorf("control: no registered stages")
+	}
+	perStage := r
+	if r.Rate != policy.Unlimited && len(conns) > 1 {
+		perStage.Rate = r.Rate / float64(len(conns))
+	}
+	for _, conn := range conns {
+		if err := conn.ApplyRule(perStage); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetReservation records a job's reserved/priority rate used by
+// FixedRates and ProportionalShare.
+func (c *Controller) SetReservation(jobID string, rate float64) {
+	c.mu.Lock()
+	c.reservations[jobID] = rate
+	c.mu.Unlock()
+}
+
+// SetAlgorithm swaps the control algorithm at runtime.
+func (c *Controller) SetAlgorithm(a Algorithm) {
+	c.mu.Lock()
+	c.algorithm = a
+	c.mu.Unlock()
+}
+
+// ---- feedback control loop ----
+
+// JobSnapshot is one job's aggregated state from a collect round.
+type JobSnapshot struct {
+	JobID       string
+	Stages      int
+	Demand      float64 // aggregate arrival rate, ops/s
+	Throughput  float64 // aggregate admitted rate, ops/s
+	Allocated   float64 // rate granted by the last allocation
+	Reservation float64
+}
+
+// CollectAll gathers statistics from every stage, aggregated per job
+// (feedback-loop step 1). Stages that fail to respond are reported to the
+// error handler and skipped.
+func (c *Controller) CollectAll() []JobSnapshot {
+	c.mu.Lock()
+	conns := make([]StageConn, 0, len(c.stages))
+	for _, conn := range c.stages {
+		conns = append(conns, conn)
+	}
+	reservations := make(map[string]float64, len(c.reservations))
+	for k, v := range c.reservations {
+		reservations[k] = v
+	}
+	lastAlloc := make(map[string]float64, len(c.lastAlloc))
+	for k, v := range c.lastAlloc {
+		lastAlloc[k] = v
+	}
+	c.mu.Unlock()
+
+	agg := map[string]*JobSnapshot{}
+	for _, conn := range conns {
+		info := conn.Info()
+		st, err := conn.Collect()
+		if err != nil {
+			c.onError(info.StageID, err)
+			continue
+		}
+		key := c.groupBy(info)
+		snap, ok := agg[key]
+		if !ok {
+			snap = &JobSnapshot{
+				JobID:       key,
+				Reservation: reservations[key],
+				Allocated:   lastAlloc[key],
+			}
+			agg[key] = snap
+		}
+		snap.Stages++
+		for _, q := range st.Queues {
+			if q.RuleID == ControlRuleID {
+				snap.Demand += q.DemandRate
+				snap.Throughput += q.ThroughputRate
+			}
+		}
+	}
+	out := make([]JobSnapshot, 0, len(agg))
+	for _, s := range agg {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].JobID < out[j].JobID })
+	return out
+}
+
+// RunOnce executes one feedback-loop iteration: collect, allocate, and
+// push per-stage rates. It returns the per-job allocation for reporting.
+// It is a no-op (returning nil) when no algorithm is installed.
+func (c *Controller) RunOnce() map[string]float64 {
+	c.mu.Lock()
+	alg := c.algorithm
+	if c.limitAdapter != nil {
+		c.clusterLimit = c.limitAdapter.AdjustLimit(c.clusterLimit)
+	}
+	limit := c.clusterLimit
+	c.mu.Unlock()
+	if alg == nil {
+		return nil
+	}
+
+	snaps := c.CollectAll()
+	jobs := make([]JobState, 0, len(snaps))
+	for _, s := range snaps {
+		jobs = append(jobs, JobState{
+			JobID:       s.JobID,
+			Demand:      s.Demand,
+			Reservation: s.Reservation,
+			Stages:      s.Stages,
+		})
+	}
+	alloc := alg.Allocate(limit, jobs)
+
+	c.mu.Lock()
+	c.lastAlloc = alloc
+	plans := make(map[string][]StageConn, len(alloc))
+	for jobID := range alloc {
+		plans[jobID] = c.stagesOfJobLocked(jobID)
+	}
+	c.mu.Unlock()
+
+	for jobID, conns := range plans {
+		if len(conns) == 0 {
+			continue
+		}
+		perStage := alloc[jobID] / float64(len(conns))
+		for _, conn := range conns {
+			found, err := conn.SetRate(ControlRuleID, perStage)
+			if err != nil {
+				c.onError(conn.Info().StageID, err)
+				continue
+			}
+			if !found {
+				// The stage lost its managed queue (e.g. restarted):
+				// reinstall it.
+				if err := conn.ApplyRule(c.managedRuleFor(jobID, perStage)); err != nil {
+					c.onError(conn.Info().StageID, err)
+				}
+			}
+		}
+	}
+	return alloc
+}
+
+// Run executes the feedback loop every interval until Stop is called.
+func (c *Controller) Run(interval time.Duration) {
+	c.mu.Lock()
+	if c.loopStop != nil {
+		c.mu.Unlock()
+		return // already running
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	c.loopStop, c.loopDone = stop, done
+	c.mu.Unlock()
+
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			case <-c.clk.After(interval):
+				c.RunOnce()
+			}
+		}
+	}()
+}
+
+// Stop halts the feedback loop started by Run.
+func (c *Controller) Stop() {
+	c.mu.Lock()
+	stop, done := c.loopStop, c.loopDone
+	c.loopStop, c.loopDone = nil, nil
+	c.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// ClusterLimit returns the current cluster-wide limit (which a
+// LimitAdapter may be moving).
+func (c *Controller) ClusterLimit() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.clusterLimit
+}
+
+// LastAllocation returns the most recent per-job allocation.
+func (c *Controller) LastAllocation() map[string]float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]float64, len(c.lastAlloc))
+	for k, v := range c.lastAlloc {
+		out[k] = v
+	}
+	return out
+}
+
+// ---- network server ----
+
+// Server exposes a Controller on the network: a registrar endpoint
+// stages dial at job start; the controller dials back to each stage's
+// control service.
+type Server struct {
+	ctl      *Controller
+	stopReg  func()
+	listener net.Listener
+}
+
+// Serve starts the registration listener on addr (e.g. "127.0.0.1:0").
+func (c *Controller) Serve(addr string) (*Server, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("control: listen %s: %w", addr, err)
+	}
+	s := &Server{ctl: c, listener: l}
+	s.stopReg = rpcio.ServeRegistrar(l,
+		func(reg rpcio.Registration) error {
+			h, err := rpcio.DialStage(reg.Addr)
+			if err != nil {
+				return err
+			}
+			return c.Register(NewRemoteConn(reg.Info, h))
+		},
+		func(stageID string) { c.Deregister(stageID) },
+	)
+	return s, nil
+}
+
+// Addr returns the registrar's listen address.
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// Close stops the registrar listener.
+func (s *Server) Close() { s.stopReg() }

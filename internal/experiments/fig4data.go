@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"padll/internal/clock"
+	"padll/internal/interpose"
+	"padll/internal/ior"
+	"padll/internal/metrics"
+	"padll/internal/pfs"
+	"padll/internal/policy"
+	"padll/internal/posix"
+	"padll/internal/stage"
+)
+
+// Fig. 4's read/write panels submit IOR data operations to the PFS while
+// PADLL steps the limit every minute (§IV-A). This experiment runs the
+// real blocking stack — IOR tasks -> interposition shim -> stage queues ->
+// simulated Lustre — on the wall clock, with the step period compressed.
+//
+// The paper observes more variability on these panels than on the
+// metadata ones because requests cross the shared PFS; the same shows up
+// here through OST bandwidth contention.
+
+// Fig4DataConfig sizes the run (compressed from the paper's 1-minute
+// steps so benchmarks finish quickly; shapes are step-period invariant).
+type Fig4DataConfig struct {
+	// Write selects the write panel (false = read panel).
+	Write bool
+	// StepDuration is how long each administrator limit lasts.
+	StepDuration time.Duration
+	// Steps is the number of limit changes.
+	Steps int
+	// Tasks is the IOR rank count.
+	Tasks int
+	// TransferSize is the IOR transfer size.
+	TransferSize int64
+}
+
+// DefaultFig4DataConfig compresses the paper's scenario into a few
+// seconds of wall time.
+func DefaultFig4DataConfig(write bool) Fig4DataConfig {
+	return Fig4DataConfig{
+		Write:        write,
+		StepDuration: 1500 * time.Millisecond,
+		Steps:        4,
+		Tasks:        4,
+		TransferSize: 64 << 10,
+	}
+}
+
+// Fig4DataResult holds one data panel.
+type Fig4DataResult struct {
+	Mode string
+	// BaselineRate is the unthrottled mean transfer rate (ops/s).
+	BaselineRate float64
+	// Padll is the throttled per-window series.
+	Padll *metrics.Series
+	// Limits is the per-step limit schedule (ops/s).
+	Limits []float64
+	// StepMeans is the measured mean rate within each step.
+	StepMeans []float64
+}
+
+// fig4DataLimitFactors steps the data limit around the baseline rate.
+var fig4DataLimitFactors = []float64{0.5, 1.5, 0.25, 1.0, 0.6, 2.0}
+
+// Fig4Data runs one data panel.
+func Fig4Data(cfg Fig4DataConfig) (Fig4DataResult, error) {
+	if cfg.StepDuration <= 0 {
+		cfg.StepDuration = time.Second
+	}
+	if cfg.Steps <= 0 || cfg.Steps > len(fig4DataLimitFactors) {
+		cfg.Steps = 4
+	}
+	if cfg.Tasks <= 0 {
+		cfg.Tasks = 4
+	}
+	if cfg.TransferSize <= 0 {
+		cfg.TransferSize = 64 << 10
+	}
+	mode := "read"
+	throttled := []posix.Op{posix.OpPRead, posix.OpRead}
+	if cfg.Write {
+		mode = "write"
+		throttled = []posix.Op{posix.OpPWrite, posix.OpWrite}
+	}
+
+	clk := clock.NewReal()
+	newBackend := func() *pfs.PFS {
+		return pfs.New(clk, pfs.Config{
+			MDSCapacity:  1e9,
+			MDSBurst:     1e9,
+			OSTBandwidth: 4 << 30,
+			OSTBurst:     64 << 20,
+		})
+	}
+	runIOR := func(client *posix.Client, d time.Duration, window time.Duration) (ior.Result, error) {
+		ctx, cancel := context.WithTimeout(context.Background(), d)
+		defer cancel()
+		mode := ior.WriteOnly
+		if !cfg.Write {
+			mode = ior.WriteThenRead // write a dataset once, then read it in a loop
+		}
+		return ior.Run(ctx, ior.Config{
+			Client:       client,
+			Dir:          "/data",
+			NumTasks:     cfg.Tasks,
+			TransferSize: cfg.TransferSize,
+			BlockSize:    cfg.TransferSize * 64,
+			SegmentCount: 4,
+			Mode:         mode,
+			Repeat:       true, // loop the stream until the deadline
+			Clock:        clk,
+			Window:       window,
+		})
+	}
+	series := func(res ior.Result) *metrics.Series {
+		if cfg.Write {
+			return res.WriteOpsSeries
+		}
+		return res.ReadOpsSeries
+	}
+
+	// Baseline: unthrottled against a fresh PFS, to calibrate limits.
+	baseRes, err := runIOR(posix.NewClient(newBackend()), cfg.StepDuration, cfg.StepDuration/4)
+	if err != nil {
+		return Fig4DataResult{}, err
+	}
+	baseSeries := series(baseRes)
+	baseRate := baseSeries.Mean()
+	if baseRate <= 0 {
+		return Fig4DataResult{}, fmt.Errorf("experiments: baseline produced no %s ops", mode)
+	}
+
+	limits := make([]float64, cfg.Steps)
+	for i := range limits {
+		limits[i] = baseRate * fig4DataLimitFactors[i]
+	}
+
+	// PADLL run: shim + stage throttling the data op.
+	backend := newBackend()
+	stg := stage.New(stage.Info{StageID: "ior-stage", JobID: "ior-job"}, clk)
+	stg.ApplyRule(policy.Rule{
+		ID:    "data",
+		Match: policy.Matcher{Ops: throttled},
+		Rate:  limits[0],
+	})
+	shim := interpose.New(backend, stg, clk)
+	client := posix.NewClient(shim)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 1; i < cfg.Steps; i++ {
+			clk.Sleep(cfg.StepDuration)
+			stg.SetRate("data", limits[i])
+		}
+	}()
+	total := time.Duration(cfg.Steps) * cfg.StepDuration
+	padllRes, err := runIOR(client, total, cfg.StepDuration/4)
+	<-done
+	if err != nil {
+		return Fig4DataResult{}, err
+	}
+	padll := series(padllRes)
+
+	res := Fig4DataResult{
+		Mode:         mode,
+		BaselineRate: baseRate,
+		Padll:        padll,
+		Limits:       limits,
+	}
+	// Mean rate within each step window.
+	stepN := cfg.StepDuration
+	t0 := time.Time{}
+	if padll.Len() > 0 {
+		t0 = padll.Points[0].T
+	}
+	sums := make([]float64, cfg.Steps)
+	counts := make([]int, cfg.Steps)
+	for _, p := range padll.Points {
+		i := int(p.T.Sub(t0) / stepN)
+		if i >= 0 && i < cfg.Steps {
+			sums[i] += p.Value
+			counts[i]++
+		}
+	}
+	for i := range sums {
+		if counts[i] > 0 {
+			res.StepMeans = append(res.StepMeans, sums[i]/float64(counts[i]))
+		} else {
+			res.StepMeans = append(res.StepMeans, 0)
+		}
+	}
+	return res, nil
+}
+
+// Render formats the data panel.
+func (r Fig4DataResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 4 [%s] — data-operation rate limiting (IOR over simulated Lustre)\n", r.Mode)
+	fmt.Fprintf(&b, "  baseline rate  %.0f ops/s\n", r.BaselineRate)
+	for i := range r.Limits {
+		mean := 0.0
+		if i < len(r.StepMeans) {
+			mean = r.StepMeans[i]
+		}
+		fmt.Fprintf(&b, "  step %d: limit %8.0f ops/s, measured %8.0f ops/s\n", i+1, r.Limits[i], mean)
+	}
+	return b.String()
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"padll/internal/control"
+	"padll/internal/metrics"
+	"padll/internal/posix"
+	"padll/internal/sim"
+	"padll/internal/trace"
+)
+
+// Fig. 5 scenario (§IV-B): at most four jobs run the per-operation-class
+// workload; jobs are added every 3 minutes; the administrator caps the
+// PFS's aggregate metadata rate at 300 KOps/s. Four setups are compared:
+// Baseline (no control), Static (75 KOps/s each), Priority (40/60/80/120
+// KOps/s), and Proportional Sharing (reservations as in Priority, leftover
+// rate redistributed proportionally).
+const (
+	fig5ClusterLimit = 300_000
+	fig5ArrivalGap   = 3 * time.Minute
+	fig5Jobs         = 4
+	// fig5Horizon bounds the run; the paper plots 45 minutes for
+	// Baseline/Static/ProportionalShare and ~50 for Priority.
+	fig5Horizon = 90 * time.Minute
+)
+
+// fig5Reservations are the Priority/ProportionalShare per-job rates.
+var fig5Reservations = []float64{40_000, 60_000, 80_000, 120_000}
+
+// Fig5Setup names one of the four setups.
+type Fig5Setup string
+
+// The four setups of Fig. 5.
+const (
+	Fig5Baseline     Fig5Setup = "baseline"
+	Fig5Static       Fig5Setup = "static"
+	Fig5Priority     Fig5Setup = "priority"
+	Fig5Proportional Fig5Setup = "proportional-sharing"
+)
+
+// AllFig5Setups lists the setups in the figure's order.
+var AllFig5Setups = []Fig5Setup{Fig5Baseline, Fig5Static, Fig5Priority, Fig5Proportional}
+
+// Fig5Result is one panel of Fig. 5.
+type Fig5Result struct {
+	Setup Fig5Setup
+	// PerJob maps job ID to its admitted metadata rate over time.
+	PerJob map[string]*metrics.Series
+	// Aggregate is the cluster-wide admitted rate.
+	Aggregate *metrics.Series
+	// Completion maps job ID to completion time (absent if unfinished at
+	// the horizon).
+	Completion map[string]time.Duration
+	// Arrivals maps job ID to its arrival time (the circled events).
+	Arrivals map[string]time.Duration
+	// PeakAggregate and MeanAggregate summarize the panel.
+	PeakAggregate float64
+	MeanAggregate float64
+	// OverLimitFrac is the fraction of samples where the aggregate
+	// exceeded the 300 KOps/s cap (plus 10% burst slack).
+	OverLimitFrac float64
+}
+
+// fig5Workload is each job's trace: the per-operation-class workload
+// (open, close, getattr, rename) at a scale where a single job's mean
+// demand sits below the Static share (so Static finishes with Baseline,
+// as the paper reports) while bursts drive the aggregate far beyond the
+// cluster cap.
+func fig5Workload(seed int64) *trace.Trace {
+	full := trace.PFSALike(seed).Scale(1.0 / 3.0)
+	samples := 30 * 60 // 30 trace-hours -> 30 experiment-minutes
+	// A mean-representative window: the per-job mean (~67 KOps/s) sits
+	// below the Static share of 75 KOps/s, as the paper's setup implies
+	// ("all jobs finish in the same time as in Baseline"), while bursts
+	// within the window still drive the aggregate past the cluster cap.
+	start := pickWindow(full, samples, meanRate(full))
+	return full.Slice(start, start+samples).
+		Filter(posix.OpOpen, posix.OpClose, posix.OpGetAttr, posix.OpRename)
+}
+
+// Fig5 runs one setup.
+func Fig5(seed int64, setup Fig5Setup) Fig5Result {
+	var ctl *control.Controller
+	switch setup {
+	case Fig5Baseline:
+		ctl = nil
+	case Fig5Static:
+		ctl = control.New(nil,
+			control.WithAlgorithm(control.StaticEqualShare{PerJob: fig5ClusterLimit / fig5Jobs}),
+			control.WithClusterLimit(fig5ClusterLimit))
+	case Fig5Priority:
+		ctl = control.New(nil,
+			control.WithAlgorithm(control.FixedRates{}),
+			control.WithClusterLimit(fig5ClusterLimit))
+	case Fig5Proportional:
+		ctl = control.New(nil,
+			control.WithAlgorithm(control.ProportionalShare{}),
+			control.WithClusterLimit(fig5ClusterLimit))
+	}
+
+	c := sim.NewCluster(sim.Config{
+		Tick:            time.Second,
+		Duration:        fig5Horizon,
+		Controller:      ctl,
+		ControlInterval: time.Second,
+	})
+	tr := fig5Workload(seed)
+	arrivals := make(map[string]time.Duration, fig5Jobs)
+	for i := 0; i < fig5Jobs; i++ {
+		id := fmt.Sprintf("job%d", i+1)
+		at := time.Duration(i) * fig5ArrivalGap
+		arrivals[id] = at
+		c.AddJob(sim.JobSpec{
+			ID:          id,
+			User:        fmt.Sprintf("user%d", i+1),
+			Arrival:     at,
+			Trace:       tr,
+			Accel:       60,
+			Reservation: fig5Reservations[i],
+		})
+	}
+	rep := c.Run()
+
+	res := Fig5Result{
+		Setup:         setup,
+		PerJob:        rep.PerJob,
+		Aggregate:     rep.Aggregate,
+		Completion:    rep.Completion,
+		Arrivals:      arrivals,
+		PeakAggregate: rep.Aggregate.Max(),
+		MeanAggregate: rep.Aggregate.Mean(),
+	}
+	if setup != Fig5Baseline {
+		res.OverLimitFrac = rep.Aggregate.FractionAbove(fig5ClusterLimit * 1.10)
+	}
+	return res
+}
+
+// Fig5All runs all four setups.
+func Fig5All(seed int64) []Fig5Result {
+	out := make([]Fig5Result, 0, len(AllFig5Setups))
+	for _, s := range AllFig5Setups {
+		out = append(out, Fig5(seed, s))
+	}
+	return out
+}
+
+// Render formats one panel.
+func (r Fig5Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 5 [%s] — per-job metadata control (cap %d KOps/s)\n", r.Setup, fig5ClusterLimit/1000)
+	fmt.Fprintf(&b, "  aggregate mean/peak  %.0f / %.0f KOps/s\n", r.MeanAggregate/1000, r.PeakAggregate/1000)
+	if r.Setup != Fig5Baseline {
+		fmt.Fprintf(&b, "  samples over cap     %.1f%%\n", r.OverLimitFrac*100)
+	}
+	ids := make([]string, 0, len(r.PerJob))
+	for id := range r.PerJob {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		done := "unfinished at horizon"
+		if d, ok := r.Completion[id]; ok {
+			done = d.String()
+		}
+		fmt.Fprintf(&b, "  %-5s arrival %-6v  mean %6.1f KOps/s  peak %6.1f KOps/s  done %s\n",
+			id, r.Arrivals[id], r.PerJob[id].Mean()/1000, r.PerJob[id].Max()/1000, done)
+	}
+	return b.String()
+}

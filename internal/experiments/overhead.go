@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"padll/internal/clock"
+	"padll/internal/interpose"
+	"padll/internal/localfs"
+	"padll/internal/mount"
+	"padll/internal/policy"
+	"padll/internal/posix"
+	"padll/internal/stage"
+	"padll/internal/trace"
+)
+
+// §IV-A overhead: "when comparing passthrough with baseline, the overhead
+// is negligible, never degrading performance more than 0.9% across all
+// experiments." This experiment measures the real interposition pipeline
+// on the wall clock: a metadata loop against the local file system with a
+// calibrated per-call service time emulating a kernel file system
+// (~3us/call for cached xfs metadata operations), (a) raw, (b) through
+// shim + router + stage in passthrough mode with full request
+// differentiation and statistics active. Both the relative overhead and
+// the absolute interposition cost per call are reported; against the raw
+// in-memory backend (sub-microsecond calls) the same absolute cost
+// appears as a much larger percentage, which is why the emulated service
+// time matters for comparability with the paper's xfs numbers.
+
+// OverheadRow is one workload's measurement.
+type OverheadRow struct {
+	Workload        string
+	Ops             int
+	BaselineTime    time.Duration
+	PassthroughTime time.Duration
+	// OverheadPct is (passthrough-baseline)/baseline * 100.
+	OverheadPct float64
+	// AddedNsPerOp is the absolute interposition cost per call.
+	AddedNsPerOp float64
+	// BaselineKOps and PassthroughKOps are throughputs in KOps/s.
+	BaselineKOps    float64
+	PassthroughKOps float64
+}
+
+// ServiceTime is the emulated local-file-system call cost.
+const ServiceTime = 3 * time.Microsecond
+
+// overheadOps is how many operations each workload issues per
+// measurement (large enough to dominate constant costs).
+const overheadOps = 200_000
+
+// OverheadTable measures interposition overhead for the Fig. 4 op types.
+// totalOps <= 0 selects the default measurement size.
+func OverheadTable(totalOps int) ([]OverheadRow, error) {
+	if totalOps <= 0 {
+		totalOps = overheadOps
+	}
+	workloads := []struct {
+		name string
+		op   posix.Op
+	}{
+		{"open", posix.OpOpen},
+		{"close", posix.OpClose},
+		{"getattr", posix.OpGetAttr},
+		{"rename", posix.OpRename},
+	}
+	var rows []OverheadRow
+	for _, wl := range workloads {
+		row, err := overheadFor(wl.name, wl.op, totalOps)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// overheadFor measures one op type, interleaving A/B phases to cancel
+// warm-up and allocator drift.
+func overheadFor(name string, op posix.Op, totalOps int) (OverheadRow, error) {
+	clk := clock.NewReal()
+
+	build := func(interposed bool) (*trace.Workload, error) {
+		backend := localfs.New(clk)
+		backend.SetServiceTime(ServiceTime)
+		raw := posix.NewClient(backend)
+		var ctl *posix.Client
+		if interposed {
+			router, err := mount.NewRouter(
+				mount.Mount{Prefix: "/pfs", FS: backend, Controlled: true, Name: "pfs"},
+			)
+			if err != nil {
+				return nil, err
+			}
+			stg := stage.New(stage.Info{StageID: "ovh", JobID: "ovh-job"}, clk,
+				stage.WithMode(stage.Passthrough))
+			// Install a realistic rule set so differentiation does real
+			// matching work, as in the paper's passthrough setup.
+			stg.ApplyRule(policy.Rule{ID: "meta", Match: policy.Matcher{
+				Classes: []posix.Class{posix.ClassMetadata, posix.ClassDirectory, posix.ClassExtAttr},
+			}, Rate: 1})
+			stg.ApplyRule(policy.Rule{ID: "data", Match: policy.Matcher{
+				Classes: []posix.Class{posix.ClassData},
+			}, Rate: 1})
+			shim := interpose.New(router, stg, clk)
+			ctl = posix.NewClient(shim).WithJob("ovh-job", "user", 1)
+			// The raw client for housekeeping goes below the shim but
+			// through the same router path prefix.
+			raw = posix.NewClient(router)
+		} else {
+			ctl = raw
+		}
+		w := &trace.Workload{Ctl: ctl, Raw: raw, Dir: "/pfs/w", Files: 128}
+		if !interposed {
+			w.Dir = "/pfs-w" // plain dir on the raw backend
+		}
+		if err := w.Prepare(); err != nil {
+			return nil, err
+		}
+		return w, nil
+	}
+
+	base, err := build(false)
+	if err != nil {
+		return OverheadRow{}, err
+	}
+	pass, err := build(true)
+	if err != nil {
+		return OverheadRow{}, err
+	}
+
+	const rounds = 8
+	perRound := totalOps / rounds
+	var baseTime, passTime time.Duration
+	run := func(w *trace.Workload) (time.Duration, error) {
+		start := time.Now()
+		for i := 0; i < perRound; i++ {
+			if err := w.Submit(op); err != nil {
+				return 0, fmt.Errorf("overhead %s: %w", name, err)
+			}
+		}
+		return time.Since(start), nil
+	}
+	// Warm up both paths.
+	if _, err := run(base); err != nil {
+		return OverheadRow{}, err
+	}
+	if _, err := run(pass); err != nil {
+		return OverheadRow{}, err
+	}
+	for r := 0; r < rounds; r++ {
+		d, err := run(base)
+		if err != nil {
+			return OverheadRow{}, err
+		}
+		baseTime += d
+		d, err = run(pass)
+		if err != nil {
+			return OverheadRow{}, err
+		}
+		passTime += d
+	}
+
+	ops := perRound * rounds
+	row := OverheadRow{
+		Workload:        name,
+		Ops:             ops,
+		BaselineTime:    baseTime,
+		PassthroughTime: passTime,
+		OverheadPct:     (passTime.Seconds() - baseTime.Seconds()) / baseTime.Seconds() * 100,
+		AddedNsPerOp:    (passTime.Seconds() - baseTime.Seconds()) / float64(ops) * 1e9,
+		BaselineKOps:    float64(ops) / baseTime.Seconds() / 1000,
+		PassthroughKOps: float64(ops) / passTime.Seconds() / 1000,
+	}
+	return row, nil
+}
+
+// RenderOverhead formats the table.
+func RenderOverhead(rows []OverheadRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "§IV-A — interposition overhead (passthrough vs baseline, %v emulated call cost)\n", ServiceTime)
+	fmt.Fprintf(&b, "  %-8s %10s %14s %14s %10s %10s\n", "op", "ops", "baseline", "passthrough", "overhead", "added")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-8s %10d %11.0fK/s %11.0fK/s %9.2f%% %7.0fns\n",
+			r.Workload, r.Ops, r.BaselineKOps, r.PassthroughKOps, r.OverheadPct, r.AddedNsPerOp)
+	}
+	b.WriteString("  (paper: never more than 0.9% across all experiments on xfs;\n")
+	b.WriteString("   see EXPERIMENTS.md for the service-time comparability note)\n")
+	return b.String()
+}

@@ -1,0 +1,248 @@
+package ior
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"padll/internal/clock"
+	"padll/internal/localfs"
+	"padll/internal/pfs"
+	"padll/internal/posix"
+)
+
+var epoch = time.Date(2022, 5, 1, 0, 0, 0, 0, time.UTC)
+
+func TestWriteThenReadRoundTrip(t *testing.T) {
+	fs := localfs.New(clock.NewSim(epoch))
+	res, err := Run(context.Background(), Config{
+		Client:       posix.NewClient(fs),
+		Dir:          "/bench",
+		NumTasks:     4,
+		TransferSize: 4 << 10,
+		BlockSize:    64 << 10,
+		SegmentCount: 2,
+		Mode:         WriteThenRead,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(4 * 2 * 64 << 10) // tasks * segments * block
+	if res.BytesWritten != want {
+		t.Errorf("written = %d, want %d", res.BytesWritten, want)
+	}
+	if res.BytesRead != want {
+		t.Errorf("read = %d, want %d", res.BytesRead, want)
+	}
+	if res.Errors != 0 {
+		t.Errorf("errors = %d", res.Errors)
+	}
+	wantOps := int64(4 * 2 * (64 / 4)) // tasks * segments * transfers/block
+	if res.WriteOps != wantOps || res.ReadOps != wantOps {
+		t.Errorf("ops = %d/%d, want %d", res.WriteOps, res.ReadOps, wantOps)
+	}
+}
+
+func TestSharedFileLayoutDisjoint(t *testing.T) {
+	// With a shared file, each task writes its own block region; total
+	// file size must be tasks*segments*block with no overlap lost.
+	fs := localfs.New(clock.NewSim(epoch))
+	c := posix.NewClient(fs)
+	_, err := Run(context.Background(), Config{
+		Client:       c,
+		Dir:          "/shared",
+		NumTasks:     3,
+		TransferSize: 1 << 10,
+		BlockSize:    8 << 10,
+		SegmentCount: 2,
+		Mode:         WriteOnly,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.Stat("/shared/ior.shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(3 * 2 * 8 << 10); info.Size != want {
+		t.Errorf("shared file size = %d, want %d", info.Size, want)
+	}
+}
+
+func TestFilePerProcessCreatesOneFileEach(t *testing.T) {
+	fs := localfs.New(clock.NewSim(epoch))
+	c := posix.NewClient(fs)
+	_, err := Run(context.Background(), Config{
+		Client:         c,
+		Dir:            "/fpp",
+		NumTasks:       4,
+		TransferSize:   1 << 10,
+		BlockSize:      4 << 10,
+		Mode:           WriteOnly,
+		FilePerProcess: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := c.Readdir("/fpp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Errorf("got %d files, want 4", len(entries))
+	}
+}
+
+func TestRandomOrderStillCoversRegion(t *testing.T) {
+	fs := localfs.New(clock.NewSim(epoch))
+	c := posix.NewClient(fs)
+	res, err := Run(context.Background(), Config{
+		Client:       c,
+		Dir:          "/rnd",
+		NumTasks:     1,
+		TransferSize: 1 << 10,
+		BlockSize:    16 << 10,
+		Mode:         WriteOnly,
+		Random:       true,
+		Seed:         42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BytesWritten != 16<<10 {
+		t.Errorf("random write covered %d bytes, want %d", res.BytesWritten, 16<<10)
+	}
+	info, _ := c.Stat("/rnd/ior.shared")
+	if info.Size != 16<<10 {
+		t.Errorf("file size = %d", info.Size)
+	}
+}
+
+func TestAgainstPFSConsumesOSTBandwidth(t *testing.T) {
+	p := pfs.New(clock.NewReal(), pfs.Config{
+		MDSCapacity:  1e9,
+		MDSBurst:     1e9,
+		OSTBandwidth: 1e12,
+		OSTBurst:     1e12,
+	})
+	res, err := Run(context.Background(), Config{
+		Client:       posix.NewClient(p),
+		Dir:          "/lustre-bench",
+		NumTasks:     2,
+		TransferSize: 64 << 10,
+		BlockSize:    1 << 20,
+		Mode:         WriteThenRead,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.BytesWritten != res.BytesWritten {
+		t.Errorf("PFS saw %d bytes written, generator reports %d", st.BytesWritten, res.BytesWritten)
+	}
+	if st.BytesRead != res.BytesRead {
+		t.Errorf("PFS saw %d bytes read, generator reports %d", st.BytesRead, res.BytesRead)
+	}
+	if res.WriteBandwidth() <= 0 || res.ReadBandwidth() <= 0 {
+		t.Error("bandwidth not computed")
+	}
+}
+
+func TestCancelStopsRun(t *testing.T) {
+	fs := localfs.New(clock.NewSim(epoch))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancel before starting: only opens happen
+	res, err := Run(ctx, Config{
+		Client:       posix.NewClient(fs),
+		Dir:          "/c",
+		NumTasks:     2,
+		TransferSize: 1 << 10,
+		BlockSize:    1 << 20,
+		SegmentCount: 100,
+		Mode:         WriteOnly,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BytesWritten != 0 {
+		t.Errorf("cancelled run wrote %d bytes", res.BytesWritten)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}); err == nil {
+		t.Error("Run without client succeeded")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	cfg, err := Config{Client: posix.NewClient(localfs.New(clock.NewSim(epoch)))}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumTasks != 1 || cfg.TransferSize != 256<<10 || cfg.BlockSize != 8<<20 || cfg.SegmentCount != 1 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+}
+
+func TestBlockSmallerThanTransferClamped(t *testing.T) {
+	cfg, err := Config{
+		Client:       posix.NewClient(localfs.New(clock.NewSim(epoch))),
+		TransferSize: 1 << 20,
+		BlockSize:    1 << 10,
+	}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.BlockSize != cfg.TransferSize {
+		t.Errorf("block = %d, want clamped to transfer %d", cfg.BlockSize, cfg.TransferSize)
+	}
+}
+
+func TestRepeatLoopsUntilDeadline(t *testing.T) {
+	fs := localfs.New(clock.NewReal())
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	res, err := Run(ctx, Config{
+		Client:       posix.NewClient(fs),
+		Dir:          "/loop",
+		NumTasks:     2,
+		TransferSize: 1 << 10,
+		BlockSize:    4 << 10,
+		SegmentCount: 1,
+		Mode:         WriteOnly,
+		Repeat:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One pass is 2 tasks x 4 transfers = 8 ops; with Repeat over 150ms
+	// on an in-memory FS we should see many passes.
+	if res.WriteOps <= 8*3 {
+		t.Errorf("repeat produced only %d ops; loop not repeating", res.WriteOps)
+	}
+}
+
+func TestRepeatReadLoop(t *testing.T) {
+	fs := localfs.New(clock.NewReal())
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	res, err := Run(ctx, Config{
+		Client:       posix.NewClient(fs),
+		Dir:          "/rl",
+		NumTasks:     1,
+		TransferSize: 1 << 10,
+		BlockSize:    4 << 10,
+		Mode:         WriteThenRead,
+		Repeat:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WriteOps != 4 {
+		t.Errorf("write phase ops = %d, want exactly one pass (4)", res.WriteOps)
+	}
+	if res.ReadOps <= 12 {
+		t.Errorf("read loop ops = %d; not repeating", res.ReadOps)
+	}
+}

@@ -1,0 +1,166 @@
+package mdtest
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"padll/internal/clock"
+	"padll/internal/interpose"
+	"padll/internal/localfs"
+	"padll/internal/pfs"
+	"padll/internal/policy"
+	"padll/internal/posix"
+	"padll/internal/stage"
+)
+
+var epoch = time.Date(2022, 5, 1, 0, 0, 0, 0, time.UTC)
+
+func TestFullRunAgainstLocalFS(t *testing.T) {
+	fs := localfs.New(clock.NewReal())
+	res, err := Run(context.Background(), Config{
+		Client:       posix.NewClient(fs),
+		Dir:          "/bench",
+		Ranks:        4,
+		FilesPerRank: 50,
+		DirsPerRank:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) != int(numPhases) {
+		t.Fatalf("phases = %d, want %d", len(res.Phases), numPhases)
+	}
+	wantOps := map[Phase]int64{
+		DirCreate:  4 * 2,
+		FileCreate: 4 * 50,
+		FileStat:   4 * 50,
+		FileRead:   4 * 50,
+		FileRemove: 4 * 50,
+		DirRemove:  4 * 2,
+	}
+	for _, pr := range res.Phases {
+		if pr.Ops != wantOps[pr.Phase] {
+			t.Errorf("%v ops = %d, want %d", pr.Phase, pr.Ops, wantOps[pr.Phase])
+		}
+		if pr.Errors != 0 {
+			t.Errorf("%v errors = %d", pr.Phase, pr.Errors)
+		}
+		if pr.Rate() <= 0 {
+			t.Errorf("%v rate = %v", pr.Phase, pr.Rate())
+		}
+	}
+	// Everything cleaned up: only the root remains.
+	entries, err := posix.NewClient(fs).Readdir("/bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("leftover entries: %v", entries)
+	}
+	if res.TotalOps() != 816 {
+		t.Errorf("total ops = %d, want 816", res.TotalOps())
+	}
+}
+
+func TestAgainstPFSChargesMDS(t *testing.T) {
+	p := pfs.New(clock.NewReal(), pfs.Config{
+		MDSCapacity: 1e12, MDSBurst: 1e12,
+		OSTBandwidth: 1e12, OSTBurst: 1e12,
+	})
+	res, err := Run(context.Background(), Config{
+		Client:       posix.NewClient(p),
+		Dir:          "/lustre-mdtest",
+		Ranks:        2,
+		FilesPerRank: 20,
+		DirsPerRank:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	// Every mdtest op is metadata-like; the MDS must have served at
+	// least as many ops as the benchmark issued (read phase issues
+	// open+close per file on top of the counted op).
+	if st.MetadataOps < res.TotalOps() {
+		t.Errorf("MDS ops %d < benchmark ops %d", st.MetadataOps, res.TotalOps())
+	}
+}
+
+func TestThrottledRunIsSlower(t *testing.T) {
+	run := func(throttle bool) time.Duration {
+		clk := clock.NewReal()
+		backend := localfs.New(clk)
+		stg := stage.New(stage.Info{StageID: "s", JobID: "j"}, clk)
+		if throttle {
+			stg.ApplyRule(policy.Rule{ID: "meta", Rate: 2000, Burst: 50})
+		}
+		shim := interpose.New(backend, stg, clk)
+		res, err := Run(context.Background(), Config{
+			Client:       posix.NewClient(shim).WithJob("j", "u", 1),
+			Dir:          "/b",
+			Ranks:        2,
+			FilesPerRank: 100,
+			DirsPerRank:  2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed
+	}
+	free := run(false)
+	throttled := run(true)
+	// ~1016 counted ops (plus read-phase extras) at 2000/s >= ~0.5s.
+	if throttled < 300*time.Millisecond {
+		t.Errorf("throttled run took %v; limit not enforced", throttled)
+	}
+	if throttled < free {
+		t.Errorf("throttled (%v) faster than free (%v)", throttled, free)
+	}
+}
+
+func TestCancelMidRun(t *testing.T) {
+	fs := localfs.New(clock.NewReal())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Run(ctx, Config{
+		Client:       posix.NewClient(fs),
+		Dir:          "/c",
+		FilesPerRank: 10000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalOps() != 0 {
+		t.Errorf("cancelled run did %d ops", res.TotalOps())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}); err == nil {
+		t.Error("Run without client succeeded")
+	}
+}
+
+func TestRenderAndPhaseRate(t *testing.T) {
+	fs := localfs.New(clock.NewReal())
+	res, err := Run(context.Background(), Config{
+		Client: posix.NewClient(fs), Dir: "/r", FilesPerRank: 5, DirsPerRank: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Render()
+	for _, p := range Phases() {
+		if !strings.Contains(out, p.String()) {
+			t.Errorf("render missing phase %v", p)
+		}
+	}
+	if res.PhaseRate(FileCreate) <= 0 {
+		t.Error("PhaseRate(FileCreate) = 0")
+	}
+	if res.PhaseRate(Phase(99)) != 0 {
+		t.Error("PhaseRate for unknown phase != 0")
+	}
+}

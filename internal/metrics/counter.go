@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+
+	"padll/internal/clock"
+)
+
+// RateCounter measures the throughput of a request stream over fixed
+// sampling windows. It is the statistic a PADLL data-plane stage exposes
+// to the control plane's collect step (§III-B step 1 of the feedback
+// loop), and the instrument the experiment harness uses to draw figures.
+//
+// Add records events at the counter's clock's current instant. Closing a
+// window appends a sample (events/second over the window) to the backing
+// series. Windows with zero events still produce samples so figures show
+// idle periods.
+type RateCounter struct {
+	mu         sync.Mutex
+	clk        clock.Clock
+	window     time.Duration
+	winStart   time.Time
+	inWindow   int64
+	total      int64
+	series     *Series
+	maxSamples int // 0 = unbounded
+}
+
+// NewRateCounter returns a counter sampling over the given window. The
+// first window opens at the clock's current instant.
+func NewRateCounter(name string, clk clock.Clock, window time.Duration) *RateCounter {
+	if window <= 0 {
+		window = time.Second
+	}
+	return &RateCounter{
+		clk:      clk,
+		window:   window,
+		winStart: clk.Now(),
+		series:   NewSeries(name),
+	}
+}
+
+// SetMaxSamples bounds the backing series to the most recent n samples
+// (0 disables the bound). Long-running stages use this to keep reporting
+// state constant-sized.
+func (rc *RateCounter) SetMaxSamples(n int) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.maxSamples = n
+}
+
+// Add records n events at the current instant, closing any elapsed
+// windows first.
+func (rc *RateCounter) Add(n int64) { rc.AddAt(n, rc.clk.Now()) }
+
+// AddAt records n events at a caller-supplied instant, letting hot paths
+// share one clock read across several counters. The instant must not be
+// before previously recorded events.
+func (rc *RateCounter) AddAt(n int64, now time.Time) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.rollLocked(now)
+	rc.inWindow += n
+	rc.total += n
+}
+
+// Total returns the lifetime event count.
+func (rc *RateCounter) Total() int64 {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.total
+}
+
+// CurrentRate returns the rate (events/second) accumulated so far in the
+// still-open window, after closing elapsed windows. For a freshly rolled
+// window this is the instantaneous demand estimate the control plane uses.
+func (rc *RateCounter) CurrentRate() float64 {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	now := rc.clk.Now()
+	rc.rollLocked(now)
+	elapsed := now.Sub(rc.winStart).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(rc.inWindow) / elapsed
+}
+
+// LastWindowRate returns the most recently completed window's rate, or 0
+// when no window has completed yet.
+func (rc *RateCounter) LastWindowRate() float64 {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.rollLocked(rc.clk.Now())
+	if rc.series.Len() == 0 {
+		return 0
+	}
+	return rc.series.Points[rc.series.Len()-1].Value
+}
+
+// Flush closes the current window (even if partial) and returns a copy of
+// the accumulated series. Used at experiment end so the tail shows up.
+func (rc *RateCounter) Flush() *Series {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	now := rc.clk.Now()
+	rc.rollLocked(now)
+	if rc.inWindow > 0 {
+		elapsed := now.Sub(rc.winStart).Seconds()
+		if elapsed > 0 {
+			rc.appendLocked(now, float64(rc.inWindow)/elapsed)
+		}
+		rc.inWindow = 0
+		rc.winStart = now
+	}
+	return rc.snapshotLocked()
+}
+
+// Snapshot returns a copy of the completed-window series without closing
+// the open window.
+func (rc *RateCounter) Snapshot() *Series {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.rollLocked(rc.clk.Now())
+	return rc.snapshotLocked()
+}
+
+func (rc *RateCounter) snapshotLocked() *Series {
+	out := NewSeries(rc.series.Name)
+	out.Points = append(out.Points, rc.series.Points...)
+	return out
+}
+
+// rollLocked closes every window that has fully elapsed as of now.
+func (rc *RateCounter) rollLocked(now time.Time) {
+	for now.Sub(rc.winStart) >= rc.window {
+		end := rc.winStart.Add(rc.window)
+		rc.appendLocked(end, float64(rc.inWindow)/rc.window.Seconds())
+		rc.inWindow = 0
+		rc.winStart = end
+	}
+}
+
+func (rc *RateCounter) appendLocked(t time.Time, v float64) {
+	rc.series.Append(t, v)
+	if rc.maxSamples > 0 && rc.series.Len() > rc.maxSamples {
+		rc.series.Points = rc.series.Points[rc.series.Len()-rc.maxSamples:]
+	}
+}

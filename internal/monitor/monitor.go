@@ -1,0 +1,145 @@
+// Package monitor exposes the control plane's live state over HTTP for
+// dashboards and operators: which jobs are registered, what each is
+// demanding and receiving, and the most recent allocation — the
+// system-wide visibility PADLL's design centres on (§III-B), made
+// observable.
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"time"
+
+	"padll/internal/control"
+)
+
+// JobStatus is one job's row in the /api/jobs response.
+type JobStatus struct {
+	JobID       string  `json:"job_id"`
+	Stages      int     `json:"stages"`
+	Demand      float64 `json:"demand_ops_per_sec"`
+	Throughput  float64 `json:"throughput_ops_per_sec"`
+	Reservation float64 `json:"reservation_ops_per_sec"`
+	Allocated   float64 `json:"allocated_ops_per_sec"`
+}
+
+// StageStatus is one stage's row in the /api/stages response.
+type StageStatus struct {
+	StageID  string `json:"stage_id"`
+	JobID    string `json:"job_id"`
+	Hostname string `json:"hostname"`
+	PID      int    `json:"pid"`
+	User     string `json:"user"`
+}
+
+// Overview is the /api/overview response.
+type Overview struct {
+	Jobs       int                `json:"jobs"`
+	Stages     int                `json:"stages"`
+	Timestamp  time.Time          `json:"timestamp"`
+	Allocation map[string]float64 `json:"allocation"`
+}
+
+// NewHandler builds the HTTP handler for a controller.
+func NewHandler(ctl *control.Controller) http.Handler {
+	mux := http.NewServeMux()
+
+	writeJSON := func(w http.ResponseWriter, v interface{}) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		// Encoding in-memory structs cannot fail for these types.
+		_ = enc.Encode(v)
+	}
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+
+	mux.HandleFunc("/api/overview", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, Overview{
+			Jobs:       len(ctl.Jobs()),
+			Stages:     len(ctl.Stages()),
+			Timestamp:  time.Now().UTC(),
+			Allocation: ctl.LastAllocation(),
+		})
+	})
+
+	mux.HandleFunc("/api/jobs", func(w http.ResponseWriter, r *http.Request) {
+		snaps := ctl.CollectAll()
+		alloc := ctl.LastAllocation()
+		rows := make([]JobStatus, 0, len(snaps))
+		for _, s := range snaps {
+			rows = append(rows, JobStatus{
+				JobID:       s.JobID,
+				Stages:      s.Stages,
+				Demand:      s.Demand,
+				Throughput:  s.Throughput,
+				Reservation: s.Reservation,
+				Allocated:   alloc[s.JobID],
+			})
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].JobID < rows[j].JobID })
+		writeJSON(w, rows)
+	})
+
+	mux.HandleFunc("/api/stages", func(w http.ResponseWriter, r *http.Request) {
+		infos := ctl.Stages()
+		rows := make([]StageStatus, 0, len(infos))
+		for _, info := range infos {
+			rows = append(rows, StageStatus{
+				StageID:  info.StageID,
+				JobID:    info.JobID,
+				Hostname: info.Hostname,
+				PID:      info.PID,
+				User:     info.User,
+			})
+		}
+		writeJSON(w, rows)
+	})
+
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		snaps := ctl.CollectAll()
+		alloc := ctl.LastAllocation()
+		fmt.Fprintf(w, "padll control plane — %d jobs, %d stages\n\n", len(ctl.Jobs()), len(ctl.Stages()))
+		fmt.Fprintf(w, "%-16s %7s %12s %12s %12s\n", "job", "stages", "demand/s", "served/s", "allocated/s")
+		for _, s := range snaps {
+			fmt.Fprintf(w, "%-16s %7d %12.0f %12.0f %12.0f\n",
+				s.JobID, s.Stages, s.Demand, s.Throughput, alloc[s.JobID])
+		}
+	})
+	return mux
+}
+
+// Server is a running monitor endpoint.
+type Server struct {
+	srv  *http.Server
+	addr string
+}
+
+// Serve starts the monitor on addr (":0" for ephemeral).
+func Serve(addr string, ctl *control.Controller) (*Server, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: listen %s: %w", addr, err)
+	}
+	s := &Server{srv: &http.Server{Handler: NewHandler(ctl)}, addr: l.Addr().String()}
+	go func() {
+		// ErrServerClosed is the normal shutdown path.
+		_ = s.srv.Serve(l)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.addr }
+
+// Close stops the endpoint.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,145 @@
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"padll/internal/clock"
+	"padll/internal/control"
+	"padll/internal/posix"
+	"padll/internal/stage"
+)
+
+var epoch = time.Date(2022, 5, 1, 0, 0, 0, 0, time.UTC)
+
+// rig builds a controller with two jobs and some demand.
+func rig(t *testing.T) *control.Controller {
+	t.Helper()
+	clk := clock.NewSim(epoch)
+	ctl := control.New(clk,
+		control.WithAlgorithm(control.StaticEqualShare{}),
+		control.WithClusterLimit(10_000))
+	for i, job := range []string{"jobA", "jobB"} {
+		stg := stage.New(stage.Info{
+			StageID: fmt.Sprintf("s%d", i), JobID: job, Hostname: "n", PID: i, User: "u",
+		}, clk)
+		if err := ctl.Register(&control.LocalConn{Stg: stg}); err != nil {
+			t.Fatal(err)
+		}
+		stg.Offer(&posix.Request{Op: posix.OpOpen, JobID: job}, 500, time.Second)
+	}
+	clk.Advance(time.Second)
+	ctl.RunOnce()
+	return ctl
+}
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	body, _ := io.ReadAll(rec.Result().Body)
+	return rec.Code, string(body)
+}
+
+func TestHealthz(t *testing.T) {
+	h := NewHandler(rig(t))
+	code, body := get(t, h, "/healthz")
+	if code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("healthz = %d %q", code, body)
+	}
+}
+
+func TestOverviewJSON(t *testing.T) {
+	h := NewHandler(rig(t))
+	code, body := get(t, h, "/api/overview")
+	if code != 200 {
+		t.Fatalf("code = %d", code)
+	}
+	var ov Overview
+	if err := json.Unmarshal([]byte(body), &ov); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if ov.Jobs != 2 || ov.Stages != 2 {
+		t.Errorf("overview = %+v", ov)
+	}
+	if ov.Allocation["jobA"] != 5000 {
+		t.Errorf("allocation = %v", ov.Allocation)
+	}
+}
+
+func TestJobsJSON(t *testing.T) {
+	h := NewHandler(rig(t))
+	code, body := get(t, h, "/api/jobs")
+	if code != 200 {
+		t.Fatalf("code = %d", code)
+	}
+	var rows []JobStatus
+	if err := json.Unmarshal([]byte(body), &rows); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(rows) != 2 || rows[0].JobID != "jobA" || rows[1].JobID != "jobB" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].Demand != 500 {
+		t.Errorf("jobA demand = %v, want 500", rows[0].Demand)
+	}
+	if rows[0].Allocated != 5000 {
+		t.Errorf("jobA allocated = %v, want 5000", rows[0].Allocated)
+	}
+}
+
+func TestStagesJSON(t *testing.T) {
+	h := NewHandler(rig(t))
+	code, body := get(t, h, "/api/stages")
+	if code != 200 {
+		t.Fatalf("code = %d", code)
+	}
+	var rows []StageStatus
+	if err := json.Unmarshal([]byte(body), &rows); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(rows) != 2 || rows[0].StageID != "s0" {
+		t.Errorf("rows = %+v", rows)
+	}
+}
+
+func TestRootTextDashboard(t *testing.T) {
+	h := NewHandler(rig(t))
+	code, body := get(t, h, "/")
+	if code != 200 || !strings.Contains(body, "jobA") || !strings.Contains(body, "2 jobs") {
+		t.Errorf("dashboard = %d\n%s", code, body)
+	}
+	if code, _ := get(t, h, "/nope"); code != 404 {
+		t.Errorf("unknown path = %d, want 404", code)
+	}
+}
+
+func TestServeOverTCP(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", rig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/api/overview")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+	var ov Overview
+	if err := json.NewDecoder(resp.Body).Decode(&ov); err != nil {
+		t.Fatal(err)
+	}
+	if ov.Stages != 2 {
+		t.Errorf("overview = %+v", ov)
+	}
+}

@@ -1,0 +1,226 @@
+// Package mount implements the mount-table router that underpins PADLL's
+// request differentiation (§III-A): applications submit POSIX requests
+// that may target the PFS or other local file systems (xfs, an NFS
+// server), and only PFS-bound requests should be rate limited. The Router
+// resolves each request's path to a mounted backend by longest-prefix
+// match and forwards it, translating file descriptors so that fd-based
+// follow-up operations (read, close, fstat) reach the backend that issued
+// them and inherit its classification.
+package mount
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"padll/internal/posix"
+)
+
+// Mount is one mount-table entry.
+type Mount struct {
+	// Prefix is the mount point, e.g. "/lustre" or "/tmp".
+	Prefix string
+	// FS is the backend serving paths under Prefix.
+	FS posix.FileSystem
+	// Controlled marks backends whose requests PADLL rate limits (the
+	// shared PFS); uncontrolled mounts are forwarded without throttling.
+	Controlled bool
+	// Name labels the mount in stats and logs.
+	Name string
+}
+
+// Router routes requests to mounted backends. It implements
+// posix.FileSystem and is safe for concurrent use.
+type Router struct {
+	mu     sync.RWMutex
+	mounts []Mount // sorted by descending prefix length for longest match
+	fds    map[int]fdEntry
+	nextFD int
+}
+
+type fdEntry struct {
+	mount     *Mount
+	backendFD int
+}
+
+var _ posix.FileSystem = (*Router)(nil)
+
+// NewRouter returns a router with the given mounts. Prefixes are
+// normalized; duplicate prefixes are an error.
+func NewRouter(mounts ...Mount) (*Router, error) {
+	r := &Router{fds: make(map[int]fdEntry), nextFD: 3}
+	seen := map[string]bool{}
+	for _, m := range mounts {
+		m.Prefix = normalize(m.Prefix)
+		if m.FS == nil {
+			return nil, fmt.Errorf("mount: nil backend for %q", m.Prefix)
+		}
+		if seen[m.Prefix] {
+			return nil, fmt.Errorf("mount: duplicate prefix %q", m.Prefix)
+		}
+		seen[m.Prefix] = true
+		if m.Name == "" {
+			m.Name = m.Prefix
+		}
+		r.mounts = append(r.mounts, m)
+	}
+	sort.Slice(r.mounts, func(i, j int) bool {
+		return len(r.mounts[i].Prefix) > len(r.mounts[j].Prefix)
+	})
+	return r, nil
+}
+
+func normalize(p string) string {
+	if p == "" {
+		return "/"
+	}
+	if !strings.HasPrefix(p, "/") {
+		p = "/" + p
+	}
+	if p != "/" {
+		p = strings.TrimSuffix(p, "/")
+	}
+	return p
+}
+
+// Resolve returns the mount serving path, or nil when no mount matches.
+func (r *Router) Resolve(path string) *Mount {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.resolveLocked(path)
+}
+
+func (r *Router) resolveLocked(path string) *Mount {
+	if !strings.HasPrefix(path, "/") {
+		path = "/" + path
+	}
+	for i := range r.mounts {
+		m := &r.mounts[i]
+		if m.Prefix == "/" {
+			return m
+		}
+		if path == m.Prefix || strings.HasPrefix(path, m.Prefix+"/") {
+			return m
+		}
+	}
+	return nil
+}
+
+// ResolveRequest returns the mount a request targets: by path for
+// path-based operations, by descriptor for fd-based ones. The second
+// result reports whether resolution succeeded.
+func (r *Router) ResolveRequest(req *posix.Request) (*Mount, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if req.Path != "" {
+		m := r.resolveLocked(req.Path)
+		return m, m != nil
+	}
+	e, ok := r.fds[req.FD]
+	if !ok {
+		return nil, false
+	}
+	return e.mount, true
+}
+
+// relativize rewrites a full path to the backend's namespace: the mount
+// prefix is stripped so each backend sees rooted paths.
+func relativize(m *Mount, path string) string {
+	if m.Prefix == "/" {
+		return path
+	}
+	rel := strings.TrimPrefix(path, m.Prefix)
+	if rel == "" {
+		rel = "/"
+	}
+	return rel
+}
+
+// opensFD reports whether the op allocates a descriptor on success.
+func opensFD(op posix.Op) bool {
+	switch op {
+	case posix.OpOpen, posix.OpOpen64, posix.OpCreat, posix.OpOpendir:
+		return true
+	}
+	return false
+}
+
+// closesFD reports whether the op releases a descriptor on success.
+func closesFD(op posix.Op) bool {
+	return op == posix.OpClose || op == posix.OpClosedir
+}
+
+// Apply implements posix.FileSystem: it resolves the target mount,
+// rewrites paths and descriptors, forwards the request, and maintains the
+// virtual descriptor table.
+func (r *Router) Apply(req *posix.Request) (*posix.Reply, error) {
+	var m *Mount
+	fwd := *req // shallow copy; we rewrite Path/NewPath/FD
+
+	if req.Path != "" {
+		r.mu.RLock()
+		m = r.resolveLocked(req.Path)
+		r.mu.RUnlock()
+		if m == nil {
+			return nil, posix.ErrNotExist
+		}
+		fwd.Path = relativize(m, req.Path)
+		if req.NewPath != "" {
+			nm := r.Resolve(req.NewPath)
+			if nm == nil {
+				return nil, posix.ErrNotExist
+			}
+			if nm != m {
+				// rename/link across mounts is EXDEV, as in POSIX.
+				return nil, posix.ErrCrossDevice
+			}
+			fwd.NewPath = relativize(m, req.NewPath)
+		}
+	} else {
+		r.mu.RLock()
+		e, ok := r.fds[req.FD]
+		r.mu.RUnlock()
+		if !ok {
+			return nil, posix.ErrBadFD
+		}
+		m = e.mount
+		fwd.FD = e.backendFD
+	}
+
+	rep, err := m.FS.Apply(&fwd)
+	if err != nil {
+		return rep, err
+	}
+
+	if opensFD(req.Op) {
+		r.mu.Lock()
+		vfd := r.nextFD
+		r.nextFD++
+		r.fds[vfd] = fdEntry{mount: m, backendFD: rep.FD}
+		r.mu.Unlock()
+		out := *rep
+		out.FD = vfd
+		return &out, nil
+	}
+	if closesFD(req.Op) {
+		r.mu.Lock()
+		delete(r.fds, req.FD)
+		r.mu.Unlock()
+	}
+	return rep, nil
+}
+
+// Mounts returns a copy of the mount table (longest prefix first).
+func (r *Router) Mounts() []Mount {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]Mount(nil), r.mounts...)
+}
+
+// OpenFDs reports the number of live virtual descriptors.
+func (r *Router) OpenFDs() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.fds)
+}

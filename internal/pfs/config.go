@@ -1,0 +1,130 @@
+// Package pfs implements a Lustre-like parallel file system simulator: the
+// storage backend PADLL protects. It reproduces the architecture of §II —
+// Metadata Servers (MDS) that own the namespace and serve all metadata
+// operations with per-operation lock costs, Metadata Targets (MDT) that
+// persist namespace shards, and Object Storage Servers/Targets (OSS/OST)
+// that move file data with per-target bandwidth limits — together with the
+// failure behaviour that motivates the paper: a bounded MDS service
+// capacity that saturates, queues, and eventually rejects work when
+// metadata-aggressive jobs overload it.
+package pfs
+
+import "time"
+
+// Config sizes the simulated file system. The defaults mirror PFS_A at
+// ABCI (§II-A): 2 MDS in hot-standby (1 active), 6 MDTs, 36 OSTs, 9.5 PiB.
+type Config struct {
+	// NumMDS is the number of metadata servers; only one is active, the
+	// rest are hot-standby replicas (the PFS_A configuration).
+	NumMDS int
+	// NumMDT is the number of metadata targets the namespace is sharded
+	// across.
+	NumMDT int
+	// NumOST is the number of object storage targets.
+	NumOST int
+	// TotalCapacityBytes is the aggregate OST capacity.
+	TotalCapacityBytes int64
+
+	// MDSCapacity is the active MDS's service capacity in weighted cost
+	// units per second (see posix.Op.MDSCost; a getattr costs 1 unit, an
+	// open 2.5, a rename 5). 500k units/s serves roughly 400 KOps/s of
+	// PFS_A's operation mix, placing its 1 MOps/s bursts firmly beyond
+	// saturation — the regime the paper's motivation describes.
+	MDSCapacity float64
+	// MDSBurst is the cost-unit burst the MDS absorbs before queueing.
+	MDSBurst float64
+	// MaxQueueDepth is the queueing limit (in cost units) past which the
+	// MDS sheds load with ErrMDSOverloaded — modelling the "unresponsive
+	// file system / failures of metadata servers" reported in §I.
+	MaxQueueDepth float64
+
+	// OSTBandwidth is each OST's bandwidth in bytes/second.
+	OSTBandwidth float64
+	// OSTBurst is each OST's burst allowance in bytes.
+	OSTBurst float64
+	// DefaultStripeCount is the number of OSTs a new file is striped
+	// across.
+	DefaultStripeCount int
+	// StripeSize is the stripe unit in bytes.
+	StripeSize int64
+}
+
+// DefaultConfig returns a PFS_A-like configuration.
+func DefaultConfig() Config {
+	return Config{
+		NumMDS:             2,
+		NumMDT:             6,
+		NumOST:             36,
+		TotalCapacityBytes: 9_500_000 << 20, // ~9.5 PiB expressed in MiB units
+		MDSCapacity:        500_000,
+		MDSBurst:           50_000,
+		MaxQueueDepth:      2_000_000,
+		OSTBandwidth:       1 << 30, // 1 GiB/s per OST
+		OSTBurst:           256 << 20,
+		DefaultStripeCount: 4,
+		StripeSize:         1 << 20,
+	}
+}
+
+// sanitized fills zero fields with defaults so partially specified test
+// configs behave.
+func (c Config) sanitized() Config {
+	d := DefaultConfig()
+	if c.NumMDS <= 0 {
+		c.NumMDS = d.NumMDS
+	}
+	if c.NumMDT <= 0 {
+		c.NumMDT = d.NumMDT
+	}
+	if c.NumOST <= 0 {
+		c.NumOST = d.NumOST
+	}
+	if c.TotalCapacityBytes <= 0 {
+		c.TotalCapacityBytes = d.TotalCapacityBytes
+	}
+	if c.MDSCapacity <= 0 {
+		c.MDSCapacity = d.MDSCapacity
+	}
+	if c.MDSBurst <= 0 {
+		c.MDSBurst = d.MDSBurst
+	}
+	if c.MaxQueueDepth <= 0 {
+		c.MaxQueueDepth = d.MaxQueueDepth
+	}
+	if c.OSTBandwidth <= 0 {
+		c.OSTBandwidth = d.OSTBandwidth
+	}
+	if c.OSTBurst <= 0 {
+		c.OSTBurst = d.OSTBurst
+	}
+	if c.DefaultStripeCount <= 0 {
+		c.DefaultStripeCount = d.DefaultStripeCount
+	}
+	if c.StripeSize <= 0 {
+		c.StripeSize = d.StripeSize
+	}
+	return c
+}
+
+// Stats is a point-in-time snapshot of file-system health.
+type Stats struct {
+	// MetadataOps is the number of metadata operations served.
+	MetadataOps int64
+	// MetadataUnits is the weighted cost served by the MDS.
+	MetadataUnits float64
+	// Rejected counts operations shed due to MDS overload.
+	Rejected int64
+	// QueueDepth is the MDS's current backlog in cost units.
+	QueueDepth float64
+	// Saturated reports whether the MDS is at or beyond capacity.
+	Saturated bool
+	// BytesRead and BytesWritten are the aggregate data volumes.
+	BytesRead    int64
+	BytesWritten int64
+	// MeanMetadataLatency is the observed mean MDS service latency.
+	MeanMetadataLatency time.Duration
+	// PerMDTOps is the operation count per metadata target.
+	PerMDTOps []int64
+	// Failovers counts MDS hot-standby promotions.
+	Failovers int
+}

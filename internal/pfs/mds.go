@@ -1,0 +1,130 @@
+package pfs
+
+import (
+	"errors"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"padll/internal/clock"
+	"padll/internal/metrics"
+	"padll/internal/posix"
+	"padll/internal/tokenbucket"
+)
+
+// ErrMDSOverloaded is returned when the metadata server sheds load: its
+// backlog exceeded Config.MaxQueueDepth. This is the simulated counterpart
+// of the file-system unresponsiveness and MDS failures §I reports when
+// metadata-aggressive jobs saturate shared metadata resources.
+var ErrMDSOverloaded = errors.New("pfs: metadata server overloaded")
+
+// ErrMDSFailed is returned for requests in flight at the moment the
+// active MDS fails; callers retry and reach the promoted standby.
+var ErrMDSFailed = errors.New("pfs: metadata server failed over")
+
+// mds models the active metadata server: a bounded service capacity in
+// weighted cost units per second. Admission uses a token bucket, so
+// concurrent clients experience queueing delay exactly as RPCs queue at a
+// real MDS, and a backlog gauge sheds load past the configured limit.
+type mds struct {
+	clk      clock.Clock
+	capacity *tokenbucket.Bucket
+	maxQueue float64
+
+	mu      sync.Mutex
+	backlog float64 // cost units admitted but not yet refilled
+
+	ops      atomic.Int64
+	units    float64 // cost units served, updated under mu
+	rejected atomic.Int64
+	perMDT   []atomic.Int64
+	latency  *metrics.Histogram
+	numMDT   int
+}
+
+func newMDS(clk clock.Clock, cfg Config) *mds {
+	return &mds{
+		clk:      clk,
+		capacity: tokenbucket.New(clk, cfg.MDSCapacity, cfg.MDSBurst),
+		maxQueue: cfg.MaxQueueDepth,
+		perMDT:   make([]atomic.Int64, cfg.NumMDT),
+		latency:  metrics.NewLatencyHistogram(),
+		numMDT:   cfg.NumMDT,
+	}
+}
+
+// mdtFor shards a path onto a metadata target, as DNE-style Lustre
+// deployments spread the namespace across MDTs.
+func (m *mds) mdtFor(path string) int {
+	h := fnv.New32a()
+	h.Write([]byte(path))
+	return int(h.Sum32()) % m.numMDT
+}
+
+// serve admits one metadata operation of the given cost, blocking until
+// the MDS has capacity. It returns ErrMDSOverloaded when the backlog is
+// past the shedding threshold, and ErrMDSFailed when the server died
+// (failover in progress; the client retries against the new active MDS).
+func (m *mds) serve(op posix.Op, path string) error {
+	cost := op.MDSCost()
+	if cost <= 0 {
+		cost = 0.1 // every RPC has nonzero server cost
+	}
+	m.mu.Lock()
+	if m.backlog+cost > m.maxQueue {
+		m.mu.Unlock()
+		m.rejected.Add(1)
+		return ErrMDSOverloaded
+	}
+	m.backlog += cost
+	m.mu.Unlock()
+
+	start := m.clk.Now()
+	err := m.capacity.Wait(cost)
+	m.mu.Lock()
+	m.backlog -= cost
+	m.mu.Unlock()
+	if err != nil {
+		return ErrMDSFailed
+	}
+	m.latency.Observe(m.clk.Now().Sub(start))
+	m.ops.Add(1)
+	m.addUnits(cost)
+	m.perMDT[m.mdtFor(path)].Add(1)
+	return nil
+}
+
+// offer is the fluid-admission path used by the discrete-tick simulator:
+// demand cost units arriving over window dt are admitted up to capacity;
+// the admitted amount is returned and the remainder is the caller's
+// backlog.
+func (m *mds) offer(demand float64, dt time.Duration) float64 {
+	served := m.capacity.Grant(demand, dt)
+	m.addUnits(served)
+	return served
+}
+
+func (m *mds) addUnits(u float64) {
+	m.mu.Lock()
+	m.units += u
+	m.mu.Unlock()
+}
+
+func (m *mds) unitsServed() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.units
+}
+
+func (m *mds) queueDepth() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.backlog
+}
+
+// saturated reports whether the MDS has no spare tokens: demand meets or
+// exceeds service capacity.
+func (m *mds) saturated() bool {
+	return m.capacity.Tokens() < 1 || m.queueDepth() > 0
+}

@@ -1,0 +1,115 @@
+package pfs
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"padll/internal/clock"
+	"padll/internal/tokenbucket"
+)
+
+// ost models one object storage target: a bandwidth-limited object store.
+// Files are striped across several OSTs (§II); each stripe's bytes consume
+// that OST's bandwidth bucket, so wide-striped transfers parallelize
+// across targets exactly as in a Lustre OSS farm.
+type ost struct {
+	id        int
+	bandwidth *tokenbucket.Bucket
+
+	mu      sync.Mutex
+	objects map[objectKey][]byte // object data keyed by (inode, stripe)
+
+	bytesRead    atomic.Int64
+	bytesWritten atomic.Int64
+	usedBytes    atomic.Int64
+}
+
+type objectKey struct {
+	inode  uint64
+	stripe int
+}
+
+func newOST(clk clock.Clock, id int, cfg Config) *ost {
+	return &ost{
+		id:        id,
+		bandwidth: tokenbucket.New(clk, cfg.OSTBandwidth, cfg.OSTBurst),
+		objects:   make(map[objectKey][]byte),
+	}
+}
+
+// write stores data into an object region, consuming bandwidth.
+func (o *ost) write(inode uint64, stripe int, offset int64, data []byte) error {
+	if err := o.bandwidth.Wait(float64(len(data))); err != nil {
+		return err
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	key := objectKey{inode, stripe}
+	obj := o.objects[key]
+	end := offset + int64(len(data))
+	if end > int64(len(obj)) {
+		o.usedBytes.Add(end - int64(len(obj)))
+		if end > int64(cap(obj)) {
+			// Grow geometrically: sequential appends are the common
+			// case and per-write exact reallocation would be O(n^2).
+			newCap := int64(cap(obj)) * 2
+			if newCap < end {
+				newCap = end
+			}
+			grown := make([]byte, end, newCap)
+			copy(grown, obj)
+			obj = grown
+		} else {
+			obj = obj[:end]
+		}
+	}
+	copy(obj[offset:end], data)
+	o.objects[key] = obj
+	o.bytesWritten.Add(int64(len(data)))
+	return nil
+}
+
+// read fetches up to size bytes from an object region, consuming
+// bandwidth for the bytes actually returned.
+func (o *ost) read(inode uint64, stripe int, offset, size int64) ([]byte, error) {
+	o.mu.Lock()
+	obj := o.objects[objectKey{inode, stripe}]
+	var data []byte
+	if offset < int64(len(obj)) {
+		end := offset + size
+		if end > int64(len(obj)) {
+			end = int64(len(obj))
+		}
+		data = append([]byte(nil), obj[offset:end]...)
+	}
+	o.mu.Unlock()
+	if err := o.bandwidth.Wait(float64(len(data))); err != nil {
+		return nil, err
+	}
+	o.bytesRead.Add(int64(len(data)))
+	return data, nil
+}
+
+// truncate cuts an object's stripe region to length.
+func (o *ost) truncate(inode uint64, stripe int, length int64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	key := objectKey{inode, stripe}
+	obj := o.objects[key]
+	if length < int64(len(obj)) {
+		o.usedBytes.Add(length - int64(len(obj)))
+		o.objects[key] = obj[:length]
+	}
+}
+
+// remove deletes all stripes of an inode held by this OST.
+func (o *ost) remove(inode uint64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for key, obj := range o.objects {
+		if key.inode == inode {
+			o.usedBytes.Add(-int64(len(obj)))
+			delete(o.objects, key)
+		}
+	}
+}

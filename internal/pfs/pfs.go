@@ -1,0 +1,920 @@
+package pfs
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"padll/internal/clock"
+	"padll/internal/posix"
+)
+
+// PFS is the simulated parallel file system: one active MDS (with
+// hot-standby replicas, as in PFS_A's 2-MDS configuration) in front of
+// NumMDT namespace shards, and NumOST bandwidth-limited object targets.
+// Every metadata operation pays its weighted cost at the MDS before the
+// namespace mutation executes ("the main I/O path always flows through
+// the metadata service", §II); data operations stripe across OSTs.
+//
+// PFS implements posix.FileSystem and is safe for concurrent use.
+type PFS struct {
+	cfg  Config
+	clk  clock.Clock
+	osts []*ost
+
+	// mdsMu guards the active/standby MDS set; the active server handles
+	// all metadata operations (the PFS_A configuration, §II).
+	mdsMu     sync.RWMutex
+	mdsPool   []*mds
+	activeMDS int
+	failovers int
+
+	mu        sync.Mutex
+	root      *pnode
+	fds       map[int]*pOpenFile
+	nextFD    int
+	nextInode uint64
+}
+
+var _ posix.FileSystem = (*PFS)(nil)
+
+// pnode is one namespace entry persisted (conceptually) on an MDT.
+type pnode struct {
+	name     string
+	mode     posix.FileMode
+	inode    uint64
+	size     int64
+	children map[string]*pnode
+	xattrs   map[string][]byte
+	modTime  time.Time
+	nlink    int
+	// layout is the file's stripe map: the OST indices assigned by the
+	// MDS in a capacity-balanced manner at create time (§II).
+	layout []int
+}
+
+func (n *pnode) isDir() bool { return n.mode.IsDir() }
+
+type pOpenFile struct {
+	n      *pnode
+	flags  int
+	offset int64
+}
+
+// New returns a PFS with the given configuration (zero fields take
+// PFS_A-like defaults).
+func New(clk clock.Clock, cfg Config) *PFS {
+	cfg = cfg.sanitized()
+	p := &PFS{
+		cfg:       cfg,
+		clk:       clk,
+		fds:       make(map[int]*pOpenFile),
+		nextFD:    3,
+		nextInode: 2,
+	}
+	for i := 0; i < cfg.NumMDS; i++ {
+		p.mdsPool = append(p.mdsPool, newMDS(clk, cfg))
+	}
+	p.osts = make([]*ost, cfg.NumOST)
+	for i := range p.osts {
+		p.osts[i] = newOST(clk, i, cfg)
+	}
+	p.root = &pnode{
+		name:     "/",
+		mode:     posix.ModeDir | 0o755,
+		inode:    1,
+		children: make(map[string]*pnode),
+		modTime:  clk.Now(),
+		nlink:    2,
+	}
+	return p
+}
+
+// Config returns the file system's effective configuration.
+func (p *PFS) Config() Config { return p.cfg }
+
+// mds returns the active metadata server.
+func (p *PFS) mds() *mds {
+	p.mdsMu.RLock()
+	defer p.mdsMu.RUnlock()
+	return p.mdsPool[p.activeMDS]
+}
+
+// FailoverMDS promotes the next hot-standby replica to active, modelling
+// an MDS failure (§II: "having additional MDS nodes as standby
+// replicas"). The namespace survives — it is persisted on the MDTs — but
+// in-flight admission capacity restarts on the fresh server. It returns
+// the new active index, or an error when no standby exists.
+func (p *PFS) FailoverMDS() (int, error) {
+	p.mdsMu.Lock()
+	defer p.mdsMu.Unlock()
+	if len(p.mdsPool) < 2 {
+		return p.activeMDS, fmt.Errorf("pfs: no standby MDS configured")
+	}
+	p.mdsPool[p.activeMDS].capacity.Close()
+	p.activeMDS = (p.activeMDS + 1) % len(p.mdsPool)
+	p.failovers++
+	return p.activeMDS, nil
+}
+
+// SetMDSCapacity retunes the active MDS's service capacity in place —
+// modelling hardware degradation, a failover to a weaker standby, or an
+// administrator re-rating the server.
+func (p *PFS) SetMDSCapacity(capacity float64) {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	p.mds().capacity.Set(capacity, capacity/10)
+}
+
+// OfferMetadataLoad is the fluid-admission entry the discrete-tick
+// simulator uses: demand cost-units arriving over dt are served up to MDS
+// capacity; the served amount is returned.
+func (p *PFS) OfferMetadataLoad(demand float64, dt time.Duration) float64 {
+	return p.mds().offer(demand, dt)
+}
+
+// Stats snapshots file-system health. Counters aggregate across the MDS
+// pool (work done before a failover still counts).
+func (p *PFS) Stats() Stats {
+	p.mdsMu.RLock()
+	pool := append([]*mds(nil), p.mdsPool...)
+	active := p.mdsPool[p.activeMDS]
+	failovers := p.failovers
+	p.mdsMu.RUnlock()
+
+	per := make([]int64, p.cfg.NumMDT)
+	st := Stats{Failovers: failovers}
+	for _, m := range pool {
+		st.MetadataOps += m.ops.Load()
+		st.MetadataUnits += m.unitsServed()
+		st.Rejected += m.rejected.Load()
+		for i := range m.perMDT {
+			per[i] += m.perMDT[i].Load()
+		}
+	}
+	st.QueueDepth = active.queueDepth()
+	st.Saturated = active.saturated()
+	st.MeanMetadataLatency = time.Duration(active.latency.Mean() * float64(time.Second))
+	st.PerMDTOps = per
+	for _, o := range p.osts {
+		st.BytesRead += o.bytesRead.Load()
+		st.BytesWritten += o.bytesWritten.Load()
+	}
+	return st
+}
+
+func cleanPath(p string) string {
+	if p == "" {
+		return "/"
+	}
+	if !strings.HasPrefix(p, "/") {
+		p = "/" + p
+	}
+	return path.Clean(p)
+}
+
+func (p *PFS) lookup(pth string) (*pnode, error) {
+	pth = cleanPath(pth)
+	if pth == "/" {
+		return p.root, nil
+	}
+	cur := p.root
+	for _, part := range strings.Split(strings.TrimPrefix(pth, "/"), "/") {
+		if !cur.isDir() {
+			return nil, posix.ErrNotDir
+		}
+		next, ok := cur.children[part]
+		if !ok {
+			return nil, posix.ErrNotExist
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+func (p *PFS) lookupParent(pth string) (*pnode, string, error) {
+	pth = cleanPath(pth)
+	if pth == "/" {
+		return nil, "", posix.ErrInvalid
+	}
+	dir, leaf := path.Split(pth)
+	parent, err := p.lookup(strings.TrimSuffix(dir, "/"))
+	if err != nil {
+		return nil, "", err
+	}
+	if !parent.isDir() {
+		return nil, "", posix.ErrNotDir
+	}
+	return parent, leaf, nil
+}
+
+// pickOSTs assigns stripe targets in a capacity-balanced manner: the
+// least-utilized OSTs first, as the MDS does at file creation (§II).
+func (p *PFS) pickOSTs(count int) []int {
+	if count > len(p.osts) {
+		count = len(p.osts)
+	}
+	idx := make([]int, len(p.osts))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ua, ub := p.osts[idx[a]].usedBytes.Load(), p.osts[idx[b]].usedBytes.Load()
+		if ua == ub {
+			return idx[a] < idx[b]
+		}
+		return ua < ub
+	})
+	return append([]int(nil), idx[:count]...)
+}
+
+func (p *PFS) infoFor(n *pnode) posix.FileInfo {
+	return posix.FileInfo{
+		Name:    n.name,
+		Size:    n.size,
+		Mode:    n.mode,
+		ModTime: n.modTime,
+		Inode:   n.inode,
+		Nlink:   n.nlink,
+	}
+}
+
+// stripeSegment is one contiguous extent within a single OST object.
+type stripeSegment struct {
+	stripe    int   // index into the file's layout
+	objOffset int64 // offset within that OST object
+	length    int64
+}
+
+// stripeExtent splits a file extent [offset, offset+size) into per-stripe
+// segments using RAID-0 round-robin striping with unit Config.StripeSize.
+func (p *PFS) stripeExtent(layout []int, offset, size int64) []stripeSegment {
+	if len(layout) == 0 || size <= 0 {
+		return nil
+	}
+	unit := p.cfg.StripeSize
+	width := unit * int64(len(layout))
+	var segs []stripeSegment
+	for size > 0 {
+		stripeRow := offset / width
+		within := offset % width
+		stripe := int(within / unit)
+		inUnit := within % unit
+		run := unit - inUnit
+		if run > size {
+			run = size
+		}
+		segs = append(segs, stripeSegment{
+			stripe:    stripe,
+			objOffset: stripeRow*unit + inUnit,
+			length:    run,
+		})
+		offset += run
+		size -= run
+	}
+	return segs
+}
+
+// Apply implements posix.FileSystem.
+func (p *PFS) Apply(req *posix.Request) (*posix.Reply, error) {
+	// All metadata-like operations pay the MDS before touching the
+	// namespace; pure data operations bypass it (their open already did).
+	if req.Op.IsMetadataLike() {
+		if err := p.mds().serve(req.Op, req.Path); err != nil {
+			return nil, err
+		}
+	}
+	switch req.Op {
+	case posix.OpOpen, posix.OpOpen64, posix.OpCreat:
+		return p.open(req)
+	case posix.OpClose, posix.OpClosedir:
+		return p.closeFD(req.FD)
+	case posix.OpStat, posix.OpLStat, posix.OpGetAttr:
+		return p.stat(req.Path)
+	case posix.OpFStat:
+		return p.fstat(req.FD)
+	case posix.OpSetAttr, posix.OpChmod, posix.OpChown, posix.OpUtime:
+		return p.setattr(req)
+	case posix.OpStatFS, posix.OpFStatFS:
+		return p.statfs()
+	case posix.OpRename:
+		return p.rename(req.Path, req.NewPath)
+	case posix.OpUnlink:
+		return p.unlink(req.Path)
+	case posix.OpLink:
+		return p.link(req.Path, req.NewPath)
+	case posix.OpSymlink:
+		return p.symlink(req.Path, req.NewPath)
+	case posix.OpReadlink:
+		return p.readlink(req.Path)
+	case posix.OpAccess:
+		return p.access(req.Path)
+	case posix.OpMknod:
+		return p.mknod(req.Path, req.Mode)
+	case posix.OpMkdir:
+		return p.mkdir(req.Path, req.Mode)
+	case posix.OpRmdir:
+		return p.rmdir(req.Path)
+	case posix.OpOpendir:
+		return p.open(&posix.Request{Op: posix.OpOpen, Path: req.Path, Flags: posix.ORdOnly})
+	case posix.OpReaddir:
+		return p.readdir(req.Path)
+
+	case posix.OpRead:
+		return p.read(req.FD, req.Size, -1)
+	case posix.OpPRead:
+		return p.read(req.FD, req.Size, req.Offset)
+	case posix.OpWrite:
+		return p.write(req.FD, req.Data, req.Size, -1)
+	case posix.OpPWrite:
+		return p.write(req.FD, req.Data, req.Size, req.Offset)
+	case posix.OpLSeek:
+		return p.lseek(req.FD, req.Offset, req.Flags)
+	case posix.OpFSync, posix.OpFDataSync, posix.OpSync:
+		return &posix.Reply{}, nil
+	case posix.OpTruncate:
+		return p.truncate(req.Path, req.Size)
+	case posix.OpFTruncate:
+		return p.ftruncate(req.FD, req.Size)
+
+	case posix.OpSetXAttr:
+		return p.setxattr(req.Path, req.Name, req.Value)
+	case posix.OpGetXAttr, posix.OpLGetXAttr:
+		return p.getxattr(req.Path, req.Name)
+	case posix.OpFGetXAttr:
+		return p.fgetxattr(req.FD, req.Name)
+	case posix.OpListXAttr:
+		return p.listxattr(req.Path)
+	case posix.OpRemoveXAttr:
+		return p.removexattr(req.Path, req.Name)
+	}
+	return nil, posix.ErrNotSupported
+}
+
+func (p *PFS) open(req *posix.Request) (*posix.Reply, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pth := cleanPath(req.Path)
+	n, err := p.lookup(pth)
+	switch {
+	case err == nil:
+		if req.Flags&posix.OExcl != 0 && req.Flags&posix.OCreate != 0 {
+			return nil, posix.ErrExist
+		}
+		if n.isDir() && req.Flags&(posix.OWrOnly|posix.ORdWr) != 0 {
+			return nil, posix.ErrIsDir
+		}
+		if req.Flags&posix.OTrunc != 0 && !n.isDir() {
+			p.truncateLocked(n, 0)
+		}
+	case err == posix.ErrNotExist && (req.Flags&posix.OCreate != 0 || req.Op == posix.OpCreat):
+		parent, leaf, perr := p.lookupParent(pth)
+		if perr != nil {
+			return nil, perr
+		}
+		p.nextInode++
+		n = &pnode{
+			name:    leaf,
+			mode:    req.Mode.Perm(),
+			inode:   p.nextInode,
+			modTime: p.clk.Now(),
+			nlink:   1,
+			layout:  p.pickOSTs(p.cfg.DefaultStripeCount),
+		}
+		parent.children[leaf] = n
+		parent.modTime = p.clk.Now()
+	default:
+		return nil, err
+	}
+	fd := p.nextFD
+	p.nextFD++
+	of := &pOpenFile{n: n, flags: req.Flags}
+	if req.Flags&posix.OAppend != 0 {
+		of.offset = n.size
+	}
+	p.fds[fd] = of
+	return &posix.Reply{FD: fd}, nil
+}
+
+func (p *PFS) closeFD(fd int) (*posix.Reply, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.fds[fd]; !ok {
+		return nil, posix.ErrBadFD
+	}
+	delete(p.fds, fd)
+	return &posix.Reply{}, nil
+}
+
+func (p *PFS) stat(pth string) (*posix.Reply, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n, err := p.lookup(pth)
+	if err != nil {
+		return nil, err
+	}
+	return &posix.Reply{Info: p.infoFor(n)}, nil
+}
+
+func (p *PFS) fstat(fd int) (*posix.Reply, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	of, ok := p.fds[fd]
+	if !ok {
+		return nil, posix.ErrBadFD
+	}
+	return &posix.Reply{Info: p.infoFor(of.n)}, nil
+}
+
+func (p *PFS) setattr(req *posix.Request) (*posix.Reply, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n, err := p.lookup(req.Path)
+	if err != nil {
+		return nil, err
+	}
+	if req.Op == posix.OpSetAttr || req.Op == posix.OpChmod {
+		n.mode = (n.mode & posix.ModeDir) | req.Mode.Perm()
+	}
+	n.modTime = p.clk.Now()
+	return &posix.Reply{}, nil
+}
+
+func (p *PFS) statfs() (*posix.Reply, error) {
+	var used int64
+	for _, o := range p.osts {
+		used += o.usedBytes.Load()
+	}
+	return &posix.Reply{Stat: posix.FSStat{
+		TotalBytes: p.cfg.TotalCapacityBytes,
+		FreeBytes:  p.cfg.TotalCapacityBytes - used,
+		TotalFiles: 1 << 32,
+		FreeFiles:  1<<32 - int64(p.nextInode),
+	}}, nil
+}
+
+func (p *PFS) rename(oldP, newP string) (*posix.Reply, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	oldParent, oldLeaf, err := p.lookupParent(oldP)
+	if err != nil {
+		return nil, err
+	}
+	n, ok := oldParent.children[oldLeaf]
+	if !ok {
+		return nil, posix.ErrNotExist
+	}
+	newParent, newLeaf, err := p.lookupParent(newP)
+	if err != nil {
+		return nil, err
+	}
+	if existing, ok := newParent.children[newLeaf]; ok {
+		if existing.isDir() && len(existing.children) > 0 {
+			return nil, posix.ErrNotEmpty
+		}
+		if existing.isDir() && !n.isDir() {
+			return nil, posix.ErrIsDir
+		}
+		p.removeDataLocked(existing)
+	}
+	delete(oldParent.children, oldLeaf)
+	n.name = newLeaf
+	newParent.children[newLeaf] = n
+	now := p.clk.Now()
+	oldParent.modTime, newParent.modTime, n.modTime = now, now, now
+	return &posix.Reply{}, nil
+}
+
+func (p *PFS) unlink(pth string) (*posix.Reply, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	parent, leaf, err := p.lookupParent(pth)
+	if err != nil {
+		return nil, err
+	}
+	n, ok := parent.children[leaf]
+	if !ok {
+		return nil, posix.ErrNotExist
+	}
+	if n.isDir() {
+		return nil, posix.ErrIsDir
+	}
+	n.nlink--
+	delete(parent.children, leaf)
+	parent.modTime = p.clk.Now()
+	if n.nlink <= 0 {
+		p.removeDataLocked(n)
+	}
+	return &posix.Reply{}, nil
+}
+
+// removeDataLocked frees a file's OST objects.
+func (p *PFS) removeDataLocked(n *pnode) {
+	for _, ostIdx := range n.layout {
+		p.osts[ostIdx].remove(n.inode)
+	}
+	n.size = 0
+}
+
+func (p *PFS) link(oldP, newP string) (*posix.Reply, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n, err := p.lookup(oldP)
+	if err != nil {
+		return nil, err
+	}
+	if n.isDir() {
+		return nil, posix.ErrIsDir
+	}
+	parent, leaf, err := p.lookupParent(newP)
+	if err != nil {
+		return nil, err
+	}
+	if _, exists := parent.children[leaf]; exists {
+		return nil, posix.ErrExist
+	}
+	n.nlink++
+	parent.children[leaf] = n
+	return &posix.Reply{}, nil
+}
+
+func (p *PFS) symlink(target, linkP string) (*posix.Reply, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	parent, leaf, err := p.lookupParent(linkP)
+	if err != nil {
+		return nil, err
+	}
+	if _, exists := parent.children[leaf]; exists {
+		return nil, posix.ErrExist
+	}
+	p.nextInode++
+	parent.children[leaf] = &pnode{
+		name:    leaf,
+		mode:    0o777,
+		inode:   p.nextInode,
+		modTime: p.clk.Now(),
+		nlink:   1,
+		xattrs:  map[string][]byte{"system.symlink": []byte(target)},
+	}
+	return &posix.Reply{}, nil
+}
+
+func (p *PFS) readlink(pth string) (*posix.Reply, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n, err := p.lookup(pth)
+	if err != nil {
+		return nil, err
+	}
+	target, ok := n.xattrs["system.symlink"]
+	if !ok {
+		return nil, posix.ErrInvalid
+	}
+	return &posix.Reply{Data: append([]byte(nil), target...)}, nil
+}
+
+func (p *PFS) access(pth string) (*posix.Reply, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, err := p.lookup(pth); err != nil {
+		return nil, err
+	}
+	return &posix.Reply{}, nil
+}
+
+func (p *PFS) mknod(pth string, mode posix.FileMode) (*posix.Reply, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	parent, leaf, err := p.lookupParent(pth)
+	if err != nil {
+		return nil, err
+	}
+	if _, exists := parent.children[leaf]; exists {
+		return nil, posix.ErrExist
+	}
+	p.nextInode++
+	parent.children[leaf] = &pnode{
+		name: leaf, mode: mode.Perm(), inode: p.nextInode,
+		modTime: p.clk.Now(), nlink: 1,
+		layout: p.pickOSTs(p.cfg.DefaultStripeCount),
+	}
+	return &posix.Reply{}, nil
+}
+
+func (p *PFS) mkdir(pth string, mode posix.FileMode) (*posix.Reply, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	parent, leaf, err := p.lookupParent(pth)
+	if err != nil {
+		return nil, err
+	}
+	if _, exists := parent.children[leaf]; exists {
+		return nil, posix.ErrExist
+	}
+	p.nextInode++
+	parent.children[leaf] = &pnode{
+		name: leaf, mode: posix.ModeDir | mode.Perm(), inode: p.nextInode,
+		children: make(map[string]*pnode), modTime: p.clk.Now(), nlink: 2,
+	}
+	return &posix.Reply{}, nil
+}
+
+func (p *PFS) rmdir(pth string) (*posix.Reply, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	parent, leaf, err := p.lookupParent(pth)
+	if err != nil {
+		return nil, err
+	}
+	n, ok := parent.children[leaf]
+	if !ok {
+		return nil, posix.ErrNotExist
+	}
+	if !n.isDir() {
+		return nil, posix.ErrNotDir
+	}
+	if len(n.children) > 0 {
+		return nil, posix.ErrNotEmpty
+	}
+	delete(parent.children, leaf)
+	return &posix.Reply{}, nil
+}
+
+func (p *PFS) readdir(pth string) (*posix.Reply, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n, err := p.lookup(pth)
+	if err != nil {
+		return nil, err
+	}
+	if !n.isDir() {
+		return nil, posix.ErrNotDir
+	}
+	entries := make([]posix.DirEntry, 0, len(n.children))
+	for name, child := range n.children {
+		entries = append(entries, posix.DirEntry{Name: name, IsDir: child.isDir(), Inode: child.inode})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	return &posix.Reply{Entries: entries}, nil
+}
+
+func (p *PFS) read(fd int, size, offset int64) (*posix.Reply, error) {
+	p.mu.Lock()
+	of, ok := p.fds[fd]
+	if !ok {
+		p.mu.Unlock()
+		return nil, posix.ErrBadFD
+	}
+	n := of.n
+	pos := offset
+	if pos < 0 {
+		pos = of.offset
+	}
+	if pos >= n.size || size <= 0 {
+		p.mu.Unlock()
+		return &posix.Reply{}, nil
+	}
+	if pos+size > n.size {
+		size = n.size - pos
+	}
+	layout := n.layout
+	inode := n.inode
+	segs := p.stripeExtent(layout, pos, size)
+	p.mu.Unlock()
+
+	// OST transfers happen outside the namespace lock, as in a real PFS
+	// where data RPCs flow client<->OSS without MDS involvement.
+	buf := make([]byte, 0, size)
+	for _, seg := range segs {
+		data, err := p.osts[layout[seg.stripe]].read(inode, seg.stripe, seg.objOffset, seg.length)
+		if err != nil {
+			return nil, err
+		}
+		// Sparse regions read back as zeros.
+		if int64(len(data)) < seg.length {
+			data = append(data, make([]byte, seg.length-int64(len(data)))...)
+		}
+		buf = append(buf, data...)
+	}
+	if offset < 0 {
+		p.mu.Lock()
+		of.offset = pos + size
+		p.mu.Unlock()
+	}
+	return &posix.Reply{N: int64(len(buf)), Data: buf}, nil
+}
+
+func (p *PFS) write(fd int, data []byte, size, offset int64) (*posix.Reply, error) {
+	p.mu.Lock()
+	of, ok := p.fds[fd]
+	if !ok {
+		p.mu.Unlock()
+		return nil, posix.ErrBadFD
+	}
+	if of.flags&(posix.OWrOnly|posix.ORdWr) == 0 {
+		p.mu.Unlock()
+		return nil, posix.ErrBadFD
+	}
+	if data == nil && size > 0 {
+		data = make([]byte, size)
+	}
+	n := of.n
+	pos := offset
+	if pos < 0 {
+		pos = of.offset
+	}
+	if of.flags&posix.OAppend != 0 && offset < 0 {
+		pos = n.size
+	}
+	layout := n.layout
+	inode := n.inode
+	segs := p.stripeExtent(layout, pos, int64(len(data)))
+	p.mu.Unlock()
+
+	var written int64
+	for _, seg := range segs {
+		chunk := data[written : written+seg.length]
+		if err := p.osts[layout[seg.stripe]].write(inode, seg.stripe, seg.objOffset, chunk); err != nil {
+			return nil, err
+		}
+		written += seg.length
+	}
+
+	p.mu.Lock()
+	end := pos + written
+	if end > n.size {
+		n.size = end
+	}
+	n.modTime = p.clk.Now()
+	if offset < 0 {
+		of.offset = end
+	}
+	p.mu.Unlock()
+	return &posix.Reply{N: written}, nil
+}
+
+func (p *PFS) lseek(fd int, offset int64, whence int) (*posix.Reply, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	of, ok := p.fds[fd]
+	if !ok {
+		return nil, posix.ErrBadFD
+	}
+	var base int64
+	switch whence {
+	case 0:
+	case 1:
+		base = of.offset
+	case 2:
+		base = of.n.size
+	default:
+		return nil, posix.ErrInvalid
+	}
+	np := base + offset
+	if np < 0 {
+		return nil, posix.ErrInvalid
+	}
+	of.offset = np
+	return &posix.Reply{N: np}, nil
+}
+
+func (p *PFS) truncate(pth string, size int64) (*posix.Reply, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n, err := p.lookup(pth)
+	if err != nil {
+		return nil, err
+	}
+	if n.isDir() {
+		return nil, posix.ErrIsDir
+	}
+	if size < 0 {
+		return nil, posix.ErrInvalid
+	}
+	p.truncateLocked(n, size)
+	return &posix.Reply{}, nil
+}
+
+func (p *PFS) ftruncate(fd int, size int64) (*posix.Reply, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	of, ok := p.fds[fd]
+	if !ok {
+		return nil, posix.ErrBadFD
+	}
+	if size < 0 {
+		return nil, posix.ErrInvalid
+	}
+	p.truncateLocked(of.n, size)
+	return &posix.Reply{}, nil
+}
+
+func (p *PFS) truncateLocked(n *pnode, size int64) {
+	if size >= n.size {
+		n.size = size
+		return
+	}
+	// Shrink: cut each stripe object to its remaining share.
+	for stripe, ostIdx := range n.layout {
+		segs := p.stripeExtent(n.layout, 0, size)
+		var keep int64
+		for _, s := range segs {
+			if s.stripe == stripe {
+				if end := s.objOffset + s.length; end > keep {
+					keep = end
+				}
+			}
+		}
+		p.osts[ostIdx].truncate(n.inode, stripe, keep)
+	}
+	n.size = size
+	n.modTime = p.clk.Now()
+}
+
+func (p *PFS) setxattr(pth, name string, value []byte) (*posix.Reply, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n, err := p.lookup(pth)
+	if err != nil {
+		return nil, err
+	}
+	if n.xattrs == nil {
+		n.xattrs = make(map[string][]byte)
+	}
+	n.xattrs[name] = append([]byte(nil), value...)
+	return &posix.Reply{}, nil
+}
+
+func (p *PFS) getxattr(pth, name string) (*posix.Reply, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n, err := p.lookup(pth)
+	if err != nil {
+		return nil, err
+	}
+	v, ok := n.xattrs[name]
+	if !ok {
+		return nil, posix.ErrNoAttr
+	}
+	return &posix.Reply{Data: append([]byte(nil), v...)}, nil
+}
+
+func (p *PFS) fgetxattr(fd int, name string) (*posix.Reply, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	of, ok := p.fds[fd]
+	if !ok {
+		return nil, posix.ErrBadFD
+	}
+	v, ok := of.n.xattrs[name]
+	if !ok {
+		return nil, posix.ErrNoAttr
+	}
+	return &posix.Reply{Data: append([]byte(nil), v...)}, nil
+}
+
+func (p *PFS) listxattr(pth string) (*posix.Reply, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n, err := p.lookup(pth)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(n.xattrs))
+	for k := range n.xattrs {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return &posix.Reply{Names: names}, nil
+}
+
+func (p *PFS) removexattr(pth, name string) (*posix.Reply, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n, err := p.lookup(pth)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := n.xattrs[name]; !ok {
+		return nil, posix.ErrNoAttr
+	}
+	delete(n.xattrs, name)
+	return &posix.Reply{}, nil
+}
+
+// LayoutOf returns the OST indices a file is striped across (for tests
+// and tooling).
+func (p *PFS) LayoutOf(pth string) ([]int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n, err := p.lookup(pth)
+	if err != nil {
+		return nil, err
+	}
+	return append([]int(nil), n.layout...), nil
+}

@@ -1,0 +1,319 @@
+package posix
+
+// Client restores a typed POSIX API on top of any FileSystem. Example
+// applications and the workload generators are written against Client, so
+// swapping a raw backend for a PADLL-interposed one is a one-line change —
+// the transparency property the paper's LD_PRELOAD vector provides.
+type Client struct {
+	fs FileSystem
+	// Context stamped onto every request for differentiation.
+	JobID  string
+	User   string
+	PID    int
+	Tenant string
+}
+
+// NewClient returns a client issuing requests against fs.
+func NewClient(fs FileSystem) *Client { return &Client{fs: fs} }
+
+// WithJob returns a copy of the client stamped with job context.
+func (c *Client) WithJob(jobID, user string, pid int) *Client {
+	cp := *c
+	cp.JobID, cp.User, cp.PID = jobID, user, pid
+	return &cp
+}
+
+func (c *Client) apply(req *Request) (*Reply, error) {
+	req.JobID, req.User, req.PID, req.Tenant = c.JobID, c.User, c.PID, c.Tenant
+	return c.fs.Apply(req)
+}
+
+// Open opens path with flags and mode, returning a file descriptor.
+func (c *Client) Open(path string, flags int, mode FileMode) (int, error) {
+	rep, err := c.apply(&Request{Op: OpOpen, Path: path, Flags: flags, Mode: mode})
+	if err != nil {
+		return -1, err
+	}
+	return rep.FD, nil
+}
+
+// Creat creates path, equivalent to open(O_CREATE|O_WRONLY|O_TRUNC).
+func (c *Client) Creat(path string, mode FileMode) (int, error) {
+	rep, err := c.apply(&Request{Op: OpCreat, Path: path, Flags: OCreate | OWrOnly | OTrunc, Mode: mode})
+	if err != nil {
+		return -1, err
+	}
+	return rep.FD, nil
+}
+
+// Close closes the descriptor.
+func (c *Client) Close(fd int) error {
+	_, err := c.apply(&Request{Op: OpClose, FD: fd})
+	return err
+}
+
+// Read reads up to size bytes from the descriptor's current offset.
+func (c *Client) Read(fd int, size int64) ([]byte, error) {
+	rep, err := c.apply(&Request{Op: OpRead, FD: fd, Size: size})
+	if err != nil {
+		return nil, err
+	}
+	return rep.Data, nil
+}
+
+// Write writes data at the descriptor's current offset.
+func (c *Client) Write(fd int, data []byte) (int64, error) {
+	rep, err := c.apply(&Request{Op: OpWrite, FD: fd, Data: data, Size: int64(len(data))})
+	if err != nil {
+		return 0, err
+	}
+	return rep.N, nil
+}
+
+// PRead reads size bytes at offset without moving the file offset.
+func (c *Client) PRead(fd int, size, offset int64) ([]byte, error) {
+	rep, err := c.apply(&Request{Op: OpPRead, FD: fd, Size: size, Offset: offset})
+	if err != nil {
+		return nil, err
+	}
+	return rep.Data, nil
+}
+
+// PWrite writes data at offset without moving the file offset.
+func (c *Client) PWrite(fd int, data []byte, offset int64) (int64, error) {
+	rep, err := c.apply(&Request{Op: OpPWrite, FD: fd, Data: data, Size: int64(len(data)), Offset: offset})
+	if err != nil {
+		return 0, err
+	}
+	return rep.N, nil
+}
+
+// LSeek repositions the file offset (whence in Flags: 0=set,1=cur,2=end).
+func (c *Client) LSeek(fd int, offset int64, whence int) (int64, error) {
+	rep, err := c.apply(&Request{Op: OpLSeek, FD: fd, Offset: offset, Flags: whence})
+	if err != nil {
+		return 0, err
+	}
+	return rep.N, nil
+}
+
+// FSync flushes the descriptor.
+func (c *Client) FSync(fd int) error {
+	_, err := c.apply(&Request{Op: OpFSync, FD: fd})
+	return err
+}
+
+// Stat stats the path.
+func (c *Client) Stat(path string) (FileInfo, error) {
+	rep, err := c.apply(&Request{Op: OpStat, Path: path})
+	if err != nil {
+		return FileInfo{}, err
+	}
+	return rep.Info, nil
+}
+
+// GetAttr is the Lustre-level getattr the ABCI traces report; it stats
+// the path acquiring only read locks at the MDS.
+func (c *Client) GetAttr(path string) (FileInfo, error) {
+	rep, err := c.apply(&Request{Op: OpGetAttr, Path: path})
+	if err != nil {
+		return FileInfo{}, err
+	}
+	return rep.Info, nil
+}
+
+// SetAttr updates the path's mode.
+func (c *Client) SetAttr(path string, mode FileMode) error {
+	_, err := c.apply(&Request{Op: OpSetAttr, Path: path, Mode: mode})
+	return err
+}
+
+// FStat stats the descriptor.
+func (c *Client) FStat(fd int) (FileInfo, error) {
+	rep, err := c.apply(&Request{Op: OpFStat, FD: fd})
+	if err != nil {
+		return FileInfo{}, err
+	}
+	return rep.Info, nil
+}
+
+// Rename atomically renames oldPath to newPath.
+func (c *Client) Rename(oldPath, newPath string) error {
+	_, err := c.apply(&Request{Op: OpRename, Path: oldPath, NewPath: newPath})
+	return err
+}
+
+// Unlink removes the file at path.
+func (c *Client) Unlink(path string) error {
+	_, err := c.apply(&Request{Op: OpUnlink, Path: path})
+	return err
+}
+
+// Mkdir creates a directory.
+func (c *Client) Mkdir(path string, mode FileMode) error {
+	_, err := c.apply(&Request{Op: OpMkdir, Path: path, Mode: mode})
+	return err
+}
+
+// Rmdir removes an empty directory.
+func (c *Client) Rmdir(path string) error {
+	_, err := c.apply(&Request{Op: OpRmdir, Path: path})
+	return err
+}
+
+// Readdir lists a directory.
+func (c *Client) Readdir(path string) ([]DirEntry, error) {
+	rep, err := c.apply(&Request{Op: OpReaddir, Path: path})
+	if err != nil {
+		return nil, err
+	}
+	return rep.Entries, nil
+}
+
+// Truncate sets the file size.
+func (c *Client) Truncate(path string, size int64) error {
+	_, err := c.apply(&Request{Op: OpTruncate, Path: path, Size: size})
+	return err
+}
+
+// StatFS reports file-system statistics for the mount containing path.
+func (c *Client) StatFS(path string) (FSStat, error) {
+	rep, err := c.apply(&Request{Op: OpStatFS, Path: path})
+	if err != nil {
+		return FSStat{}, err
+	}
+	return rep.Stat, nil
+}
+
+// SetXAttr sets an extended attribute.
+func (c *Client) SetXAttr(path, name string, value []byte) error {
+	_, err := c.apply(&Request{Op: OpSetXAttr, Path: path, Name: name, Value: value})
+	return err
+}
+
+// GetXAttr reads an extended attribute.
+func (c *Client) GetXAttr(path, name string) ([]byte, error) {
+	rep, err := c.apply(&Request{Op: OpGetXAttr, Path: path, Name: name})
+	if err != nil {
+		return nil, err
+	}
+	return rep.Data, nil
+}
+
+// ListXAttr lists extended attribute names.
+func (c *Client) ListXAttr(path string) ([]string, error) {
+	rep, err := c.apply(&Request{Op: OpListXAttr, Path: path})
+	if err != nil {
+		return nil, err
+	}
+	return rep.Names, nil
+}
+
+// RemoveXAttr removes an extended attribute.
+func (c *Client) RemoveXAttr(path, name string) error {
+	_, err := c.apply(&Request{Op: OpRemoveXAttr, Path: path, Name: name})
+	return err
+}
+
+// Access checks permissions on path (mode bits in Flags).
+func (c *Client) Access(path string, mode int) error {
+	_, err := c.apply(&Request{Op: OpAccess, Path: path, Flags: mode})
+	return err
+}
+
+// Do issues a raw request, for workload generators that synthesize
+// arbitrary operation streams.
+func (c *Client) Do(req *Request) (*Reply, error) { return c.apply(req) }
+
+// Link creates a hard link newPath referring to oldPath's inode.
+func (c *Client) Link(oldPath, newPath string) error {
+	_, err := c.apply(&Request{Op: OpLink, Path: oldPath, NewPath: newPath})
+	return err
+}
+
+// Symlink creates a symbolic link at linkPath pointing at target.
+func (c *Client) Symlink(target, linkPath string) error {
+	_, err := c.apply(&Request{Op: OpSymlink, Path: target, NewPath: linkPath})
+	return err
+}
+
+// Readlink returns a symbolic link's target.
+func (c *Client) Readlink(path string) (string, error) {
+	rep, err := c.apply(&Request{Op: OpReadlink, Path: path})
+	if err != nil {
+		return "", err
+	}
+	return string(rep.Data), nil
+}
+
+// Opendir opens a directory stream; entries are read one at a time with
+// ReaddirFD and the stream is released with Closedir.
+func (c *Client) Opendir(path string) (int, error) {
+	rep, err := c.apply(&Request{Op: OpOpendir, Path: path})
+	if err != nil {
+		return -1, err
+	}
+	return rep.FD, nil
+}
+
+// ReaddirFD reads the next entry from a directory stream; ok is false at
+// end of directory.
+func (c *Client) ReaddirFD(fd int) (DirEntry, bool, error) {
+	rep, err := c.apply(&Request{Op: OpReaddir, FD: fd})
+	if err != nil {
+		return DirEntry{}, false, err
+	}
+	if len(rep.Entries) == 0 {
+		return DirEntry{}, false, nil
+	}
+	return rep.Entries[0], true, nil
+}
+
+// Closedir releases a directory stream.
+func (c *Client) Closedir(fd int) error {
+	_, err := c.apply(&Request{Op: OpClosedir, FD: fd})
+	return err
+}
+
+// Chmod updates path's permission bits.
+func (c *Client) Chmod(path string, mode FileMode) error {
+	_, err := c.apply(&Request{Op: OpChmod, Path: path, Mode: mode})
+	return err
+}
+
+// Chown updates path's owner and group.
+func (c *Client) Chown(path string, uid, gid int) error {
+	// uid/gid travel in the spare numeric fields, as the backends expect.
+	_, err := c.apply(&Request{Op: OpChown, Path: path, Offset: int64(uid), Size: int64(gid)})
+	return err
+}
+
+// Utime refreshes path's modification time.
+func (c *Client) Utime(path string) error {
+	_, err := c.apply(&Request{Op: OpUtime, Path: path})
+	return err
+}
+
+// FTruncate sets the open file's size.
+func (c *Client) FTruncate(fd int, size int64) error {
+	_, err := c.apply(&Request{Op: OpFTruncate, FD: fd, Size: size})
+	return err
+}
+
+// FDataSync flushes the descriptor's data (without metadata flush).
+func (c *Client) FDataSync(fd int) error {
+	_, err := c.apply(&Request{Op: OpFDataSync, FD: fd})
+	return err
+}
+
+// Sync flushes the whole file system.
+func (c *Client) Sync() error {
+	_, err := c.apply(&Request{Op: OpSync})
+	return err
+}
+
+// Mknod creates a file-system node without opening it.
+func (c *Client) Mknod(path string, mode FileMode) error {
+	_, err := c.apply(&Request{Op: OpMknod, Path: path, Mode: mode})
+	return err
+}

@@ -1,0 +1,254 @@
+// Package posix models the POSIX I/O boundary PADLL interposes on.
+//
+// The paper's data plane "exposes a POSIX interface that reimplements 42
+// calls from different operation classes, including data, metadata,
+// extended attributes, and directory management" (§III-C). This package
+// defines those 42 operations, their class taxonomy, the relative cost
+// each imposes on a Lustre-like metadata server (§II: getattr needs only
+// read locks; open/close/unlink update namespace state; rename/mkdir need
+// atomicity), and the request/reply types every layer of the stack —
+// application, interposition shim, data-plane stage, and file systems —
+// exchanges.
+package posix
+
+import "fmt"
+
+// Op identifies one of the 42 interposed POSIX calls.
+type Op int
+
+// The 42 interposed operations, grouped as in the paper's prototype.
+const (
+	// Data operations.
+	OpRead Op = iota
+	OpWrite
+	OpPRead
+	OpPWrite
+	OpLSeek
+	OpFSync
+	OpFDataSync
+	OpSync
+	OpTruncate
+	OpFTruncate
+
+	// Metadata operations.
+	OpOpen
+	OpOpen64
+	OpCreat
+	OpClose
+	OpStat
+	OpFStat
+	OpLStat
+	OpStatFS
+	OpFStatFS
+	OpRename
+	OpUnlink
+	OpLink
+	OpSymlink
+	OpReadlink
+	OpAccess
+	OpMknod
+	OpChmod
+	OpChown
+	OpUtime
+	OpGetAttr // the Lustre-level getattr the traces report; stat family alias
+	OpSetAttr
+
+	// Directory management operations.
+	OpMkdir
+	OpRmdir
+	OpOpendir
+	OpReaddir
+	OpClosedir
+
+	// Extended attribute operations.
+	OpGetXAttr
+	OpLGetXAttr
+	OpFGetXAttr
+	OpSetXAttr
+	OpListXAttr
+	OpRemoveXAttr
+
+	numOps
+)
+
+// NumOps is the number of interposed operations (42, as in the paper).
+const NumOps = int(numOps)
+
+// Class is the coarse operation class used for per-class QoS rules
+// ("request class (e.g., metadata, data)", §III-A).
+type Class int
+
+// Operation classes as enumerated in §III-C.
+const (
+	ClassData Class = iota
+	ClassMetadata
+	ClassDirectory
+	ClassExtAttr
+	numClasses
+)
+
+// NumClasses is the number of operation classes.
+const NumClasses = int(numClasses)
+
+var classNames = [...]string{
+	ClassData:      "data",
+	ClassMetadata:  "metadata",
+	ClassDirectory: "directory",
+	ClassExtAttr:   "ext-attr",
+}
+
+// String returns the class name used in rules and reports.
+func (c Class) String() string {
+	if c < 0 || int(c) >= NumClasses {
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+	return classNames[c]
+}
+
+// ParseClass maps a rule token to a Class.
+func ParseClass(s string) (Class, error) {
+	for i, n := range classNames {
+		if n == s {
+			return Class(i), nil
+		}
+	}
+	return 0, fmt.Errorf("posix: unknown class %q", s)
+}
+
+type opInfo struct {
+	name  string
+	class Class
+	// mdsCost is the relative cost the op imposes on the metadata server:
+	// 0 for data ops that bypass the MDS, 1 for read-lock-only ops
+	// (getattr/stat family), ~2.5 for namespace-state updates
+	// (open/close/create/unlink), ~5 for atomic namespace ops
+	// (rename/mkdir/link), per §II's lock-cost discussion.
+	mdsCost float64
+	// touchesData reports whether the op moves payload bytes through
+	// OSS/OST servers.
+	touchesData bool
+}
+
+var opTable = [...]opInfo{
+	OpRead:      {"read", ClassData, 0, true},
+	OpWrite:     {"write", ClassData, 0, true},
+	OpPRead:     {"pread", ClassData, 0, true},
+	OpPWrite:    {"pwrite", ClassData, 0, true},
+	OpLSeek:     {"lseek", ClassData, 0, false},
+	OpFSync:     {"fsync", ClassData, 0, true},
+	OpFDataSync: {"fdatasync", ClassData, 0, true},
+	OpSync:      {"sync", ClassData, 1, true},
+	OpTruncate:  {"truncate", ClassData, 2.5, true},
+	OpFTruncate: {"ftruncate", ClassData, 2.5, true},
+
+	OpOpen:     {"open", ClassMetadata, 2.5, false},
+	OpOpen64:   {"open64", ClassMetadata, 2.5, false},
+	OpCreat:    {"creat", ClassMetadata, 3, false},
+	OpClose:    {"close", ClassMetadata, 2.5, false},
+	OpStat:     {"stat", ClassMetadata, 1, false},
+	OpFStat:    {"fstat", ClassMetadata, 1, false},
+	OpLStat:    {"lstat", ClassMetadata, 1, false},
+	OpStatFS:   {"statfs", ClassMetadata, 1, false},
+	OpFStatFS:  {"fstatfs", ClassMetadata, 1, false},
+	OpRename:   {"rename", ClassMetadata, 5, false},
+	OpUnlink:   {"unlink", ClassMetadata, 2.5, false},
+	OpLink:     {"link", ClassMetadata, 5, false},
+	OpSymlink:  {"symlink", ClassMetadata, 3, false},
+	OpReadlink: {"readlink", ClassMetadata, 1, false},
+	OpAccess:   {"access", ClassMetadata, 1, false},
+	OpMknod:    {"mknod", ClassMetadata, 3, false},
+	OpChmod:    {"chmod", ClassMetadata, 2, false},
+	OpChown:    {"chown", ClassMetadata, 2, false},
+	OpUtime:    {"utime", ClassMetadata, 2, false},
+	OpGetAttr:  {"getattr", ClassMetadata, 1, false},
+	OpSetAttr:  {"setattr", ClassMetadata, 2, false},
+
+	OpMkdir:    {"mkdir", ClassDirectory, 5, false},
+	OpRmdir:    {"rmdir", ClassDirectory, 5, false},
+	OpOpendir:  {"opendir", ClassDirectory, 2.5, false},
+	OpReaddir:  {"readdir", ClassDirectory, 1, false},
+	OpClosedir: {"closedir", ClassDirectory, 2.5, false},
+
+	OpGetXAttr:    {"getxattr", ClassExtAttr, 1, false},
+	OpLGetXAttr:   {"lgetxattr", ClassExtAttr, 1, false},
+	OpFGetXAttr:   {"fgetxattr", ClassExtAttr, 1, false},
+	OpSetXAttr:    {"setxattr", ClassExtAttr, 2, false},
+	OpListXAttr:   {"listxattr", ClassExtAttr, 1, false},
+	OpRemoveXAttr: {"removexattr", ClassExtAttr, 2, false},
+}
+
+// String returns the libc name of the operation.
+func (o Op) String() string {
+	if !o.Valid() {
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+	return opTable[o].name
+}
+
+// Valid reports whether o names one of the 42 operations.
+func (o Op) Valid() bool { return o >= 0 && int(o) < NumOps }
+
+// Class returns the operation class.
+func (o Op) Class() Class {
+	if !o.Valid() {
+		return ClassMetadata
+	}
+	return opTable[o].class
+}
+
+// MDSCost returns the operation's relative cost at the metadata server.
+func (o Op) MDSCost() float64 {
+	if !o.Valid() {
+		return 1
+	}
+	return opTable[o].mdsCost
+}
+
+// TouchesData reports whether the op moves payload through OSS/OSTs.
+func (o Op) TouchesData() bool {
+	if !o.Valid() {
+		return false
+	}
+	return opTable[o].touchesData
+}
+
+// IsMetadataLike reports whether the op counts against metadata QoS
+// budgets; directory and extended-attribute management are metadata work
+// at the MDS even though the prototype classes them separately.
+func (o Op) IsMetadataLike() bool {
+	switch o.Class() {
+	case ClassMetadata, ClassDirectory, ClassExtAttr:
+		return true
+	}
+	return false
+}
+
+// ParseOp maps a libc call name to its Op.
+func ParseOp(s string) (Op, error) {
+	for i := 0; i < NumOps; i++ {
+		if opTable[i].name == s {
+			return Op(i), nil
+		}
+	}
+	return 0, fmt.Errorf("posix: unknown operation %q", s)
+}
+
+// AllOps returns all 42 operations in declaration order.
+func AllOps() []Op {
+	out := make([]Op, NumOps)
+	for i := range out {
+		out[i] = Op(i)
+	}
+	return out
+}
+
+// OpsOfClass returns the operations belonging to class c.
+func OpsOfClass(c Class) []Op {
+	var out []Op
+	for i := 0; i < NumOps; i++ {
+		if Op(i).Class() == c {
+			out = append(out, Op(i))
+		}
+	}
+	return out
+}

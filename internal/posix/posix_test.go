@@ -1,0 +1,231 @@
+package posix
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestExactly42Ops(t *testing.T) {
+	if NumOps != 42 {
+		t.Fatalf("NumOps = %d, want 42 (the paper's prototype reimplements 42 calls)", NumOps)
+	}
+	if len(AllOps()) != 42 {
+		t.Fatalf("AllOps returned %d ops", len(AllOps()))
+	}
+}
+
+func TestEveryOpHasInfo(t *testing.T) {
+	seen := map[string]Op{}
+	for _, op := range AllOps() {
+		name := op.String()
+		if name == "" {
+			t.Errorf("op %d has no name", int(op))
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("duplicate op name %q for %d and %d", name, int(prev), int(op))
+		}
+		seen[name] = op
+		if c := op.Class(); c < 0 || int(c) >= NumClasses {
+			t.Errorf("%s has invalid class %d", name, int(c))
+		}
+	}
+}
+
+func TestOpClassMembership(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want Class
+	}{
+		{OpRead, ClassData}, {OpWrite, ClassData}, {OpFSync, ClassData},
+		{OpOpen, ClassMetadata}, {OpClose, ClassMetadata}, {OpGetAttr, ClassMetadata},
+		{OpRename, ClassMetadata}, {OpStat, ClassMetadata},
+		{OpMkdir, ClassDirectory}, {OpReaddir, ClassDirectory},
+		{OpGetXAttr, ClassExtAttr}, {OpSetXAttr, ClassExtAttr},
+	}
+	for _, c := range cases {
+		if got := c.op.Class(); got != c.want {
+			t.Errorf("%s.Class() = %v, want %v", c.op, got, c.want)
+		}
+	}
+}
+
+func TestClassPartitionCoversAllOps(t *testing.T) {
+	total := 0
+	for c := 0; c < NumClasses; c++ {
+		total += len(OpsOfClass(Class(c)))
+	}
+	if total != NumOps {
+		t.Fatalf("class partition covers %d ops, want %d", total, NumOps)
+	}
+}
+
+func TestMDSCostOrdering(t *testing.T) {
+	// §II: getattr (read locks) < open/close/unlink (namespace updates)
+	// < rename/mkdir (atomicity).
+	if !(OpGetAttr.MDSCost() < OpOpen.MDSCost()) {
+		t.Error("getattr must be cheaper than open at the MDS")
+	}
+	if !(OpOpen.MDSCost() < OpRename.MDSCost()) {
+		t.Error("open must be cheaper than rename at the MDS")
+	}
+	if !(OpClose.MDSCost() < OpMkdir.MDSCost()) {
+		t.Error("close must be cheaper than mkdir at the MDS")
+	}
+	if OpRead.MDSCost() != 0 || OpWrite.MDSCost() != 0 {
+		t.Error("pure data ops must not cost MDS capacity")
+	}
+}
+
+func TestTouchesData(t *testing.T) {
+	if !OpRead.TouchesData() || !OpWrite.TouchesData() {
+		t.Error("read/write must touch data")
+	}
+	if OpOpen.TouchesData() || OpGetAttr.TouchesData() {
+		t.Error("open/getattr must not touch data")
+	}
+}
+
+func TestIsMetadataLike(t *testing.T) {
+	for _, op := range []Op{OpOpen, OpClose, OpGetAttr, OpMkdir, OpGetXAttr} {
+		if !op.IsMetadataLike() {
+			t.Errorf("%s should be metadata-like", op)
+		}
+	}
+	for _, op := range []Op{OpRead, OpWrite, OpLSeek} {
+		if op.IsMetadataLike() {
+			t.Errorf("%s should not be metadata-like", op)
+		}
+	}
+}
+
+func TestParseOpRoundTrip(t *testing.T) {
+	for _, op := range AllOps() {
+		got, err := ParseOp(op.String())
+		if err != nil {
+			t.Errorf("ParseOp(%q): %v", op.String(), err)
+			continue
+		}
+		if got != op {
+			t.Errorf("ParseOp(%q) = %v, want %v", op.String(), got, op)
+		}
+	}
+	if _, err := ParseOp("no-such-op"); err == nil {
+		t.Error("ParseOp accepted an unknown name")
+	}
+}
+
+func TestParseClassRoundTrip(t *testing.T) {
+	for c := 0; c < NumClasses; c++ {
+		got, err := ParseClass(Class(c).String())
+		if err != nil || got != Class(c) {
+			t.Errorf("ParseClass(%q) = %v, %v", Class(c).String(), got, err)
+		}
+	}
+	if _, err := ParseClass("bogus"); err == nil {
+		t.Error("ParseClass accepted an unknown name")
+	}
+}
+
+func TestInvalidOpDefaults(t *testing.T) {
+	bad := Op(999)
+	if bad.Valid() {
+		t.Error("Op(999).Valid() = true")
+	}
+	if bad.String() == "" {
+		t.Error("invalid op must still render")
+	}
+	if bad.MDSCost() != 1 || bad.TouchesData() {
+		t.Error("invalid op defaults wrong")
+	}
+}
+
+func TestFileModeBits(t *testing.T) {
+	m := ModeDir | 0o755
+	if !m.IsDir() {
+		t.Error("IsDir lost")
+	}
+	if m.Perm() != 0o755 {
+		t.Errorf("Perm = %o, want 755", m.Perm())
+	}
+}
+
+func TestRequestString(t *testing.T) {
+	cases := []struct {
+		req  Request
+		want string
+	}{
+		{Request{Op: OpOpen, Path: "/a"}, "open(/a)"},
+		{Request{Op: OpRename, Path: "/a", NewPath: "/b"}, "rename(/a -> /b)"},
+		{Request{Op: OpClose, FD: 3}, "close(fd=3)"},
+	}
+	for _, c := range cases {
+		if got := c.req.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// recorder is a FileSystem double that records the last request.
+type recorder struct{ last *Request }
+
+func (r *recorder) Apply(req *Request) (*Reply, error) {
+	r.last = req
+	return &Reply{FD: 7, N: int64(len(req.Data)), Data: []byte("x")}, nil
+}
+
+func TestClientStampsJobContext(t *testing.T) {
+	rec := &recorder{}
+	c := NewClient(rec).WithJob("job-42", "alice", 1234)
+	if _, err := c.Open("/pfs/f", ORdOnly, 0); err != nil {
+		t.Fatal(err)
+	}
+	if rec.last.JobID != "job-42" || rec.last.User != "alice" || rec.last.PID != 1234 {
+		t.Errorf("context not stamped: %+v", rec.last)
+	}
+}
+
+func TestClientTypedCallsBuildCorrectRequests(t *testing.T) {
+	rec := &recorder{}
+	c := NewClient(rec)
+	fd, err := c.Open("/p", ORdWr, 0o644)
+	if err != nil || fd != 7 {
+		t.Fatalf("Open = %d, %v", fd, err)
+	}
+	if rec.last.Op != OpOpen || rec.last.Flags != ORdWr {
+		t.Errorf("Open request = %+v", rec.last)
+	}
+	if _, err := c.Write(3, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if rec.last.Op != OpWrite || rec.last.Size != 5 {
+		t.Errorf("Write request = %+v", rec.last)
+	}
+	if err := c.Rename("/a", "/b"); err != nil {
+		t.Fatal(err)
+	}
+	if rec.last.Op != OpRename || rec.last.NewPath != "/b" {
+		t.Errorf("Rename request = %+v", rec.last)
+	}
+	if _, err := c.GetAttr("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if rec.last.Op != OpGetAttr {
+		t.Errorf("GetAttr request op = %v", rec.last.Op)
+	}
+	if err := c.SetXAttr("/a", "user.k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if rec.last.Op != OpSetXAttr || rec.last.Name != "user.k" {
+		t.Errorf("SetXAttr request = %+v", rec.last)
+	}
+}
+
+func TestOpCostNonNegativeProperty(t *testing.T) {
+	f := func(raw int16) bool {
+		op := Op(int(raw) % (NumOps + 10))
+		return op.MDSCost() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,137 @@
+package posix
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Common file-system errors shared by all backends (localfs, pfs).
+var (
+	ErrNotExist     = errors.New("posix: no such file or directory")
+	ErrExist        = errors.New("posix: file exists")
+	ErrIsDir        = errors.New("posix: is a directory")
+	ErrNotDir       = errors.New("posix: not a directory")
+	ErrNotEmpty     = errors.New("posix: directory not empty")
+	ErrBadFD        = errors.New("posix: bad file descriptor")
+	ErrInvalid      = errors.New("posix: invalid argument")
+	ErrNoAttr       = errors.New("posix: no such attribute")
+	ErrCrossDevice  = errors.New("posix: cross-device link")
+	ErrNotSupported = errors.New("posix: operation not supported")
+)
+
+// Open flags (subset of fcntl.h relevant to the model).
+const (
+	ORdOnly = 0x0
+	OWrOnly = 0x1
+	ORdWr   = 0x2
+	OCreate = 0x40
+	OExcl   = 0x80
+	OTrunc  = 0x200
+	OAppend = 0x400
+)
+
+// FileMode carries permission bits and the directory flag.
+type FileMode uint32
+
+// ModeDir marks directories.
+const ModeDir FileMode = 1 << 31
+
+// IsDir reports whether the mode describes a directory.
+func (m FileMode) IsDir() bool { return m&ModeDir != 0 }
+
+// Perm returns the permission bits.
+func (m FileMode) Perm() FileMode { return m & 0o777 }
+
+// FileInfo is the stat payload returned by metadata operations.
+type FileInfo struct {
+	Name    string
+	Size    int64
+	Mode    FileMode
+	ModTime time.Time
+	Inode   uint64
+	Nlink   int
+	UID     int
+	GID     int
+}
+
+// DirEntry is one readdir result.
+type DirEntry struct {
+	Name  string
+	IsDir bool
+	Inode uint64
+}
+
+// FSStat is the statfs payload.
+type FSStat struct {
+	TotalBytes int64
+	FreeBytes  int64
+	TotalFiles int64
+	FreeFiles  int64
+}
+
+// Request is one interposed POSIX call, carrying every attribute PADLL's
+// request-differentiation step classifies on (§III-A: request type,
+// request class, path name, and others) plus the payload parameters the
+// backend needs to execute it.
+type Request struct {
+	Op      Op
+	Path    string // primary path (open, stat, mkdir, ...)
+	NewPath string // secondary path (rename, link, symlink target)
+	FD      int    // fd-based ops (read, write, close, fstat, ...)
+	Offset  int64  // pread/pwrite/lseek/truncate
+	Size    int64  // read/write byte count, truncate length
+	Flags   int    // open flags, lseek whence
+	Mode    FileMode
+	Data    []byte // write payload (may be nil: size-only modelling)
+	Name    string // xattr name
+	Value   []byte // xattr value
+
+	// Context attributes used for differentiation and accounting.
+	JobID  string
+	User   string
+	PID    int
+	Tenant string
+
+	// Issued is stamped by the shim when the request is intercepted.
+	Issued time.Time
+}
+
+// Reply is the result of executing a Request.
+type Reply struct {
+	FD      int        // open/opendir
+	N       int64      // bytes read/written, new offset
+	Info    FileInfo   // stat family
+	Entries []DirEntry // readdir
+	Data    []byte     // read payload / xattr value / readlink target
+	Names   []string   // listxattr
+	Stat    FSStat     // statfs
+}
+
+// String renders a request compactly for logs.
+func (r *Request) String() string {
+	switch {
+	case r.NewPath != "":
+		return fmt.Sprintf("%s(%s -> %s)", r.Op, r.Path, r.NewPath)
+	case r.Path != "":
+		return fmt.Sprintf("%s(%s)", r.Op, r.Path)
+	default:
+		return fmt.Sprintf("%s(fd=%d)", r.Op, r.FD)
+	}
+}
+
+// FileSystem is the boundary every layer of the PADLL stack implements:
+// concrete backends (the local file system model, the PFS client), the
+// interposition shim that wraps them, and test doubles. A single generic
+// entry point keeps the shim's per-call interception table trivial to
+// compose while the Client type restores a typed API for applications.
+type FileSystem interface {
+	// Apply executes one POSIX request and returns its reply.
+	Apply(req *Request) (*Reply, error)
+}
+
+// FileSystemFunc adapts a function to the FileSystem interface.
+type FileSystemFunc func(req *Request) (*Reply, error)
+
+// Apply implements FileSystem.
+func (f FileSystemFunc) Apply(req *Request) (*Reply, error) { return f(req) }

@@ -1,0 +1,260 @@
+// Package rpcio provides the wire between PADLL's control plane and its
+// data-plane stages. The paper uses gRPC (§III-C); this implementation
+// uses the standard library's net/rpc over TCP with gob encoding, which
+// preserves the same structure: every stage exposes a typed control
+// service (install rule, retune rate, collect statistics), and the
+// control plane exposes a registration service stages dial when their job
+// starts (§III-B "orchestrating stages from the same job").
+package rpcio
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+
+	"padll/internal/policy"
+	"padll/internal/stage"
+)
+
+// Registration is what a stage announces to the control plane at startup:
+// the identity attributes the controller groups stages by (job-ID, PID,
+// hostname, user) plus the address of the stage's control service.
+type Registration struct {
+	Info stage.Info
+	// Addr is the host:port of the stage's RPC server.
+	Addr string
+}
+
+// ---- stage-side control service ----
+
+// StageService exposes a stage's control operations over RPC.
+type StageService struct {
+	stg *stage.Stage
+}
+
+// ApplyRuleArgs carries a rule to install or update.
+type ApplyRuleArgs struct{ Rule policy.Rule }
+
+// ApplyRule installs or updates a rule on the stage.
+func (s *StageService) ApplyRule(args ApplyRuleArgs, _ *struct{}) error {
+	s.stg.ApplyRule(args.Rule)
+	return nil
+}
+
+// RemoveRuleArgs names a rule to delete.
+type RemoveRuleArgs struct{ ID string }
+
+// RemoveRule deletes a rule; Removed reports whether it existed.
+func (s *StageService) RemoveRule(args RemoveRuleArgs, removed *bool) error {
+	*removed = s.stg.RemoveRule(args.ID)
+	return nil
+}
+
+// SetRateArgs retunes one queue's rate.
+type SetRateArgs struct {
+	ID   string
+	Rate float64
+}
+
+// SetRate retunes a live queue; Found reports whether the rule existed.
+func (s *StageService) SetRate(args SetRateArgs, found *bool) error {
+	*found = s.stg.SetRate(args.ID, args.Rate)
+	return nil
+}
+
+// Collect snapshots the stage's statistics.
+func (s *StageService) Collect(_ struct{}, reply *stage.Stats) error {
+	*reply = s.stg.Collect()
+	return nil
+}
+
+// SetModeArgs switches enforcement mode.
+type SetModeArgs struct{ Mode stage.Mode }
+
+// SetMode switches the stage between Enforce and Passthrough.
+func (s *StageService) SetMode(args SetModeArgs, _ *struct{}) error {
+	s.stg.SetMode(args.Mode)
+	return nil
+}
+
+// Ping is a liveness probe; it echoes the stage's identity.
+func (s *StageService) Ping(_ struct{}, reply *stage.Info) error {
+	*reply = s.stg.Info()
+	return nil
+}
+
+// ServeStage starts serving the stage's control service on l. It returns
+// immediately; the returned stop function closes the listener and waits
+// for in-flight connections to finish being accepted.
+func ServeStage(l net.Listener, stg *stage.Stage) (stop func()) {
+	srv := rpc.NewServer()
+	// Registration cannot fail: StageService's method set is valid by
+	// construction.
+	if err := srv.RegisterName("Stage", &StageService{stg: stg}); err != nil {
+		panic(fmt.Sprintf("rpcio: register stage service: %v", err))
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	return func() {
+		l.Close()
+		wg.Wait()
+	}
+}
+
+// StageHandle is the control plane's typed client for one stage.
+type StageHandle struct {
+	addr   string
+	mu     sync.Mutex
+	client *rpc.Client
+}
+
+// DialStage connects to a stage's control service.
+func DialStage(addr string) (*StageHandle, error) {
+	client, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpcio: dial stage %s: %w", addr, err)
+	}
+	return &StageHandle{addr: addr, client: client}, nil
+}
+
+// Addr returns the stage's address.
+func (h *StageHandle) Addr() string { return h.addr }
+
+func (h *StageHandle) call(method string, args, reply interface{}) error {
+	h.mu.Lock()
+	c := h.client
+	h.mu.Unlock()
+	if c == nil {
+		return fmt.Errorf("rpcio: stage %s: connection closed", h.addr)
+	}
+	return c.Call(method, args, reply)
+}
+
+// ApplyRule installs or updates a rule on the remote stage.
+func (h *StageHandle) ApplyRule(r policy.Rule) error {
+	return h.call("Stage.ApplyRule", ApplyRuleArgs{Rule: r}, &struct{}{})
+}
+
+// RemoveRule deletes a rule on the remote stage.
+func (h *StageHandle) RemoveRule(id string) (bool, error) {
+	var removed bool
+	err := h.call("Stage.RemoveRule", RemoveRuleArgs{ID: id}, &removed)
+	return removed, err
+}
+
+// SetRate retunes a queue on the remote stage.
+func (h *StageHandle) SetRate(id string, rate float64) (bool, error) {
+	var found bool
+	err := h.call("Stage.SetRate", SetRateArgs{ID: id, Rate: rate}, &found)
+	return found, err
+}
+
+// Collect fetches the remote stage's statistics.
+func (h *StageHandle) Collect() (stage.Stats, error) {
+	var st stage.Stats
+	err := h.call("Stage.Collect", struct{}{}, &st)
+	return st, err
+}
+
+// SetMode switches the remote stage's mode.
+func (h *StageHandle) SetMode(m stage.Mode) error {
+	return h.call("Stage.SetMode", SetModeArgs{Mode: m}, &struct{}{})
+}
+
+// Ping probes liveness.
+func (h *StageHandle) Ping() (stage.Info, error) {
+	var info stage.Info
+	err := h.call("Stage.Ping", struct{}{}, &info)
+	return info, err
+}
+
+// Close tears down the connection.
+func (h *StageHandle) Close() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.client == nil {
+		return nil
+	}
+	err := h.client.Close()
+	h.client = nil
+	return err
+}
+
+// ---- controller-side registration service ----
+
+// RegistrarService accepts stage registrations on the control plane.
+type RegistrarService struct {
+	onRegister   func(Registration) error
+	onDeregister func(stageID string)
+}
+
+// Register announces a new stage. The control plane connects back to the
+// stage's control service and begins orchestrating it.
+func (r *RegistrarService) Register(reg Registration, _ *struct{}) error {
+	return r.onRegister(reg)
+}
+
+// Deregister announces a stage's shutdown (job completion).
+func (r *RegistrarService) Deregister(stageID string, _ *struct{}) error {
+	if r.onDeregister != nil {
+		r.onDeregister(stageID)
+	}
+	return nil
+}
+
+// ServeRegistrar serves a registration endpoint on l, invoking onRegister
+// for each arriving stage and onDeregister (may be nil) on departures.
+func ServeRegistrar(l net.Listener, onRegister func(Registration) error, onDeregister func(string)) (stop func()) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Registrar", &RegistrarService{onRegister: onRegister, onDeregister: onDeregister}); err != nil {
+		panic(fmt.Sprintf("rpcio: register registrar service: %v", err))
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	return func() {
+		l.Close()
+		wg.Wait()
+	}
+}
+
+// RegisterWithController dials the control plane's registrar and announces
+// a stage served at stageAddr.
+func RegisterWithController(controllerAddr string, info stage.Info, stageAddr string) error {
+	client, err := rpc.Dial("tcp", controllerAddr)
+	if err != nil {
+		return fmt.Errorf("rpcio: dial controller %s: %w", controllerAddr, err)
+	}
+	defer client.Close()
+	return client.Call("Registrar.Register", Registration{Info: info, Addr: stageAddr}, &struct{}{})
+}
+
+// DeregisterFromController announces a stage's departure.
+func DeregisterFromController(controllerAddr, stageID string) error {
+	client, err := rpc.Dial("tcp", controllerAddr)
+	if err != nil {
+		return fmt.Errorf("rpcio: dial controller %s: %w", controllerAddr, err)
+	}
+	defer client.Close()
+	return client.Call("Registrar.Deregister", stageID, &struct{}{})
+}

@@ -1,0 +1,236 @@
+package rpcio
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"padll/internal/clock"
+	"padll/internal/policy"
+	"padll/internal/posix"
+	"padll/internal/stage"
+)
+
+var epoch = time.Date(2022, 5, 1, 0, 0, 0, 0, time.UTC)
+
+// servedStage spins up a stage with its RPC service on loopback.
+func servedStage(t *testing.T) (*stage.Stage, *StageHandle) {
+	t.Helper()
+	stg := stage.New(stage.Info{StageID: "s1", JobID: "j1", Hostname: "n1", PID: 7, User: "u"}, clock.NewSim(epoch))
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := ServeStage(l, stg)
+	t.Cleanup(stop)
+	h, err := DialStage(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { h.Close() })
+	return stg, h
+}
+
+func TestPingRoundTrip(t *testing.T) {
+	_, h := servedStage(t)
+	info, err := h.Ping()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.StageID != "s1" || info.JobID != "j1" || info.PID != 7 {
+		t.Errorf("ping info = %+v", info)
+	}
+}
+
+func TestApplyRuleOverRPC(t *testing.T) {
+	stg, h := servedStage(t)
+	rule := policy.Rule{
+		ID:    "open-cap",
+		Match: policy.Matcher{Ops: []posix.Op{posix.OpOpen}, JobID: "j1"},
+		Rate:  5000,
+		Burst: 100,
+	}
+	if err := h.ApplyRule(rule); err != nil {
+		t.Fatal(err)
+	}
+	rules := stg.Rules()
+	if len(rules) != 1 || rules[0].ID != "open-cap" || rules[0].Rate != 5000 {
+		t.Errorf("installed rules = %+v", rules)
+	}
+	if len(rules[0].Match.Ops) != 1 || rules[0].Match.Ops[0] != posix.OpOpen {
+		t.Errorf("matcher lost over gob: %+v", rules[0].Match)
+	}
+}
+
+func TestSetRateOverRPC(t *testing.T) {
+	stg, h := servedStage(t)
+	if err := h.ApplyRule(policy.Rule{ID: "q", Rate: 100}); err != nil {
+		t.Fatal(err)
+	}
+	found, err := h.SetRate("q", 250)
+	if err != nil || !found {
+		t.Fatalf("SetRate = %v, %v", found, err)
+	}
+	if got := stg.Rules()[0].Rate; got != 250 {
+		t.Errorf("rate = %v, want 250", got)
+	}
+	found, err = h.SetRate("ghost", 1)
+	if err != nil || found {
+		t.Errorf("SetRate(ghost) = %v, %v; want false, nil", found, err)
+	}
+}
+
+func TestRemoveRuleOverRPC(t *testing.T) {
+	_, h := servedStage(t)
+	if err := h.ApplyRule(policy.Rule{ID: "q", Rate: 100}); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := h.RemoveRule("q")
+	if err != nil || !removed {
+		t.Fatalf("RemoveRule = %v, %v", removed, err)
+	}
+	removed, err = h.RemoveRule("q")
+	if err != nil || removed {
+		t.Errorf("second RemoveRule = %v, %v; want false, nil", removed, err)
+	}
+}
+
+func TestCollectOverRPC(t *testing.T) {
+	stg, h := servedStage(t)
+	if err := h.ApplyRule(policy.Rule{ID: "meta", Match: policy.Matcher{Classes: []posix.Class{posix.ClassMetadata}}, Rate: policy.Unlimited}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		if err := stg.Enforce(&posix.Request{Op: posix.OpOpen, Path: "/f"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := h.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Info.StageID != "s1" {
+		t.Errorf("stats info = %+v", st.Info)
+	}
+	if len(st.Queues) != 1 || st.Queues[0].Total != 25 {
+		t.Errorf("queues = %+v", st.Queues)
+	}
+}
+
+func TestSetModeOverRPC(t *testing.T) {
+	stg, h := servedStage(t)
+	if err := h.SetMode(stage.Passthrough); err != nil {
+		t.Fatal(err)
+	}
+	if stg.Mode() != stage.Passthrough {
+		t.Error("mode not switched")
+	}
+}
+
+func TestRegistrarFlow(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var regs []Registration
+	var deregs []string
+	stop := ServeRegistrar(l,
+		func(r Registration) error {
+			mu.Lock()
+			regs = append(regs, r)
+			mu.Unlock()
+			return nil
+		},
+		func(id string) {
+			mu.Lock()
+			deregs = append(deregs, id)
+			mu.Unlock()
+		})
+	defer stop()
+
+	info := stage.Info{StageID: "sX", JobID: "jY", Hostname: "nodeZ", PID: 11, User: "bob"}
+	if err := RegisterWithController(l.Addr().String(), info, "127.0.0.1:9999"); err != nil {
+		t.Fatal(err)
+	}
+	if err := DeregisterFromController(l.Addr().String(), "sX"); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(regs) != 1 || regs[0].Info.JobID != "jY" || regs[0].Addr != "127.0.0.1:9999" {
+		t.Errorf("registrations = %+v", regs)
+	}
+	if len(deregs) != 1 || deregs[0] != "sX" {
+		t.Errorf("deregistrations = %v", deregs)
+	}
+}
+
+func TestDialStageFailure(t *testing.T) {
+	if _, err := DialStage("127.0.0.1:1"); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}
+
+func TestClosedHandleErrors(t *testing.T) {
+	_, h := servedStage(t)
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+	if _, err := h.Ping(); err == nil {
+		t.Error("Ping on closed handle succeeded")
+	}
+}
+
+func TestEndToEndEnforcementViaRPC(t *testing.T) {
+	// Full integration: controller installs a rule over the wire; the
+	// stage then throttles a live request stream.
+	stg := stage.New(stage.Info{StageID: "s1", JobID: "j1"}, clock.NewReal())
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := ServeStage(l, stg)
+	defer stop()
+	h, err := DialStage(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	if err := h.ApplyRule(policy.Rule{ID: "cap", Rate: 1000, Burst: 10}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	for i := 0; i < 200; i++ {
+		if err := stg.Enforce(&posix.Request{Op: posix.OpOpen, Path: "/f"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Errorf("200 ops at 1000/s burst 10 finished in %v; RPC-installed rule not enforced", elapsed)
+	}
+	st, err := h.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Queues[0].Total != 200 {
+		t.Errorf("total = %d, want 200", st.Queues[0].Total)
+	}
+}
+
+func TestRuleActionSurvivesGob(t *testing.T) {
+	stg, h := servedStage(t)
+	rule := policy.Rule{ID: "police", Rate: 100, Burst: 5, Action: policy.ActionDrop}
+	if err := h.ApplyRule(rule); err != nil {
+		t.Fatal(err)
+	}
+	got := stg.Rules()[0]
+	if got.Action != policy.ActionDrop {
+		t.Errorf("action lost over the wire: %+v", got)
+	}
+}

@@ -1,0 +1,344 @@
+// Package sched implements a batch job scheduler substrate: the cluster
+// component that, in the paper's deployment story, launches application
+// instances on compute nodes — at which point each instance's PADLL
+// stage starts and registers with the control plane, carrying the
+// scheduler's job-ID so the controller can orchestrate all stages of the
+// same job as one entity (§III-B).
+//
+// The scheduler is deliberately conventional: a fixed node pool, a FIFO
+// queue with EASY-style backfill (a job that fits in the idle nodes may
+// jump ahead as long as it cannot delay the queue head's earliest start),
+// and job lifecycle hooks. It runs against a clock.Clock, so it composes
+// with both the real clock and the simulator.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"padll/internal/clock"
+)
+
+// State is a job's lifecycle state.
+type State int
+
+// Job lifecycle states.
+const (
+	// Pending jobs wait in the queue.
+	Pending State = iota
+	// Running jobs hold nodes.
+	Running
+	// Completed jobs finished (or were cancelled).
+	Completed
+)
+
+var stateNames = [...]string{"pending", "running", "completed"}
+
+// String returns the state name.
+func (s State) String() string {
+	if s < 0 || int(s) >= len(stateNames) {
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+	return stateNames[s]
+}
+
+// Spec describes a job submission.
+type Spec struct {
+	// ID names the job; generated when empty.
+	ID string
+	// User submits the job.
+	User string
+	// Nodes is the node count requested (default 1).
+	Nodes int
+	// Walltime is the requested runtime limit; the scheduler ends the
+	// job when it expires (0 = no limit, ends only via Finish).
+	Walltime time.Duration
+}
+
+// Job is a scheduled job's record.
+type Job struct {
+	Spec
+	// State is the current lifecycle state.
+	State State
+	// SubmitTime, StartTime and EndTime trace the lifecycle.
+	SubmitTime time.Time
+	StartTime  time.Time
+	EndTime    time.Time
+	// AssignedNodes lists the node names held while Running.
+	AssignedNodes []string
+}
+
+// Hooks receive lifecycle transitions. StartFn is where a PADLL
+// deployment spawns one data-plane stage per assigned node and registers
+// it; EndFn deregisters them.
+type Hooks struct {
+	// Start fires when a job begins running (after node assignment).
+	Start func(j *Job)
+	// End fires when a job completes (finished, walltime, or cancelled).
+	End func(j *Job)
+}
+
+// ErrUnknownJob is returned for operations on nonexistent job IDs.
+var ErrUnknownJob = errors.New("sched: unknown job")
+
+// ErrTooLarge is returned when a job requests more nodes than exist.
+var ErrTooLarge = errors.New("sched: job requests more nodes than the cluster has")
+
+// Scheduler is the batch scheduler. It is safe for concurrent use; call
+// Tick (or run against a real clock with Run) to drive scheduling.
+type Scheduler struct {
+	clk   clock.Clock
+	hooks Hooks
+
+	mu      sync.Mutex
+	nodes   map[string]string // node -> job ID ("" = idle)
+	order   []string          // stable node ordering
+	queue   []*Job            // pending, FIFO
+	jobs    map[string]*Job
+	nextID  int
+	started int64
+}
+
+// New returns a scheduler managing numNodes identical nodes.
+func New(clk clock.Clock, numNodes int, hooks Hooks) *Scheduler {
+	s := &Scheduler{
+		clk:   clk,
+		hooks: hooks,
+		nodes: make(map[string]string, numNodes),
+		jobs:  make(map[string]*Job),
+	}
+	for i := 0; i < numNodes; i++ {
+		name := fmt.Sprintf("node%03d", i)
+		s.nodes[name] = ""
+		s.order = append(s.order, name)
+	}
+	return s
+}
+
+// NumNodes returns the cluster size.
+func (s *Scheduler) NumNodes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.order)
+}
+
+// IdleNodes returns the currently idle node count.
+func (s *Scheduler) IdleNodes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.idleLocked()
+}
+
+func (s *Scheduler) idleLocked() int {
+	n := 0
+	for _, j := range s.nodes {
+		if j == "" {
+			n++
+		}
+	}
+	return n
+}
+
+// Submit enqueues a job and triggers a scheduling pass.
+func (s *Scheduler) Submit(spec Spec) (*Job, error) {
+	s.mu.Lock()
+	if spec.Nodes <= 0 {
+		spec.Nodes = 1
+	}
+	if spec.Nodes > len(s.order) {
+		s.mu.Unlock()
+		return nil, ErrTooLarge
+	}
+	if spec.ID == "" {
+		s.nextID++
+		spec.ID = fmt.Sprintf("job-%04d", s.nextID)
+	}
+	if _, dup := s.jobs[spec.ID]; dup {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("sched: duplicate job ID %q", spec.ID)
+	}
+	j := &Job{Spec: spec, State: Pending, SubmitTime: s.clk.Now()}
+	s.jobs[j.ID] = j
+	s.queue = append(s.queue, j)
+	started := s.scheduleLocked()
+	s.mu.Unlock()
+	s.fireStarts(started)
+	return j, nil
+}
+
+// Finish marks a running job complete, frees its nodes, and schedules
+// queued jobs onto them.
+func (s *Scheduler) Finish(jobID string) error {
+	s.mu.Lock()
+	j, ok := s.jobs[jobID]
+	if !ok {
+		s.mu.Unlock()
+		return ErrUnknownJob
+	}
+	if j.State != Running {
+		s.mu.Unlock()
+		return fmt.Errorf("sched: job %q is %v, not running", jobID, j.State)
+	}
+	ended := s.endLocked(j)
+	started := s.scheduleLocked()
+	s.mu.Unlock()
+	if ended && s.hooks.End != nil {
+		s.hooks.End(j)
+	}
+	s.fireStarts(started)
+	return nil
+}
+
+// Cancel removes a pending job or ends a running one.
+func (s *Scheduler) Cancel(jobID string) error {
+	s.mu.Lock()
+	j, ok := s.jobs[jobID]
+	if !ok {
+		s.mu.Unlock()
+		return ErrUnknownJob
+	}
+	switch j.State {
+	case Pending:
+		for i, q := range s.queue {
+			if q.ID == jobID {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+		j.State = Completed
+		j.EndTime = s.clk.Now()
+		s.mu.Unlock()
+		return nil
+	case Running:
+		s.mu.Unlock()
+		return s.Finish(jobID)
+	default:
+		s.mu.Unlock()
+		return fmt.Errorf("sched: job %q already completed", jobID)
+	}
+}
+
+// Tick expires walltimes and runs a scheduling pass; call it periodically
+// (the simulator calls it every tick; Run drives it on a real clock).
+func (s *Scheduler) Tick() {
+	now := s.clk.Now()
+	s.mu.Lock()
+	var expired []*Job
+	for _, j := range s.jobs {
+		if j.State == Running && j.Walltime > 0 && now.Sub(j.StartTime) >= j.Walltime {
+			expired = append(expired, j)
+		}
+	}
+	sort.Slice(expired, func(i, k int) bool { return expired[i].ID < expired[k].ID })
+	for _, j := range expired {
+		s.endLocked(j)
+	}
+	started := s.scheduleLocked()
+	s.mu.Unlock()
+	if s.hooks.End != nil {
+		for _, j := range expired {
+			s.hooks.End(j)
+		}
+	}
+	s.fireStarts(started)
+}
+
+// endLocked releases a job's nodes; returns true if it was running.
+func (s *Scheduler) endLocked(j *Job) bool {
+	if j.State != Running {
+		return false
+	}
+	for _, n := range j.AssignedNodes {
+		s.nodes[n] = ""
+	}
+	j.State = Completed
+	j.EndTime = s.clk.Now()
+	return true
+}
+
+// scheduleLocked starts queue-head jobs while they fit, then backfills
+// smaller jobs that fit in the remaining idle nodes (EASY backfill
+// without reservations: acceptable because all walltimes are soft here).
+// It returns the jobs started, in start order.
+func (s *Scheduler) scheduleLocked() []*Job {
+	var started []*Job
+	// Head-of-queue starts.
+	for len(s.queue) > 0 && s.queue[0].Nodes <= s.idleLocked() {
+		j := s.queue[0]
+		s.queue = s.queue[1:]
+		s.startLocked(j)
+		started = append(started, j)
+	}
+	// Backfill: any queued job that fits the leftover idle nodes.
+	for i := 0; i < len(s.queue); {
+		j := s.queue[i]
+		if j.Nodes <= s.idleLocked() {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			s.startLocked(j)
+			started = append(started, j)
+			continue
+		}
+		i++
+	}
+	return started
+}
+
+func (s *Scheduler) startLocked(j *Job) {
+	var assigned []string
+	for _, n := range s.order {
+		if len(assigned) == j.Nodes {
+			break
+		}
+		if s.nodes[n] == "" {
+			s.nodes[n] = j.ID
+			assigned = append(assigned, n)
+		}
+	}
+	j.AssignedNodes = assigned
+	j.State = Running
+	j.StartTime = s.clk.Now()
+	s.started++
+}
+
+// fireStarts invokes the start hook outside the lock.
+func (s *Scheduler) fireStarts(started []*Job) {
+	if s.hooks.Start == nil {
+		return
+	}
+	for _, j := range started {
+		s.hooks.Start(j)
+	}
+}
+
+// Lookup returns a copy of the job record.
+func (s *Scheduler) Lookup(jobID string) (Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[jobID]
+	if !ok {
+		return Job{}, ErrUnknownJob
+	}
+	return *j, nil
+}
+
+// Jobs returns copies of all job records, sorted by ID.
+func (s *Scheduler) Jobs() []Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, *j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// QueueLength returns the pending job count.
+func (s *Scheduler) QueueLength() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}

@@ -1,0 +1,282 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"padll/internal/clock"
+	"padll/internal/control"
+	"padll/internal/stage"
+)
+
+var epoch = time.Date(2022, 5, 1, 0, 0, 0, 0, time.UTC)
+
+func TestSubmitStartsWhenNodesFree(t *testing.T) {
+	s := New(clock.NewSim(epoch), 4, Hooks{})
+	j, err := s.Submit(Spec{ID: "a", Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Lookup("a")
+	if got.State != Running || len(got.AssignedNodes) != 2 {
+		t.Fatalf("job = %+v", got)
+	}
+	if s.IdleNodes() != 2 {
+		t.Errorf("idle = %d, want 2", s.IdleNodes())
+	}
+	if j.ID != "a" {
+		t.Errorf("ID = %q", j.ID)
+	}
+}
+
+func TestQueueWhenFull(t *testing.T) {
+	s := New(clock.NewSim(epoch), 2, Hooks{})
+	if _, err := s.Submit(Spec{ID: "a", Nodes: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(Spec{ID: "b", Nodes: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := s.Lookup("b"); b.State != Pending {
+		t.Errorf("b state = %v, want pending", b.State)
+	}
+	if s.QueueLength() != 1 {
+		t.Errorf("queue = %d", s.QueueLength())
+	}
+	if err := s.Finish("a"); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := s.Lookup("b"); b.State != Running {
+		t.Errorf("b not started after a finished: %v", b.State)
+	}
+}
+
+func TestBackfillSmallJobJumpsAhead(t *testing.T) {
+	s := New(clock.NewSim(epoch), 4, Hooks{})
+	s.Submit(Spec{ID: "big1", Nodes: 3})  // runs, 1 idle
+	s.Submit(Spec{ID: "big2", Nodes: 4})  // queued (head)
+	s.Submit(Spec{ID: "small", Nodes: 1}) // fits the idle node: backfills
+	if j, _ := s.Lookup("small"); j.State != Running {
+		t.Errorf("small = %v, want backfilled to running", j.State)
+	}
+	if j, _ := s.Lookup("big2"); j.State != Pending {
+		t.Errorf("big2 = %v, want pending", j.State)
+	}
+}
+
+func TestWalltimeExpiry(t *testing.T) {
+	clk := clock.NewSim(epoch)
+	s := New(clk, 1, Hooks{})
+	s.Submit(Spec{ID: "a", Walltime: 10 * time.Second})
+	clk.Advance(9 * time.Second)
+	s.Tick()
+	if j, _ := s.Lookup("a"); j.State != Running {
+		t.Fatalf("expired early: %v", j.State)
+	}
+	clk.Advance(time.Second)
+	s.Tick()
+	j, _ := s.Lookup("a")
+	if j.State != Completed {
+		t.Fatalf("not expired: %v", j.State)
+	}
+	if got := j.EndTime.Sub(j.StartTime); got != 10*time.Second {
+		t.Errorf("runtime = %v, want 10s", got)
+	}
+}
+
+func TestCancelPendingAndRunning(t *testing.T) {
+	s := New(clock.NewSim(epoch), 1, Hooks{})
+	s.Submit(Spec{ID: "a"})
+	s.Submit(Spec{ID: "b"})
+	if err := s.Cancel("b"); err != nil {
+		t.Fatal(err)
+	}
+	if j, _ := s.Lookup("b"); j.State != Completed {
+		t.Errorf("cancelled pending = %v", j.State)
+	}
+	if err := s.Cancel("a"); err != nil {
+		t.Fatal(err)
+	}
+	if j, _ := s.Lookup("a"); j.State != Completed {
+		t.Errorf("cancelled running = %v", j.State)
+	}
+	if err := s.Cancel("a"); err == nil {
+		t.Error("double cancel succeeded")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	s := New(clock.NewSim(epoch), 2, Hooks{})
+	if _, err := s.Submit(Spec{Nodes: 3}); err != ErrTooLarge {
+		t.Errorf("oversized submit = %v", err)
+	}
+	if err := s.Finish("ghost"); err != ErrUnknownJob {
+		t.Errorf("finish ghost = %v", err)
+	}
+	if _, err := s.Lookup("ghost"); err != ErrUnknownJob {
+		t.Errorf("lookup ghost = %v", err)
+	}
+	s.Submit(Spec{ID: "dup"})
+	if _, err := s.Submit(Spec{ID: "dup"}); err == nil {
+		t.Error("duplicate ID accepted")
+	}
+	if _, err := s.Submit(Spec{ID: "queued", Nodes: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Finish("queued"); err == nil {
+		t.Error("finished a pending job")
+	}
+}
+
+func TestGeneratedIDsUnique(t *testing.T) {
+	s := New(clock.NewSim(epoch), 100, Hooks{})
+	seen := map[string]bool{}
+	for i := 0; i < 50; i++ {
+		j, err := s.Submit(Spec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[j.ID] {
+			t.Fatalf("duplicate generated ID %q", j.ID)
+		}
+		seen[j.ID] = true
+	}
+}
+
+func TestHooksFireWithPADLLStages(t *testing.T) {
+	// The deployment story: job start spawns one PADLL stage per
+	// assigned node and registers it; job end deregisters.
+	clk := clock.NewSim(epoch)
+	ctl := control.New(clk,
+		control.WithAlgorithm(control.StaticEqualShare{}),
+		control.WithClusterLimit(10000))
+
+	var mu sync.Mutex
+	stagesOf := map[string][]*stage.Stage{}
+	hooks := Hooks{
+		Start: func(j *Job) {
+			mu.Lock()
+			defer mu.Unlock()
+			for _, node := range j.AssignedNodes {
+				stg := stage.New(stage.Info{
+					StageID:  j.ID + "@" + node,
+					JobID:    j.ID,
+					Hostname: node,
+					User:     j.User,
+				}, clk)
+				if err := ctl.Register(&control.LocalConn{Stg: stg}); err != nil {
+					t.Errorf("register: %v", err)
+				}
+				stagesOf[j.ID] = append(stagesOf[j.ID], stg)
+			}
+		},
+		End: func(j *Job) {
+			mu.Lock()
+			defer mu.Unlock()
+			for _, stg := range stagesOf[j.ID] {
+				ctl.Deregister(stg.Info().StageID)
+			}
+			delete(stagesOf, j.ID)
+		},
+	}
+	s := New(clk, 4, hooks)
+
+	s.Submit(Spec{ID: "jA", Nodes: 2, User: "alice"})
+	s.Submit(Spec{ID: "jB", Nodes: 2, User: "bob"})
+	if got := len(ctl.Stages()); got != 4 {
+		t.Fatalf("registered stages = %d, want 4 (2 jobs x 2 nodes)", got)
+	}
+	if jobs := ctl.Jobs(); len(jobs) != 2 {
+		t.Fatalf("controller jobs = %v", jobs)
+	}
+	// The controller treats a job's stages as one: a job-wide rule is
+	// split across its two nodes.
+	alloc := ctl.RunOnce()
+	if alloc["jA"] != 5000 || alloc["jB"] != 5000 {
+		t.Errorf("allocation = %v", alloc)
+	}
+	mu.Lock()
+	jAStages := append([]*stage.Stage(nil), stagesOf["jA"]...)
+	mu.Unlock()
+	for _, stg := range jAStages {
+		rules := stg.Rules()
+		if len(rules) != 1 || rules[0].Rate != 2500 {
+			t.Errorf("per-stage rate = %+v, want 2500 (5000/2 nodes)", rules)
+		}
+	}
+
+	if err := s.Finish("jA"); err != nil {
+		t.Fatal(err)
+	}
+	if jobs := ctl.Jobs(); len(jobs) != 1 || jobs[0] != "jB" {
+		t.Errorf("jobs after jA end = %v", jobs)
+	}
+}
+
+// Property: nodes are never double-assigned and idle+held == total.
+func TestNodeConservationProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		clk := clock.NewSim(epoch)
+		s := New(clk, 8, Hooks{})
+		var ids []string
+		n := 0
+		for _, op := range ops {
+			switch op % 3 {
+			case 0: // submit
+				n++
+				id := fmt.Sprintf("j%d", n)
+				if _, err := s.Submit(Spec{ID: id, Nodes: int(op%4) + 1}); err == nil {
+					ids = append(ids, id)
+				}
+			case 1: // finish first running
+				for _, id := range ids {
+					if j, err := s.Lookup(id); err == nil && j.State == Running {
+						s.Finish(id)
+						break
+					}
+				}
+			case 2: // tick
+				clk.Advance(time.Second)
+				s.Tick()
+			}
+			// Invariant: held nodes = sum of running jobs' node counts.
+			held := 0
+			assigned := map[string]bool{}
+			for _, j := range s.Jobs() {
+				if j.State == Running {
+					held += j.Nodes
+					for _, node := range j.AssignedNodes {
+						if assigned[node] {
+							return false // double assignment
+						}
+						assigned[node] = true
+					}
+				}
+			}
+			if held+s.IdleNodes() != s.NumNodes() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFIFOOrderPreservedForEqualSizes(t *testing.T) {
+	s := New(clock.NewSim(epoch), 1, Hooks{})
+	s.Submit(Spec{ID: "a"})
+	s.Submit(Spec{ID: "b"})
+	s.Submit(Spec{ID: "c"})
+	s.Finish("a")
+	if j, _ := s.Lookup("b"); j.State != Running {
+		t.Error("b should run before c")
+	}
+	if j, _ := s.Lookup("c"); j.State != Pending {
+		t.Error("c should still be queued")
+	}
+}

@@ -1,0 +1,400 @@
+// Package stage implements PADLL's data-plane stage (§III-A): the
+// per-application-instance component that sits between the application and
+// the file-system client, classifies every intercepted POSIX request, and
+// rate limits it through per-queue token buckets before it is submitted to
+// the PFS.
+//
+// A stage is organized as multiple queues, each owned by one policy rule:
+// queue_1 may handle metadata operations, queue_2 data operations, queue_3
+// only open calls, queue_4 requests under /scratch/foo — exactly the
+// paper's example. The set of queues and each bucket's rate are installed
+// remotely by the control plane.
+package stage
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"padll/internal/clock"
+	"padll/internal/metrics"
+	"padll/internal/policy"
+	"padll/internal/posix"
+	"padll/internal/tokenbucket"
+)
+
+// ErrRateLimited is returned by Enforce for requests matched by a
+// policing (ActionDrop) rule whose bucket has no token: the request is
+// rejected instead of queued, and the application decides whether to
+// retry.
+var ErrRateLimited = errors.New("stage: rate limited")
+
+// Info identifies a stage to the control plane. Stages report it at
+// registration so the controller can orchestrate all stages of the same
+// job as a single entity (§III-B).
+type Info struct {
+	// StageID uniquely names this stage instance.
+	StageID string
+	// JobID is the scheduler job the application instance belongs to.
+	JobID string
+	// Hostname is the compute node the stage runs on.
+	Hostname string
+	// PID is the interposed process.
+	PID int
+	// User is the submitting user.
+	User string
+}
+
+// Mode selects the stage's behaviour, matching the paper's evaluation
+// setups (§IV methodology).
+type Mode int
+
+const (
+	// Enforce classifies and rate limits (the "padll" setup).
+	Enforce Mode = iota
+	// Passthrough classifies and counts but never throttles (the
+	// "passthrough" setup used to measure interposition overhead).
+	Passthrough
+)
+
+// QueueStats is one queue's statistics snapshot, the material the control
+// plane collects each feedback-loop iteration.
+type QueueStats struct {
+	// RuleID names the queue's governing rule.
+	RuleID string
+	// Limit is the queue's current rate limit (policy.Unlimited if none).
+	Limit float64
+	// Burst is the bucket capacity.
+	Burst float64
+	// ThroughputRate is the admission rate over the last completed
+	// sampling window (requests/second).
+	ThroughputRate float64
+	// DemandRate is the arrival rate over the last completed window,
+	// before throttling — what the job is asking for.
+	DemandRate float64
+	// Total is the lifetime admitted count.
+	Total int64
+	// TotalDemand is the lifetime arrival count.
+	TotalDemand int64
+	// Dropped is the lifetime count of requests rejected by a policing
+	// (drop-action) rule.
+	Dropped int64
+	// Waiting is the number of requests currently blocked in the queue.
+	Waiting int
+}
+
+// Stats is a full stage snapshot.
+type Stats struct {
+	Info        Info
+	Queues      []QueueStats
+	Passthrough int64 // requests forwarded without matching any rule
+}
+
+// Stage is one data-plane stage. It is safe for concurrent use.
+type Stage struct {
+	info Info
+	clk  clock.Clock
+
+	// mode is read on every intercepted request; atomic keeps the hot
+	// path lock-free.
+	mode atomic.Int32
+
+	mu     sync.Mutex
+	rules  *policy.RuleSet
+	queues map[string]*queue // by rule ID
+
+	passthrough *metrics.RateCounter
+	window      time.Duration
+}
+
+type queue struct {
+	rule     policy.Rule
+	bucket   *tokenbucket.Bucket
+	admitted *metrics.RateCounter
+	demand   *metrics.RateCounter
+	latency  *metrics.Histogram
+	mu       sync.Mutex
+	waiting  int
+	totalAdm int64
+	totalDem int64
+	dropped  int64
+}
+
+// Option configures a Stage.
+type Option func(*Stage)
+
+// WithWindow sets the statistics sampling window (default 1s).
+func WithWindow(d time.Duration) Option {
+	return func(s *Stage) { s.window = d }
+}
+
+// WithMode sets the initial mode (default Enforce).
+func WithMode(m Mode) Option {
+	return func(s *Stage) { s.mode.Store(int32(m)) }
+}
+
+// New returns a stage with no rules: every request passes through
+// unthrottled until the control plane installs rules.
+func New(info Info, clk clock.Clock, opts ...Option) *Stage {
+	s := &Stage{
+		info:   info,
+		clk:    clk,
+		rules:  policy.NewRuleSet(),
+		queues: make(map[string]*queue),
+		window: time.Second,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	s.passthrough = metrics.NewRateCounter("passthrough", clk, s.window)
+	return s
+}
+
+// Info returns the stage's identity.
+func (s *Stage) Info() Info { return s.info }
+
+// SetMode switches between Enforce and Passthrough.
+func (s *Stage) SetMode(m Mode) { s.mode.Store(int32(m)) }
+
+// Mode returns the current mode.
+func (s *Stage) Mode() Mode { return Mode(s.mode.Load()) }
+
+// ApplyRule installs or updates a rule and its queue. Updating an
+// existing rule retunes the live bucket without disturbing waiters.
+func (s *Stage) ApplyRule(r policy.Rule) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rules.Upsert(r)
+	if q, ok := s.queues[r.ID]; ok {
+		q.mu.Lock()
+		q.rule = r
+		q.mu.Unlock()
+		if r.Rate == policy.Unlimited {
+			q.bucket.Set(tokenbucket.Infinite, tokenbucket.Infinite)
+		} else {
+			q.bucket.Set(r.Rate, r.EffectiveBurst())
+		}
+		return
+	}
+	var b *tokenbucket.Bucket
+	if r.Rate == policy.Unlimited {
+		b = tokenbucket.NewUnlimited(s.clk)
+	} else {
+		b = tokenbucket.New(s.clk, r.Rate, r.EffectiveBurst())
+	}
+	s.queues[r.ID] = &queue{
+		rule:     r,
+		bucket:   b,
+		admitted: metrics.NewRateCounter("admitted:"+r.ID, s.clk, s.window),
+		demand:   metrics.NewRateCounter("demand:"+r.ID, s.clk, s.window),
+		latency:  metrics.NewLatencyHistogram(),
+	}
+}
+
+// RemoveRule deletes a rule; its queue's waiters are released unthrottled
+// (the conservative failure mode: never wedge an application).
+func (s *Stage) RemoveRule(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.rules.Remove(id) {
+		return false
+	}
+	if q, ok := s.queues[id]; ok {
+		q.bucket.Set(tokenbucket.Infinite, tokenbucket.Infinite)
+		delete(s.queues, id)
+	}
+	return true
+}
+
+// SetRate retunes one queue's rate in place; used by the control plane's
+// feedback loop, which adjusts rates far more often than it changes the
+// rule structure.
+func (s *Stage) SetRate(ruleID string, rate float64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.queues[ruleID]
+	if !ok {
+		return false
+	}
+	q.mu.Lock()
+	q.rule.Rate = rate
+	rule := q.rule
+	q.mu.Unlock()
+	s.rules.Upsert(rule)
+	if rate == policy.Unlimited {
+		q.bucket.Set(tokenbucket.Infinite, tokenbucket.Infinite)
+	} else {
+		q.bucket.Set(rate, rule.EffectiveBurst())
+	}
+	return true
+}
+
+// selectQueue classifies the request, returning its queue or nil when no
+// rule matches (the request is not subject to QoS).
+func (s *Stage) selectQueue(req *posix.Request) *queue {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.rules.Select(req)
+	if r == nil {
+		return nil
+	}
+	return s.queues[r.ID]
+}
+
+// Enforce classifies req and blocks until its queue's token bucket admits
+// it. Requests matching no rule, and all requests in Passthrough mode,
+// return immediately.
+func (s *Stage) Enforce(req *posix.Request) error {
+	q := s.selectQueue(req)
+	if q == nil {
+		s.passthrough.Add(1)
+		return nil
+	}
+	q.mu.Lock()
+	q.totalDem++
+	rate := q.rule.Rate
+	action := q.rule.Action
+	q.mu.Unlock()
+
+	if s.Mode() == Passthrough || rate == policy.Unlimited {
+		// Fast path: one clock read feeds both counters.
+		now := s.clk.Now()
+		q.demand.AddAt(1, now)
+		q.admitted.AddAt(1, now)
+		q.mu.Lock()
+		q.totalAdm++
+		q.mu.Unlock()
+		return nil
+	}
+	q.demand.Add(1)
+
+	// Policing: reject immediately instead of queueing.
+	if action == policy.ActionDrop {
+		if q.bucket.TryTake(1) {
+			q.admitted.Add(1)
+			q.mu.Lock()
+			q.totalAdm++
+			q.mu.Unlock()
+			return nil
+		}
+		q.mu.Lock()
+		q.dropped++
+		q.mu.Unlock()
+		return ErrRateLimited
+	}
+
+	start := s.clk.Now()
+	q.mu.Lock()
+	q.waiting++
+	q.mu.Unlock()
+	err := q.bucket.Wait(1)
+	q.mu.Lock()
+	q.waiting--
+	if err == nil {
+		q.totalAdm++
+	}
+	q.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	q.latency.Observe(s.clk.Now().Sub(start))
+	q.admitted.Add(1)
+	return nil
+}
+
+// Offer is the fluid-admission path for the discrete-tick simulator:
+// n requests shaped like req arrive over a window dt; the number admitted
+// under the matching queue's bucket is returned, the remainder is the
+// caller's backlog. Unmatched requests and Passthrough mode admit
+// everything. Offer always shapes: the fluid model has no per-request
+// failure channel, so a rule's Drop action only applies on the blocking
+// Enforce path.
+func (s *Stage) Offer(req *posix.Request, n float64, dt time.Duration) float64 {
+	if n <= 0 {
+		return 0
+	}
+	q := s.selectQueue(req)
+	if q == nil {
+		s.passthrough.Add(int64(n))
+		return n
+	}
+	q.demand.Add(int64(n))
+	q.mu.Lock()
+	q.totalDem += int64(n)
+	rate := q.rule.Rate
+	q.mu.Unlock()
+	var served float64
+	if s.Mode() == Passthrough || rate == policy.Unlimited {
+		served = n
+	} else {
+		served = q.bucket.Grant(n, dt)
+	}
+	q.admitted.Add(int64(served))
+	q.mu.Lock()
+	q.totalAdm += int64(served)
+	q.mu.Unlock()
+	return served
+}
+
+// Collect snapshots all queue statistics (feedback-loop step 1).
+func (s *Stage) Collect() Stats {
+	s.mu.Lock()
+	queues := make([]*queue, 0, len(s.queues))
+	for _, q := range s.queues {
+		queues = append(queues, q)
+	}
+	info := s.info
+	s.mu.Unlock()
+
+	out := Stats{Info: info, Passthrough: s.passthrough.Total()}
+	for _, q := range queues {
+		q.mu.Lock()
+		waiting := q.waiting
+		totalAdm, totalDem, dropped := q.totalAdm, q.totalDem, q.dropped
+		rule := q.rule
+		q.mu.Unlock()
+		out.Queues = append(out.Queues, QueueStats{
+			RuleID:         rule.ID,
+			Limit:          rule.Rate,
+			Burst:          rule.EffectiveBurst(),
+			ThroughputRate: q.admitted.LastWindowRate(),
+			DemandRate:     q.demand.LastWindowRate(),
+			Total:          totalAdm,
+			TotalDemand:    totalDem,
+			Dropped:        dropped,
+			Waiting:        waiting,
+		})
+	}
+	sort.Slice(out.Queues, func(i, j int) bool { return out.Queues[i].RuleID < out.Queues[j].RuleID })
+	return out
+}
+
+// QueueSeries returns a copy of a queue's admitted-rate time series (for
+// figures); nil when the rule has no queue.
+func (s *Stage) QueueSeries(ruleID string) *metrics.Series {
+	s.mu.Lock()
+	q, ok := s.queues[ruleID]
+	s.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return q.admitted.Snapshot()
+}
+
+// Rules returns the installed rules in selection order.
+func (s *Stage) Rules() []policy.Rule {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rules.Rules()
+}
+
+// Close releases all queue waiters (stage shutdown).
+func (s *Stage) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, q := range s.queues {
+		q.bucket.Close()
+	}
+}

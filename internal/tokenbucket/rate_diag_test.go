@@ -1,0 +1,32 @@
+package tokenbucket
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"padll/internal/clock"
+)
+
+func TestDiagHighRateWait(t *testing.T) {
+	b := New(clock.NewReal(), 10000, 1000)
+	var count atomic.Int64
+	var wg sync.WaitGroup
+	stop := time.Now().Add(2 * time.Second)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(stop) {
+				if err := b.Wait(1); err != nil {
+					return
+				}
+				count.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	fmt.Printf("admitted %d in 2s => %.0f/s (limit 10000, burst 1000)\n", count.Load(), float64(count.Load())/2)
+}

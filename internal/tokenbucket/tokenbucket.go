@@ -1,0 +1,337 @@
+// Package tokenbucket implements the rate-limiting primitive at the heart
+// of PADLL's data plane (§III-A of the paper): each stage queue owns a
+// token bucket whose refill rate and burst capacity are set by the control
+// plane, and every request admitted to the queue consumes one token
+// (or, for data operations, one token per byte) before being submitted to
+// the file system.
+//
+// The bucket supports three admission styles:
+//
+//   - Wait: block the calling goroutine until tokens are available (the
+//     enforcement path used by live stages);
+//   - TryTake: non-blocking admission (used for policing, tests, and
+//     drop-based policies);
+//   - Grant: fluid admission over a time window (used by the discrete-tick
+//     cluster simulator to model thousands of requests per tick without a
+//     goroutine per request).
+//
+// Rates are retunable at any time; retuning settles accrued tokens at the
+// old rate first, so enforcement is exact across rule changes.
+package tokenbucket
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"padll/internal/clock"
+)
+
+// ErrClosed is returned by Wait when the bucket is closed while waiting.
+var ErrClosed = errors.New("tokenbucket: closed")
+
+// Infinite is a refill rate treated as "no limit": every admission
+// succeeds immediately. The control plane uses it for passthrough queues.
+const Infinite = math.MaxFloat64
+
+// Bucket is a token bucket. It is safe for concurrent use.
+type Bucket struct {
+	mu       sync.Mutex
+	clk      clock.Clock
+	rate     float64 // tokens per second; Infinite disables limiting
+	capacity float64 // burst size, tokens
+	tokens   float64 // current fill, <= capacity
+	last     time.Time
+	closed   bool
+	// waiters receive a broadcast when tokens become available sooner
+	// than previously computed (rate increase or capacity change).
+	retune chan struct{}
+	// granted counts tokens handed out over the bucket's lifetime; the
+	// conservation property tests rely on it.
+	granted float64
+}
+
+// New returns a bucket refilling at rate tokens/second with the given
+// burst capacity, initially full. A non-positive capacity is clamped to 1
+// token so single requests can always eventually be admitted. A
+// non-positive rate is clamped to a minimal positive rate.
+func New(clk clock.Clock, rate, capacity float64) *Bucket {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	if rate <= 0 {
+		rate = 1e-9
+	}
+	return &Bucket{
+		clk:      clk,
+		rate:     rate,
+		capacity: capacity,
+		tokens:   capacity,
+		last:     clk.Now(),
+		retune:   make(chan struct{}),
+	}
+}
+
+// NewUnlimited returns a bucket that admits everything immediately.
+func NewUnlimited(clk clock.Clock) *Bucket {
+	return &Bucket{
+		clk:      clk,
+		rate:     Infinite,
+		capacity: Infinite,
+		tokens:   Infinite,
+		last:     clk.Now(),
+		retune:   make(chan struct{}),
+	}
+}
+
+// refillLocked accrues tokens for the time elapsed since the last refill.
+func (b *Bucket) refillLocked(now time.Time) {
+	if b.rate == Infinite {
+		b.tokens = Infinite
+		b.last = now
+		return
+	}
+	dt := now.Sub(b.last).Seconds()
+	if dt <= 0 {
+		return
+	}
+	b.tokens += dt * b.rate
+	if b.tokens > b.capacity {
+		b.tokens = b.capacity
+	}
+	b.last = now
+}
+
+// Rate returns the current refill rate (tokens/second).
+func (b *Bucket) Rate() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.rate
+}
+
+// Capacity returns the burst capacity.
+func (b *Bucket) Capacity() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.capacity
+}
+
+// Tokens returns the current fill after accruing elapsed refill.
+func (b *Bucket) Tokens() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(b.clk.Now())
+	return b.tokens
+}
+
+// Granted returns the total number of tokens granted so far.
+func (b *Bucket) Granted() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.granted
+}
+
+// SetRate retunes the refill rate, settling accrual at the old rate up to
+// the current instant first. Waiters are woken so they recompute their
+// wait against the new rate. This is the entry point the control plane
+// uses when the feedback loop pushes a new rule (§III-B step 3).
+func (b *Bucket) SetRate(rate float64) {
+	if rate <= 0 {
+		rate = 1e-9
+	}
+	b.mu.Lock()
+	b.refillLocked(b.clk.Now())
+	b.rate = rate
+	if rate == Infinite {
+		b.tokens = Infinite
+	} else if b.tokens == Infinite {
+		b.tokens = b.capacity
+	}
+	b.broadcastLocked()
+	b.mu.Unlock()
+}
+
+// SetCapacity retunes the burst capacity, clamping the current fill.
+func (b *Bucket) SetCapacity(capacity float64) {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	b.mu.Lock()
+	b.refillLocked(b.clk.Now())
+	b.capacity = capacity
+	if b.tokens > capacity {
+		b.tokens = capacity
+	}
+	b.broadcastLocked()
+	b.mu.Unlock()
+}
+
+// Set retunes rate and capacity atomically.
+func (b *Bucket) Set(rate, capacity float64) {
+	if rate <= 0 {
+		rate = 1e-9
+	}
+	if capacity <= 0 {
+		capacity = 1
+	}
+	b.mu.Lock()
+	b.refillLocked(b.clk.Now())
+	b.rate = rate
+	b.capacity = capacity
+	if b.tokens > capacity && rate != Infinite {
+		b.tokens = capacity
+	}
+	if rate == Infinite {
+		b.tokens = Infinite
+	}
+	b.broadcastLocked()
+	b.mu.Unlock()
+}
+
+// broadcastLocked wakes all waiters so they recompute their deadline.
+func (b *Bucket) broadcastLocked() {
+	close(b.retune)
+	b.retune = make(chan struct{})
+}
+
+// TryTake attempts to take n tokens without blocking. It reports whether
+// the tokens were granted.
+func (b *Bucket) TryTake(n float64) bool {
+	if n <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return false
+	}
+	b.refillLocked(b.clk.Now())
+	if b.tokens >= n {
+		b.tokens -= n
+		b.granted += n
+		return true
+	}
+	return false
+}
+
+// Wait blocks until n tokens are available and takes them. It returns
+// ErrClosed if the bucket is closed while waiting. Requests larger than
+// the burst capacity are admitted by letting the fill go negative after a
+// wait sized to the full deficit, so oversized data requests are not
+// starved forever (they pay their cost up front instead).
+func (b *Bucket) Wait(n float64) error {
+	if n <= 0 {
+		return nil
+	}
+	for {
+		b.mu.Lock()
+		if b.closed {
+			b.mu.Unlock()
+			return ErrClosed
+		}
+		now := b.clk.Now()
+		b.refillLocked(now)
+		if b.rate == Infinite || b.tokens >= n {
+			if b.rate != Infinite {
+				b.tokens -= n
+			}
+			b.granted += n
+			b.mu.Unlock()
+			return nil
+		}
+		// Oversized requests (n > capacity) can never accumulate: charge
+		// the deficit and wait it out once.
+		if n > b.capacity {
+			deficit := n - b.tokens
+			b.tokens -= n // goes negative: future admissions pay the debt
+			b.granted += n
+			rate := b.rate
+			b.mu.Unlock()
+			b.clk.Sleep(time.Duration(deficit / rate * float64(time.Second)))
+			return nil
+		}
+		deficit := n - b.tokens
+		waitDur := time.Duration(deficit / b.rate * float64(time.Second))
+		if waitDur <= 0 {
+			waitDur = time.Nanosecond
+		}
+		retune := b.retune
+		b.mu.Unlock()
+
+		select {
+		case <-b.clk.After(waitDur):
+		case <-retune:
+		}
+	}
+}
+
+// Grant performs fluid admission for the discrete-tick simulator: given a
+// demand of n tokens arriving uniformly over an admission window of
+// length dt starting now, it returns how many tokens are admitted in that
+// window: the current fill (burst credit) plus the refill accruing during
+// the window. The remainder is the caller's backlog. Unlike Wait it never
+// blocks.
+//
+// The window's refill is pre-consumed (the bucket's refill cursor moves
+// to now+dt), so callers may advance the clock by dt between Grant calls
+// without double-counting. Do not mix Grant with Wait/TryTake on the same
+// bucket: fluid admission borrows from the future window that the
+// blocking paths would account differently.
+func (b *Bucket) Grant(n float64, dt time.Duration) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if dt < 0 {
+		dt = 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return 0
+	}
+	now := b.clk.Now()
+	b.refillLocked(now)
+	if b.rate == Infinite {
+		b.granted += n
+		return n
+	}
+	// Refill only for the part of [last, now+dt) not already granted: a
+	// second Grant within the same window draws on the window's
+	// leftovers (which may exceed the burst capacity — they are current
+	// budget, not carry-over), while carry-over across window boundaries
+	// is clamped to the burst capacity as usual.
+	end := now.Add(dt)
+	if window := end.Sub(b.last); window > 0 {
+		if b.tokens > b.capacity {
+			b.tokens = b.capacity
+		}
+		b.tokens += b.rate * window.Seconds()
+		b.last = end
+	}
+	admit := math.Min(n, b.tokens)
+	b.tokens -= admit
+	b.granted += admit
+	return admit
+}
+
+// Close releases all waiters with ErrClosed and rejects future admissions.
+func (b *Bucket) Close() {
+	b.mu.Lock()
+	if !b.closed {
+		b.closed = true
+		b.broadcastLocked()
+	}
+	b.mu.Unlock()
+}
+
+// String renders the bucket's configuration for debugging.
+func (b *Bucket) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.rate == Infinite {
+		return "bucket(unlimited)"
+	}
+	return fmt.Sprintf("bucket(rate=%.1f/s cap=%.1f fill=%.1f)", b.rate, b.capacity, b.tokens)
+}

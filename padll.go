@@ -1,0 +1,414 @@
+// Package padll is a storage middleware that enables QoS control over
+// metadata (and data) workflows in HPC storage systems, reproducing
+// "Protecting Metadata Servers From Harm Through Application-level I/O
+// Control" (Macedo et al., IEEE CLUSTER 2022) in pure Go.
+//
+// PADLL follows a software-defined-storage design with two planes:
+//
+//   - the data plane (DataPlane) runs inside each application instance:
+//     it transparently intercepts POSIX calls, classifies them by type,
+//     class, path and job (request differentiation), and rate limits them
+//     through per-queue token buckets before they reach the parallel file
+//     system;
+//   - the control plane (ControlPlane) is a logically centralized
+//     coordinator that registers every stage, groups stages by job, and
+//     runs feedback-loop control algorithms (static shares, fixed
+//     priorities, proportional sharing, DRF) that continuously retune the
+//     stages' rates.
+//
+// A minimal embedding looks like:
+//
+//	cp := padll.NewControlPlane(
+//		padll.WithAlgorithm(padll.ProportionalShare()),
+//		padll.WithClusterLimit(300_000))
+//
+//	dp, _ := padll.NewDataPlane(padll.JobInfo{JobID: "job1", User: "alice"},
+//		padll.MountPFS("/lustre", backend),
+//		padll.MountLocal("/", localBackend))
+//	cp.AttachLocal(dp)
+//
+//	client := dp.Client() // a POSIX client; all calls are interposed
+//	fd, _ := client.Open("/lustre/data.bin", padll.ORdOnly, 0)
+//
+// The repository also contains everything needed to regenerate the
+// paper's evaluation: a Lustre-like PFS simulator, an ABCI-like trace
+// generator and replayer, an IOR-like workload generator, a cluster
+// simulator, and one benchmark per figure/table (see bench_test.go,
+// DESIGN.md and EXPERIMENTS.md).
+package padll
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"padll/internal/clock"
+	"padll/internal/control"
+	"padll/internal/interpose"
+	"padll/internal/monitor"
+	"padll/internal/mount"
+	"padll/internal/policy"
+	"padll/internal/posix"
+	"padll/internal/rpcio"
+	"padll/internal/stage"
+)
+
+// Re-exported building blocks. Aliases keep the internal packages as the
+// single source of truth while giving users one import.
+type (
+	// Client is the typed POSIX client applications issue I/O through.
+	Client = posix.Client
+	// Request is one interposed POSIX call.
+	Request = posix.Request
+	// Reply is a call's result.
+	Reply = posix.Reply
+	// Op identifies one of the 42 interposed operations.
+	Op = posix.Op
+	// Class is the operation class (data/metadata/directory/ext-attr).
+	Class = posix.Class
+	// FileSystem is the boundary all backends implement.
+	FileSystem = posix.FileSystem
+	// FileInfo is the stat payload.
+	FileInfo = posix.FileInfo
+	// Rule is one QoS directive (matcher + rate + burst).
+	Rule = policy.Rule
+	// Matcher selects the requests a rule governs.
+	Matcher = policy.Matcher
+	// StageInfo identifies a data-plane stage to the control plane.
+	StageInfo = stage.Info
+	// StageStats is a stage's statistics snapshot.
+	StageStats = stage.Stats
+	// JobSnapshot is a job's aggregated state in a control round.
+	JobSnapshot = control.JobSnapshot
+	// Algorithm computes per-job allocations in the feedback loop.
+	Algorithm = control.Algorithm
+)
+
+// Open flags and common constants, re-exported for call sites.
+const (
+	ORdOnly = posix.ORdOnly
+	OWrOnly = posix.OWrOnly
+	ORdWr   = posix.ORdWr
+	OCreate = posix.OCreate
+	OExcl   = posix.OExcl
+	OTrunc  = posix.OTrunc
+	OAppend = posix.OAppend
+
+	// Unlimited as a rule rate means "do not throttle".
+	Unlimited = policy.Unlimited
+
+	// Operation classes for matchers.
+	ClassData      = posix.ClassData
+	ClassMetadata  = posix.ClassMetadata
+	ClassDirectory = posix.ClassDirectory
+	ClassExtAttr   = posix.ClassExtAttr
+
+	// Enforcement mechanisms for rules: shaping queues requests until
+	// tokens arrive (the paper's behaviour); policing rejects them with
+	// ErrRateLimited.
+	ActionShape = policy.ActionShape
+	ActionDrop  = policy.ActionDrop
+)
+
+// ErrRateLimited is returned to callers whose request was rejected by a
+// policing (ActionDrop) rule.
+var ErrRateLimited = stage.ErrRateLimited
+
+// ParseRule parses a rule in DSL form, e.g.
+// "limit id:open-cap job:job1 op:open rate:10k burst:500".
+func ParseRule(s string) (Rule, error) { return policy.Parse(s) }
+
+// ParseRules parses a newline-separated rule list with '#' comments.
+func ParseRules(text string) ([]Rule, error) { return policy.ParseAll(text) }
+
+// ---- control algorithms ----
+
+// StaticShare divides the cluster limit equally among active jobs; with
+// perJob > 0 every job gets exactly perJob (the paper's Static setup).
+func StaticShare(perJob float64) Algorithm {
+	return control.StaticEqualShare{PerJob: perJob}
+}
+
+// Priority assigns each job its reserved rate verbatim (the paper's
+// Priority setup); set reservations via ControlPlane.SetReservation.
+func Priority() Algorithm { return control.FixedRates{} }
+
+// ProportionalShare guarantees per-job reservations and redistributes
+// leftover rate proportionally (the paper's Proportional Sharing
+// algorithm).
+func ProportionalShare() Algorithm { return control.ProportionalShare{} }
+
+// AIMDLimit is the adaptive cluster-limit policy: additive increase while
+// the probe reports a healthy backend, multiplicative decrease on
+// saturation. Install with WithLimitAdapter.
+type AIMDLimit = control.AIMDLimit
+
+// WithLimitAdapter closes the control loop on backend health: the
+// adapter retunes the cluster limit before every allocation round.
+func WithLimitAdapter(a control.LimitAdapter) ControlOption {
+	return control.WithLimitAdapter(a)
+}
+
+// JobInfo identifies the application instance a data plane serves.
+type JobInfo struct {
+	// JobID is the scheduler job identifier.
+	JobID string
+	// User is the submitting user.
+	User string
+	// PID is the application process (informational).
+	PID int
+	// Hostname is the compute node (informational).
+	Hostname string
+	// StageID names this stage; derived from JobID+Hostname+PID when
+	// empty.
+	StageID string
+}
+
+// MountSpec declares one mount in the data plane's routing table.
+type MountSpec struct {
+	// Prefix is the mount point.
+	Prefix string
+	// Backend serves paths under Prefix.
+	Backend FileSystem
+	// Controlled marks the shared PFS whose requests are rate limited;
+	// other mounts are forwarded without throttling.
+	Controlled bool
+	// Name labels the mount.
+	Name string
+}
+
+// MountPFS declares a controlled (rate-limited) mount.
+func MountPFS(prefix string, backend FileSystem) MountSpec {
+	return MountSpec{Prefix: prefix, Backend: backend, Controlled: true, Name: "pfs:" + prefix}
+}
+
+// MountLocal declares an uncontrolled mount (node-local xfs, NFS, ...).
+func MountLocal(prefix string, backend FileSystem) MountSpec {
+	return MountSpec{Prefix: prefix, Backend: backend, Name: "local:" + prefix}
+}
+
+// DataPlane is one PADLL stage embedded in an application: the
+// interposition shim plus its rate-limiting queues.
+type DataPlane struct {
+	shim   *interpose.Shim
+	stg    *stage.Stage
+	router *mount.Router
+	// server state when exposed over the network
+	stop       func()
+	listenAddr string
+	controller string
+}
+
+// NewDataPlane builds a data plane over the given mounts.
+func NewDataPlane(info JobInfo, mounts ...MountSpec) (*DataPlane, error) {
+	if len(mounts) == 0 {
+		return nil, fmt.Errorf("padll: at least one mount is required")
+	}
+	ms := make([]mount.Mount, len(mounts))
+	for i, m := range mounts {
+		ms[i] = mount.Mount{Prefix: m.Prefix, FS: m.Backend, Controlled: m.Controlled, Name: m.Name}
+	}
+	router, err := mount.NewRouter(ms...)
+	if err != nil {
+		return nil, err
+	}
+	if info.StageID == "" {
+		info.StageID = fmt.Sprintf("%s@%s#%d", info.JobID, info.Hostname, info.PID)
+	}
+	clk := clock.NewReal()
+	stg := stage.New(stage.Info{
+		StageID:  info.StageID,
+		JobID:    info.JobID,
+		Hostname: info.Hostname,
+		PID:      info.PID,
+		User:     info.User,
+	}, clk)
+	shim := interpose.New(router, stg, clk)
+	return &DataPlane{shim: shim, stg: stg, router: router}, nil
+}
+
+// Client returns a POSIX client whose calls are interposed by this data
+// plane, stamped with the stage's job context.
+func (dp *DataPlane) Client() *Client {
+	info := dp.stg.Info()
+	return posix.NewClient(dp.shim).WithJob(info.JobID, info.User, info.PID)
+}
+
+// RawClient returns a POSIX client that enters the mount router below
+// the interposition shim: calls share the data plane's descriptor
+// namespace but are neither classified nor throttled. Benchmark
+// harnesses use it for housekeeping operations that must not count
+// against QoS budgets (e.g. the open that precedes a replayed close).
+func (dp *DataPlane) RawClient() *Client { return posix.NewClient(dp.router) }
+
+// Apply implements FileSystem so a DataPlane can stand anywhere a backend
+// does.
+func (dp *DataPlane) Apply(req *Request) (*Reply, error) { return dp.shim.Apply(req) }
+
+// ApplyRule installs or updates a local rule.
+func (dp *DataPlane) ApplyRule(r Rule) { dp.stg.ApplyRule(r) }
+
+// Stats snapshots the stage's statistics.
+func (dp *DataPlane) Stats() StageStats { return dp.stg.Collect() }
+
+// InterceptionStats reports the shim's counters.
+func (dp *DataPlane) InterceptionStats() interpose.Stats { return dp.shim.Stats() }
+
+// Serve exposes the data plane's control service on addr (host:port, use
+// ":0" for an ephemeral port) and, when controllerAddr is non-empty,
+// registers with that control plane.
+func (dp *DataPlane) Serve(addr, controllerAddr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("padll: listen %s: %w", addr, err)
+	}
+	dp.stop = rpcio.ServeStage(l, dp.stg)
+	dp.listenAddr = l.Addr().String()
+	if controllerAddr != "" {
+		if err := rpcio.RegisterWithController(controllerAddr, dp.stg.Info(), dp.listenAddr); err != nil {
+			dp.stop()
+			dp.stop = nil
+			return err
+		}
+		dp.controller = controllerAddr
+	}
+	return nil
+}
+
+// Addr returns the served control address ("" before Serve).
+func (dp *DataPlane) Addr() string { return dp.listenAddr }
+
+// Close deregisters from the control plane (if registered) and stops the
+// control service.
+func (dp *DataPlane) Close() error {
+	var err error
+	if dp.controller != "" {
+		err = rpcio.DeregisterFromController(dp.controller, dp.stg.Info().StageID)
+		dp.controller = ""
+	}
+	if dp.stop != nil {
+		dp.stop()
+		dp.stop = nil
+	}
+	dp.stg.Close()
+	return err
+}
+
+// ControlPlane is the logically centralized coordinator.
+type ControlPlane struct {
+	ctl *control.Controller
+	srv *control.Server
+	mon *monitor.Server
+}
+
+// ControlOption configures a ControlPlane.
+type ControlOption = control.Option
+
+// WithClusterLimit caps the aggregate rate the algorithm hands out.
+func WithClusterLimit(limit float64) ControlOption { return control.WithClusterLimit(limit) }
+
+// WithAlgorithm installs the feedback-loop control algorithm.
+func WithAlgorithm(a Algorithm) ControlOption { return control.WithAlgorithm(a) }
+
+// WithControlledMatcher overrides which requests the managed queue
+// throttles (default: all metadata-like classes).
+func WithControlledMatcher(m Matcher) ControlOption { return control.WithControlledMatcher(m) }
+
+// WithGroupBy overrides the feedback loop's orchestration granularity:
+// the default groups stages per job; GroupByUser shares one allocation
+// among all of a user's jobs (the paper's "group of jobs" level).
+func WithGroupBy(f func(StageInfo) string) ControlOption { return control.WithGroupBy(f) }
+
+// GroupByUser groups stages by submitting user.
+func GroupByUser(info StageInfo) string { return control.GroupByUser(info) }
+
+// NewControlPlane builds a control plane.
+func NewControlPlane(opts ...ControlOption) *ControlPlane {
+	return &ControlPlane{ctl: control.New(clock.NewReal(), opts...)}
+}
+
+// AttachLocal registers an in-process data plane (no RPC hop) — the path
+// tests, simulations, and single-process deployments use.
+func (cp *ControlPlane) AttachLocal(dp *DataPlane) error {
+	return cp.ctl.Register(&control.LocalConn{Stg: dp.stg})
+}
+
+// DetachLocal removes a locally attached data plane from the registry
+// (job completion); it reports whether the stage was registered.
+func (cp *ControlPlane) DetachLocal(dp *DataPlane) bool {
+	return cp.ctl.Deregister(dp.stg.Info().StageID)
+}
+
+// Serve starts the registration endpoint remote data planes dial.
+func (cp *ControlPlane) Serve(addr string) (string, error) {
+	srv, err := cp.ctl.Serve(addr)
+	if err != nil {
+		return "", err
+	}
+	cp.srv = srv
+	return srv.Addr(), nil
+}
+
+// SetReservation records a job's reserved/priority rate.
+func (cp *ControlPlane) SetReservation(jobID string, rate float64) {
+	cp.ctl.SetReservation(jobID, rate)
+}
+
+// ApplyRuleToJob installs a rule on every stage of a job, splitting the
+// rate across the job's stages.
+func (cp *ControlPlane) ApplyRuleToJob(jobID string, r Rule) error {
+	return cp.ctl.ApplyRuleToJob(jobID, r)
+}
+
+// ApplyRuleToJobs installs a rule across a group of jobs.
+func (cp *ControlPlane) ApplyRuleToJobs(jobIDs []string, r Rule) error {
+	return cp.ctl.ApplyRuleToJobs(jobIDs, r)
+}
+
+// ApplyRuleCluster installs a rule on every registered stage.
+func (cp *ControlPlane) ApplyRuleCluster(r Rule) error {
+	return cp.ctl.ApplyRuleCluster(r)
+}
+
+// RunOnce executes one feedback-loop iteration and returns the per-job
+// allocation (nil without an algorithm).
+func (cp *ControlPlane) RunOnce() map[string]float64 { return cp.ctl.RunOnce() }
+
+// Run starts the feedback loop at the given interval; Stop halts it.
+func (cp *ControlPlane) Run(interval time.Duration) { cp.ctl.Run(interval) }
+
+// ServeMonitor starts an HTTP observability endpoint (JSON under /api/*,
+// a text dashboard at /) and returns its address.
+func (cp *ControlPlane) ServeMonitor(addr string) (string, error) {
+	mon, err := monitor.Serve(addr, cp.ctl)
+	if err != nil {
+		return "", err
+	}
+	cp.mon = mon
+	return mon.Addr(), nil
+}
+
+// Stop halts the feedback loop and any served endpoints.
+func (cp *ControlPlane) Stop() {
+	cp.ctl.Stop()
+	if cp.srv != nil {
+		cp.srv.Close()
+		cp.srv = nil
+	}
+	if cp.mon != nil {
+		cp.mon.Close()
+		cp.mon = nil
+	}
+}
+
+// Jobs lists the job IDs with registered stages.
+func (cp *ControlPlane) Jobs() []string { return cp.ctl.Jobs() }
+
+// Stages lists the registered stage identities.
+func (cp *ControlPlane) Stages() []StageInfo { return cp.ctl.Stages() }
+
+// Collect aggregates statistics per job (feedback-loop step 1).
+func (cp *ControlPlane) Collect() []JobSnapshot { return cp.ctl.CollectAll() }
+
+// LastAllocation returns the most recent per-job allocation.
+func (cp *ControlPlane) LastAllocation() map[string]float64 { return cp.ctl.LastAllocation() }
