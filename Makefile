@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet fmt experiments tools clean
+.PHONY: all build test race bench vet fmt lint ci experiments tools clean
 
-all: build test
+all: build lint test
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,22 @@ vet:
 
 fmt:
 	gofmt -l -w .
+
+# Run the in-tree static-analysis suite (clockcheck, lockcheck, errdrop,
+# printcheck). Exits non-zero on any unsuppressed finding.
+lint:
+	$(GO) run ./cmd/padll-lint ./...
+
+# The full gate: formatting, vet, padll-lint, build, race-enabled tests.
+ci:
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/padll-lint ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
 
 # Regenerate every figure/table of the paper (tables printed to stdout,
 # plot series dumped under out/).

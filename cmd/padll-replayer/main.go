@@ -49,6 +49,8 @@ func main() {
 	)
 	flag.Parse()
 
+	clk := clock.NewReal()
+
 	var tr *trace.Trace
 	switch {
 	case *traceFile != "":
@@ -57,7 +59,9 @@ func main() {
 			fatal(err)
 		}
 		tr, err = trace.ReadCSV(f)
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -81,7 +85,7 @@ func main() {
 
 	// Build the stack: app -> shim -> local FS (the paper submits
 	// metadata workloads to the node-local file system).
-	backend := localfs.New(clock.NewReal())
+	backend := localfs.New(clk)
 	hostname, _ := os.Hostname()
 	dp, err := padll.NewDataPlane(
 		padll.JobInfo{JobID: *jobID, User: os.Getenv("USER"), PID: os.Getpid(), Hostname: hostname},
@@ -138,11 +142,11 @@ func main() {
 
 	fmt.Printf("replaying %v of trace (%d samples, %d op types) at %.0fx accel, %.0f%% rate\n",
 		tr.Duration(), tr.Len(), len(tr.Ops), *accel, *rateScale*100)
-	start := time.Now()
+	start := clk.Now()
 	if err := r.Run(ctx); err != nil {
 		fatal(err)
 	}
-	elapsed := time.Since(start)
+	elapsed := clk.Now().Sub(start)
 
 	fmt.Printf("done in %v (%d submission errors)\n", elapsed.Round(time.Millisecond), r.Errors())
 	replayed := ops

@@ -46,17 +46,29 @@ func main() {
 	}
 
 	w := os.Stdout
+	var f *os.File
 	if *out != "" {
-		f, err := os.Create(*out)
+		var err error
+		f, err = os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "padll-tracegen:", err)
-			os.Exit(1)
+			fatal(err)
 		}
-		defer f.Close()
 		w = f
 	}
 	if err := tr.WriteCSV(w); err != nil {
-		fmt.Fprintln(os.Stderr, "padll-tracegen:", err)
-		os.Exit(1)
+		fatal(err)
 	}
+	// Close explicitly and check: write errors (full disk, quota) can
+	// surface only at close time, and a trace silently truncated here
+	// would corrupt every replay built on it.
+	if f != nil {
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "padll-tracegen:", err)
+	os.Exit(1)
 }

@@ -22,6 +22,7 @@ import (
 const clusterLimit = 30_000 // aggregate metadata ops/s budget
 
 func main() {
+	clk := clock.NewReal()
 	cp := padll.NewControlPlane(
 		padll.WithAlgorithm(padll.ProportionalShare()),
 		padll.WithClusterLimit(clusterLimit),
@@ -41,7 +42,7 @@ func main() {
 	var stop atomic.Bool
 	var wg sync.WaitGroup
 	for _, j := range jobs {
-		backend := localfs.New(clock.NewReal())
+		backend := localfs.New(clk)
 		dp, err := padll.NewDataPlane(
 			padll.JobInfo{JobID: j.id, User: "demo", Hostname: "node-" + j.id},
 			padll.MountPFS("/pfs", backend),
@@ -66,10 +67,10 @@ func main() {
 				log.Fatal(err)
 			}
 			c.Close(fd)
-			idleAfter := time.Now().Add(3 * time.Second)
+			idleAfter := clk.Now().Add(3 * time.Second)
 			for !stop.Load() {
-				if id == "checkpoint" && time.Now().After(idleAfter) {
-					time.Sleep(50 * time.Millisecond) // idle: ~no demand
+				if id == "checkpoint" && clk.Now().After(idleAfter) {
+					clk.Sleep(50 * time.Millisecond) // idle: ~no demand
 					continue
 				}
 				c.GetAttr("/pfs/probe")
@@ -81,7 +82,7 @@ func main() {
 	cp.Run(time.Second)
 
 	for round := 1; round <= 6; round++ {
-		time.Sleep(time.Second)
+		clk.Sleep(time.Second)
 		alloc := cp.LastAllocation()
 		snaps := cp.Collect()
 		sort.Slice(snaps, func(i, j int) bool { return snaps[i].JobID < snaps[j].JobID })

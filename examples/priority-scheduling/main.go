@@ -23,6 +23,7 @@ const (
 )
 
 func main() {
+	clk := clock.NewReal()
 	cp := padll.NewControlPlane(
 		padll.WithAlgorithm(padll.Priority()),
 		padll.WithClusterLimit(clusterLimit),
@@ -41,7 +42,7 @@ func main() {
 	// start already held to their priority rates.
 	planes := make(map[string]*padll.DataPlane, len(jobs))
 	for _, j := range jobs {
-		backend := localfs.New(clock.NewReal())
+		backend := localfs.New(clk)
 		dp, err := padll.NewDataPlane(
 			padll.JobInfo{JobID: j.id, User: "demo", Hostname: "node-" + j.id},
 			padll.MountPFS("/pfs", backend),
@@ -75,13 +76,13 @@ func main() {
 				log.Fatal(err)
 			}
 			c.Close(fd)
-			start := time.Now()
+			start := clk.Now()
 			for i := 0; i < opsPerJob; i++ {
 				if _, err := c.GetAttr("/pfs/f"); err != nil {
 					log.Fatal(err)
 				}
 			}
-			results <- result{id, time.Since(start)}
+			results <- result{id, clk.Now().Sub(start)}
 		}(j.id, dp)
 	}
 

@@ -45,7 +45,7 @@ func main() {
 	// Step 3: do I/O through the interposed client. The calls below are
 	// ordinary POSIX; the shim classifies and throttles them invisibly.
 	c := dp.Client()
-	start := time.Now()
+	start := clk.Now()
 	for i := 0; i < 1000; i++ {
 		path := fmt.Sprintf("/lustre/dataset/file-%04d", i)
 		if i == 0 {
@@ -64,7 +64,7 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	elapsed := time.Since(start)
+	elapsed := clk.Now().Sub(start)
 
 	// Node-local scratch I/O resolves to the uncontrolled mount and is
 	// forwarded without throttling.

@@ -22,6 +22,7 @@ import (
 )
 
 func main() {
+	clk := clock.NewReal()
 	cp := padll.NewControlPlane(
 		padll.WithAlgorithm(padll.ProportionalShare()),
 		padll.WithClusterLimit(40_000),
@@ -39,7 +40,7 @@ func main() {
 			defer mu.Unlock()
 			fmt.Printf("scheduler: %s started on %v\n", j.ID, j.AssignedNodes)
 			for _, node := range j.AssignedNodes {
-				backend := localfs.New(clock.NewReal())
+				backend := localfs.New(clk)
 				dp, err := padll.NewDataPlane(
 					padll.JobInfo{JobID: j.ID, User: j.User, Hostname: node},
 					padll.MountPFS("/pfs", backend),
@@ -75,14 +76,14 @@ func main() {
 			defer mu.Unlock()
 			for _, dp := range planes[j.ID] {
 				cp.DetachLocal(dp)
-				dp.Close()
+				// The job is over; nothing to do with a close error here.
+				_ = dp.Close()
 			}
 			delete(planes, j.ID)
 			fmt.Printf("scheduler: %s completed\n", j.ID)
 		},
 	}
 
-	clk := clock.NewReal()
 	scheduler := sched.New(clk, 4, hooks)
 	cp.Run(500 * time.Millisecond)
 
@@ -95,7 +96,7 @@ func main() {
 	cp.SetReservation("queued", 10_000)
 
 	for t := 1; t <= 8; t++ {
-		time.Sleep(time.Second)
+		clk.Sleep(time.Second)
 		scheduler.Tick() // expire walltimes, start queued jobs
 		snaps := cp.Collect()
 		sort.Slice(snaps, func(i, j int) bool { return snaps[i].JobID < snaps[j].JobID })

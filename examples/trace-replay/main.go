@@ -26,7 +26,8 @@ func main() {
 	mean := trace.Analyze(tr).MeanTotal / 2 // replayed at half rate
 	fmt.Printf("workload: 4 op types, mean demand ≈ %.0f ops/s after scaling\n", mean)
 
-	backend := localfs.New(clock.NewReal())
+	clk := clock.NewReal()
+	backend := localfs.New(clk)
 	dp, err := padll.NewDataPlane(
 		padll.JobInfo{JobID: "replay", User: "demo", Hostname: "node-1"},
 		padll.MountPFS("/", backend),
@@ -64,21 +65,21 @@ func main() {
 		Match: padll.Matcher{Classes: []padll.Class{padll.ClassMetadata}},
 	}
 	go func() {
-		time.Sleep(4 * time.Second)
+		clk.Sleep(4 * time.Second)
 		metaRule.Rate = mean * 0.3
 		dp.ApplyRule(metaRule)
 		fmt.Printf("t=4s  administrator caps metadata at %.0f ops/s (0.3x demand)\n", metaRule.Rate)
-		time.Sleep(4 * time.Second)
+		clk.Sleep(4 * time.Second)
 		metaRule.Rate = padll.Unlimited
 		dp.ApplyRule(metaRule)
 		fmt.Println("t=8s  administrator lifts the cap — watch the backlog drain")
 	}()
 
-	start := time.Now()
+	start := clk.Now()
 	if err := r.Run(context.Background()); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("replay finished in %v\n\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("replay finished in %v\n\n", clk.Now().Sub(start).Round(time.Millisecond))
 
 	// Per-second aggregate achieved rate: plateau during the cap, spike
 	// above demand right after it is lifted.

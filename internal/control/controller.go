@@ -116,6 +116,11 @@ func New(clk clock.Clock, opts ...Option) *Controller {
 	return c
 }
 
+// Clock exposes the controller's time source so collaborators (the HTTP
+// monitor, reports) timestamp with the same clock the feedback loop runs
+// on — real time in production, simulated time in experiment replays.
+func (c *Controller) Clock() clock.Clock { return c.clk }
+
 // ---- registry ----
 
 // Register adds a stage to the registry. A stage re-registering under an
@@ -132,7 +137,9 @@ func (c *Controller) Register(conn StageConn) error {
 	alg := c.algorithm
 	c.mu.Unlock()
 	if old != nil && old != conn {
-		old.Close()
+		// A replaced connection's close error is unactionable here: the
+		// new connection is already installed.
+		_ = old.Close()
 	}
 	if alg != nil {
 		// Install the managed queue with a conservative initial rate;
@@ -188,7 +195,9 @@ func (c *Controller) Deregister(stageID string) bool {
 	}
 	c.mu.Unlock()
 	if ok {
-		conn.Close()
+		// The stage is gone (job completion or node failure); its close
+		// error carries no recovery path.
+		_ = conn.Close()
 	}
 	return ok
 }

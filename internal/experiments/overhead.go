@@ -134,13 +134,13 @@ func overheadFor(name string, op posix.Op, totalOps int) (OverheadRow, error) {
 	perRound := totalOps / rounds
 	var baseTime, passTime time.Duration
 	run := func(w *trace.Workload) (time.Duration, error) {
-		start := time.Now()
+		start := clk.Now()
 		for i := 0; i < perRound; i++ {
 			if err := w.Submit(op); err != nil {
 				return 0, fmt.Errorf("overhead %s: %w", name, err)
 			}
 		}
-		return time.Since(start), nil
+		return clk.Now().Sub(start), nil
 	}
 	// Warm up both paths.
 	if _, err := run(base); err != nil {

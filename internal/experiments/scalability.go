@@ -92,7 +92,7 @@ func scalabilityPoint(n int, overRPC bool) (ScalabilityRow, error) {
 				stop()
 				return ScalabilityRow{}, err
 			}
-			cleanups = append(cleanups, func() { h.Close(); stop() })
+			cleanups = append(cleanups, func() { _ = h.Close(); stop() })
 			conn = control.NewRemoteConn(stg.Info(), h)
 		} else {
 			conn = &control.LocalConn{Stg: stg}
@@ -104,14 +104,14 @@ func scalabilityPoint(n int, overRPC bool) (ScalabilityRow, error) {
 		stg.Offer(&posix.Request{Op: posix.OpOpen, JobID: jobID}, float64(100+i), time.Second)
 	}
 
-	// Warm up, then measure.
+	// Warm up, then measure on the injected clock.
 	ctl.RunOnce()
 	const iters = 5
-	start := time.Now()
+	start := clk.Now()
 	for i := 0; i < iters; i++ {
 		ctl.RunOnce()
 	}
-	mean := time.Since(start) / iters
+	mean := clk.Now().Sub(start) / iters
 
 	transport := "local"
 	if overRPC {

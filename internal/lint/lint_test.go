@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRepoIsLintClean is the driver test: the repository itself must carry
+// zero unsuppressed findings, the same contract `make lint` enforces.
+func TestRepoIsLintClean(t *testing.T) {
+	res, err := Run(repoRoot(t), []string{"./..."}, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Diags {
+		t.Errorf("repo not lint-clean: %s", d)
+	}
+	if res.Packages < 20 {
+		t.Errorf("analyzed %d packages, expected the full module (>= 20); pattern expansion regressed", res.Packages)
+	}
+}
+
+func TestAnalyzerRegistry(t *testing.T) {
+	want := []string{"clockcheck", "lockcheck", "errdrop", "printcheck"}
+	got := Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))
+	}
+	for i, name := range want {
+		if got[i].Name != name {
+			t.Errorf("Analyzers()[%d].Name = %q, want %q", i, got[i].Name, name)
+		}
+		if got[i].Doc == "" {
+			t.Errorf("analyzer %q has no Doc", name)
+		}
+		if a := AnalyzerByName(name); a != got[i] {
+			t.Errorf("AnalyzerByName(%q) did not return the registered analyzer", name)
+		}
+	}
+	if AnalyzerByName("nope") != nil {
+		t.Error("AnalyzerByName(\"nope\") should be nil")
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Analyzer: "clockcheck", Path: "internal/x/y.go", Line: 12, Col: 7, Message: "boom"}
+	if got, want := d.String(), "internal/x/y.go:12:7: clockcheck: boom"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	clean := &Result{Packages: 7}
+	if err := clean.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("empty diagnostics should encode as [], got %q", got)
+	}
+
+	buf.Reset()
+	dirty := &Result{Diags: []Diagnostic{{Analyzer: "errdrop", Path: "a.go", Line: 1, Col: 2, Message: "m"}}}
+	if err := dirty.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back []Diagnostic
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(back) != 1 || back[0] != dirty.Diags[0] {
+		t.Errorf("round-trip mismatch: %+v", back)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	var buf bytes.Buffer
+	dirty := &Result{
+		Packages: 7,
+		Diags:    []Diagnostic{{Analyzer: "printcheck", Path: "b.go", Line: 3, Col: 4, Message: "no printing"}},
+	}
+	dirty.WriteText(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "b.go:3:4: printcheck: no printing") {
+		t.Errorf("text output missing diagnostic line:\n%s", out)
+	}
+	if !strings.Contains(out, "7 packages, 1 finding") {
+		t.Errorf("text output missing summary:\n%s", out)
+	}
+
+	buf.Reset()
+	clean := &Result{Packages: 7}
+	clean.WriteText(&buf)
+	if !strings.Contains(buf.String(), "no findings") {
+		t.Errorf("clean run should say so:\n%s", buf.String())
+	}
+}

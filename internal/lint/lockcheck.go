@@ -1,0 +1,218 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockCheck guards the queue/token-bucket state shared between stage,
+// scheduler and controller. Within one function it tracks sync.Mutex /
+// sync.RWMutex acquisitions in source order and reports:
+//
+//   - a channel send/receive, select, or blocking call (Sleep/Wait) while
+//     a mutex is held — the classic control-plane deadlock shape, and
+//   - a return while a mutex is held without a deferred Unlock, or a
+//     Lock with no Unlock at all.
+//
+// The analysis is straight-line (it does not model branches), which keeps
+// it predictable: rare intentional patterns take a //lint:allow lockcheck
+// pragma with the justification on record.
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "mutex held across channel ops/blocking calls, or Lock without Unlock on a return path",
+	Run:  runLockCheck,
+}
+
+const (
+	evLock = iota
+	evUnlock
+	evDeferUnlock
+	evReturn
+	evBlock
+)
+
+// lockEvent is one ordered observation inside a function body.
+type lockEvent struct {
+	pos  token.Pos
+	kind int
+	// root identifies the mutex ("fs.mu") plus the read/write mode, so
+	// RLock pairs with RUnlock and Lock with Unlock.
+	root string
+	// desc describes blocking events ("channel send").
+	desc string
+}
+
+func runLockCheck(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		inspectFunctions(f, func(name string, body *ast.BlockStmt) {
+			checkFunctionLocks(pass, name, body)
+		})
+	}
+}
+
+func checkFunctionLocks(pass *Pass, name string, body *ast.BlockStmt) {
+	events := collectLockEvents(pass, body)
+	if len(events) == 0 {
+		return
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	type heldLock struct {
+		pos          token.Pos
+		deferRelease bool
+	}
+	held := make(map[string]*heldLock)
+	anyHeldWithoutDefer := func() (string, bool) {
+		for root, h := range held {
+			if !h.deferRelease {
+				return root, true
+			}
+		}
+		return "", false
+	}
+	for _, ev := range events {
+		switch ev.kind {
+		case evLock:
+			held[ev.root] = &heldLock{pos: ev.pos}
+		case evDeferUnlock:
+			if h, ok := held[ev.root]; ok {
+				h.deferRelease = true
+			}
+		case evUnlock:
+			delete(held, ev.root)
+		case evReturn:
+			if root, bad := anyHeldWithoutDefer(); bad {
+				pass.Reportf(ev.pos,
+					"return while holding %s without a deferred Unlock; unlock before returning or use defer", root)
+			}
+		case evBlock:
+			for root := range held {
+				pass.Reportf(ev.pos,
+					"%s while holding %s; a blocked goroutine keeps the lock and can deadlock the control loop", ev.desc, root)
+			}
+		}
+	}
+	if root, bad := anyHeldWithoutDefer(); bad {
+		pass.Reportf(held[root].pos,
+			"%s acquired in %s with no Unlock on every path", root, name)
+	}
+}
+
+// collectLockEvents walks the body in source order, not descending into
+// nested function literals (their statements are not this function's
+// straight-line code; they are analyzed independently).
+func collectLockEvents(pass *Pass, body *ast.BlockStmt) []lockEvent {
+	var events []lockEvent
+	add := func(pos token.Pos, kind int, root, desc string) {
+		events = append(events, lockEvent{pos: pos, kind: kind, root: root, desc: desc})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			// defer mu.Unlock(), or a deferred closure that unlocks.
+			if root, kind, ok := mutexCall(pass, node.Call); ok && (kind == "Unlock" || kind == "RUnlock") {
+				add(node.Pos(), evDeferUnlock, lockRoot(root, kind), "")
+				return false
+			}
+			if lit, ok := node.Call.Fun.(*ast.FuncLit); ok {
+				for _, root := range deferredClosureUnlocks(pass, lit) {
+					add(node.Pos(), evDeferUnlock, root, "")
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			if root, kind, ok := mutexCall(pass, node); ok {
+				switch kind {
+				case "Lock", "RLock":
+					add(node.Pos(), evLock, lockRoot(root, kind), "")
+				case "Unlock", "RUnlock":
+					add(node.Pos(), evUnlock, lockRoot(root, kind), "")
+				}
+				return true
+			}
+			if sel, ok := node.Fun.(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "Sleep" || sel.Sel.Name == "Wait" {
+					add(node.Pos(), evBlock, "", "blocking "+types.ExprString(node.Fun)+"() call")
+				}
+			}
+		case *ast.SendStmt:
+			add(node.Pos(), evBlock, "", "channel send")
+		case *ast.UnaryExpr:
+			if node.Op == token.ARROW {
+				add(node.Pos(), evBlock, "", "channel receive")
+			}
+		case *ast.SelectStmt:
+			add(node.Pos(), evBlock, "", "select")
+			// The select's cases hold their own channel ops; don't
+			// double-report them.
+			return false
+		case *ast.RangeStmt:
+			if t, ok := pass.Pkg.TypesInfo.Types[node.X]; ok {
+				if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+					add(node.X.Pos(), evBlock, "", "range over channel")
+				}
+			}
+		case *ast.ReturnStmt:
+			add(node.Pos(), evReturn, "", "")
+		}
+		return true
+	})
+	return events
+}
+
+// lockRoot keys a mutex expression by read/write mode.
+func lockRoot(root, kind string) string {
+	if kind == "RLock" || kind == "RUnlock" {
+		return root + ".RLock"
+	}
+	return root + ".Lock"
+}
+
+// mutexCall reports whether call is <expr>.Lock/Unlock/RLock/RUnlock on a
+// sync.Mutex or sync.RWMutex, returning the receiver expression text.
+func mutexCall(pass *Pass, call *ast.CallExpr) (root, kind string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	tv, found := pass.Pkg.TypesInfo.Types[sel.X]
+	if !found || !isSyncMutex(tv.Type) {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+func isSyncMutex(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" &&
+		(named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex")
+}
+
+// deferredClosureUnlocks finds mutex Unlocks inside a deferred closure.
+func deferredClosureUnlocks(pass *Pass, lit *ast.FuncLit) []string {
+	var roots []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if root, kind, ok := mutexCall(pass, call); ok && (kind == "Unlock" || kind == "RUnlock") {
+				roots = append(roots, lockRoot(root, kind))
+			}
+		}
+		return true
+	})
+	return roots
+}

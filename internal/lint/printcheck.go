@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PrintCheck keeps internal packages off the terminal: only cmd/ and
+// examples/ programs own stdout. Library code that prints interleaves
+// with tool output, breaks CSV dumps, and hides state from the metrics
+// pipeline — internal packages must report through internal/metrics or
+// return values instead.
+var PrintCheck = &Analyzer{
+	Name: "printcheck",
+	Doc:  "internal packages must not write to the terminal (fmt.Print*, os.Stdout)",
+	Run:  runPrintCheck,
+}
+
+// printFuncs are the fmt functions that implicitly target os.Stdout.
+var printFuncs = map[string]bool{"Print": true, "Printf": true, "Println": true}
+
+func runPrintCheck(pass *Pass) {
+	if !strings.Contains(pass.Pkg.Path, "/internal/") {
+		return
+	}
+	usesPkg := func(ident *ast.Ident, path string) bool {
+		pkgName, ok := pass.Pkg.TypesInfo.Uses[ident].(*types.PkgName)
+		return ok && pkgName.Imported().Path() == path
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			switch {
+			case printFuncs[sel.Sel.Name] && usesPkg(ident, "fmt"):
+				pass.Reportf(sel.Pos(),
+					"fmt.%s writes to stdout from an internal package; report via internal/metrics or return a value (only cmd/ and examples/ may print)",
+					sel.Sel.Name)
+			case sel.Sel.Name == "Stdout" && usesPkg(ident, "os"):
+				pass.Reportf(sel.Pos(),
+					"os.Stdout referenced from an internal package; only cmd/ and examples/ may talk to the terminal")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,96 @@
+// Package lockfix seeds lockcheck violations for the golden test: channel
+// operations under a held mutex, returns that leak a lock, a Lock with no
+// Unlock at all — plus the accepted idioms that must stay silent.
+package lockfix
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+	n  int
+}
+
+func (g *guarded) sendWhileHolding() {
+	g.mu.Lock()
+	g.ch <- 1 // want `channel send while holding g\.mu\.Lock`
+	g.mu.Unlock()
+}
+
+func (g *guarded) receiveWhileDeferred() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return <-g.ch // want `channel receive while holding g\.mu\.Lock`
+}
+
+func (g *guarded) selectWhileHolding() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select { // want `select while holding g\.mu\.Lock`
+	case v := <-g.ch:
+		g.n = v
+	default:
+	}
+}
+
+func (g *guarded) waitWhileHolding(wg *sync.WaitGroup) {
+	g.mu.Lock()
+	wg.Wait() // want `blocking wg\.Wait\(\) call while holding g\.mu\.Lock`
+	g.mu.Unlock()
+}
+
+func (g *guarded) earlyReturn(cond bool) int {
+	g.mu.Lock()
+	if cond {
+		return 0 // want `return while holding g\.mu\.Lock without a deferred Unlock`
+	}
+	n := g.n
+	g.mu.Unlock()
+	return n
+}
+
+func (g *guarded) neverUnlocked() {
+	g.rw.RLock() // want `g\.rw\.RLock acquired in neverUnlocked with no Unlock on every path`
+	g.n++
+}
+
+func (g *guarded) fineDefer() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func (g *guarded) fineDeferredClosure() int {
+	g.mu.Lock()
+	defer func() { g.mu.Unlock() }()
+	return g.n
+}
+
+func (g *guarded) fineStraightLine() int {
+	g.mu.Lock()
+	n := g.n
+	g.mu.Unlock()
+	return n
+}
+
+func (g *guarded) fineChannelOutsideLock() {
+	v := <-g.ch
+	g.mu.Lock()
+	g.n = v
+	g.mu.Unlock()
+}
+
+func (g *guarded) fineGoroutineBody() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	// The literal runs on its own goroutine; its channel ops are not this
+	// function's straight-line code.
+	go func() { g.ch <- 1 }()
+}
+
+func (g *guarded) suppressed() {
+	g.mu.Lock()
+	g.ch <- 1 //lint:allow lockcheck the channel is buffered in this fixture scenario
+	g.mu.Unlock()
+}

@@ -1,0 +1,28 @@
+// Package printfix seeds printcheck violations for the golden test. The
+// golden harness loads it under a padll/internal/... import path, where
+// terminal output is forbidden.
+package printfix
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func report(v int) {
+	fmt.Println("value:", v)          // want `fmt\.Println writes to stdout from an internal package`
+	fmt.Printf("value: %d\n", v)      // want `fmt\.Printf writes to stdout from an internal package`
+	fmt.Print(v)                      // want `fmt\.Print writes to stdout from an internal package`
+	fmt.Fprintf(os.Stdout, "%d\n", v) // want `os\.Stdout referenced from an internal package`
+}
+
+func fine(v int) string {
+	var b strings.Builder
+	// Rendering into a writer the caller chose is the supported pattern.
+	fmt.Fprintf(&b, "value: %d\n", v)
+	return b.String() + fmt.Sprintf("%d", v)
+}
+
+func suppressed() {
+	fmt.Println("migration shim") //lint:allow printcheck fixture demonstrates a justified exception
+}

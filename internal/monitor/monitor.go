@@ -60,10 +60,13 @@ func NewHandler(ctl *control.Controller) http.Handler {
 	})
 
 	mux.HandleFunc("/api/overview", func(w http.ResponseWriter, r *http.Request) {
+		// The controller's clock, not the wall clock: under a simulated
+		// clock the overview timestamps the experiment's instant, keeping
+		// replayed runs byte-for-byte reproducible.
 		writeJSON(w, Overview{
 			Jobs:       len(ctl.Jobs()),
 			Stages:     len(ctl.Stages()),
-			Timestamp:  time.Now().UTC(),
+			Timestamp:  ctl.Clock().Now().UTC(),
 			Allocation: ctl.LastAllocation(),
 		})
 	})

@@ -107,7 +107,9 @@ func ServeStage(l net.Listener, stg *stage.Stage) (stop func()) {
 		}
 	}()
 	return func() {
-		l.Close()
+		// Closing an already-serving listener: the only error is "already
+		// closed", which a stop function tolerates by design.
+		_ = l.Close()
 		wg.Wait()
 	}
 }
@@ -233,7 +235,8 @@ func ServeRegistrar(l net.Listener, onRegister func(Registration) error, onDereg
 		}
 	}()
 	return func() {
-		l.Close()
+		// See ServeStage: close errors on a stop path are tolerated.
+		_ = l.Close()
 		wg.Wait()
 	}
 }
@@ -245,8 +248,11 @@ func RegisterWithController(controllerAddr string, info stage.Info, stageAddr st
 	if err != nil {
 		return fmt.Errorf("rpcio: dial controller %s: %w", controllerAddr, err)
 	}
-	defer client.Close()
-	return client.Call("Registrar.Register", Registration{Info: info, Addr: stageAddr}, &struct{}{})
+	callErr := client.Call("Registrar.Register", Registration{Info: info, Addr: stageAddr}, &struct{}{})
+	if cerr := client.Close(); callErr == nil && cerr != nil {
+		callErr = fmt.Errorf("rpcio: close registrar connection: %w", cerr)
+	}
+	return callErr
 }
 
 // DeregisterFromController announces a stage's departure.
@@ -255,6 +261,9 @@ func DeregisterFromController(controllerAddr, stageID string) error {
 	if err != nil {
 		return fmt.Errorf("rpcio: dial controller %s: %w", controllerAddr, err)
 	}
-	defer client.Close()
-	return client.Call("Registrar.Deregister", stageID, &struct{}{})
+	callErr := client.Call("Registrar.Deregister", stageID, &struct{}{})
+	if cerr := client.Close(); callErr == nil && cerr != nil {
+		callErr = fmt.Errorf("rpcio: close registrar connection: %w", cerr)
+	}
+	return callErr
 }

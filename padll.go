@@ -396,7 +396,8 @@ func (cp *ControlPlane) Stop() {
 		cp.srv = nil
 	}
 	if cp.mon != nil {
-		cp.mon.Close()
+		// Shutdown path: a monitor close error has no recovery.
+		_ = cp.mon.Close()
 		cp.mon = nil
 	}
 }
