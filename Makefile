@@ -3,7 +3,11 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet fmt lint ci experiments tools clean
+.PHONY: all build test race bench bench-all bench-smoke vet fmt lint ci experiments tools clean
+
+# Hot-path packages benchmarked by `make bench` (the data-plane fast path).
+BENCH_PKGS = ./internal/stage/... ./internal/metrics/... \
+             ./internal/tokenbucket/... ./internal/policy/...
 
 all: build lint test
 
@@ -16,8 +20,21 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Hot-path microbenchmarks at 1, 4 and 8 simulated CPUs; the raw
+# `go test -json` event stream lands in BENCH_stage.json so runs can be
+# diffed against the committed baseline.
 bench:
+	$(GO) test -run='^$$' -bench=. -benchmem -cpu=1,4,8 -json $(BENCH_PKGS) \
+		| tee BENCH_stage.json \
+		| $(GO) run ./cmd/padll-benchfmt
+
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
+
+# One-iteration pass over every hot-path benchmark: catches bitrot
+# (compile errors, panics, b.Fatal) without paying for real measurement.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x $(BENCH_PKGS) > /dev/null
 
 vet:
 	$(GO) vet ./...
@@ -30,7 +47,8 @@ fmt:
 lint:
 	$(GO) run ./cmd/padll-lint ./...
 
-# The full gate: formatting, vet, padll-lint, build, race-enabled tests.
+# The full gate: formatting, vet, padll-lint, build, race-enabled tests,
+# and a one-iteration benchmark smoke so the hot-path benches can't rot.
 ci:
 	@unformatted="$$(gofmt -l .)"; \
 	if [ -n "$$unformatted" ]; then \
@@ -40,6 +58,7 @@ ci:
 	$(GO) run ./cmd/padll-lint ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(MAKE) bench-smoke
 
 # Regenerate every figure/table of the paper (tables printed to stdout,
 # plot series dumped under out/).
@@ -50,7 +69,7 @@ experiments:
 tools:
 	@mkdir -p bin
 	for t in padll-controller padll-ctl padll-replayer padll-ior \
-	         padll-mdtest padll-tracegen padll-experiments; do \
+	         padll-mdtest padll-tracegen padll-experiments padll-benchfmt; do \
 		$(GO) build -o bin/$$t ./cmd/$$t; \
 	done
 

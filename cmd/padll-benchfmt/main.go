@@ -1,0 +1,76 @@
+// Command padll-benchfmt renders a `go test -json` benchmark event
+// stream back into human-readable text. `make bench` pipes through it so
+// the raw JSON can be captured to BENCH_stage.json for machine diffing
+// while the terminal still shows the familiar benchmark table.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -json ./... | padll-benchfmt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// event is the subset of test2json's record that matters here.
+type event struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+func main() {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	benches := 0
+	pending := "" // benchmark name emitted without its result line yet
+	for sc.Scan() {
+		line := sc.Bytes()
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			// Pass non-JSON lines through untouched so plain-text input
+			// (or interleaved tool noise) is never swallowed.
+			fmt.Println(string(line))
+			continue
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		// test2json splits a benchmark result into two events: the name
+		// (no trailing newline) and then the measurements. Stitch them.
+		if pending != "" {
+			fmt.Println(pending + strings.TrimRight(ev.Output, "\n"))
+			pending = ""
+			benches++
+			continue
+		}
+		out := strings.TrimRight(ev.Output, "\n")
+		switch {
+		case strings.HasPrefix(out, "Benchmark") && !strings.HasSuffix(ev.Output, "\n"):
+			pending = out
+		case strings.HasPrefix(out, "Benchmark") && strings.Contains(out, "ns/op"):
+			benches++
+			fmt.Println(out)
+		case strings.HasPrefix(out, "Benchmark"):
+			// Bare RUN line (no measurements attached) — skip.
+		case strings.HasPrefix(out, "goos:"),
+			strings.HasPrefix(out, "goarch:"),
+			strings.HasPrefix(out, "pkg:"),
+			strings.HasPrefix(out, "cpu:"),
+			strings.HasPrefix(out, "ok "),
+			strings.HasPrefix(out, "FAIL"),
+			strings.HasPrefix(out, "--- FAIL"),
+			strings.HasPrefix(out, "panic:"):
+			fmt.Println(out)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "padll-benchfmt:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n%d benchmark results\n", benches)
+}

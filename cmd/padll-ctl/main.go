@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"padll/internal/policy"
 	"padll/internal/rpcio"
@@ -71,8 +72,9 @@ func main() {
 			if q.Limit >= 0 {
 				limit = fmt.Sprintf("%.0f/s", q.Limit)
 			}
-			fmt.Printf("  %-16s limit=%-10s demand=%8.0f/s throughput=%8.0f/s total=%d waiting=%d\n",
-				q.RuleID, limit, q.DemandRate, q.ThroughputRate, q.Total, q.Waiting)
+			fmt.Printf("  %-16s limit=%-10s demand=%8.0f/s throughput=%8.0f/s total=%d waiting=%d wait-p50=%s wait-p99=%s\n",
+				q.RuleID, limit, q.DemandRate, q.ThroughputRate, q.Total, q.Waiting,
+				waitDur(q.WaitP50), waitDur(q.WaitP99))
 		}
 
 	case "apply":
@@ -145,4 +147,13 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "padll-ctl:", err)
 	os.Exit(1)
+}
+
+// waitDur renders a wait percentile (seconds) compactly; queues that
+// never blocked show "-" instead of a zero duration.
+func waitDur(sec float64) string {
+	if sec <= 0 {
+		return "-"
+	}
+	return time.Duration(sec * float64(time.Second)).Round(time.Microsecond).String()
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"padll/internal/experiments"
@@ -84,8 +85,15 @@ func main() {
 		for _, r := range experiments.Fig5All(*seed) {
 			fmt.Println(r.Render())
 			series := []*metrics.Series{named("aggregate", r.Aggregate)}
-			for id, s := range r.PerJob {
-				series = append(series, named(id, s))
+			// Sorted job order: map iteration order would shuffle the
+			// CSV columns between otherwise identical runs.
+			ids := make([]string, 0, len(r.PerJob))
+			for id := range r.PerJob {
+				ids = append(ids, id)
+			}
+			sort.Strings(ids)
+			for _, id := range ids {
+				series = append(series, named(id, r.PerJob[id]))
 			}
 			dumpCSV(*csvDir, "fig5_"+string(r.Setup)+".csv", metrics.MergeCSV(series...))
 		}

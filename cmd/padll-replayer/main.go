@@ -163,7 +163,13 @@ func main() {
 	}
 	stats := dp.Stats()
 	for _, q := range stats.Queues {
-		fmt.Printf("  queue %-12s throttled to %8.0f/s, admitted %d\n", q.RuleID, q.Limit, q.Total)
+		line := fmt.Sprintf("  queue %-12s throttled to %8.0f/s, admitted %d", q.RuleID, q.Limit, q.Total)
+		if q.WaitP99 > 0 {
+			line += fmt.Sprintf(", wait p50/p99 %v/%v",
+				time.Duration(q.WaitP50*float64(time.Second)).Round(time.Microsecond),
+				time.Duration(q.WaitP99*float64(time.Second)).Round(time.Microsecond))
+		}
+		fmt.Println(line)
 	}
 }
 

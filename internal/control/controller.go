@@ -340,6 +340,12 @@ type JobSnapshot struct {
 	Throughput  float64 // aggregate admitted rate, ops/s
 	Allocated   float64 // rate granted by the last allocation
 	Reservation float64
+	// WaitP50/WaitP95/WaitP99 are the worst (max) control-queue shaping
+	// wait percentiles across the job's stages, in seconds — the
+	// queueing delay the current allocation is costing the job.
+	WaitP50 float64
+	WaitP95 float64
+	WaitP99 float64
 }
 
 // CollectAll gathers statistics from every stage, aggregated per job
@@ -384,6 +390,15 @@ func (c *Controller) CollectAll() []JobSnapshot {
 			if q.RuleID == ControlRuleID {
 				snap.Demand += q.DemandRate
 				snap.Throughput += q.ThroughputRate
+				if q.WaitP50 > snap.WaitP50 {
+					snap.WaitP50 = q.WaitP50
+				}
+				if q.WaitP95 > snap.WaitP95 {
+					snap.WaitP95 = q.WaitP95
+				}
+				if q.WaitP99 > snap.WaitP99 {
+					snap.WaitP99 = q.WaitP99
+				}
 			}
 		}
 	}

@@ -2,10 +2,24 @@ package metrics
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"padll/internal/clock"
 )
+
+// rcShardCount is the number of in-window counter cells. Sixteen shards
+// is enough to spread the replayer's rank threads without bloating the
+// fold loop that runs at every window close.
+const rcShardCount = 16
+
+// rcShard is one in-window event cell, padded so neighbouring shards do
+// not share a cache line (64B on every target we run on).
+type rcShard struct {
+	n atomic.Int64
+	_ [56]byte
+}
 
 // RateCounter measures the throughput of a request stream over fixed
 // sampling windows. It is the statistic a PADLL data-plane stage exposes
@@ -16,15 +30,33 @@ import (
 // window appends a sample (events/second over the window) to the backing
 // series. Windows with zero events still produce samples so figures show
 // idle periods.
+//
+// Concurrency: adds inside an open window touch only a sharded atomic
+// cell — no lock. The window boundary (close + series append) is guarded
+// by a mutex, and shards are folded in fixed index order, so a
+// single-goroutine clock.Sim run produces byte-identical series across
+// runs. Under concurrent real-clock use, an add racing a window close may
+// be attributed to the adjacent window — the same boundary ambiguity the
+// previous fully-locked implementation had, since attribution was always
+// decided by lock-acquisition order.
 type RateCounter struct {
-	mu         sync.Mutex
-	clk        clock.Clock
-	window     time.Duration
-	winStart   time.Time
-	inWindow   int64
-	total      int64
-	series     *Series
-	maxSamples int // 0 = unbounded
+	clk    clock.Clock
+	window time.Duration
+
+	// winEndNano is the open window's end (unix nanoseconds). The add
+	// fast path compares against it without taking the mutex; the strict
+	// `<` mirrors rollLocked's `>=` close condition, so an instant that
+	// lands exactly on the boundary takes the slow path and rolls.
+	winEndNano atomic.Int64
+	shards     [rcShardCount]rcShard
+
+	mu       sync.Mutex
+	winStart time.Time
+	// totalClosed counts events already folded out of the shards; the
+	// lifetime total is totalClosed plus the live shard sum.
+	totalClosed int64
+	series      *Series
+	maxSamples  int // 0 = unbounded
 }
 
 // NewRateCounter returns a counter sampling over the given window. The
@@ -33,12 +65,14 @@ func NewRateCounter(name string, clk clock.Clock, window time.Duration) *RateCou
 	if window <= 0 {
 		window = time.Second
 	}
-	return &RateCounter{
+	rc := &RateCounter{
 		clk:      clk,
 		window:   window,
 		winStart: clk.Now(),
 		series:   NewSeries(name),
 	}
+	rc.winEndNano.Store(rc.winStart.Add(window).UnixNano())
+	return rc
 }
 
 // SetMaxSamples bounds the backing series to the most recent n samples
@@ -50,26 +84,46 @@ func (rc *RateCounter) SetMaxSamples(n int) {
 	rc.maxSamples = n
 }
 
+// shard picks the calling goroutine's counter cell. Goroutine stacks live
+// in distinct allocations, so the address of a stack variable separates
+// concurrent adders without any shared state; the pointer is only folded
+// into an index, never dereferenced or converted back. Which shard a
+// count lands in never affects totals or window sums (integer addition
+// commutes), so this has no bearing on determinism.
+func (rc *RateCounter) shard() *rcShard {
+	var probe byte
+	h := uintptr(unsafe.Pointer(&probe))
+	return &rc.shards[(h>>11)&(rcShardCount-1)]
+}
+
 // Add records n events at the current instant, closing any elapsed
 // windows first.
 func (rc *RateCounter) Add(n int64) { rc.AddAt(n, rc.clk.Now()) }
 
 // AddAt records n events at a caller-supplied instant, letting hot paths
-// share one clock read across several counters. The instant must not be
-// before previously recorded events.
+// share one clock read across several counters. Instants may lag the
+// real clock slightly (hot paths amortize clock reads); an instant
+// earlier than the open window is attributed to the open window.
 func (rc *RateCounter) AddAt(n int64, now time.Time) {
+	if now.UnixNano() < rc.winEndNano.Load() {
+		rc.shard().n.Add(n)
+		return
+	}
 	rc.mu.Lock()
-	defer rc.mu.Unlock()
 	rc.rollLocked(now)
-	rc.inWindow += n
-	rc.total += n
+	rc.shard().n.Add(n)
+	rc.mu.Unlock()
 }
 
 // Total returns the lifetime event count.
 func (rc *RateCounter) Total() int64 {
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
-	return rc.total
+	t := rc.totalClosed
+	for i := range rc.shards {
+		t += rc.shards[i].n.Load()
+	}
+	return t
 }
 
 // CurrentRate returns the rate (events/second) accumulated so far in the
@@ -84,7 +138,11 @@ func (rc *RateCounter) CurrentRate() float64 {
 	if elapsed <= 0 {
 		return 0
 	}
-	return float64(rc.inWindow) / elapsed
+	var inWindow int64
+	for i := range rc.shards {
+		inWindow += rc.shards[i].n.Load()
+	}
+	return float64(inWindow) / elapsed
 }
 
 // LastWindowRate returns the most recently completed window's rate, or 0
@@ -106,13 +164,13 @@ func (rc *RateCounter) Flush() *Series {
 	defer rc.mu.Unlock()
 	now := rc.clk.Now()
 	rc.rollLocked(now)
-	if rc.inWindow > 0 {
+	if live := rc.drainLocked(); live > 0 {
 		elapsed := now.Sub(rc.winStart).Seconds()
 		if elapsed > 0 {
-			rc.appendLocked(now, float64(rc.inWindow)/elapsed)
+			rc.appendLocked(now, float64(live)/elapsed)
 		}
-		rc.inWindow = 0
 		rc.winStart = now
+		rc.winEndNano.Store(now.Add(rc.window).UnixNano())
 	}
 	return rc.snapshotLocked()
 }
@@ -132,14 +190,38 @@ func (rc *RateCounter) snapshotLocked() *Series {
 	return out
 }
 
-// rollLocked closes every window that has fully elapsed as of now.
+// drainLocked folds every shard into the running total and returns the
+// folded sum. Shards are visited in fixed index order; the order is
+// immaterial for the sums recorded (integer addition commutes) but keeps
+// the fold itself deterministic.
+func (rc *RateCounter) drainLocked() int64 {
+	var sum int64
+	for i := range rc.shards {
+		sum += rc.shards[i].n.Swap(0)
+	}
+	rc.totalClosed += sum
+	return sum
+}
+
+// rollLocked closes every window that has fully elapsed as of now. All
+// events accumulated since the previous roll belong to the first closed
+// window (they were recorded while it was open); any further elapsed
+// windows were idle. winEndNano is published only after the last close,
+// so a concurrent fast-path add either sees the stale end and queues on
+// the mutex, or sees the final end and lands in the new open window.
 func (rc *RateCounter) rollLocked(now time.Time) {
+	if now.Sub(rc.winStart) < rc.window {
+		return
+	}
+	end := rc.winStart.Add(rc.window)
+	rc.appendLocked(end, float64(rc.drainLocked())/rc.window.Seconds())
+	rc.winStart = end
 	for now.Sub(rc.winStart) >= rc.window {
-		end := rc.winStart.Add(rc.window)
-		rc.appendLocked(end, float64(rc.inWindow)/rc.window.Seconds())
-		rc.inWindow = 0
+		end = rc.winStart.Add(rc.window)
+		rc.appendLocked(end, 0)
 		rc.winStart = end
 	}
+	rc.winEndNano.Store(rc.winStart.Add(rc.window).UnixNano())
 }
 
 func (rc *RateCounter) appendLocked(t time.Time, v float64) {

@@ -24,6 +24,9 @@ type JobStatus struct {
 	Throughput  float64 `json:"throughput_ops_per_sec"`
 	Reservation float64 `json:"reservation_ops_per_sec"`
 	Allocated   float64 `json:"allocated_ops_per_sec"`
+	WaitP50     float64 `json:"wait_p50_seconds"`
+	WaitP95     float64 `json:"wait_p95_seconds"`
+	WaitP99     float64 `json:"wait_p99_seconds"`
 }
 
 // StageStatus is one stage's row in the /api/stages response.
@@ -35,12 +38,23 @@ type StageStatus struct {
 	User     string `json:"user"`
 }
 
+// WaitLatency is one job's queue-wait percentile summary (seconds).
+type WaitLatency struct {
+	P50 float64 `json:"p50_seconds"`
+	P95 float64 `json:"p95_seconds"`
+	P99 float64 `json:"p99_seconds"`
+}
+
 // Overview is the /api/overview response.
 type Overview struct {
 	Jobs       int                `json:"jobs"`
 	Stages     int                `json:"stages"`
 	Timestamp  time.Time          `json:"timestamp"`
 	Allocation map[string]float64 `json:"allocation"`
+	// QueueWait maps job ID to the worst per-stage control-queue wait
+	// percentiles observed in this collect round; jobs that never
+	// blocked report zeros.
+	QueueWait map[string]WaitLatency `json:"queue_wait"`
 }
 
 // NewHandler builds the HTTP handler for a controller.
@@ -60,6 +74,10 @@ func NewHandler(ctl *control.Controller) http.Handler {
 	})
 
 	mux.HandleFunc("/api/overview", func(w http.ResponseWriter, r *http.Request) {
+		queueWait := make(map[string]WaitLatency)
+		for _, s := range ctl.CollectAll() {
+			queueWait[s.JobID] = WaitLatency{P50: s.WaitP50, P95: s.WaitP95, P99: s.WaitP99}
+		}
 		// The controller's clock, not the wall clock: under a simulated
 		// clock the overview timestamps the experiment's instant, keeping
 		// replayed runs byte-for-byte reproducible.
@@ -68,6 +86,7 @@ func NewHandler(ctl *control.Controller) http.Handler {
 			Stages:     len(ctl.Stages()),
 			Timestamp:  ctl.Clock().Now().UTC(),
 			Allocation: ctl.LastAllocation(),
+			QueueWait:  queueWait,
 		})
 	})
 
@@ -83,6 +102,9 @@ func NewHandler(ctl *control.Controller) http.Handler {
 				Throughput:  s.Throughput,
 				Reservation: s.Reservation,
 				Allocated:   alloc[s.JobID],
+				WaitP50:     s.WaitP50,
+				WaitP95:     s.WaitP95,
+				WaitP99:     s.WaitP99,
 			})
 		}
 		sort.Slice(rows, func(i, j int) bool { return rows[i].JobID < rows[j].JobID })
@@ -112,10 +134,11 @@ func NewHandler(ctl *control.Controller) http.Handler {
 		snaps := ctl.CollectAll()
 		alloc := ctl.LastAllocation()
 		fmt.Fprintf(w, "padll control plane — %d jobs, %d stages\n\n", len(ctl.Jobs()), len(ctl.Stages()))
-		fmt.Fprintf(w, "%-16s %7s %12s %12s %12s\n", "job", "stages", "demand/s", "served/s", "allocated/s")
+		fmt.Fprintf(w, "%-16s %7s %12s %12s %12s %10s\n", "job", "stages", "demand/s", "served/s", "allocated/s", "wait-p99")
 		for _, s := range snaps {
-			fmt.Fprintf(w, "%-16s %7d %12.0f %12.0f %12.0f\n",
-				s.JobID, s.Stages, s.Demand, s.Throughput, alloc[s.JobID])
+			fmt.Fprintf(w, "%-16s %7d %12.0f %12.0f %12.0f %10s\n",
+				s.JobID, s.Stages, s.Demand, s.Throughput, alloc[s.JobID],
+				time.Duration(s.WaitP99*float64(time.Second)).Round(time.Microsecond))
 		}
 	})
 	return mux

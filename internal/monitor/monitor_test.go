@@ -72,6 +72,68 @@ func TestOverviewJSON(t *testing.T) {
 	if ov.Allocation["jobA"] != 5000 {
 		t.Errorf("allocation = %v", ov.Allocation)
 	}
+	if _, ok := ov.QueueWait["jobA"]; !ok {
+		t.Errorf("queue_wait missing jobA: %v", ov.QueueWait)
+	}
+	if !strings.Contains(body, "queue_wait") || !strings.Contains(body, "p99_seconds") {
+		t.Errorf("overview JSON missing queue-wait fields:\n%s", body)
+	}
+}
+
+// TestOverviewReportsWaitPercentiles drives a shaped request through a
+// throttled control queue and checks the wait shows up in /api/overview.
+func TestOverviewReportsWaitPercentiles(t *testing.T) {
+	clk := clock.NewSim(epoch)
+	ctl := control.New(clk,
+		control.WithAlgorithm(control.StaticEqualShare{}),
+		control.WithClusterLimit(10_000))
+	stg := stage.New(stage.Info{StageID: "s0", JobID: "jobA", Hostname: "n", PID: 1, User: "u"}, clk)
+	if err := ctl.Register(&control.LocalConn{Stg: stg}); err != nil {
+		t.Fatal(err)
+	}
+	ctl.RunOnce() // installs the control rule at the per-job share
+	req := &posix.Request{Op: posix.OpOpen, JobID: "jobA"}
+	rules := stg.Rules()
+	if len(rules) == 0 {
+		t.Fatal("control rule not installed")
+	}
+	// Drain the burst so the next request parks. The bucket starts full,
+	// so exactly EffectiveBurst() unit takes succeed without blocking.
+	for i := 0; i < int(rules[0].EffectiveBurst()); i++ {
+		if err := stg.Enforce(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan error, 1)
+	go func() { done <- stg.Enforce(req) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for clk.PendingWaiters() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	clk.Advance(time.Second)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	h := NewHandler(ctl)
+	code, body := get(t, h, "/api/overview")
+	if code != 200 {
+		t.Fatalf("code = %d", code)
+	}
+	var ov Overview
+	if err := json.Unmarshal([]byte(body), &ov); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	wl := ov.QueueWait["jobA"]
+	if wl.P99 <= 0 {
+		t.Errorf("queue_wait p99 = %v, want > 0 after a shaped wait\n%s", wl.P99, body)
+	}
+	if wl.P50 > wl.P95 || wl.P95 > wl.P99 {
+		t.Errorf("percentiles not monotone: %+v", wl)
+	}
 }
 
 func TestJobsJSON(t *testing.T) {

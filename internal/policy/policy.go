@@ -36,6 +36,22 @@ type Matcher struct {
 	JobID string
 	// User restricts matching to a single user.
 	User string
+
+	// prefixSlash caches PathPrefix with exactly one trailing slash for
+	// the hot-path prefix test. It is computed by compile() when a rule
+	// enters a RuleSet; matchers built by hand fall back to computing it
+	// per call. Unexported, so it never travels over gob.
+	prefixSlash string
+}
+
+// compile precomputes derived matcher state (the slash-terminated path
+// prefix) so the per-request path allocates nothing.
+func (m *Matcher) compile() {
+	if m.PathPrefix != "" {
+		m.prefixSlash = strings.TrimSuffix(m.PathPrefix, "/") + "/"
+	} else {
+		m.prefixSlash = ""
+	}
 }
 
 // Matches reports whether the request satisfies every constraint.
@@ -47,7 +63,11 @@ func (m *Matcher) Matches(req *posix.Request) bool {
 		return false
 	}
 	if m.PathPrefix != "" {
-		if req.Path != m.PathPrefix && !strings.HasPrefix(req.Path, strings.TrimSuffix(m.PathPrefix, "/")+"/") {
+		ps := m.prefixSlash
+		if ps == "" {
+			ps = strings.TrimSuffix(m.PathPrefix, "/") + "/"
+		}
+		if req.Path != m.PathPrefix && !strings.HasPrefix(req.Path, ps) {
 			return false
 		}
 	}
@@ -76,6 +96,47 @@ func (m *Matcher) Matches(req *posix.Request) bool {
 		}
 	}
 	return true
+}
+
+// CouldMatchOp reports whether a request carrying op can possibly satisfy
+// the matcher's op/class constraints. It evaluates only the attributes
+// known from the operation type, so it can be decided per-op ahead of
+// time — the basis of RuleSet's per-op dispatch index.
+func (m *Matcher) CouldMatchOp(op posix.Op) bool {
+	if len(m.Ops) > 0 {
+		found := false
+		for _, o := range m.Ops {
+			if o == op {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	if len(m.Classes) > 0 {
+		cl := op.Class()
+		found := false
+		for _, c := range m.Classes {
+			if c == cl {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// OpDecides reports whether op/class candidacy alone implies a full
+// match: a matcher with no path, job or user constraint accepts every
+// request whose operation passes CouldMatchOp. Hot paths use this to
+// skip Matches entirely for per-op index candidates.
+func (m *Matcher) OpDecides() bool {
+	return m.PathPrefix == "" && m.JobID == "" && m.User == ""
 }
 
 // Specificity scores how narrow the matcher is; higher wins when several
@@ -194,8 +255,19 @@ func (r *Rule) String() string {
 }
 
 // RuleSet is an ordered set of rules with specificity-based selection.
+//
+// Alongside the specificity-ordered slice it maintains a per-operation
+// dispatch index: for each posix.Op, the indices (in selection order) of
+// the rules whose op/class constraints that operation can satisfy.
+// Select walks only those candidates, so the common case — a handful of
+// class-scoped rules — tests one or two matchers instead of scanning the
+// whole set. The index is rebuilt on every Upsert/Remove (control-plane
+// cold path).
 type RuleSet struct {
 	rules []Rule
+	// perOp[op] lists indices into rules, selection-ordered. nil until
+	// the first mutation builds it.
+	perOp [][]int
 }
 
 // NewRuleSet returns a set holding the given rules.
@@ -209,15 +281,18 @@ func NewRuleSet(rules ...Rule) *RuleSet {
 
 // Upsert inserts the rule, replacing any rule with the same ID.
 func (rs *RuleSet) Upsert(r Rule) {
+	r.Match.compile()
 	for i := range rs.rules {
 		if rs.rules[i].ID == r.ID {
 			rs.rules[i] = r
 			rs.sortLocked()
+			rs.reindex()
 			return
 		}
 	}
 	rs.rules = append(rs.rules, r)
 	rs.sortLocked()
+	rs.reindex()
 }
 
 // Remove deletes the rule with the given ID, reporting whether it existed.
@@ -225,10 +300,24 @@ func (rs *RuleSet) Remove(id string) bool {
 	for i := range rs.rules {
 		if rs.rules[i].ID == id {
 			rs.rules = append(rs.rules[:i], rs.rules[i+1:]...)
+			rs.reindex()
 			return true
 		}
 	}
 	return false
+}
+
+// reindex rebuilds the per-op dispatch index from the current rule order.
+func (rs *RuleSet) reindex() {
+	perOp := make([][]int, posix.NumOps)
+	for op := 0; op < posix.NumOps; op++ {
+		for i := range rs.rules {
+			if rs.rules[i].Match.CouldMatchOp(posix.Op(op)) {
+				perOp[op] = append(perOp[op], i)
+			}
+		}
+	}
+	rs.perOp = perOp
 }
 
 // sortLocked orders rules by descending specificity (stable on ID for
@@ -245,6 +334,14 @@ func (rs *RuleSet) sortLocked() {
 
 // Select returns the most specific rule matching the request, or nil.
 func (rs *RuleSet) Select(req *posix.Request) *Rule {
+	if rs.perOp != nil && req.Op.Valid() {
+		for _, i := range rs.perOp[req.Op] {
+			if rs.rules[i].Match.Matches(req) {
+				return &rs.rules[i]
+			}
+		}
+		return nil
+	}
 	for i := range rs.rules {
 		if rs.rules[i].Match.Matches(req) {
 			return &rs.rules[i]

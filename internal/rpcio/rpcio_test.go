@@ -223,6 +223,58 @@ func TestEndToEndEnforcementViaRPC(t *testing.T) {
 	}
 }
 
+func TestWaitPercentilesSurviveGob(t *testing.T) {
+	// QueueStats gained WaitP50/P95/P99; make sure the gob-encoded RPC
+	// reply carries them rather than silently zeroing the new fields.
+	clk := clock.NewSim(epoch)
+	stg := stage.New(stage.Info{StageID: "s1", JobID: "j1"}, clk)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := ServeStage(l, stg)
+	defer stop()
+	h, err := DialStage(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	stg.ApplyRule(policy.Rule{ID: "cap", Rate: 10, Burst: 1})
+	req := &posix.Request{Op: posix.OpOpen, Path: "/f", JobID: "j1"}
+	if err := stg.Enforce(req); err != nil { // drains the 1-token burst
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- stg.Enforce(req) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for clk.PendingWaiters() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	clk.Advance(200 * time.Millisecond)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := h.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Queues) != 1 {
+		t.Fatalf("queues = %+v", st.Queues)
+	}
+	q := st.Queues[0]
+	if q.WaitP99 <= 0 {
+		t.Errorf("WaitP99 = %v, want > 0: percentiles lost over gob (%+v)", q.WaitP99, q)
+	}
+	if q.WaitP50 > q.WaitP95 || q.WaitP95 > q.WaitP99 {
+		t.Errorf("percentiles not monotone over the wire: %+v", q)
+	}
+}
+
 func TestRuleActionSurvivesGob(t *testing.T) {
 	stg, h := servedStage(t)
 	rule := policy.Rule{ID: "police", Rate: 100, Burst: 5, Action: policy.ActionDrop}

@@ -1,0 +1,154 @@
+package stage
+
+import (
+	"testing"
+	"time"
+
+	"padll/internal/clock"
+	"padll/internal/policy"
+	"padll/internal/posix"
+)
+
+// benchStage builds a stage with the E6 overhead rule set (per-class
+// metadata/data rules plus narrower op- and path-scoped rules) so
+// classification does the same differentiation work the paper's
+// passthrough setup performs.
+func benchStage(mode Mode) *Stage {
+	s := New(Info{StageID: "bench", JobID: "job1"}, clock.NewReal(), WithMode(mode))
+	s.ApplyRule(policy.Rule{ID: "open", Match: policy.Matcher{
+		Ops: []posix.Op{posix.OpOpen, posix.OpOpen64, posix.OpCreat},
+	}, Rate: policy.Unlimited})
+	s.ApplyRule(policy.Rule{ID: "meta", Match: policy.Matcher{
+		Classes: []posix.Class{posix.ClassMetadata, posix.ClassDirectory, posix.ClassExtAttr},
+	}, Rate: policy.Unlimited})
+	s.ApplyRule(policy.Rule{ID: "data", Match: policy.Matcher{
+		Classes: []posix.Class{posix.ClassData},
+	}, Rate: policy.Unlimited})
+	s.ApplyRule(policy.Rule{ID: "scratch", Match: policy.Matcher{
+		PathPrefix: "/pfs/scratch",
+	}, Rate: policy.Unlimited})
+	return s
+}
+
+func benchReq() *posix.Request {
+	return &posix.Request{Op: posix.OpGetAttr, Path: "/pfs/job1/f", JobID: "job1", User: "u1"}
+}
+
+// BenchmarkStageEnforceSerial measures the single-caller admit path with
+// unlimited rules (the passthrough configuration of §IV-A).
+func BenchmarkStageEnforceSerial(b *testing.B) {
+	s := benchStage(Enforce)
+	req := benchReq()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Enforce(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStageEnforceParallel measures the multi-rank admit path: many
+// replayer threads pushing through one stage, the contention profile the
+// paper's 512-job scale-out produces. Run with -cpu 1,4,8.
+func BenchmarkStageEnforceParallel(b *testing.B) {
+	s := benchStage(Enforce)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		req := benchReq()
+		for pb.Next() {
+			if err := s.Enforce(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkStageEnforcePassthroughMode measures Passthrough mode with a
+// finite-rate rule installed (count-but-never-throttle, §IV-A setup).
+func BenchmarkStageEnforcePassthroughMode(b *testing.B) {
+	s := New(Info{StageID: "bench", JobID: "job1"}, clock.NewReal(), WithMode(Passthrough))
+	s.ApplyRule(policy.Rule{ID: "meta", Match: policy.Matcher{
+		Classes: []posix.Class{posix.ClassMetadata, posix.ClassDirectory, posix.ClassExtAttr},
+	}, Rate: 1, Burst: 1})
+	req := benchReq()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := s.Enforce(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkStageEnforceUnmatched measures requests matching no rule (the
+// not-subject-to-QoS path: one passthrough counter bump).
+func BenchmarkStageEnforceUnmatched(b *testing.B) {
+	s := benchStage(Enforce)
+	req := &posix.Request{Op: posix.OpGetAttr, Path: "/other/f", JobID: "job9"}
+	// Only job-scoped below; the bench rule set matches every op, so use a
+	// stage with narrow rules instead.
+	s = New(Info{StageID: "bench", JobID: "job1"}, clock.NewReal())
+	s.ApplyRule(policy.Rule{ID: "j2", Match: policy.Matcher{JobID: "job2"}, Rate: policy.Unlimited})
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := s.Enforce(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkStageEnforceDrop measures the policing path (TryTake per
+// request against a bucket sized so admissions mostly succeed).
+func BenchmarkStageEnforceDrop(b *testing.B) {
+	s := New(Info{StageID: "bench", JobID: "job1"}, clock.NewReal())
+	s.ApplyRule(policy.Rule{ID: "police", Rate: 1e12, Burst: 1e12, Action: policy.ActionDrop})
+	req := benchReq()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := s.Enforce(req); err != nil && err != ErrRateLimited {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkStageOffer measures the fluid-admission path the discrete-tick
+// simulator drives (one call per op per job per tick).
+func BenchmarkStageOffer(b *testing.B) {
+	s := New(Info{StageID: "bench", JobID: "job1"}, clock.NewReal())
+	s.ApplyRule(policy.Rule{ID: "meta", Match: policy.Matcher{
+		Classes: []posix.Class{posix.ClassMetadata, posix.ClassDirectory, posix.ClassExtAttr},
+	}, Rate: 1e9, Burst: 1e9})
+	req := benchReq()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Offer(req, 100.5, time.Millisecond)
+	}
+}
+
+// BenchmarkStageCollect measures the statistics snapshot under a live
+// rule set (the feedback loop's per-iteration cost).
+func BenchmarkStageCollect(b *testing.B) {
+	s := benchStage(Enforce)
+	req := benchReq()
+	for i := 0; i < 1000; i++ {
+		if err := s.Enforce(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Collect()
+	}
+}

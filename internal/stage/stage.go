@@ -9,6 +9,15 @@
 // only open calls, queue_4 requests under /scratch/foo — exactly the
 // paper's example. The set of queues and each bucket's rate are installed
 // remotely by the control plane.
+//
+// Concurrency model (see DESIGN.md §7): the classification state is an
+// immutable snapshot published through an atomic pointer. Control-plane
+// mutations (ApplyRule/RemoveRule/SetRate — cold, feedback-loop cadence)
+// rebuild the snapshot copy-on-write under s.mu; the per-request path
+// (Enforce/Offer — hot, every intercepted syscall) classifies against the
+// current snapshot and bumps sharded/atomic counters without taking any
+// lock. Only the shaping path (a bucket with queued waiters) blocks, and
+// only inside the token bucket itself.
 package stage
 
 import (
@@ -83,6 +92,11 @@ type QueueStats struct {
 	Dropped int64
 	// Waiting is the number of requests currently blocked in the queue.
 	Waiting int
+	// WaitP50, WaitP95 and WaitP99 are percentiles of the queue's shaping
+	// wait latency, in seconds (0 when the queue has never blocked).
+	WaitP50 float64
+	WaitP95 float64
+	WaitP99 float64
 }
 
 // Stats is a full stage snapshot.
@@ -92,34 +106,109 @@ type Stats struct {
 	Passthrough int64 // requests forwarded without matching any rule
 }
 
+// entry pairs one rule with its queue inside a published snapshot. The
+// rule is a value copy (immutable once published); opDecides caches
+// rule.Match.OpDecides() so index candidates whose matcher has no
+// path/job/user constraint skip the full Matches call.
+type entry struct {
+	rule      policy.Rule
+	q         *queue
+	opDecides bool
+}
+
+// snapshot is the immutable classification state Enforce/Offer run
+// against. A new snapshot is built for every control-plane mutation and
+// published atomically; readers never see a half-updated rule set.
+type snapshot struct {
+	// all lists entries in selection (descending-specificity) order.
+	all []*entry
+	// perOp[op] lists the entries whose op/class constraints op can
+	// satisfy, in selection order — the hot-path dispatch index.
+	perOp [posix.NumOps][]*entry
+	// byID indexes entries by rule ID for Collect/QueueSeries.
+	byID map[string]*entry
+}
+
+// classify returns the entry of the most specific matching rule, or nil.
+func (sn *snapshot) classify(req *posix.Request) *entry {
+	if req.Op.Valid() {
+		for _, e := range sn.perOp[req.Op] {
+			if e.opDecides || e.rule.Match.Matches(req) {
+				return e
+			}
+		}
+		return nil
+	}
+	for _, e := range sn.all {
+		if e.rule.Match.Matches(req) {
+			return e
+		}
+	}
+	return nil
+}
+
 // Stage is one data-plane stage. It is safe for concurrent use.
 type Stage struct {
 	info Info
 	clk  clock.Clock
+	// realClk gates the amortized wall-clock sampling below; simulated
+	// clocks are always read exactly so experiment runs stay
+	// deterministic.
+	realClk bool
 
 	// mode is read on every intercepted request; atomic keeps the hot
 	// path lock-free.
 	mode atomic.Int32
 
+	// snap is the published classification state; see the package doc.
+	snap atomic.Pointer[snapshot]
+
+	// mu guards the control plane's master state (rules, queues) and
+	// serializes snapshot rebuilds. Never taken on the request path.
 	mu     sync.Mutex
 	rules  *policy.RuleSet
 	queues map[string]*queue // by rule ID
+
+	// Amortized wall-clock sampling: reading the real clock costs more
+	// than the rest of the admit path combined, so the hot path reuses
+	// the last read and refreshes every clockStride-th request. Counter
+	// instants may therefore lag by a few requests at a window edge —
+	// harmless for wall-clock statistics, and never applied to simulated
+	// clocks.
+	clockTick atomic.Uint64
+	clockNano atomic.Int64
+
+	// ptRem carries Offer's fractional passthrough credit between ticks.
+	ptMu  sync.Mutex
+	ptRem float64
 
 	passthrough *metrics.RateCounter
 	window      time.Duration
 }
 
+// clockStride is how many amortized hot-path clock reads share one real
+// clock sample (power of two).
+const clockStride = 64
+
 type queue struct {
-	rule     policy.Rule
 	bucket   *tokenbucket.Bucket
 	admitted *metrics.RateCounter
 	demand   *metrics.RateCounter
 	latency  *metrics.Histogram
-	mu       sync.Mutex
-	waiting  int
-	totalAdm int64
-	totalDem int64
-	dropped  int64
+
+	// dropped and waiting are the only bookkeeping not derivable from
+	// the rate counters; plain atomics keep the request path lock-free.
+	// Lifetime admitted/arrival totals are served by the counters
+	// themselves (every admission/arrival increments exactly one).
+	dropped atomic.Int64
+	waiting atomic.Int64
+
+	// offerMu guards the fluid-admission fractional remainders. It is
+	// only taken by Offer (the simulator's tick path) and never held
+	// across a blocking call.
+	offerMu sync.Mutex
+	demRem  float64
+	admRem  float64
 }
 
 // Option configures a Stage.
@@ -145,11 +234,32 @@ func New(info Info, clk clock.Clock, opts ...Option) *Stage {
 		queues: make(map[string]*queue),
 		window: time.Second,
 	}
+	if _, ok := clk.(clock.Real); ok {
+		s.realClk = true
+		s.clockNano.Store(clk.Now().UnixNano())
+	}
 	for _, o := range opts {
 		o(s)
 	}
 	s.passthrough = metrics.NewRateCounter("passthrough", clk, s.window)
+	s.snap.Store(&snapshot{byID: make(map[string]*entry)})
 	return s
+}
+
+// hotNow returns the instant hot-path counters stamp events with. For
+// simulated clocks this is always the exact clock read (determinism);
+// for the real clock it is an amortized sample refreshed every
+// clockStride-th call.
+func (s *Stage) hotNow() time.Time {
+	if !s.realClk {
+		return s.clk.Now()
+	}
+	if s.clockTick.Add(1)&(clockStride-1) == 1 {
+		now := s.clk.Now()
+		s.clockNano.Store(now.UnixNano())
+		return now
+	}
+	return time.Unix(0, s.clockNano.Load())
 }
 
 // Info returns the stage's identity.
@@ -161,6 +271,30 @@ func (s *Stage) SetMode(m Mode) { s.mode.Store(int32(m)) }
 // Mode returns the current mode.
 func (s *Stage) Mode() Mode { return Mode(s.mode.Load()) }
 
+// publishLocked rebuilds the immutable snapshot from the master rule set
+// and queue map and publishes it. Caller holds s.mu.
+func (s *Stage) publishLocked() {
+	rules := s.rules.Rules() // selection order
+	sn := &snapshot{byID: make(map[string]*entry, len(rules))}
+	for i := range rules {
+		q, ok := s.queues[rules[i].ID]
+		if !ok {
+			continue // unreachable: every rule gets a queue on install
+		}
+		e := &entry{rule: rules[i], q: q, opDecides: rules[i].Match.OpDecides()}
+		sn.all = append(sn.all, e)
+		sn.byID[e.rule.ID] = e
+	}
+	for op := 0; op < posix.NumOps; op++ {
+		for _, e := range sn.all {
+			if e.rule.Match.CouldMatchOp(posix.Op(op)) {
+				sn.perOp[op] = append(sn.perOp[op], e)
+			}
+		}
+	}
+	s.snap.Store(sn)
+}
+
 // ApplyRule installs or updates a rule and its queue. Updating an
 // existing rule retunes the live bucket without disturbing waiters.
 func (s *Stage) ApplyRule(r policy.Rule) {
@@ -168,14 +302,12 @@ func (s *Stage) ApplyRule(r policy.Rule) {
 	defer s.mu.Unlock()
 	s.rules.Upsert(r)
 	if q, ok := s.queues[r.ID]; ok {
-		q.mu.Lock()
-		q.rule = r
-		q.mu.Unlock()
 		if r.Rate == policy.Unlimited {
 			q.bucket.Set(tokenbucket.Infinite, tokenbucket.Infinite)
 		} else {
 			q.bucket.Set(r.Rate, r.EffectiveBurst())
 		}
+		s.publishLocked()
 		return
 	}
 	var b *tokenbucket.Bucket
@@ -185,12 +317,12 @@ func (s *Stage) ApplyRule(r policy.Rule) {
 		b = tokenbucket.New(s.clk, r.Rate, r.EffectiveBurst())
 	}
 	s.queues[r.ID] = &queue{
-		rule:     r,
 		bucket:   b,
 		admitted: metrics.NewRateCounter("admitted:"+r.ID, s.clk, s.window),
 		demand:   metrics.NewRateCounter("demand:"+r.ID, s.clk, s.window),
 		latency:  metrics.NewLatencyHistogram(),
 	}
+	s.publishLocked()
 }
 
 // RemoveRule deletes a rule; its queue's waiters are released unthrottled
@@ -205,6 +337,7 @@ func (s *Stage) RemoveRule(id string) bool {
 		q.bucket.Set(tokenbucket.Infinite, tokenbucket.Infinite)
 		delete(s.queues, id)
 	}
+	s.publishLocked()
 	return true
 }
 
@@ -218,90 +351,80 @@ func (s *Stage) SetRate(ruleID string, rate float64) bool {
 	if !ok {
 		return false
 	}
-	q.mu.Lock()
-	q.rule.Rate = rate
-	rule := q.rule
-	q.mu.Unlock()
+	var rule policy.Rule
+	for _, r := range s.rules.Rules() {
+		if r.ID == ruleID {
+			rule = r
+			break
+		}
+	}
+	rule.Rate = rate
 	s.rules.Upsert(rule)
 	if rate == policy.Unlimited {
 		q.bucket.Set(tokenbucket.Infinite, tokenbucket.Infinite)
 	} else {
 		q.bucket.Set(rate, rule.EffectiveBurst())
 	}
+	s.publishLocked()
 	return true
-}
-
-// selectQueue classifies the request, returning its queue or nil when no
-// rule matches (the request is not subject to QoS).
-func (s *Stage) selectQueue(req *posix.Request) *queue {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	r := s.rules.Select(req)
-	if r == nil {
-		return nil
-	}
-	return s.queues[r.ID]
 }
 
 // Enforce classifies req and blocks until its queue's token bucket admits
 // it. Requests matching no rule, and all requests in Passthrough mode,
-// return immediately.
+// return immediately. The admit path takes no locks: classification reads
+// the published snapshot, counters are sharded atomics.
 func (s *Stage) Enforce(req *posix.Request) error {
-	q := s.selectQueue(req)
-	if q == nil {
-		s.passthrough.Add(1)
+	e := s.snap.Load().classify(req)
+	if e == nil {
+		s.passthrough.AddAt(1, s.hotNow())
 		return nil
 	}
-	q.mu.Lock()
-	q.totalDem++
-	rate := q.rule.Rate
-	action := q.rule.Action
-	q.mu.Unlock()
+	q := e.q
 
-	if s.Mode() == Passthrough || rate == policy.Unlimited {
+	if Mode(s.mode.Load()) == Passthrough || e.rule.Rate == policy.Unlimited {
 		// Fast path: one clock read feeds both counters.
-		now := s.clk.Now()
+		now := s.hotNow()
 		q.demand.AddAt(1, now)
 		q.admitted.AddAt(1, now)
-		q.mu.Lock()
-		q.totalAdm++
-		q.mu.Unlock()
 		return nil
 	}
-	q.demand.Add(1)
 
 	// Policing: reject immediately instead of queueing.
-	if action == policy.ActionDrop {
+	if e.rule.Action == policy.ActionDrop {
+		now := s.hotNow()
+		q.demand.AddAt(1, now)
 		if q.bucket.TryTake(1) {
-			q.admitted.Add(1)
-			q.mu.Lock()
-			q.totalAdm++
-			q.mu.Unlock()
+			q.admitted.AddAt(1, now)
 			return nil
 		}
-		q.mu.Lock()
-		q.dropped++
-		q.mu.Unlock()
+		q.dropped.Add(1)
 		return ErrRateLimited
 	}
 
+	// Shaping: block in the bucket. Exact clock reads here — the wait
+	// duration is a reported statistic, and simulated-clock waiters must
+	// interleave deterministically with the sim's event loop.
 	start := s.clk.Now()
-	q.mu.Lock()
-	q.waiting++
-	q.mu.Unlock()
+	q.demand.AddAt(1, start)
+	q.waiting.Add(1)
 	err := q.bucket.Wait(1)
-	q.mu.Lock()
-	q.waiting--
-	if err == nil {
-		q.totalAdm++
-	}
-	q.mu.Unlock()
+	q.waiting.Add(-1)
 	if err != nil {
 		return err
 	}
-	q.latency.Observe(s.clk.Now().Sub(start))
-	q.admitted.Add(1)
+	end := s.clk.Now()
+	q.latency.Observe(end.Sub(start))
+	q.admitted.AddAt(1, end)
 	return nil
+}
+
+// carry folds v into the remainder rem, returning the whole events to
+// record now; the fractional part stays in rem for the next tick.
+func carry(rem *float64, v float64) int64 {
+	t := *rem + v
+	n := int64(t)
+	*rem = t - float64(n)
+	return n
 }
 
 // Offer is the fluid-admission path for the discrete-tick simulator:
@@ -311,60 +434,68 @@ func (s *Stage) Enforce(req *posix.Request) error {
 // everything. Offer always shapes: the fluid model has no per-request
 // failure channel, so a rule's Drop action only applies on the blocking
 // Enforce path.
+//
+// Fractional arrivals/admissions are accumulated per queue and counted
+// once they sum to whole events, so long simulated runs don't undercount
+// demand or throughput.
 func (s *Stage) Offer(req *posix.Request, n float64, dt time.Duration) float64 {
 	if n <= 0 {
 		return 0
 	}
-	q := s.selectQueue(req)
-	if q == nil {
-		s.passthrough.Add(int64(n))
+	e := s.snap.Load().classify(req)
+	if e == nil {
+		s.ptMu.Lock()
+		add := carry(&s.ptRem, n)
+		s.ptMu.Unlock()
+		s.passthrough.AddAt(add, s.hotNow())
 		return n
 	}
-	q.demand.Add(int64(n))
-	q.mu.Lock()
-	q.totalDem += int64(n)
-	rate := q.rule.Rate
-	q.mu.Unlock()
+	q := e.q
+	now := s.hotNow()
+	q.offerMu.Lock()
+	demN := carry(&q.demRem, n)
+	q.offerMu.Unlock()
+	q.demand.AddAt(demN, now)
 	var served float64
-	if s.Mode() == Passthrough || rate == policy.Unlimited {
+	if Mode(s.mode.Load()) == Passthrough || e.rule.Rate == policy.Unlimited {
 		served = n
 	} else {
 		served = q.bucket.Grant(n, dt)
 	}
-	q.admitted.Add(int64(served))
-	q.mu.Lock()
-	q.totalAdm += int64(served)
-	q.mu.Unlock()
+	q.offerMu.Lock()
+	admN := carry(&q.admRem, served)
+	q.offerMu.Unlock()
+	q.admitted.AddAt(admN, now)
 	return served
 }
 
 // Collect snapshots all queue statistics (feedback-loop step 1).
+//
+// Counters are read in invariant-preserving order: a request increments
+// demand before admitted/dropped, so reading admitted and dropped before
+// demand guarantees Total + Dropped ≤ TotalDemand even while enforcers
+// run concurrently.
 func (s *Stage) Collect() Stats {
-	s.mu.Lock()
-	queues := make([]*queue, 0, len(s.queues))
-	for _, q := range s.queues {
-		queues = append(queues, q)
-	}
-	info := s.info
-	s.mu.Unlock()
-
-	out := Stats{Info: info, Passthrough: s.passthrough.Total()}
-	for _, q := range queues {
-		q.mu.Lock()
-		waiting := q.waiting
-		totalAdm, totalDem, dropped := q.totalAdm, q.totalDem, q.dropped
-		rule := q.rule
-		q.mu.Unlock()
+	sn := s.snap.Load()
+	out := Stats{Info: s.info, Passthrough: s.passthrough.Total()}
+	for _, e := range sn.all {
+		q := e.q
+		totalAdm := q.admitted.Total()
+		dropped := q.dropped.Load()
+		totalDem := q.demand.Total()
 		out.Queues = append(out.Queues, QueueStats{
-			RuleID:         rule.ID,
-			Limit:          rule.Rate,
-			Burst:          rule.EffectiveBurst(),
+			RuleID:         e.rule.ID,
+			Limit:          e.rule.Rate,
+			Burst:          e.rule.EffectiveBurst(),
 			ThroughputRate: q.admitted.LastWindowRate(),
 			DemandRate:     q.demand.LastWindowRate(),
 			Total:          totalAdm,
 			TotalDemand:    totalDem,
 			Dropped:        dropped,
-			Waiting:        waiting,
+			Waiting:        int(q.waiting.Load()),
+			WaitP50:        q.latency.Quantile(0.50),
+			WaitP95:        q.latency.Quantile(0.95),
+			WaitP99:        q.latency.Quantile(0.99),
 		})
 	}
 	sort.Slice(out.Queues, func(i, j int) bool { return out.Queues[i].RuleID < out.Queues[j].RuleID })
@@ -374,13 +505,11 @@ func (s *Stage) Collect() Stats {
 // QueueSeries returns a copy of a queue's admitted-rate time series (for
 // figures); nil when the rule has no queue.
 func (s *Stage) QueueSeries(ruleID string) *metrics.Series {
-	s.mu.Lock()
-	q, ok := s.queues[ruleID]
-	s.mu.Unlock()
+	e, ok := s.snap.Load().byID[ruleID]
 	if !ok {
 		return nil
 	}
-	return q.admitted.Snapshot()
+	return e.q.admitted.Snapshot()
 }
 
 // Rules returns the installed rules in selection order.

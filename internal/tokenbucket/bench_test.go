@@ -1,0 +1,52 @@
+package tokenbucket
+
+import (
+	"testing"
+
+	"padll/internal/clock"
+)
+
+// BenchmarkTryTakeUnlimited measures the lock-free passthrough admission
+// path (rate == Infinite), the bucket configuration behind every
+// unlimited stage queue.
+func BenchmarkTryTakeUnlimited(b *testing.B) {
+	bk := NewUnlimited(clock.NewReal())
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if !bk.TryTake(1) {
+				b.Fatal("unlimited TryTake failed")
+			}
+		}
+	})
+}
+
+// BenchmarkTryTakeLimited measures the finite-rate (mutex) admission
+// path with a bucket large enough that takes always succeed.
+func BenchmarkTryTakeLimited(b *testing.B) {
+	bk := New(clock.NewReal(), 1e12, 1e12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if !bk.TryTake(1) {
+				b.Fatal("TryTake failed")
+			}
+		}
+	})
+}
+
+// BenchmarkWaitUnlimited measures the lock-free Wait fast path.
+func BenchmarkWaitUnlimited(b *testing.B) {
+	bk := NewUnlimited(clock.NewReal())
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := bk.Wait(1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,82 @@
+package tokenbucket
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"padll/internal/clock"
+)
+
+// TestUnlimitedFastPathRespectsClose ensures the lock-free unlimited
+// admission path still honours Close.
+func TestUnlimitedFastPathRespectsClose(t *testing.T) {
+	bk := NewUnlimited(clock.NewSim(time.Date(2022, 5, 1, 0, 0, 0, 0, time.UTC)))
+	if !bk.TryTake(1) {
+		t.Fatal("TryTake on open unlimited bucket failed")
+	}
+	if err := bk.Wait(1); err != nil {
+		t.Fatalf("Wait on open unlimited bucket: %v", err)
+	}
+	bk.Close()
+	if bk.TryTake(1) {
+		t.Error("TryTake succeeded on closed bucket")
+	}
+	if err := bk.Wait(1); err != ErrClosed {
+		t.Errorf("Wait on closed bucket = %v, want ErrClosed", err)
+	}
+	if got := bk.Granted(); got != 2 {
+		t.Errorf("Granted = %v, want 2", got)
+	}
+}
+
+// TestUnlimitedFastPathRetuneToFinite checks the atomic rate mirror
+// tracks retunes in both directions: a bucket retuned to a finite rate
+// must enforce again, and back to Infinite must stop enforcing.
+func TestUnlimitedFastPathRetuneToFinite(t *testing.T) {
+	clk := clock.NewSim(time.Date(2022, 5, 1, 0, 0, 0, 0, time.UTC))
+	bk := NewUnlimited(clk)
+	for i := 0; i < 10; i++ {
+		if !bk.TryTake(1) {
+			t.Fatal("unlimited TryTake failed")
+		}
+	}
+	bk.Set(5, 2) // finite: 2-token burst
+	if !bk.TryTake(2) {
+		t.Fatal("TryTake within burst failed")
+	}
+	if bk.TryTake(1) {
+		t.Error("TryTake beyond burst succeeded: finite retune not enforced")
+	}
+	bk.SetRate(Infinite)
+	if !bk.TryTake(1000) {
+		t.Error("TryTake after retune back to Infinite failed")
+	}
+}
+
+// TestGrantedConservedUnderConcurrency checks the atomic-float grant
+// accounting loses nothing when the lock-free and locked paths race.
+func TestGrantedConservedUnderConcurrency(t *testing.T) {
+	bk := NewUnlimited(clock.NewReal())
+	const (
+		workers = 8
+		perG    = 10000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if !bk.TryTake(1) {
+					t.Error("TryTake failed")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := bk.Granted(); got != workers*perG {
+		t.Fatalf("Granted = %v, want %d", got, workers*perG)
+	}
+}

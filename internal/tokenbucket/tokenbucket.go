@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"padll/internal/clock"
@@ -37,6 +38,12 @@ var ErrClosed = errors.New("tokenbucket: closed")
 const Infinite = math.MaxFloat64
 
 // Bucket is a token bucket. It is safe for concurrent use.
+//
+// Unlimited buckets (rate == Infinite, the passthrough configuration)
+// admit on a lock-free fast path: TryTake/Wait check an atomic mirror of
+// the rate and record the grant with an atomic float add, so stages in
+// passthrough mode never serialize on the bucket mutex. Finite-rate
+// admission keeps the mutex — token arithmetic must settle exactly.
 type Bucket struct {
 	mu       sync.Mutex
 	clk      clock.Clock
@@ -48,9 +55,26 @@ type Bucket struct {
 	// waiters receive a broadcast when tokens become available sooner
 	// than previously computed (rate increase or capacity change).
 	retune chan struct{}
-	// granted counts tokens handed out over the bucket's lifetime; the
-	// conservation property tests rely on it.
-	granted float64
+
+	// unlimitedA/closedA mirror rate == Infinite and closed for the
+	// lock-free admission path; both are updated under mu.
+	unlimitedA atomic.Bool
+	closedA    atomic.Bool
+	// grantedBits holds the float64 bits of the lifetime granted-token
+	// count; the conservation property tests rely on it. CAS-add keeps
+	// it exact from both the locked and lock-free paths.
+	grantedBits atomic.Uint64
+}
+
+// addGranted atomically adds n to the lifetime granted count.
+func (b *Bucket) addGranted(n float64) {
+	for {
+		old := b.grantedBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + n)
+		if b.grantedBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
 }
 
 // New returns a bucket refilling at rate tokens/second with the given
@@ -64,7 +88,7 @@ func New(clk clock.Clock, rate, capacity float64) *Bucket {
 	if rate <= 0 {
 		rate = 1e-9
 	}
-	return &Bucket{
+	b := &Bucket{
 		clk:      clk,
 		rate:     rate,
 		capacity: capacity,
@@ -72,11 +96,13 @@ func New(clk clock.Clock, rate, capacity float64) *Bucket {
 		last:     clk.Now(),
 		retune:   make(chan struct{}),
 	}
+	b.unlimitedA.Store(rate == Infinite)
+	return b
 }
 
 // NewUnlimited returns a bucket that admits everything immediately.
 func NewUnlimited(clk clock.Clock) *Bucket {
-	return &Bucket{
+	b := &Bucket{
 		clk:      clk,
 		rate:     Infinite,
 		capacity: Infinite,
@@ -84,6 +110,8 @@ func NewUnlimited(clk clock.Clock) *Bucket {
 		last:     clk.Now(),
 		retune:   make(chan struct{}),
 	}
+	b.unlimitedA.Store(true)
+	return b
 }
 
 // refillLocked accrues tokens for the time elapsed since the last refill.
@@ -128,9 +156,7 @@ func (b *Bucket) Tokens() float64 {
 
 // Granted returns the total number of tokens granted so far.
 func (b *Bucket) Granted() float64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.granted
+	return math.Float64frombits(b.grantedBits.Load())
 }
 
 // SetRate retunes the refill rate, settling accrual at the old rate up to
@@ -144,6 +170,7 @@ func (b *Bucket) SetRate(rate float64) {
 	b.mu.Lock()
 	b.refillLocked(b.clk.Now())
 	b.rate = rate
+	b.unlimitedA.Store(rate == Infinite)
 	if rate == Infinite {
 		b.tokens = Infinite
 	} else if b.tokens == Infinite {
@@ -180,6 +207,7 @@ func (b *Bucket) Set(rate, capacity float64) {
 	b.refillLocked(b.clk.Now())
 	b.rate = rate
 	b.capacity = capacity
+	b.unlimitedA.Store(rate == Infinite)
 	if b.tokens > capacity && rate != Infinite {
 		b.tokens = capacity
 	}
@@ -202,6 +230,17 @@ func (b *Bucket) TryTake(n float64) bool {
 	if n <= 0 {
 		return true
 	}
+	// Unlimited fast path: no token arithmetic to settle, so admission
+	// needs no lock. A retune to a finite rate racing this check may let
+	// one in-flight admission through ungated — the same window the
+	// locked path has between reading the rate and acting on it.
+	if b.unlimitedA.Load() {
+		if b.closedA.Load() {
+			return false
+		}
+		b.addGranted(n)
+		return true
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
@@ -210,7 +249,7 @@ func (b *Bucket) TryTake(n float64) bool {
 	b.refillLocked(b.clk.Now())
 	if b.tokens >= n {
 		b.tokens -= n
-		b.granted += n
+		b.addGranted(n)
 		return true
 	}
 	return false
@@ -225,6 +264,14 @@ func (b *Bucket) Wait(n float64) error {
 	if n <= 0 {
 		return nil
 	}
+	// Unlimited fast path; see TryTake.
+	if b.unlimitedA.Load() {
+		if b.closedA.Load() {
+			return ErrClosed
+		}
+		b.addGranted(n)
+		return nil
+	}
 	for {
 		b.mu.Lock()
 		if b.closed {
@@ -237,7 +284,7 @@ func (b *Bucket) Wait(n float64) error {
 			if b.rate != Infinite {
 				b.tokens -= n
 			}
-			b.granted += n
+			b.addGranted(n)
 			b.mu.Unlock()
 			return nil
 		}
@@ -246,7 +293,7 @@ func (b *Bucket) Wait(n float64) error {
 		if n > b.capacity {
 			deficit := n - b.tokens
 			b.tokens -= n // goes negative: future admissions pay the debt
-			b.granted += n
+			b.addGranted(n)
 			rate := b.rate
 			b.mu.Unlock()
 			b.clk.Sleep(time.Duration(deficit / rate * float64(time.Second)))
@@ -294,7 +341,7 @@ func (b *Bucket) Grant(n float64, dt time.Duration) float64 {
 	now := b.clk.Now()
 	b.refillLocked(now)
 	if b.rate == Infinite {
-		b.granted += n
+		b.addGranted(n)
 		return n
 	}
 	// Refill only for the part of [last, now+dt) not already granted: a
@@ -312,7 +359,7 @@ func (b *Bucket) Grant(n float64, dt time.Duration) float64 {
 	}
 	admit := math.Min(n, b.tokens)
 	b.tokens -= admit
-	b.granted += admit
+	b.addGranted(admit)
 	return admit
 }
 
@@ -321,6 +368,7 @@ func (b *Bucket) Close() {
 	b.mu.Lock()
 	if !b.closed {
 		b.closed = true
+		b.closedA.Store(true)
 		b.broadcastLocked()
 	}
 	b.mu.Unlock()
