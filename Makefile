@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-all bench-smoke vet fmt lint ci experiments tools clean
+.PHONY: all build test race fuzz-smoke bench bench-all bench-smoke vet fmt lint ci experiments tools clean
 
 # Hot-path packages benchmarked by `make bench` (the data-plane fast path).
 BENCH_PKGS = ./internal/stage/... ./internal/metrics/... \
@@ -17,8 +17,18 @@ build:
 test:
 	$(GO) test ./...
 
+# Control-plane packages under the race detector, twice: -count=2
+# defeats the test cache and shakes out order-dependent state, which is
+# how the chaos determinism tests are meant to be run.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -count=2 ./internal/stage/... ./internal/control/... ./internal/rpcio/...
+
+# 10-second smoke run of each fuzz target (go allows one -fuzz per
+# invocation). The checked-in corpora under testdata/fuzz replay on every
+# plain `go test` already; this also exercises fresh mutations.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzMatcher -fuzztime 10s ./internal/policy/
+	$(GO) test -run '^$$' -fuzz FuzzTraceParse -fuzztime 10s ./internal/trace/
 
 # Hot-path microbenchmarks at 1, 4 and 8 simulated CPUs; the raw
 # `go test -json` event stream lands in BENCH_stage.json so runs can be
@@ -48,7 +58,8 @@ lint:
 	$(GO) run ./cmd/padll-lint ./...
 
 # The full gate: formatting, vet, padll-lint, build, race-enabled tests,
-# and a one-iteration benchmark smoke so the hot-path benches can't rot.
+# the doubled control-plane race pass, and a one-iteration benchmark
+# smoke so the hot-path benches can't rot.
 ci:
 	@unformatted="$$(gofmt -l .)"; \
 	if [ -n "$$unformatted" ]; then \
@@ -58,6 +69,7 @@ ci:
 	$(GO) run ./cmd/padll-lint ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(MAKE) race
 	$(MAKE) bench-smoke
 
 # Regenerate every figure/table of the paper (tables printed to stdout,

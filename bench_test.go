@@ -270,3 +270,13 @@ func BenchmarkAdaptiveLimit(b *testing.B) {
 		b.ReportMetric(r.Adaptive.SaturatedFracAfter*100, "aimd_saturated_%")
 	}
 }
+
+// ---- E7.1: chaos replay — controller crash and recovery ----
+
+func BenchmarkE7_ChaosReplay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.ChaosReplay(experiments.DefaultSeed)
+		b.ReportMetric(r.OutageMaxDeviation*100, "outage_dev_%")
+		b.ReportMetric(r.Aggregate.Mean(), "mean_admitted_ops/s")
+	}
+}

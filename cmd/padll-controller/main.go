@@ -50,6 +50,7 @@ func main() {
 		perJob    = flag.Float64("static-per-job", 0, "static setup: fixed per-job rate (0 = divide limit)")
 		interval  = flag.Duration("interval", time.Second, "feedback loop period")
 		report    = flag.Duration("report", 5*time.Second, "allocation report period (0 = quiet)")
+		evict     = flag.Int("evict-after", 3, "deregister a stage after this many consecutive failed control rounds (0 = never)")
 		httpAddr  = flag.String("http", "", "HTTP monitor address (e.g. 127.0.0.1:8080; empty = disabled)")
 	)
 	flag.Var(res, "reserve", "per-job reservation, repeatable: job=rate (rates accept k/m suffixes)")
@@ -73,6 +74,9 @@ func main() {
 	opts := []padll.ControlOption{padll.WithClusterLimit(*limit)}
 	if alg != nil {
 		opts = append(opts, padll.WithAlgorithm(alg))
+	}
+	if *evict > 0 {
+		opts = append(opts, padll.WithEvictAfter(*evict))
 	}
 	cp := padll.NewControlPlane(opts...)
 	for job, rate := range res {
@@ -125,7 +129,14 @@ func printReport(cp *padll.ControlPlane) {
 	alloc := cp.LastAllocation()
 	sort.Slice(snaps, func(i, j int) bool { return snaps[i].JobID < snaps[j].JobID })
 	for _, s := range snaps {
-		fmt.Printf("  job %-12s stages=%d demand=%8.0f throughput=%8.0f allocated=%8.0f\n",
+		line := fmt.Sprintf("  job %-12s stages=%d demand=%8.0f throughput=%8.0f allocated=%8.0f",
 			s.JobID, s.Stages, s.Demand, s.Throughput, alloc[s.JobID])
+		if s.DegradedStages > 0 {
+			line += fmt.Sprintf(" degraded=%d", s.DegradedStages)
+		}
+		if s.FailedStages > 0 {
+			line += fmt.Sprintf(" failed=%d", s.FailedStages)
+		}
+		fmt.Println(line)
 	}
 }

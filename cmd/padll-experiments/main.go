@@ -28,7 +28,7 @@ func main() {
 	var (
 		fig    = flag.String("fig", "", "figures to regenerate: 1,2,4,5 or all")
 		table  = flag.String("table", "", "tables to regenerate: overhead")
-		ext    = flag.String("ext", "", "extensions: drf,mds,ablation,scalability,adaptive or all")
+		ext    = flag.String("ext", "", "extensions: drf,mds,ablation,scalability,adaptive,chaos or all")
 		seed   = flag.Int64("seed", experiments.DefaultSeed, "workload seed")
 		csvDir = flag.String("csv", "", "directory to dump series CSVs into")
 	)
@@ -120,6 +120,20 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(experiments.RenderScalability(rows))
+	}
+	if want(*ext, "chaos") {
+		r := experiments.ChaosReplay(*seed)
+		fmt.Println(r.Render())
+		series := []*metrics.Series{named("aggregate", r.Aggregate)}
+		ids := make([]string, 0, len(r.PerJob))
+		for id := range r.PerJob {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			series = append(series, named(id, r.PerJob[id]))
+		}
+		dumpCSV(*csvDir, "e7_chaos.csv", metrics.MergeCSV(series...))
 	}
 	if want(*ext, "ablation") {
 		burst := experiments.BurstAblation(*seed)

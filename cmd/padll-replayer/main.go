@@ -45,6 +45,7 @@ func main() {
 		jobID      = flag.String("job", "replay-job", "job ID stamped on requests")
 		serve      = flag.String("serve", "", "expose the stage control service on this address")
 		controller = flag.String("controller", "", "register with this control plane")
+		heartbeat  = flag.Duration("heartbeat", 0, "probe the controller at this interval; on loss freeze limits and mark the stage degraded (0 = off)")
 		files      = flag.Int("files", 128, "pre-created file population")
 	)
 	flag.Parse()
@@ -108,6 +109,15 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("stage control service on", dp.Addr())
+		if *heartbeat > 0 {
+			if *controller == "" {
+				fatal(fmt.Errorf("-heartbeat needs -controller"))
+			}
+			if err := dp.StartHeartbeat(*heartbeat, *heartbeat); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("heartbeat to %s every %v\n", *controller, *heartbeat)
+		}
 	}
 
 	w := &trace.Workload{
@@ -160,6 +170,9 @@ func main() {
 		}
 		fmt.Printf("  %-10s total=%-10d mean=%8.0f/s peak=%8.0f/s\n",
 			op, r.Total(op), s.Mean(), s.Max())
+	}
+	if deg := dp.DegradedFor(); deg > 0 {
+		fmt.Printf("controller degraded for %v of the run\n", deg.Round(time.Millisecond))
 	}
 	stats := dp.Stats()
 	for _, q := range stats.Queues {

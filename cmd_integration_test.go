@@ -181,6 +181,131 @@ func TestCommandLineToolsEndToEnd(t *testing.T) {
 	}
 }
 
+// TestControllerCrashEndToEnd is the failure-model demo over real TCP
+// (DESIGN.md §8): a controller with Priority reservations drives two
+// replayer stages; the controller is SIGKILLed mid-run. The stages must
+// freeze their last-pushed limits (observable live via padll-ctl and in
+// the final queue report) and account nonzero degraded time.
+func TestControllerCrashEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	bins := buildTools(t)
+
+	controller := exec.Command(filepath.Join(bins, "padll-controller"),
+		"-listen", "127.0.0.1:17270", "-algorithm", "priority",
+		"-limit", "20000", "-reserve", "job-a=4k", "-reserve", "job-b=6k",
+		"-interval", "200ms", "-report", "0")
+	var ctlOut lockedBuffer
+	controller.Stdout = &ctlOut
+	controller.Stderr = &ctlOut
+	if err := controller.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		controller.Process.Kill()
+		controller.Wait()
+	}()
+	waitForOutput(t, &ctlOut, "registrar on", 5*time.Second)
+
+	// Two stages, one per job, each heartbeating the controller.
+	type stageProc struct {
+		job, addr, rate string
+		cmd             *exec.Cmd
+		out             *lockedBuffer
+	}
+	stages := []*stageProc{
+		{job: "job-a", addr: "127.0.0.1:17271", rate: "4000"},
+		{job: "job-b", addr: "127.0.0.1:17272", rate: "6000"},
+	}
+	for _, s := range stages {
+		s.out = &lockedBuffer{}
+		s.cmd = exec.Command(filepath.Join(bins, "padll-replayer"),
+			"-synthetic", "-seed", "7", "-duration", "12s",
+			"-job", s.job, "-serve", s.addr,
+			"-controller", "127.0.0.1:17270", "-heartbeat", "150ms")
+		s.cmd.Stdout = s.out
+		s.cmd.Stderr = s.out
+		if err := s.cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer func(c *exec.Cmd) {
+			c.Process.Kill()
+			c.Wait()
+		}(s.cmd)
+	}
+	for _, s := range stages {
+		waitForOutput(t, s.out, "stage control service on", 5*time.Second)
+	}
+
+	// Wait until the control loop has tuned both stages to their
+	// reservations, and remember the managed-queue line verbatim.
+	ctl := filepath.Join(bins, "padll-ctl")
+	before := map[string]string{}
+	for _, s := range stages {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			out := run(t, ctl, "-stage", s.addr, "stats")
+			if line := controlLine(out); line != "" && strings.Contains(line, s.rate) {
+				before[s.job] = line
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("stage %s never reached its reservation:\n%s", s.job, out)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+
+	// Crash the controller mid-run, hard.
+	if err := controller.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	controller.Wait()
+
+	// Several heartbeat periods later the stages must still enforce the
+	// exact limits the dead controller last pushed.
+	time.Sleep(1 * time.Second)
+	for _, s := range stages {
+		out := run(t, ctl, "-stage", s.addr, "stats")
+		if line := controlLine(out); line != before[s.job] {
+			t.Errorf("stage %s limit drifted after controller death:\nbefore: %s\nafter:  %s",
+				s.job, before[s.job], line)
+		}
+	}
+
+	// Let the replay run out and check the summaries: nonzero degraded
+	// time, and the managed queue still throttled to the frozen rate.
+	for _, s := range stages {
+		if err := s.cmd.Wait(); err != nil {
+			t.Fatalf("replayer %s: %v\n%s", s.job, err, s.out.String())
+		}
+		out := s.out.String()
+		if !strings.Contains(out, "controller degraded for") {
+			t.Errorf("replayer %s reported no degraded time:\n%s", s.job, out)
+		}
+		if !strings.Contains(out, "queue padll-control") || !strings.Contains(out, s.rate+"/s") {
+			t.Errorf("replayer %s lost its frozen managed queue (want %s/s):\n%s", s.job, s.rate, out)
+		}
+	}
+}
+
+// controlLine extracts the padll-control queue's limit=... token from
+// ctl stats output (the rest of the line carries live counters).
+func controlLine(statsOut string) string {
+	for _, line := range strings.Split(statsOut, "\n") {
+		if !strings.Contains(line, "padll-control") {
+			continue
+		}
+		for _, tok := range strings.Fields(line) {
+			if strings.HasPrefix(tok, "limit=") {
+				return tok
+			}
+		}
+	}
+	return ""
+}
+
 // waitForOutput polls a process's captured output for a marker.
 func waitForOutput(t *testing.T, buf *lockedBuffer, marker string, timeout time.Duration) {
 	t.Helper()

@@ -1,0 +1,402 @@
+// Package chaos is a deterministic fault-injection harness for PADLL's
+// control plane. It assembles a controller and a set of stages entirely
+// in-process on a simulated clock, then drives a scripted (and
+// seed-randomized) schedule of failures — controller crashes mid-round,
+// stage crashes mid-collect, network partitions that later heal — while
+// recording every observable transition in an event log.
+//
+// Everything is single-threaded and clock-driven: two runs with the same
+// seed produce byte-identical event logs, which is what lets the chaos
+// tests assert exact recovery behaviour (frozen limits during an outage,
+// reconciliation within one control interval of restart) instead of
+// sleeping and hoping.
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"padll/internal/clock"
+	"padll/internal/control"
+	"padll/internal/policy"
+	"padll/internal/stage"
+)
+
+// ErrUnreachable is what injected network failures surface as.
+var ErrUnreachable = errors.New("chaos: peer unreachable")
+
+// ErrControllerDown marks calls that arrive while the simulated
+// controller process is dead.
+var ErrControllerDown = errors.New("chaos: controller is down")
+
+// Config sizes a harness.
+type Config struct {
+	// Seed drives every random choice a scenario makes.
+	Seed int64
+	// Interval is the control-loop period (default 1s).
+	Interval time.Duration
+	// Limit is the cluster-wide rate limit (default 300_000).
+	Limit float64
+	// EvictAfter configures controller-side mark-sweep eviction
+	// (0 = never evict).
+	EvictAfter int
+	// Reservations are per-job reserved rates, re-applied on restart.
+	Reservations map[string]float64
+	// Algorithm defaults to control.StaticEqualShare{}.
+	Algorithm control.Algorithm
+}
+
+// Event is one scheduled action in a scenario.
+type Event struct {
+	At   time.Duration
+	Name string
+	Do   func(h *Harness)
+}
+
+// StageNode is one simulated application stage plus its failure state.
+type StageNode struct {
+	ID  string
+	Job string
+	Stg *stage.Stage
+
+	conn        *chaosConn
+	partitioned atomic.Bool
+	crashed     atomic.Bool
+	// collectBudget < 0 disables the counter; otherwise the node crashes
+	// permanently after that many further successful collects.
+	collectBudget atomic.Int64
+}
+
+// Harness wires a controller and stages together under injected faults.
+type Harness struct {
+	cfg   Config
+	clk   *clock.Sim
+	start time.Time
+	ctl   *control.Controller
+	nodes map[string]*StageNode
+	ids   []string // sorted; the deterministic iteration order
+
+	events   []Event
+	nextTick time.Duration
+
+	controllerDown bool
+	// pushBudget < 0 disarms the mid-round crash; otherwise the
+	// controller dies after that many further successful rate pushes.
+	pushBudget atomic.Int64
+
+	rng    *rand.Rand
+	logBuf bytes.Buffer
+
+	// OutageStart/OutageEnd record the scheduled controller outage
+	// window (when a scenario has one) so tests can place probes.
+	OutageStart, OutageEnd time.Duration
+}
+
+// New builds an empty harness; add stages, schedule events, then Run.
+func New(cfg Config) *Harness {
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.Limit == 0 {
+		cfg.Limit = 300_000
+	}
+	if cfg.Algorithm == nil {
+		cfg.Algorithm = control.StaticEqualShare{}
+	}
+	h := &Harness{
+		cfg:      cfg,
+		clk:      clock.NewSim(time.Date(2022, 5, 1, 0, 0, 0, 0, time.UTC)),
+		nodes:    map[string]*StageNode{},
+		nextTick: cfg.Interval,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+	h.start = h.clk.Now()
+	h.pushBudget.Store(-1)
+	h.ctl = h.newController()
+	return h
+}
+
+func (h *Harness) newController() *control.Controller {
+	opts := []control.Option{
+		control.WithClusterLimit(h.cfg.Limit),
+		control.WithAlgorithm(h.cfg.Algorithm),
+		control.WithErrorHandler(func(id string, err error) {
+			if errors.Is(err, control.ErrEvicted) {
+				h.logf("stage %s evicted by controller", id)
+				return
+			}
+			h.logf("stage %s control error: %v", id, err)
+		}),
+	}
+	if h.cfg.EvictAfter > 0 {
+		opts = append(opts, control.WithEvictAfter(h.cfg.EvictAfter))
+	}
+	ctl := control.New(h.clk, opts...)
+	for job, rate := range h.cfg.Reservations {
+		ctl.SetReservation(job, rate)
+	}
+	return ctl
+}
+
+// AddStage registers a fresh stage with the controller.
+func (h *Harness) AddStage(id, job string) *StageNode {
+	n := &StageNode{
+		ID:  id,
+		Job: job,
+		Stg: stage.New(stage.Info{StageID: id, JobID: job}, h.clk),
+	}
+	n.collectBudget.Store(-1)
+	n.conn = &chaosConn{LocalConn: control.LocalConn{Stg: n.Stg}, h: h, node: n}
+	if err := h.ctl.Register(n.conn); err != nil {
+		h.logf("stage %s registration error: %v", id, err)
+	}
+	h.nodes[id] = n
+	h.ids = append(h.ids, id)
+	sort.Strings(h.ids)
+	h.logf("stage %s registered (job %s)", id, job)
+	return n
+}
+
+// Node returns a stage node by ID (nil when absent).
+func (h *Harness) Node(id string) *StageNode { return h.nodes[id] }
+
+// Rand is the scenario's seeded randomness source.
+func (h *Harness) Rand() *rand.Rand { return h.rng }
+
+// Controller exposes the live controller (it changes across restarts).
+func (h *Harness) Controller() *control.Controller { return h.ctl }
+
+// Interval returns the control-loop period.
+func (h *Harness) Interval() time.Duration { return h.cfg.Interval }
+
+// At schedules an event; call before Run.
+func (h *Harness) At(at time.Duration, name string, do func(*Harness)) {
+	h.events = append(h.events, Event{At: at, Name: name, Do: do})
+}
+
+// Log returns the event log so far.
+func (h *Harness) Log() string { return h.logBuf.String() }
+
+func (h *Harness) logf(format string, args ...any) {
+	fmt.Fprintf(&h.logBuf, "t=+%-8v %s\n", h.clk.Now().Sub(h.start), fmt.Sprintf(format, args...))
+}
+
+// ---- fault primitives ----
+
+// CrashController kills the controller process: the registry is lost and
+// every stage-side probe fails until RestartController.
+func (h *Harness) CrashController() {
+	h.controllerDown = true
+	h.logf("controller crashed")
+}
+
+// ArmMidRoundCrash makes the controller die after n more successful rate
+// pushes — i.e. partway through a RunOnce push phase, so some stages have
+// the new rates and others still enforce the old ones.
+func (h *Harness) ArmMidRoundCrash(n int) {
+	h.pushBudget.Store(int64(n))
+	h.logf("controller armed to crash after %d pushes", n)
+}
+
+// RestartController boots a fresh controller process: empty registry,
+// reservations restored from configuration. Stages re-register at their
+// next heartbeat tick.
+func (h *Harness) RestartController() {
+	h.ctl = h.newController()
+	h.controllerDown = false
+	h.pushBudget.Store(-1)
+	h.logf("controller restarted (empty registry)")
+}
+
+// Partition cuts a stage off from the controller in both directions.
+func (h *Harness) Partition(id string) {
+	h.nodes[id].partitioned.Store(true)
+	h.logf("stage %s partitioned", id)
+}
+
+// Heal reconnects a partitioned stage.
+func (h *Harness) Heal(id string) {
+	h.nodes[id].partitioned.Store(false)
+	h.logf("stage %s healed", id)
+}
+
+// CrashStage kills a stage permanently.
+func (h *Harness) CrashStage(id string) {
+	h.nodes[id].crashed.Store(true)
+	h.logf("stage %s crashed", id)
+}
+
+// ArmStageCrashAfterCollects makes a stage die permanently after n more
+// successful collects — a crash in the middle of the controller's
+// collect fan-out.
+func (h *Harness) ArmStageCrashAfterCollects(id string, n int) {
+	h.nodes[id].collectBudget.Store(int64(n))
+	h.logf("stage %s armed to crash after %d collects", id, n)
+}
+
+// ---- the run loop ----
+
+// Run advances simulated time until the given offset, firing scheduled
+// events and control/heartbeat ticks in timestamp order. Events that tie
+// with a tick run first.
+func (h *Harness) Run(until time.Duration) {
+	sort.SliceStable(h.events, func(i, j int) bool { return h.events[i].At < h.events[j].At })
+	ei := 0
+	for {
+		nextEvent := until + 1
+		if ei < len(h.events) {
+			nextEvent = h.events[ei].At
+		}
+		switch {
+		case nextEvent <= h.nextTick && nextEvent <= until:
+			h.advanceTo(nextEvent)
+			ev := h.events[ei]
+			ei++
+			if ev.Name != "" {
+				h.logf("event %s", ev.Name)
+			}
+			ev.Do(h)
+		case h.nextTick <= until:
+			h.advanceTo(h.nextTick)
+			h.nextTick += h.cfg.Interval
+			h.tick()
+		default:
+			h.advanceTo(until)
+			return
+		}
+	}
+}
+
+func (h *Harness) advanceTo(at time.Duration) {
+	target := h.start.Add(at)
+	if target.After(h.clk.Now()) {
+		h.clk.AdvanceTo(target)
+	}
+}
+
+// tick models one control interval: first each stage's heartbeat (detect
+// a lost controller, or re-register after recovery — which replays the
+// controller's last-known rules), then the controller's feedback round.
+func (h *Harness) tick() {
+	for _, id := range h.ids {
+		n := h.nodes[id]
+		if n.crashed.Load() {
+			continue
+		}
+		reachable := !h.controllerDown && !n.partitioned.Load()
+		if !reachable {
+			if n.Stg.SetDegraded(true) {
+				h.logf("stage %s degraded: controller unreachable, limits frozen at %.0f",
+					id, RuleRate(n.Stg, control.ControlRuleID))
+			}
+			continue
+		}
+		if n.Stg.Degraded() {
+			if err := h.ctl.Register(n.conn); err != nil {
+				h.logf("stage %s re-registration failed: %v", id, err)
+				continue
+			}
+			n.Stg.SetDegraded(false)
+			h.logf("stage %s re-registered after %v degraded", id, n.Stg.DegradedFor())
+		}
+	}
+	if h.controllerDown {
+		return
+	}
+	alloc := h.ctl.RunOnce()
+	h.logf("control round: %s", fmtAlloc(alloc))
+}
+
+func fmtAlloc(alloc map[string]float64) string {
+	if len(alloc) == 0 {
+		return "(no allocation)"
+	}
+	keys := make([]string, 0, len(alloc))
+	for k := range alloc {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b bytes.Buffer
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%.0f", k, alloc[k])
+	}
+	return b.String()
+}
+
+// RuleRate returns the rate of a stage's rule by ID (-1 when absent).
+func RuleRate(s *stage.Stage, id string) float64 {
+	for _, r := range s.Rules() {
+		if r.ID == id {
+			return r.Rate
+		}
+	}
+	return -1
+}
+
+// ---- the faulty transport ----
+
+// chaosConn wraps the in-process stage connection with the harness's
+// failure state. Collect runs inside the controller's bounded worker
+// pool, so every flag it reads is atomic.
+type chaosConn struct {
+	control.LocalConn
+	h    *Harness
+	node *StageNode
+}
+
+func (c *chaosConn) Collect() (stage.Stats, error) {
+	if c.node.crashed.Load() || c.node.partitioned.Load() {
+		return stage.Stats{}, ErrUnreachable
+	}
+	if b := c.node.collectBudget.Load(); b >= 0 {
+		if b == 0 {
+			c.node.crashed.Store(true)
+			return stage.Stats{}, ErrUnreachable
+		}
+		c.node.collectBudget.Store(b - 1)
+	}
+	return c.LocalConn.Collect()
+}
+
+func (c *chaosConn) SetRate(id string, rate float64) (bool, error) {
+	if ok, err := c.reachable(); !ok {
+		return false, err
+	}
+	return c.LocalConn.SetRate(id, rate)
+}
+
+func (c *chaosConn) ApplyRule(r policy.Rule) error {
+	if ok, err := c.reachable(); !ok {
+		return err
+	}
+	return c.LocalConn.ApplyRule(r)
+}
+
+// reachable gates every controller->stage push, and is where an armed
+// mid-round crash fires: pushes run sequentially on the control loop's
+// goroutine, so the budget decides deterministically which stages saw
+// the new rates before the controller died.
+func (c *chaosConn) reachable() (bool, error) {
+	if c.h.controllerDown {
+		return false, ErrControllerDown
+	}
+	if c.node.crashed.Load() || c.node.partitioned.Load() {
+		return false, ErrUnreachable
+	}
+	if b := c.h.pushBudget.Load(); b >= 0 {
+		if b == 0 {
+			c.h.CrashController()
+			return false, ErrControllerDown
+		}
+		c.h.pushBudget.Store(b - 1)
+	}
+	return true, nil
+}

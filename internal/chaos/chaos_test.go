@@ -1,0 +1,198 @@
+package chaos
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"padll/internal/control"
+)
+
+const runFor = 30 * time.Second
+
+// probeRates snapshots every live stage's managed rate at time at.
+func probeRates(h *Harness, at time.Duration, into map[string]float64) {
+	h.At(at, "", func(h *Harness) {
+		for _, id := range h.ids {
+			n := h.nodes[id]
+			if n.crashed.Load() {
+				continue
+			}
+			into[id] = RuleRate(n.Stg, control.ControlRuleID)
+		}
+	})
+}
+
+func TestControllerCrashFreezesAndReconciles(t *testing.T) {
+	h := ControllerCrashMidRun(2022)
+	frozen := map[string]float64{}
+	during := map[string]float64{}
+	after := map[string]float64{}
+	// Just after the crash fires, record what each stage enforces; deep
+	// into the outage it must be byte-for-byte the same (frozen, not
+	// decayed to zero and not reset to unlimited).
+	probeRates(h, h.OutageStart+h.Interval(), frozen)
+	probeRates(h, h.OutageEnd-h.Interval()/2, during)
+	// One full control interval after the restart, every stage must be
+	// re-registered and re-tuned.
+	probeRates(h, h.OutageEnd+h.Interval()+h.Interval()/2, after)
+	h.Run(runFor)
+
+	if len(frozen) != 4 {
+		t.Fatalf("probe saw %d stages, want 4", len(frozen))
+	}
+	for id, rate := range frozen {
+		if rate <= 0 {
+			t.Errorf("stage %s enforcing rate %v during outage; limits must stay finite", id, rate)
+		}
+		if during[id] != rate {
+			t.Errorf("stage %s drifted during the outage: %v -> %v (limits must freeze)", id, rate, during[id])
+		}
+	}
+	// Reconciled: back under management at sane rates.
+	for id, rate := range after {
+		if rate <= 0 {
+			t.Errorf("stage %s not reconciled after restart: rate %v", id, rate)
+		}
+	}
+	log := h.Log()
+	for _, want := range []string{
+		"controller crashed",
+		"degraded: controller unreachable, limits frozen",
+		"controller restarted (empty registry)",
+		"re-registered after",
+	} {
+		if !strings.Contains(log, want) {
+			t.Errorf("log missing %q:\n%s", want, log)
+		}
+	}
+	// Degraded time must be accounted on every stage.
+	for _, id := range h.ids {
+		if h.Node(id).Stg.DegradedFor() <= 0 {
+			t.Errorf("stage %s has no degraded time after an outage", id)
+		}
+	}
+}
+
+func TestReconcileWithinOneInterval(t *testing.T) {
+	h := ControllerCrashMidRun(7)
+	h.Run(runFor)
+	log := h.Log()
+	// Find the restart line and assert every stage re-registers before
+	// one full interval has elapsed after it.
+	restartAt := -1 * time.Second
+	var reRegistered int
+	for _, line := range strings.Split(log, "\n") {
+		ts, rest, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		at, err := time.ParseDuration(strings.TrimPrefix(strings.TrimSpace(ts), "t=+"))
+		if err != nil {
+			continue
+		}
+		rest = strings.TrimSpace(rest)
+		if strings.Contains(rest, "controller restarted") {
+			restartAt = at
+		}
+		if strings.Contains(rest, "re-registered") {
+			if restartAt < 0 {
+				t.Fatalf("re-registration before any restart: %s", line)
+			}
+			if at-restartAt > h.Interval() {
+				t.Errorf("stage reconciled %v after restart, want <= %v: %s", at-restartAt, h.Interval(), line)
+			}
+			reRegistered++
+		}
+	}
+	if restartAt < 0 {
+		t.Fatalf("no restart in log:\n%s", log)
+	}
+	if reRegistered != 4 {
+		t.Errorf("%d stages re-registered, want 4\n%s", reRegistered, log)
+	}
+}
+
+func TestStageCrashMidCollectEvictsAndRedistributes(t *testing.T) {
+	h := StageCrashMidCollect(99)
+	h.Run(runFor)
+	log := h.Log()
+	if !strings.Contains(log, "evicted by controller") {
+		t.Fatalf("crashed stage never evicted:\n%s", log)
+	}
+	// Exactly one stage is down; its job's survivor must now hold the
+	// job's whole grant (job share split by 1, not 2).
+	var victim *StageNode
+	for _, id := range h.ids {
+		if h.Node(id).crashed.Load() {
+			if victim != nil {
+				t.Fatal("more than one crashed stage")
+			}
+			victim = h.Node(id)
+		}
+	}
+	if victim == nil {
+		t.Fatalf("no stage crashed:\n%s", log)
+	}
+	var survivor *StageNode
+	for _, id := range h.ids {
+		n := h.Node(id)
+		if n.Job == victim.Job && n != victim {
+			survivor = n
+		}
+	}
+	// Fixed rates: job1 is granted its 30k reservation, job2 its 50k.
+	// The survivor holds the full job grant once the corpse is swept.
+	wantJob := map[string]float64{"job1": 30_000, "job2": 50_000}[victim.Job]
+	if got := RuleRate(survivor.Stg, control.ControlRuleID); math.Abs(got-wantJob) > 1 {
+		t.Errorf("survivor %s rate = %v, want the job's full %v", survivor.ID, got, wantJob)
+	}
+	if got := len(h.Controller().Stages()); got != 3 {
+		t.Errorf("%d stages registered after eviction, want 3", got)
+	}
+}
+
+func TestPartitionHealReintegrates(t *testing.T) {
+	h := PartitionHeal(5)
+	h.Run(runFor)
+	log := h.Log()
+	for _, want := range []string{"partitioned", "degraded: controller unreachable", "healed", "re-registered"} {
+		if !strings.Contains(log, want) {
+			t.Fatalf("log missing %q:\n%s", want, log)
+		}
+	}
+	// After healing, all four stages are registered again and each
+	// holds a managed per-stage rate (job grant split by two again).
+	if got := len(h.Controller().Stages()); got != 4 {
+		t.Errorf("%d stages registered after heal, want 4", got)
+	}
+	for _, id := range h.ids {
+		// Fixed rates split per stage: job1 30k/2, job2 50k/2.
+		want := map[string]float64{"job1": 15_000, "job2": 25_000}[h.Node(id).Job]
+		if got := RuleRate(h.Node(id).Stg, control.ControlRuleID); math.Abs(got-want) > 1 {
+			t.Errorf("stage %s rate = %v, want %v", id, got, want)
+		}
+	}
+}
+
+func TestSameSeedRunsAreByteIdentical(t *testing.T) {
+	for name, mk := range map[string]func(int64) *Harness{
+		"controller-crash": ControllerCrashMidRun,
+		"stage-crash":      StageCrashMidCollect,
+		"partition-heal":   PartitionHeal,
+	} {
+		a := mk(42)
+		a.Run(runFor)
+		b := mk(42)
+		b.Run(runFor)
+		if a.Log() != b.Log() {
+			t.Errorf("%s: same seed produced different event logs:\n--- run 1\n%s\n--- run 2\n%s", name, a.Log(), b.Log())
+		}
+		c := mk(43)
+		c.Run(runFor)
+		if a.Log() == c.Log() {
+			t.Errorf("%s: different seeds produced identical logs — scenario ignores its seed", name)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package control
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sort"
@@ -45,6 +46,24 @@ type Controller struct {
 	lastAlloc        map[string]float64
 	loopStop         chan struct{}
 	loopDone         chan struct{}
+
+	// collectWorkers bounds CollectAll's fan-out (default 8): the loop
+	// tolerates slow stages without serializing behind them, but a
+	// thousand-stage registry must not burst a thousand goroutines.
+	collectWorkers int
+	// evictAfter is the mark-sweep threshold: a stage whose collect/push
+	// RPCs fail this many consecutive rounds is evicted from the registry
+	// (0 disables eviction — dead stages are skipped but kept).
+	evictAfter int
+	// misses counts consecutive communication failures per stage (the
+	// "mark" half of mark-sweep; any success clears the mark).
+	misses map[string]int
+	// adminRules and clusterRules remember administrator intent (the
+	// aggregate rule, pre-split) per group and cluster-wide, so an
+	// idempotent re-registration replays the last-known rule set onto a
+	// restarted stage.
+	adminRules   map[string]map[string]policy.Rule
+	clusterRules map[string]policy.Rule
 }
 
 // Option configures a Controller.
@@ -96,6 +115,23 @@ func WithErrorHandler(f func(stageID string, err error)) Option {
 	return func(c *Controller) { c.onError = f }
 }
 
+// WithCollectConcurrency bounds how many stages CollectAll queries in
+// parallel (default 8; 1 forces sequential collection).
+func WithCollectConcurrency(n int) Option {
+	return func(c *Controller) {
+		if n > 0 {
+			c.collectWorkers = n
+		}
+	}
+}
+
+// WithEvictAfter enables mark-sweep eviction: a stage that fails n
+// consecutive control rounds is deregistered and its group's share
+// released for redistribution. n <= 0 disables eviction.
+func WithEvictAfter(n int) Option {
+	return func(c *Controller) { c.evictAfter = n }
+}
+
 // New returns a controller.
 func New(clk clock.Clock, opts ...Option) *Controller {
 	c := &Controller{
@@ -109,6 +145,10 @@ func New(clk clock.Clock, opts ...Option) *Controller {
 		isDefaultGroupBy: true,
 		onError:          func(string, error) {},
 		lastAlloc:        make(map[string]float64),
+		collectWorkers:   8,
+		misses:           make(map[string]int),
+		adminRules:       make(map[string]map[string]policy.Rule),
+		clusterRules:     make(map[string]policy.Rule),
 	}
 	for _, o := range opts {
 		o(c)
@@ -126,30 +166,93 @@ func (c *Controller) Clock() clock.Clock { return c.clk }
 // Register adds a stage to the registry. A stage re-registering under an
 // existing ID (restart or reconnect after a network failure — the
 // dependability case §VI highlights) replaces its previous connection,
-// which is closed. If an algorithm is active, the stage immediately
-// receives the managed control queue so a newly arrived job is throttled
-// from its first request.
+// which is closed, and has its failure marks cleared. If an algorithm is
+// active, the stage immediately receives the managed control queue — at
+// its group's last-known per-stage allocation when one exists, so a
+// restarted stage resumes the frozen rate rather than resetting to an
+// equal share. Administrator rules recorded for the group (and
+// cluster-wide) are replayed onto the connection, making re-registration
+// idempotent: a stage that lost its state comes back with the last-known
+// rule set.
 func (c *Controller) Register(conn StageConn) error {
+	info := conn.Info()
+	id := info.StageID
 	c.mu.Lock()
-	id := conn.Info().StageID
 	old := c.stages[id]
 	c.stages[id] = conn
+	delete(c.misses, id)
 	alg := c.algorithm
+	key := c.groupBy(info)
+	rate, haveAlloc := 0.0, false
+	if a, ok := c.lastAlloc[key]; ok {
+		if n := len(c.stagesOfJobLocked(key)); n > 0 {
+			rate, haveAlloc = a/float64(n), true
+		}
+	}
+	replay := c.replayRulesLocked(key)
 	c.mu.Unlock()
+
 	if old != nil && old != conn {
 		// A replaced connection's close error is unactionable here: the
 		// new connection is already installed.
 		_ = old.Close()
 	}
 	if alg != nil {
-		// Install the managed queue with a conservative initial rate;
-		// the next loop iteration assigns the real allocation.
-		rule := c.managedRuleFor(c.groupKey(conn.Info()), c.initialRate())
+		// Without a recorded allocation, start at a conservative equal
+		// share; the next loop iteration assigns the real rate.
+		if !haveAlloc {
+			rate = c.initialRate()
+		}
+		rule := c.managedRuleFor(key, rate)
 		if err := conn.ApplyRule(rule); err != nil {
 			return fmt.Errorf("control: install control rule on %s: %w", id, err)
 		}
 	}
+	for _, r := range replay {
+		if err := conn.ApplyRule(r); err != nil {
+			c.onError(id, fmt.Errorf("control: replay rule %s: %w", r.ID, err))
+		}
+	}
 	return nil
+}
+
+// replayRulesLocked materializes the per-stage form of every recorded
+// administrator rule a (re-)registering stage of group key should carry,
+// in deterministic (ID-sorted) order. Rates are split by the group's
+// current stage count, matching how the rules were originally pushed.
+func (c *Controller) replayRulesLocked(key string) []policy.Rule {
+	var out []policy.Rule
+	if group := c.adminRules[key]; len(group) > 0 {
+		n := len(c.stagesOfJobLocked(key))
+		ids := make([]string, 0, len(group))
+		for rid := range group {
+			ids = append(ids, rid)
+		}
+		sort.Strings(ids)
+		for _, rid := range ids {
+			r := group[rid]
+			if r.Rate != policy.Unlimited && n > 1 {
+				r.Rate /= float64(n)
+			}
+			out = append(out, r)
+		}
+	}
+	if len(c.clusterRules) > 0 {
+		n := len(c.stages)
+		ids := make([]string, 0, len(c.clusterRules))
+		for rid := range c.clusterRules {
+			ids = append(ids, rid)
+		}
+		sort.Strings(ids)
+		for _, rid := range ids {
+			r := c.clusterRules[rid]
+			if r.Rate != policy.Unlimited && n > 1 {
+				r.Rate /= float64(n)
+			}
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // groupKey derives the orchestration entity key for a stage.
@@ -186,12 +289,23 @@ func (c *Controller) managedRuleFor(key string, rate float64) policy.Rule {
 	return policy.Rule{ID: ControlRuleID, Match: m, Rate: rate}
 }
 
-// Deregister removes a stage (job completion or node failure).
+// Deregister removes a stage (job completion, node failure, or
+// eviction). When the stage was its group's last, the group's share is
+// released — residual allocation, reservation, and recorded rules are
+// dropped — so the next RunOnce redistributes the rate to the remaining
+// jobs instead of holding it for a departed one.
 func (c *Controller) Deregister(stageID string) bool {
 	c.mu.Lock()
 	conn, ok := c.stages[stageID]
 	if ok {
+		key := c.groupBy(conn.Info())
 		delete(c.stages, stageID)
+		delete(c.misses, stageID)
+		if len(c.stagesOfJobLocked(key)) == 0 {
+			delete(c.lastAlloc, key)
+			delete(c.reservations, key)
+			delete(c.adminRules, key)
+		}
 	}
 	c.mu.Unlock()
 	if ok {
@@ -200,6 +314,53 @@ func (c *Controller) Deregister(stageID string) bool {
 		_ = conn.Close()
 	}
 	return ok
+}
+
+// ErrEvicted is reported to the error handler for each stage removed by
+// mark-sweep eviction.
+var ErrEvicted = errors.New("control: stage evicted after repeated failures")
+
+// EvictDead sweeps the registry: every stage whose consecutive-failure
+// mark reached the eviction threshold is deregistered (releasing its
+// group's share, see Deregister) and reported to the error handler with
+// ErrEvicted. It returns the evicted stage IDs, sorted. RunOnce calls
+// this between collect and allocate; it is exported for callers driving
+// the loop manually.
+func (c *Controller) EvictDead() []string {
+	c.mu.Lock()
+	threshold := c.evictAfter
+	var ids []string
+	if threshold > 0 {
+		for id, n := range c.misses {
+			if n >= threshold {
+				ids = append(ids, id)
+			}
+		}
+	}
+	c.mu.Unlock()
+	sort.Strings(ids)
+	for _, id := range ids {
+		if c.Deregister(id) {
+			c.onError(id, ErrEvicted)
+		}
+	}
+	return ids
+}
+
+// noteMiss marks one failed exchange with a stage; noteOK clears the
+// mark.
+func (c *Controller) noteMiss(stageID string) {
+	c.mu.Lock()
+	if _, ok := c.stages[stageID]; ok {
+		c.misses[stageID]++
+	}
+	c.mu.Unlock()
+}
+
+func (c *Controller) noteOK(stageID string) {
+	c.mu.Lock()
+	delete(c.misses, stageID)
+	c.mu.Unlock()
 }
 
 // Stages returns the registered stage identities, sorted by StageID.
@@ -256,6 +417,14 @@ func (c *Controller) stagesOfJobLocked(jobID string) []StageConn {
 func (c *Controller) ApplyRuleToJob(jobID string, r policy.Rule) error {
 	c.mu.Lock()
 	conns := c.stagesOfJobLocked(jobID)
+	if len(conns) > 0 {
+		// Remember the aggregate intent so a restarted stage of this
+		// group gets the rule replayed at re-registration.
+		if c.adminRules[jobID] == nil {
+			c.adminRules[jobID] = make(map[string]policy.Rule)
+		}
+		c.adminRules[jobID][r.ID] = r
+	}
 	c.mu.Unlock()
 	if len(conns) == 0 {
 		return fmt.Errorf("control: no stages for job %q", jobID)
@@ -298,6 +467,9 @@ func (c *Controller) ApplyRuleCluster(r policy.Rule) error {
 	conns := make([]StageConn, 0, len(c.stages))
 	for _, conn := range c.stages {
 		conns = append(conns, conn)
+	}
+	if len(conns) > 0 {
+		c.clusterRules[r.ID] = r
 	}
 	c.mu.Unlock()
 	if len(conns) == 0 {
@@ -346,11 +518,25 @@ type JobSnapshot struct {
 	WaitP50 float64
 	WaitP95 float64
 	WaitP99 float64
+	// Degraded reports that at least one of the job's stages is running
+	// in degraded mode (enforcing frozen limits without its controller);
+	// DegradedStages counts them and DegradedSeconds is the worst
+	// cumulative outage among them.
+	Degraded        bool
+	DegradedStages  int
+	DegradedSeconds float64
+	// FailedStages counts registered stages of the job that did not
+	// answer this collect round (the snapshot is partial).
+	FailedStages int
 }
 
 // CollectAll gathers statistics from every stage, aggregated per job
-// (feedback-loop step 1). Stages that fail to respond are reported to the
-// error handler and skipped.
+// (feedback-loop step 1). Stages are queried concurrently under a
+// bounded worker pool, but results are folded in StageID order, so the
+// output — and everything downstream of it — is deterministic. Stages
+// that fail to respond are reported to the error handler, marked for
+// eviction, and skipped: the loop runs on partial snapshots rather than
+// blocking behind a dead peer.
 func (c *Controller) CollectAll() []JobSnapshot {
 	c.mu.Lock()
 	conns := make([]StageConn, 0, len(c.stages))
@@ -365,17 +551,50 @@ func (c *Controller) CollectAll() []JobSnapshot {
 	for k, v := range c.lastAlloc {
 		lastAlloc[k] = v
 	}
+	groupBy := c.groupBy
+	workers := c.collectWorkers
 	c.mu.Unlock()
+	sort.Slice(conns, func(i, j int) bool { return conns[i].Info().StageID < conns[j].Info().StageID })
+
+	type result struct {
+		st  stage.Stats
+		err error
+	}
+	results := make([]result, len(conns))
+	if workers <= 1 || len(conns) <= 1 {
+		for i, conn := range conns {
+			st, err := conn.Collect()
+			results[i] = result{st, err}
+		}
+	} else {
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for i, conn := range conns {
+			wg.Add(1)
+			go func(i int, conn StageConn) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				st, err := conn.Collect()
+				results[i] = result{st, err}
+			}(i, conn)
+		}
+		wg.Wait()
+	}
 
 	agg := map[string]*JobSnapshot{}
-	for _, conn := range conns {
+	failed := map[string]int{}
+	for i, conn := range conns {
 		info := conn.Info()
-		st, err := conn.Collect()
-		if err != nil {
+		key := groupBy(info)
+		if err := results[i].err; err != nil {
 			c.onError(info.StageID, err)
+			c.noteMiss(info.StageID)
+			failed[key]++
 			continue
 		}
-		key := c.groupBy(info)
+		c.noteOK(info.StageID)
+		st := results[i].st
 		snap, ok := agg[key]
 		if !ok {
 			snap = &JobSnapshot{
@@ -386,6 +605,13 @@ func (c *Controller) CollectAll() []JobSnapshot {
 			agg[key] = snap
 		}
 		snap.Stages++
+		if st.Degraded {
+			snap.Degraded = true
+			snap.DegradedStages++
+			if st.DegradedSeconds > snap.DegradedSeconds {
+				snap.DegradedSeconds = st.DegradedSeconds
+			}
+		}
 		for _, q := range st.Queues {
 			if q.RuleID == ControlRuleID {
 				snap.Demand += q.DemandRate
@@ -403,7 +629,8 @@ func (c *Controller) CollectAll() []JobSnapshot {
 		}
 	}
 	out := make([]JobSnapshot, 0, len(agg))
-	for _, s := range agg {
+	for key, s := range agg {
+		s.FailedStages = failed[key]
 		out = append(out, *s)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].JobID < out[j].JobID })
@@ -426,6 +653,11 @@ func (c *Controller) RunOnce() map[string]float64 {
 	}
 
 	snaps := c.CollectAll()
+	// Sweep before allocating: stages past the eviction threshold leave
+	// the registry now, so the per-stage split below divides a job's
+	// grant among its live stages only instead of letting a dead one
+	// hold its share.
+	c.EvictDead()
 	jobs := make([]JobState, 0, len(snaps))
 	for _, s := range snaps {
 		jobs = append(jobs, JobState{
@@ -445,7 +677,16 @@ func (c *Controller) RunOnce() map[string]float64 {
 	}
 	c.mu.Unlock()
 
-	for jobID, conns := range plans {
+	// Push in sorted job order (stagesOfJobLocked already sorts within a
+	// job): a crash mid-push then partitions the fleet the same way on
+	// every same-seed run, which the chaos determinism tests rely on.
+	jobIDs := make([]string, 0, len(plans))
+	for jobID := range plans {
+		jobIDs = append(jobIDs, jobID)
+	}
+	sort.Strings(jobIDs)
+	for _, jobID := range jobIDs {
+		conns := plans[jobID]
 		if len(conns) == 0 {
 			continue
 		}
@@ -454,6 +695,7 @@ func (c *Controller) RunOnce() map[string]float64 {
 			found, err := conn.SetRate(ControlRuleID, perStage)
 			if err != nil {
 				c.onError(conn.Info().StageID, err)
+				c.noteMiss(conn.Info().StageID)
 				continue
 			}
 			if !found {
@@ -461,6 +703,7 @@ func (c *Controller) RunOnce() map[string]float64 {
 				// reinstall it.
 				if err := conn.ApplyRule(c.managedRuleFor(jobID, perStage)); err != nil {
 					c.onError(conn.Info().StageID, err)
+					c.noteMiss(conn.Info().StageID)
 				}
 			}
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -492,5 +493,31 @@ func TestFig1AcrossSeeds(t *testing.T) {
 		if r.Stats.SustainedOver400K < 120 {
 			t.Errorf("seed %d: sustained run %d min", seed, r.Stats.SustainedOver400K)
 		}
+	}
+}
+
+func TestE7ChaosReplayInvariants(t *testing.T) {
+	r := ChaosReplay(DefaultSeed)
+	// Fail-secure: during the outage every job keeps admitting at its
+	// frozen Priority allocation, within the paper-style 5% band.
+	if r.OutageMaxDeviation > 0.05 {
+		t.Errorf("outage deviation = %.2f%%, want <= 5%%", r.OutageMaxDeviation*100)
+	}
+	for i, resv := range chaosReservations {
+		id := fmt.Sprintf("job%d", i+1)
+		if got := r.FrozenRates[id]; got != resv {
+			t.Errorf("%s frozen at %v, want its reservation %v", id, got, resv)
+		}
+		if deg := r.DegradedSeconds[id+"-stage0"]; deg < (r.RecoverAt - r.CrashAt).Seconds() {
+			t.Errorf("%s accounted %vs degraded, want >= %vs", id, deg, (r.RecoverAt - r.CrashAt).Seconds())
+		}
+	}
+	if !r.Reconciled {
+		t.Error("stages not reconciled within one control interval of restart")
+	}
+	// The run is deterministic: a second invocation reproduces it.
+	r2 := ChaosReplay(DefaultSeed)
+	if r.Render() != r2.Render() {
+		t.Error("ChaosReplay is not deterministic across runs")
 	}
 }

@@ -1,0 +1,206 @@
+// Package faultfs wraps a posix.FileSystem with deterministic,
+// clock-driven fault injection. Backend failures — EIO bursts, ENOSPC
+// windows, latency spikes on a class of operations — become scriptable
+// schedules that tests, chaos scenarios, and experiments replay exactly:
+// which call fails depends only on the injected clock and on how many
+// matching calls came before it, never on wall time or randomness.
+//
+// A Fault is a match predicate (op set, class set, path prefix) plus an
+// activity window measured on the wrapped clock and a cadence (every Nth
+// matching call). While active it adds latency, returns an error instead
+// of executing, or both:
+//
+//	fs := faultfs.Wrap(backend, clk,
+//	    faultfs.ErrorWindow(posix.ErrIO, 10*time.Second, 20*time.Second),
+//	    faultfs.Fault{Classes: []posix.Class{posix.ClassMetadata},
+//	        Every: 100, Err: posix.ErrNoSpace})
+//
+// The zero match set means "every request"; Until == 0 means "no end".
+package faultfs
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"padll/internal/clock"
+	"padll/internal/posix"
+)
+
+// Fault is one scripted failure schedule.
+type Fault struct {
+	// Ops restricts the fault to these operations (empty = all).
+	Ops []posix.Op
+	// Classes restricts the fault to these operation classes (empty =
+	// all). Ops and Classes compose as a union: a request matches when
+	// either set admits its op, or both sets are empty.
+	Classes []posix.Class
+	// PathPrefix restricts the fault to requests whose primary path is
+	// the prefix or lies under it ("" = all).
+	PathPrefix string
+
+	// From and Until bound the activity window, measured on the wrapped
+	// clock from the moment the FS was built. Until == 0 leaves the
+	// window open-ended.
+	From  time.Duration
+	Until time.Duration
+
+	// Every fires the fault on every Nth matching call inside the window
+	// (1 or 0 = every matching call). The per-fault counter advances only
+	// while the window is active, so schedules are deterministic.
+	Every int
+
+	// Delay is added latency, slept on the wrapped clock before the
+	// outcome (injected error or real execution).
+	Delay time.Duration
+	// Err, when non-nil, is returned instead of executing the request.
+	Err error
+}
+
+func (f *Fault) matches(req *posix.Request, off time.Duration) bool {
+	if off < f.From {
+		return false
+	}
+	if f.Until > 0 && off >= f.Until {
+		return false
+	}
+	if len(f.Ops) > 0 || len(f.Classes) > 0 {
+		ok := false
+		for _, op := range f.Ops {
+			if req.Op == op {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			for _, c := range f.Classes {
+				if req.Op.Class() == c {
+					ok = true
+					break
+				}
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if f.PathPrefix != "" {
+		p := f.PathPrefix
+		if req.Path != p && !strings.HasPrefix(req.Path, strings.TrimSuffix(p, "/")+"/") {
+			return false
+		}
+	}
+	return true
+}
+
+// ErrorWindow scripts err on every call between from and until.
+func ErrorWindow(err error, from, until time.Duration) Fault {
+	return Fault{Err: err, From: from, Until: until}
+}
+
+// SlowWindow scripts added latency on every call between from and until.
+func SlowWindow(delay time.Duration, from, until time.Duration) Fault {
+	return Fault{Delay: delay, From: from, Until: until}
+}
+
+// EveryNth scripts err on every nth matching call, forever.
+func EveryNth(err error, n int) Fault { return Fault{Err: err, Every: n} }
+
+// Stats counts the wrapper's decisions.
+type Stats struct {
+	// Calls is the total number of requests seen.
+	Calls int64
+	// Errors is the number of requests failed with an injected error.
+	Errors int64
+	// Delayed is the number of requests that incurred injected latency.
+	Delayed int64
+}
+
+type faultState struct {
+	Fault
+	hits int64 // matching calls seen while the window was active
+}
+
+// FS is a fault-injecting posix.FileSystem wrapper.
+type FS struct {
+	inner posix.FileSystem
+	clk   clock.Clock
+	start time.Time
+
+	mu     sync.Mutex
+	faults []*faultState
+	stats  Stats
+}
+
+// Wrap builds a fault-injecting wrapper around inner. Fault windows are
+// measured on clk starting now.
+func Wrap(inner posix.FileSystem, clk clock.Clock, faults ...Fault) *FS {
+	fs := &FS{inner: inner, clk: clk, start: clk.Now()}
+	for _, f := range faults {
+		fs.Add(f)
+	}
+	return fs
+}
+
+// Add appends a fault schedule at runtime.
+func (fs *FS) Add(f Fault) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.faults = append(fs.faults, &faultState{Fault: f})
+}
+
+// Clear removes every fault schedule.
+func (fs *FS) Clear() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.faults = nil
+}
+
+// Stats snapshots the injection counters.
+func (fs *FS) Stats() Stats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.stats
+}
+
+// Apply implements posix.FileSystem: it consults the fault schedules in
+// order (first injected error wins, delays accumulate) and otherwise
+// forwards to the wrapped backend.
+func (fs *FS) Apply(req *posix.Request) (*posix.Reply, error) {
+	off := fs.clk.Now().Sub(fs.start)
+
+	fs.mu.Lock()
+	fs.stats.Calls++
+	var delay time.Duration
+	var injected error
+	for _, f := range fs.faults {
+		if !f.matches(req, off) {
+			continue
+		}
+		f.hits++
+		if f.Every > 1 && f.hits%int64(f.Every) != 0 {
+			continue
+		}
+		delay += f.Delay
+		if injected == nil && f.Err != nil {
+			injected = f.Err
+		}
+	}
+	if delay > 0 {
+		fs.stats.Delayed++
+	}
+	if injected != nil {
+		fs.stats.Errors++
+	}
+	fs.mu.Unlock()
+
+	// Sleep outside the lock so concurrent callers are not serialized by
+	// an injected latency spike.
+	if delay > 0 {
+		fs.clk.Sleep(delay)
+	}
+	if injected != nil {
+		return nil, injected
+	}
+	return fs.inner.Apply(req)
+}

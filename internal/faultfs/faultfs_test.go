@@ -1,0 +1,193 @@
+package faultfs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"padll/internal/clock"
+	"padll/internal/localfs"
+	"padll/internal/posix"
+)
+
+func simStart() time.Time {
+	return time.Date(2022, 5, 1, 0, 0, 0, 0, time.UTC)
+}
+
+func getattr(path string) *posix.Request {
+	return &posix.Request{Op: posix.OpStat, Path: path}
+}
+
+func prepare(t *testing.T, fs posix.FileSystem, paths ...string) {
+	t.Helper()
+	c := posix.NewClient(fs)
+	for _, p := range paths {
+		if i := strings.LastIndex(p, "/"); i > 0 {
+			// Parent may already exist; only its absence matters.
+			if err := c.Mkdir(p[:i], 0o755); err != nil && !errors.Is(err, posix.ErrExist) {
+				t.Fatalf("mkdir %s: %v", p[:i], err)
+			}
+		}
+		fd, err := c.Open(p, posix.OCreate|posix.OWrOnly, 0o644)
+		if err != nil {
+			t.Fatalf("create %s: %v", p, err)
+		}
+		if err := c.Close(fd); err != nil {
+			t.Fatalf("close %s: %v", p, err)
+		}
+	}
+}
+
+func TestErrorWindowFollowsSimClock(t *testing.T) {
+	clk := clock.NewSim(simStart())
+	backend := localfs.New(clk)
+	prepare(t, backend, "/a")
+	fs := Wrap(backend, clk, ErrorWindow(posix.ErrIO, 10*time.Second, 20*time.Second))
+
+	if _, err := fs.Apply(getattr("/a")); err != nil {
+		t.Fatalf("before window: %v", err)
+	}
+	clk.Advance(10 * time.Second)
+	if _, err := fs.Apply(getattr("/a")); !errors.Is(err, posix.ErrIO) {
+		t.Fatalf("inside window: got %v, want ErrIO", err)
+	}
+	clk.Advance(10 * time.Second)
+	if _, err := fs.Apply(getattr("/a")); err != nil {
+		t.Fatalf("after window: %v", err)
+	}
+	st := fs.Stats()
+	if st.Calls != 3 || st.Errors != 1 {
+		t.Fatalf("stats = %+v, want Calls=3 Errors=1", st)
+	}
+}
+
+func TestEveryNthRestrictedToClass(t *testing.T) {
+	clk := clock.NewSim(simStart())
+	backend := localfs.New(clk)
+	prepare(t, backend, "/a")
+	fs := Wrap(backend, clk, Fault{
+		Classes: []posix.Class{posix.ClassMetadata},
+		Every:   2,
+		Err:     posix.ErrNoSpace,
+	})
+
+	var failures int
+	for i := 0; i < 6; i++ {
+		if _, err := fs.Apply(getattr("/a")); errors.Is(err, posix.ErrNoSpace) {
+			failures++
+		} else if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if failures != 3 {
+		t.Fatalf("every-2nd metadata fault fired %d times in 6 calls, want 3", failures)
+	}
+	// Directory-class traffic must pass untouched and must not advance the
+	// metadata fault's counter.
+	if _, err := fs.Apply(&posix.Request{Op: posix.OpMkdir, Path: "/d", Mode: 0o755}); err != nil {
+		t.Fatalf("mkdir: %v", err)
+	}
+	if _, err := fs.Apply(getattr("/a")); err != nil {
+		t.Fatalf("7th metadata call (odd hit) should pass: %v", err)
+	}
+	if _, err := fs.Apply(getattr("/a")); !errors.Is(err, posix.ErrNoSpace) {
+		t.Fatalf("8th metadata call should fail: got %v", err)
+	}
+}
+
+func TestPathPrefixScoping(t *testing.T) {
+	clk := clock.NewSim(simStart())
+	backend := localfs.New(clk)
+	prepare(t, backend, "/scratch/x", "/home/x")
+	fs := Wrap(backend, clk, Fault{PathPrefix: "/scratch", Err: posix.ErrIO})
+
+	if _, err := fs.Apply(getattr("/scratch/x")); !errors.Is(err, posix.ErrIO) {
+		t.Fatalf("/scratch/x: got %v, want ErrIO", err)
+	}
+	if _, err := fs.Apply(getattr("/home/x")); err != nil {
+		t.Fatalf("/home/x: %v", err)
+	}
+	// Prefix matching is path-component aware: /scratchy is not under
+	// /scratch.
+	prepare(t, backend, "/scratchy")
+	if _, err := fs.Apply(getattr("/scratchy")); err != nil {
+		t.Fatalf("/scratchy: %v", err)
+	}
+}
+
+func TestLatencySpikeSleepsOnInjectedClock(t *testing.T) {
+	clk := clock.NewSim(simStart())
+	backend := localfs.New(clk)
+	prepare(t, backend, "/a")
+	fs := Wrap(backend, clk, SlowWindow(250*time.Millisecond, 0, 0))
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := fs.Apply(getattr("/a"))
+		done <- err
+	}()
+	// The call must park on the simulated clock, not complete.
+	deadline := time.Now().Add(2 * time.Second)
+	for clk.PendingWaiters() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("Apply never parked on the simulated clock")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case err := <-done:
+		t.Fatalf("Apply returned before the clock advanced (err=%v)", err)
+	default:
+	}
+	clk.Advance(250 * time.Millisecond)
+	if err := <-done; err != nil {
+		t.Fatalf("Apply after advance: %v", err)
+	}
+	if st := fs.Stats(); st.Delayed != 1 {
+		t.Fatalf("stats = %+v, want Delayed=1", st)
+	}
+}
+
+func TestScheduleIsDeterministic(t *testing.T) {
+	run := func() []bool {
+		clk := clock.NewSim(simStart())
+		backend := localfs.New(clk)
+		prepare(t, backend, "/a")
+		fs := Wrap(backend, clk,
+			EveryNth(posix.ErrIO, 3),
+			ErrorWindow(posix.ErrNoSpace, 5*time.Second, 8*time.Second))
+		var outcomes []bool
+		for i := 0; i < 20; i++ {
+			_, err := fs.Apply(getattr("/a"))
+			outcomes = append(outcomes, err != nil)
+			clk.Advance(time.Second)
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at call %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestAddAndClearAtRuntime(t *testing.T) {
+	clk := clock.NewSim(simStart())
+	backend := localfs.New(clk)
+	prepare(t, backend, "/a")
+	fs := Wrap(backend, clk)
+
+	if _, err := fs.Apply(getattr("/a")); err != nil {
+		t.Fatalf("no faults: %v", err)
+	}
+	fs.Add(Fault{Err: posix.ErrIO})
+	if _, err := fs.Apply(getattr("/a")); !errors.Is(err, posix.ErrIO) {
+		t.Fatalf("after Add: got %v, want ErrIO", err)
+	}
+	fs.Clear()
+	if _, err := fs.Apply(getattr("/a")); err != nil {
+		t.Fatalf("after Clear: %v", err)
+	}
+}

@@ -27,6 +27,14 @@ type JobStatus struct {
 	WaitP50     float64 `json:"wait_p50_seconds"`
 	WaitP95     float64 `json:"wait_p95_seconds"`
 	WaitP99     float64 `json:"wait_p99_seconds"`
+	// Degraded is true when any of the job's stages has lost contact
+	// with the controller and is enforcing frozen limits.
+	Degraded        bool    `json:"degraded"`
+	DegradedStages  int     `json:"degraded_stages"`
+	DegradedSeconds float64 `json:"degraded_seconds"`
+	// FailedStages counts registered stages whose collect failed this
+	// round (the snapshot aggregates the reachable ones only).
+	FailedStages int `json:"failed_stages"`
 }
 
 // StageStatus is one stage's row in the /api/stages response.
@@ -55,6 +63,10 @@ type Overview struct {
 	// percentiles observed in this collect round; jobs that never
 	// blocked report zeros.
 	QueueWait map[string]WaitLatency `json:"queue_wait"`
+	// DegradedStages and FailedStages total the cluster's unhealthy
+	// stages in this collect round.
+	DegradedStages int `json:"degraded_stages"`
+	FailedStages   int `json:"failed_stages"`
 }
 
 // NewHandler builds the HTTP handler for a controller.
@@ -75,18 +87,23 @@ func NewHandler(ctl *control.Controller) http.Handler {
 
 	mux.HandleFunc("/api/overview", func(w http.ResponseWriter, r *http.Request) {
 		queueWait := make(map[string]WaitLatency)
+		var degraded, failed int
 		for _, s := range ctl.CollectAll() {
 			queueWait[s.JobID] = WaitLatency{P50: s.WaitP50, P95: s.WaitP95, P99: s.WaitP99}
+			degraded += s.DegradedStages
+			failed += s.FailedStages
 		}
 		// The controller's clock, not the wall clock: under a simulated
 		// clock the overview timestamps the experiment's instant, keeping
 		// replayed runs byte-for-byte reproducible.
 		writeJSON(w, Overview{
-			Jobs:       len(ctl.Jobs()),
-			Stages:     len(ctl.Stages()),
-			Timestamp:  ctl.Clock().Now().UTC(),
-			Allocation: ctl.LastAllocation(),
-			QueueWait:  queueWait,
+			Jobs:           len(ctl.Jobs()),
+			Stages:         len(ctl.Stages()),
+			Timestamp:      ctl.Clock().Now().UTC(),
+			Allocation:     ctl.LastAllocation(),
+			QueueWait:      queueWait,
+			DegradedStages: degraded,
+			FailedStages:   failed,
 		})
 	})
 
@@ -96,15 +113,19 @@ func NewHandler(ctl *control.Controller) http.Handler {
 		rows := make([]JobStatus, 0, len(snaps))
 		for _, s := range snaps {
 			rows = append(rows, JobStatus{
-				JobID:       s.JobID,
-				Stages:      s.Stages,
-				Demand:      s.Demand,
-				Throughput:  s.Throughput,
-				Reservation: s.Reservation,
-				Allocated:   alloc[s.JobID],
-				WaitP50:     s.WaitP50,
-				WaitP95:     s.WaitP95,
-				WaitP99:     s.WaitP99,
+				JobID:           s.JobID,
+				Stages:          s.Stages,
+				Demand:          s.Demand,
+				Throughput:      s.Throughput,
+				Reservation:     s.Reservation,
+				Allocated:       alloc[s.JobID],
+				WaitP50:         s.WaitP50,
+				WaitP95:         s.WaitP95,
+				WaitP99:         s.WaitP99,
+				Degraded:        s.Degraded,
+				DegradedStages:  s.DegradedStages,
+				DegradedSeconds: s.DegradedSeconds,
+				FailedStages:    s.FailedStages,
 			})
 		}
 		sort.Slice(rows, func(i, j int) bool { return rows[i].JobID < rows[j].JobID })
@@ -134,11 +155,20 @@ func NewHandler(ctl *control.Controller) http.Handler {
 		snaps := ctl.CollectAll()
 		alloc := ctl.LastAllocation()
 		fmt.Fprintf(w, "padll control plane — %d jobs, %d stages\n\n", len(ctl.Jobs()), len(ctl.Stages()))
-		fmt.Fprintf(w, "%-16s %7s %12s %12s %12s %10s\n", "job", "stages", "demand/s", "served/s", "allocated/s", "wait-p99")
+		fmt.Fprintf(w, "%-16s %7s %12s %12s %12s %10s %10s\n", "job", "stages", "demand/s", "served/s", "allocated/s", "wait-p99", "state")
 		for _, s := range snaps {
-			fmt.Fprintf(w, "%-16s %7d %12.0f %12.0f %12.0f %10s\n",
+			state := "ok"
+			switch {
+			case s.Degraded && s.FailedStages > 0:
+				state = fmt.Sprintf("deg+%dfail", s.FailedStages)
+			case s.Degraded:
+				state = fmt.Sprintf("degraded:%d", s.DegradedStages)
+			case s.FailedStages > 0:
+				state = fmt.Sprintf("partial:%d", s.FailedStages)
+			}
+			fmt.Fprintf(w, "%-16s %7d %12.0f %12.0f %12.0f %10s %10s\n",
 				s.JobID, s.Stages, s.Demand, s.Throughput, alloc[s.JobID],
-				time.Duration(s.WaitP99*float64(time.Second)).Round(time.Microsecond))
+				time.Duration(s.WaitP99*float64(time.Second)).Round(time.Microsecond), state)
 		}
 	})
 	return mux

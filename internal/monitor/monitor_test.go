@@ -205,3 +205,49 @@ func TestServeOverTCP(t *testing.T) {
 		t.Errorf("overview = %+v", ov)
 	}
 }
+
+func TestDegradedStateSurfaces(t *testing.T) {
+	clk := clock.NewSim(epoch)
+	ctl := control.New(clk,
+		control.WithAlgorithm(control.StaticEqualShare{}),
+		control.WithClusterLimit(10_000))
+	stg := stage.New(stage.Info{StageID: "s0", JobID: "jobA"}, clk)
+	if err := ctl.Register(&control.LocalConn{Stg: stg}); err != nil {
+		t.Fatal(err)
+	}
+	stg.SetDegraded(true)
+	clk.Advance(12 * time.Second)
+	ctl.RunOnce()
+	h := NewHandler(ctl)
+
+	code, body := get(t, h, "/api/jobs")
+	if code != 200 {
+		t.Fatalf("code = %d", code)
+	}
+	var rows []JobStatus
+	if err := json.Unmarshal([]byte(body), &rows); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(rows) != 1 || !rows[0].Degraded || rows[0].DegradedStages != 1 {
+		t.Errorf("rows = %+v", rows)
+	}
+	if rows[0].DegradedSeconds < 12 {
+		t.Errorf("DegradedSeconds = %v, want >= 12", rows[0].DegradedSeconds)
+	}
+
+	code, body = get(t, h, "/api/overview")
+	if code != 200 {
+		t.Fatalf("overview code = %d", code)
+	}
+	var ov Overview
+	if err := json.Unmarshal([]byte(body), &ov); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if ov.DegradedStages != 1 {
+		t.Errorf("overview degraded stages = %d, want 1", ov.DegradedStages)
+	}
+
+	if _, dash := get(t, h, "/"); !strings.Contains(dash, "degraded:1") {
+		t.Errorf("dashboard does not flag the degraded job:\n%s", dash)
+	}
+}

@@ -1,0 +1,112 @@
+package policy
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"padll/internal/posix"
+)
+
+// FuzzMatcher drives the rule DSL end to end: Parse on arbitrary input
+// must never panic, and any rule it accepts must (a) satisfy the
+// invariants the data plane relies on — finite non-negative rates and
+// bursts, a usable EffectiveBurst — and (b) survive a String/Parse
+// round-trip with its matching semantics intact. The matcher half feeds
+// the parsed rule through RuleSet.Select with an arbitrary request and
+// cross-checks the per-op dispatch index against a plain Matches scan.
+func FuzzMatcher(f *testing.F) {
+	seeds := []string{
+		"limit id:open-cap job:job1 op:open rate:10k burst:500",
+		"limit id:meta class:metadata rate:75k",
+		"limit id:pass path:/tmp rate:unlimited",
+		"limit id:drop user:alice op:rename rate:1.5m action:drop",
+		"limit id:all all rate:0 burst:1",
+		"limit id:frac rate:2.5 burst:0.5",
+		"limit id:bad rate:NaN",
+		"limit id:bad rate:Inf burst:Infinity",
+		"limit id:bad rate:1e308m",
+		"limit", "", "limit all", "limit id: rate:1", "nonsense id:x rate:1",
+	}
+	for _, s := range seeds {
+		f.Add(s, byte(0), "/pfs/a", "job1", "alice")
+	}
+	f.Fuzz(func(t *testing.T, line string, opByte byte, path, job, user string) {
+		r, err := Parse(line)
+		if err != nil {
+			return
+		}
+
+		// Invariants on every accepted rule.
+		if r.ID == "" {
+			t.Fatalf("Parse(%q) accepted a rule with empty id", line)
+		}
+		if r.Rate != Unlimited && (r.Rate < 0 || math.IsNaN(r.Rate) || math.IsInf(r.Rate, 0)) {
+			t.Fatalf("Parse(%q) accepted non-finite/negative rate %v", line, r.Rate)
+		}
+		if r.Burst < 0 || math.IsNaN(r.Burst) || math.IsInf(r.Burst, 0) {
+			t.Fatalf("Parse(%q) accepted bad burst %v", line, r.Burst)
+		}
+		if eb := r.EffectiveBurst(); eb <= 0 || math.IsNaN(eb) || math.IsInf(eb, 0) {
+			t.Fatalf("Parse(%q): EffectiveBurst = %v", line, eb)
+		}
+
+		// String must render a form Parse accepts again, preserving the
+		// rule's meaning (rates compared with tolerance: formatRate's
+		// k/m suffixes multiply back through a float).
+		rendered := r.String()
+		r2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("Parse(%q).String() = %q does not re-parse: %v", line, rendered, err)
+		}
+		if r2.ID != r.ID || r2.Action != r.Action {
+			t.Fatalf("round-trip changed id/action: %+v -> %+v (via %q)", r, r2, rendered)
+		}
+		if !matcherEqual(r.Match, r2.Match) {
+			t.Fatalf("round-trip changed matcher: %#v -> %#v (via %q)", r.Match, r2.Match, rendered)
+		}
+		if !closeEnough(r.Rate, r2.Rate) {
+			t.Fatalf("round-trip changed rate: %v -> %v (via %q)", r.Rate, r2.Rate, rendered)
+		}
+		if !closeEnough(r.EffectiveBurst(), r2.EffectiveBurst()) {
+			t.Fatalf("round-trip changed burst: %v -> %v (via %q)",
+				r.EffectiveBurst(), r2.EffectiveBurst(), rendered)
+		}
+
+		// Selection: the per-op index must agree with a direct scan.
+		req := &posix.Request{
+			Op:    posix.Op(int(opByte) % posix.NumOps),
+			Path:  path,
+			JobID: job,
+			User:  user,
+		}
+		rs := NewRuleSet(r)
+		got := rs.Select(req)
+		want := r.Match.Matches(req)
+		if (got != nil) != want {
+			t.Fatalf("Select disagrees with Matches for rule %q on %+v: select=%v matches=%v",
+				rendered, req, got != nil, want)
+		}
+		if got != nil && !strings.Contains(rendered, "id:"+got.ID) {
+			t.Fatalf("Select returned foreign rule %q for %q", got.ID, rendered)
+		}
+	})
+}
+
+func matcherEqual(a, b Matcher) bool {
+	return reflect.DeepEqual(a.Ops, b.Ops) &&
+		reflect.DeepEqual(a.Classes, b.Classes) &&
+		a.PathPrefix == b.PathPrefix && a.JobID == b.JobID && a.User == b.User
+}
+
+// closeEnough compares rates that may have passed through formatRate's
+// k/m suffix (one float multiply each way).
+func closeEnough(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*scale
+}

@@ -13,6 +13,7 @@ package policy
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -247,7 +248,8 @@ func (r *Rule) String() string {
 	if r.Rate >= 0 {
 		rate = fmt.Sprintf("rate:%s", formatRate(r.Rate))
 	}
-	s := fmt.Sprintf("limit id:%s %s %s burst:%.0f", r.ID, r.Match.String(), rate, r.EffectiveBurst())
+	s := fmt.Sprintf("limit id:%s %s %s burst:%s", r.ID, r.Match.String(), rate,
+		strconv.FormatFloat(r.EffectiveBurst(), 'g', -1, 64))
 	if r.Action == ActionDrop {
 		s += " action:drop"
 	}
@@ -412,7 +414,7 @@ func Parse(s string) (Rule, error) {
 			seenRate = true
 		case "burst":
 			b, err := strconv.ParseFloat(val, 64)
-			if err != nil || b < 0 {
+			if err != nil || b < 0 || math.IsNaN(b) || math.IsInf(b, 0) {
 				return Rule{}, fmt.Errorf("policy: bad burst %q", val)
 			}
 			r.Burst = b
@@ -468,7 +470,10 @@ func parseRate(s string) (float64, error) {
 		mult, s = 1e6, s[:len(s)-1]
 	}
 	v, err := strconv.ParseFloat(s, 64)
-	if err != nil || v < 0 {
+	// ParseFloat accepts "NaN" and "Inf" spellings; both comparisons
+	// below are false for NaN, so reject non-finite values explicitly —
+	// a NaN rate would poison every token-bucket comparison downstream.
+	if err != nil || v < 0 || math.IsNaN(v) || math.IsInf(v*mult, 0) {
 		return 0, fmt.Errorf("policy: bad rate %q", s)
 	}
 	return v * mult, nil

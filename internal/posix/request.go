@@ -18,6 +18,8 @@ var (
 	ErrNoAttr       = errors.New("posix: no such attribute")
 	ErrCrossDevice  = errors.New("posix: cross-device link")
 	ErrNotSupported = errors.New("posix: operation not supported")
+	ErrIO           = errors.New("posix: input/output error")
+	ErrNoSpace      = errors.New("posix: no space left on device")
 )
 
 // Open flags (subset of fcntl.h relevant to the model).

@@ -8,11 +8,14 @@
 package rpcio
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"net/rpc"
 	"sync"
+	"time"
 
+	"padll/internal/clock"
 	"padll/internal/policy"
 	"padll/internal/stage"
 )
@@ -84,6 +87,36 @@ func (s *StageService) Ping(_ struct{}, reply *stage.Info) error {
 	return nil
 }
 
+// HealthProbe is the liveness-check request both services accept. Seq is
+// echoed back so a prober can match replies to probes across retries.
+type HealthProbe struct {
+	Seq uint64
+}
+
+// StageHealth is a stage's health report: identity plus the degraded
+// accounting the monitor surfaces.
+type StageHealth struct {
+	Seq             uint64
+	Info            stage.Info
+	Degraded        bool
+	DegradedSeconds float64
+	// Rules is the number of installed rules (the frozen set a degraded
+	// stage keeps enforcing).
+	Rules int
+}
+
+// Health reports the stage's liveness and degraded accounting.
+func (s *StageService) Health(probe HealthProbe, reply *StageHealth) error {
+	*reply = StageHealth{
+		Seq:             probe.Seq,
+		Info:            s.stg.Info(),
+		Degraded:        s.stg.Degraded(),
+		DegradedSeconds: s.stg.DegradedFor().Seconds(),
+		Rules:           len(s.stg.Rules()),
+	}
+	return nil
+}
+
 // ServeStage starts serving the stage's control service on l. It returns
 // immediately; the returned stop function closes the listener and waits
 // for in-flight connections to finish being accepted.
@@ -114,33 +147,182 @@ func ServeStage(l net.Listener, stg *stage.Stage) (stop func()) {
 	}
 }
 
-// StageHandle is the control plane's typed client for one stage.
+// Default deadlines for control-plane RPCs. A single hung peer must
+// never block the feedback loop indefinitely (§III-C).
+const (
+	DefaultDialTimeout = 2 * time.Second
+	DefaultCallTimeout = 5 * time.Second
+)
+
+// StageHandle is the control plane's typed client for one stage. It is
+// hardened against a flaky wire: every call runs under a deadline, a
+// broken connection is transparently redialed (every stage RPC is
+// idempotent), and retries follow a seeded exponential backoff on the
+// handle's clock.
 type StageHandle struct {
-	addr   string
+	addr    string
+	clk     clock.Clock
+	timeout time.Duration // per-call deadline (0 = unbounded)
+	dialTO  time.Duration // per-dial deadline
+	backoff Backoff
+
 	mu     sync.Mutex
 	client *rpc.Client
+	closed bool
+}
+
+// DialOption configures a StageHandle.
+type DialOption func(*StageHandle)
+
+// WithCallTimeout bounds each RPC (0 disables the deadline).
+func WithCallTimeout(d time.Duration) DialOption {
+	return func(h *StageHandle) { h.timeout = d }
+}
+
+// WithDialTimeout bounds each connection attempt.
+func WithDialTimeout(d time.Duration) DialOption {
+	return func(h *StageHandle) { h.dialTO = d }
+}
+
+// WithBackoff sets the redial/retry schedule.
+func WithBackoff(b Backoff) DialOption {
+	return func(h *StageHandle) { h.backoff = b }
+}
+
+// WithHandleClock sets the clock deadlines and backoff sleeps run on
+// (default: wall clock).
+func WithHandleClock(clk clock.Clock) DialOption {
+	return func(h *StageHandle) { h.clk = clk }
 }
 
 // DialStage connects to a stage's control service.
-func DialStage(addr string) (*StageHandle, error) {
-	client, err := rpc.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("rpcio: dial stage %s: %w", addr, err)
+func DialStage(addr string, opts ...DialOption) (*StageHandle, error) {
+	h := &StageHandle{
+		addr:    addr,
+		clk:     clock.NewReal(),
+		timeout: DefaultCallTimeout,
+		dialTO:  DefaultDialTimeout,
+		backoff: DefaultBackoff,
 	}
-	return &StageHandle{addr: addr, client: client}, nil
+	for _, o := range opts {
+		o(h)
+	}
+	if _, err := h.ensureClient(); err != nil {
+		return nil, err
+	}
+	return h, nil
 }
 
 // Addr returns the stage's address.
 func (h *StageHandle) Addr() string { return h.addr }
 
-func (h *StageHandle) call(method string, args, reply interface{}) error {
+// ensureClient returns the live connection, dialing a fresh one when the
+// previous call invalidated it.
+func (h *StageHandle) ensureClient() (*rpc.Client, error) {
 	h.mu.Lock()
-	c := h.client
-	h.mu.Unlock()
-	if c == nil {
-		return fmt.Errorf("rpcio: stage %s: connection closed", h.addr)
+	if h.closed {
+		h.mu.Unlock()
+		return nil, fmt.Errorf("rpcio: stage %s: connection closed", h.addr)
 	}
-	return c.Call(method, args, reply)
+	if h.client != nil {
+		c := h.client
+		h.mu.Unlock()
+		return c, nil
+	}
+	h.mu.Unlock()
+
+	conn, err := net.DialTimeout("tcp", h.addr, h.dialTO)
+	if err != nil {
+		return nil, fmt.Errorf("rpcio: dial stage %s: %w", h.addr, err)
+	}
+	c := rpc.NewClient(conn)
+
+	h.mu.Lock()
+	switch {
+	case h.closed:
+		h.mu.Unlock()
+		_ = c.Close()
+		return nil, fmt.Errorf("rpcio: stage %s: connection closed", h.addr)
+	case h.client != nil:
+		// A concurrent caller won the redial race; use its connection.
+		existing := h.client
+		h.mu.Unlock()
+		_ = c.Close()
+		return existing, nil
+	default:
+		h.client = c
+		h.mu.Unlock()
+		return c, nil
+	}
+}
+
+// invalidate drops c as the handle's connection (if it still is) and
+// closes it, so the next call redials.
+func (h *StageHandle) invalidate(c *rpc.Client) {
+	h.mu.Lock()
+	if h.client == c {
+		h.client = nil
+	}
+	h.mu.Unlock()
+	// Double closes from racing invalidations only return ErrShutdown.
+	_ = c.Close()
+}
+
+// callOnce performs one RPC attempt under the handle's deadline.
+func (h *StageHandle) callOnce(c *rpc.Client, method string, args, reply interface{}) error {
+	if h.timeout <= 0 {
+		return c.Call(method, args, reply)
+	}
+	call := c.Go(method, args, reply, make(chan *rpc.Call, 1))
+	select {
+	case <-call.Done:
+		return call.Error
+	case <-h.clk.After(h.timeout):
+		// A late reply on this connection would be ambiguous; the only
+		// safe recovery is to kill it, which also resolves the pending
+		// call instead of leaking its goroutine.
+		h.invalidate(c)
+		<-call.Done
+		if call.Error == nil {
+			return nil // the reply raced the deadline and won
+		}
+		return fmt.Errorf("rpcio: %s to stage %s: deadline %v exceeded: %w",
+			method, h.addr, h.timeout, call.Error)
+	}
+}
+
+func (h *StageHandle) call(method string, args, reply interface{}) error {
+	r := newRetrier(h.backoff)
+	for {
+		c, err := h.ensureClient()
+		if err == nil {
+			err = h.callOnce(c, method, args, reply)
+			if err == nil {
+				return nil
+			}
+			var se rpc.ServerError
+			if errors.As(err, &se) {
+				// The wire worked; the stage itself refused. Retrying an
+				// application error is wrong.
+				return err
+			}
+			h.invalidate(c)
+		}
+		if h.isClosed() {
+			return err
+		}
+		d, ok := r.delay()
+		if !ok {
+			return err
+		}
+		h.clk.Sleep(d)
+	}
+}
+
+func (h *StageHandle) isClosed() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.closed
 }
 
 // ApplyRule installs or updates a rule on the remote stage.
@@ -181,10 +363,19 @@ func (h *StageHandle) Ping() (stage.Info, error) {
 	return info, err
 }
 
-// Close tears down the connection.
+// Health fetches the stage's health report.
+func (h *StageHandle) Health(seq uint64) (StageHealth, error) {
+	var st StageHealth
+	err := h.call("Stage.Health", HealthProbe{Seq: seq}, &st)
+	return st, err
+}
+
+// Close tears down the connection; subsequent calls fail without
+// redialing.
 func (h *StageHandle) Close() error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	h.closed = true
 	if h.client == nil {
 		return nil
 	}
@@ -215,6 +406,13 @@ func (r *RegistrarService) Deregister(stageID string, _ *struct{}) error {
 	return nil
 }
 
+// Ping echoes the probe. Stages use it as the controller liveness check
+// behind their degraded-mode detection.
+func (r *RegistrarService) Ping(probe HealthProbe, reply *HealthProbe) error {
+	*reply = probe
+	return nil
+}
+
 // ServeRegistrar serves a registration endpoint on l, invoking onRegister
 // for each arriving stage and onDeregister (may be nil) on departures.
 func ServeRegistrar(l net.Listener, onRegister func(Registration) error, onDeregister func(string)) (stop func()) {
@@ -241,29 +439,64 @@ func ServeRegistrar(l net.Listener, onRegister func(Registration) error, onDereg
 	}
 }
 
-// RegisterWithController dials the control plane's registrar and announces
-// a stage served at stageAddr.
-func RegisterWithController(controllerAddr string, info stage.Info, stageAddr string) error {
-	client, err := rpc.Dial("tcp", controllerAddr)
+// registrarCall dials the control plane's registrar with a bounded dial
+// and I/O deadline, performs one call, and closes the connection. The
+// deadline keeps a stage's startup/shutdown path from hanging on a dead
+// controller.
+func registrarCall(controllerAddr, method string, args, reply interface{}) error {
+	conn, err := net.DialTimeout("tcp", controllerAddr, DefaultDialTimeout)
 	if err != nil {
 		return fmt.Errorf("rpcio: dial controller %s: %w", controllerAddr, err)
 	}
-	callErr := client.Call("Registrar.Register", Registration{Info: info, Addr: stageAddr}, &struct{}{})
+	// Absolute wall-clock deadline for the whole exchange: registrar
+	// calls run on real deployments' startup paths, never under sim.
+	if derr := conn.SetDeadline(clock.NewReal().Now().Add(DefaultCallTimeout)); derr != nil {
+		_ = conn.Close()
+		return fmt.Errorf("rpcio: controller %s: set deadline: %w", controllerAddr, derr)
+	}
+	client := rpc.NewClient(conn)
+	callErr := client.Call(method, args, reply)
 	if cerr := client.Close(); callErr == nil && cerr != nil {
 		callErr = fmt.Errorf("rpcio: close registrar connection: %w", cerr)
 	}
 	return callErr
 }
 
+// RegisterWithController dials the control plane's registrar and announces
+// a stage served at stageAddr.
+func RegisterWithController(controllerAddr string, info stage.Info, stageAddr string) error {
+	return registrarCall(controllerAddr, "Registrar.Register",
+		Registration{Info: info, Addr: stageAddr}, &struct{}{})
+}
+
 // DeregisterFromController announces a stage's departure.
 func DeregisterFromController(controllerAddr, stageID string) error {
-	client, err := rpc.Dial("tcp", controllerAddr)
+	return registrarCall(controllerAddr, "Registrar.Deregister", stageID, &struct{}{})
+}
+
+// ProbeController performs one bounded controller liveness check: dial
+// the registrar, exchange a Registrar.Ping, close. A nil error means the
+// control plane is reachable and serving.
+func ProbeController(controllerAddr string, timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = DefaultDialTimeout
+	}
+	conn, err := net.DialTimeout("tcp", controllerAddr, timeout)
 	if err != nil {
-		return fmt.Errorf("rpcio: dial controller %s: %w", controllerAddr, err)
+		return fmt.Errorf("rpcio: probe controller %s: %w", controllerAddr, err)
 	}
-	callErr := client.Call("Registrar.Deregister", stageID, &struct{}{})
+	if derr := conn.SetDeadline(clock.NewReal().Now().Add(timeout)); derr != nil {
+		_ = conn.Close()
+		return fmt.Errorf("rpcio: probe controller %s: set deadline: %w", controllerAddr, derr)
+	}
+	client := rpc.NewClient(conn)
+	var echo HealthProbe
+	callErr := client.Call("Registrar.Ping", HealthProbe{Seq: 1}, &echo)
 	if cerr := client.Close(); callErr == nil && cerr != nil {
-		callErr = fmt.Errorf("rpcio: close registrar connection: %w", cerr)
+		callErr = cerr
 	}
-	return callErr
+	if callErr != nil {
+		return fmt.Errorf("rpcio: probe controller %s: %w", controllerAddr, callErr)
+	}
+	return nil
 }

@@ -1,0 +1,88 @@
+// Gob round-trip tests for wire types that cross process boundaries.
+// These guard against field renames and type drift: gob silently drops
+// fields that no longer match, so a rename on one side of the RPC would
+// zero the value on the other side without any error.
+//
+// This file is an external test package because control imports rpcio;
+// testing control.JobSnapshot from inside package rpcio would be a cycle.
+package rpcio_test
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"padll/internal/control"
+	"padll/internal/rpcio"
+	"padll/internal/stage"
+)
+
+func roundTrip(t *testing.T, in, out any) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(in); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if err := gob.NewDecoder(&buf).Decode(out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+}
+
+func TestJobSnapshotSurvivesGob(t *testing.T) {
+	in := control.JobSnapshot{
+		JobID:           "job-7",
+		Stages:          4,
+		Demand:          12000,
+		Throughput:      9000,
+		Reservation:     5000,
+		WaitP50:         0.001,
+		WaitP95:         0.005,
+		WaitP99:         0.010,
+		Degraded:        true,
+		DegradedStages:  2,
+		DegradedSeconds: 42.5,
+		FailedStages:    1,
+	}
+	var out control.JobSnapshot
+	roundTrip(t, in, &out)
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("JobSnapshot drifted over gob:\n in: %+v\nout: %+v", in, out)
+	}
+	if !out.Degraded || out.DegradedStages != 2 || out.DegradedSeconds != 42.5 || out.FailedStages != 1 {
+		t.Errorf("degraded fields lost: %+v", out)
+	}
+}
+
+func TestHealthProbeSurvivesGob(t *testing.T) {
+	in := rpcio.HealthProbe{Seq: 1 << 40}
+	var out rpcio.HealthProbe
+	roundTrip(t, in, &out)
+	if out != in {
+		t.Errorf("HealthProbe drifted: %+v vs %+v", out, in)
+	}
+}
+
+func TestStageHealthSurvivesGob(t *testing.T) {
+	in := rpcio.StageHealth{
+		Seq:             9,
+		Info:            stage.Info{StageID: "s1", JobID: "j1", Hostname: "n1", PID: 42},
+		Degraded:        true,
+		DegradedSeconds: 3.5,
+		Rules:           2,
+	}
+	var out rpcio.StageHealth
+	roundTrip(t, in, &out)
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("StageHealth drifted over gob:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestStageStatsDegradedFieldsSurviveGob(t *testing.T) {
+	in := stage.Stats{Degraded: true, DegradedSeconds: 12.25}
+	var out stage.Stats
+	roundTrip(t, in, &out)
+	if !out.Degraded || out.DegradedSeconds != 12.25 {
+		t.Errorf("Stats degraded fields drifted: %+v", out)
+	}
+}

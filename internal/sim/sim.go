@@ -86,6 +86,8 @@ type Cluster struct {
 	start  time.Time
 	jobs   []*job
 	events []Event
+	// controlPaused models a controller outage (see SetControlPaused).
+	controlPaused bool
 	// PFS saturation accounting.
 	ticks          int
 	saturatedTicks int
@@ -210,6 +212,24 @@ func (c *Cluster) Schedule(at time.Duration, do func(c *Cluster)) {
 	c.events = append(c.events, Event{At: at, Do: do})
 }
 
+// SetControlPaused models a controller crash (true) or recovery (false)
+// mid-run: while paused the feedback loop does not execute and every
+// live stage is marked degraded — it keeps enforcing the last rates it
+// was pushed, exactly like a real stage whose heartbeat lost the
+// controller. Resuming clears the degraded flags; the next control
+// interval re-tunes every stage (reconciliation).
+func (c *Cluster) SetControlPaused(paused bool) {
+	c.controlPaused = paused
+	for _, j := range c.jobs {
+		if !j.arrived || j.finished {
+			continue
+		}
+		for _, st := range j.stages {
+			st.SetDegraded(paused)
+		}
+	}
+}
+
 // Run executes the scenario to completion (all jobs finished, or the
 // configured horizon) and returns the report.
 func (c *Cluster) Run() *Report {
@@ -245,7 +265,7 @@ func (c *Cluster) Run() *Report {
 		}
 		// A fresh arrival reallocates immediately so the new job starts
 		// at its algorithmic share rather than the registration default.
-		if arrivedNow && c.cfg.Controller != nil {
+		if arrivedNow && c.cfg.Controller != nil && !c.controlPaused {
 			c.cfg.Controller.RunOnce()
 		}
 
@@ -274,7 +294,7 @@ func (c *Cluster) Run() *Report {
 		}
 
 		// Feedback loop.
-		if c.cfg.Controller != nil && now-lastControl >= c.cfg.ControlInterval {
+		if c.cfg.Controller != nil && !c.controlPaused && now-lastControl >= c.cfg.ControlInterval {
 			c.cfg.Controller.RunOnce()
 			lastControl = now
 		}

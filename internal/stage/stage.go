@@ -104,6 +104,14 @@ type Stats struct {
 	Info        Info
 	Queues      []QueueStats
 	Passthrough int64 // requests forwarded without matching any rule
+
+	// Degraded reports that the stage has lost its controller and is
+	// enforcing the last-installed (frozen) limits on its own (§III-C
+	// resilience: a dead control plane must not stop enforcement).
+	Degraded bool
+	// DegradedSeconds is the cumulative time spent degraded, including
+	// the current outage when Degraded is true.
+	DegradedSeconds float64
 }
 
 // entry pairs one rule with its queue inside a published snapshot. The
@@ -184,6 +192,14 @@ type Stage struct {
 
 	passthrough *metrics.RateCounter
 	window      time.Duration
+
+	// Degraded-mode accounting. The flag itself is atomic so Collect and
+	// health probes never touch the hot path; the clock bookkeeping is
+	// cold (flips only on controller loss/recovery).
+	degraded      atomic.Bool
+	degMu         sync.Mutex
+	degradedSince time.Time
+	degradedTotal time.Duration
 }
 
 // clockStride is how many amortized hot-path clock reads share one real
@@ -477,7 +493,12 @@ func (s *Stage) Offer(req *posix.Request, n float64, dt time.Duration) float64 {
 // run concurrently.
 func (s *Stage) Collect() Stats {
 	sn := s.snap.Load()
-	out := Stats{Info: s.info, Passthrough: s.passthrough.Total()}
+	out := Stats{
+		Info:            s.info,
+		Passthrough:     s.passthrough.Total(),
+		Degraded:        s.degraded.Load(),
+		DegradedSeconds: s.DegradedFor().Seconds(),
+	}
 	for _, e := range sn.all {
 		q := e.q
 		totalAdm := q.admitted.Total()
@@ -510,6 +531,44 @@ func (s *Stage) QueueSeries(ruleID string) *metrics.Series {
 		return nil
 	}
 	return e.q.admitted.Snapshot()
+}
+
+// SetDegraded flips the stage's degraded state (controller lost /
+// controller back). Rules and rates are untouched: a degraded stage
+// keeps enforcing the frozen limits, the flag only surfaces the outage
+// through Collect and health probes. It reports whether the state
+// changed.
+func (s *Stage) SetDegraded(degraded bool) bool {
+	s.degMu.Lock()
+	defer s.degMu.Unlock()
+	if s.degraded.Load() == degraded {
+		return false
+	}
+	now := s.clk.Now()
+	if degraded {
+		s.degradedSince = now
+	} else {
+		s.degradedTotal += now.Sub(s.degradedSince)
+		s.degradedSince = time.Time{}
+	}
+	s.degraded.Store(degraded)
+	return true
+}
+
+// Degraded reports whether the stage is currently running without a
+// controller.
+func (s *Stage) Degraded() bool { return s.degraded.Load() }
+
+// DegradedFor returns the cumulative time spent degraded, including the
+// current outage when the stage is degraded now.
+func (s *Stage) DegradedFor() time.Duration {
+	s.degMu.Lock()
+	defer s.degMu.Unlock()
+	total := s.degradedTotal
+	if !s.degradedSince.IsZero() {
+		total += s.clk.Now().Sub(s.degradedSince)
+	}
+	return total
 }
 
 // Rules returns the installed rules in selection order.

@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+)
+
+// FuzzTraceParse drives the CSV (de)serializer: ReadCSV on arbitrary
+// bytes must never panic, and any trace it accepts must be internally
+// consistent (positive interval, unique ops, finite non-negative rates,
+// equal-length series) and survive a WriteCSV/ReadCSV round-trip within
+// the writer's quantization (%.3f rates, float-seconds interval).
+func FuzzTraceParse(f *testing.F) {
+	f.Add([]byte("60,open,close\n100.000,50.000\n0.000,0.125\n"))
+	f.Add([]byte("0.001,getattr\n12345.678\n"))
+	f.Add([]byte("1,open\nNaN\n"))
+	f.Add([]byte("Inf,open\n1\n"))
+	f.Add([]byte("60,open,open\n1,2\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("60\n"))
+	f.Add([]byte("60,nosuchop\n1\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadCSV(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+
+		// Invariants on every accepted trace.
+		if tr.SampleInterval <= 0 {
+			t.Fatalf("ReadCSV accepted interval %v", tr.SampleInterval)
+		}
+		seen := map[string]bool{}
+		for _, op := range tr.Ops {
+			if seen[op.String()] {
+				t.Fatalf("ReadCSV accepted duplicate op column %v", op)
+			}
+			seen[op.String()] = true
+			if len(tr.Rates[op]) != tr.Len() {
+				t.Fatalf("ragged series for %v: %d vs Len %d", op, len(tr.Rates[op]), tr.Len())
+			}
+			for i, v := range tr.Rates[op] {
+				if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("ReadCSV accepted bad rate %v at %v[%d]", v, op, i)
+				}
+			}
+		}
+
+		// Round-trip: write the parsed trace and read it back.
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			t.Fatalf("WriteCSV: %v", err)
+		}
+		tr2, err := ReadCSV(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-ReadCSV failed: %v\ninput: %q", err, buf.String())
+		}
+		if tr2.Len() != tr.Len() || len(tr2.Ops) != len(tr.Ops) {
+			t.Fatalf("round-trip changed shape: %dx%d -> %dx%d",
+				tr.Len(), len(tr.Ops), tr2.Len(), len(tr2.Ops))
+		}
+		// The interval travels as float seconds printed with %g: exact up
+		// to one ulp of Duration arithmetic.
+		if dd := tr2.SampleInterval - tr.SampleInterval; dd < -time.Nanosecond || dd > time.Nanosecond {
+			t.Fatalf("round-trip changed interval: %v -> %v", tr.SampleInterval, tr2.SampleInterval)
+		}
+		for i, op := range tr.Ops {
+			if tr2.Ops[i] != op {
+				t.Fatalf("round-trip reordered ops: %v -> %v", tr.Ops, tr2.Ops)
+			}
+			for j := range tr.Rates[op] {
+				// Rates are quantized to %.3f on write.
+				if d := math.Abs(tr2.Rates[op][j] - tr.Rates[op][j]); d > 0.0005 {
+					t.Fatalf("round-trip moved %v[%d] by %v (%v -> %v)",
+						op, j, d, tr.Rates[op][j], tr2.Rates[op][j])
+				}
+			}
+		}
+	})
+}

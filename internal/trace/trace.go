@@ -13,6 +13,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -265,18 +266,33 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("trace: malformed header %q", sc.Text())
 	}
 	secs, err := strconv.ParseFloat(header[0], 64)
-	if err != nil || secs <= 0 {
+	// Guard against ParseFloat's NaN/Inf spellings: NaN compares false
+	// with everything, so `secs <= 0` alone would let it through.
+	if err != nil || secs <= 0 || math.IsNaN(secs) || math.IsInf(secs, 0) {
 		return nil, fmt.Errorf("trace: bad interval %q", header[0])
 	}
+	interval := time.Duration(secs * float64(time.Second))
+	// Sub-nanosecond intervals truncate to zero; intervals beyond the
+	// Duration range overflow negative. Both are unusable.
+	if interval <= 0 {
+		return nil, fmt.Errorf("trace: interval %q out of range", header[0])
+	}
 	ops := make([]posix.Op, 0, len(header)-1)
+	seen := make(map[posix.Op]bool, len(header)-1)
 	for _, name := range header[1:] {
 		op, err := posix.ParseOp(name)
 		if err != nil {
 			return nil, err
 		}
+		// A repeated column would alias one rate series from two
+		// columns and silently corrupt Append/Len bookkeeping.
+		if seen[op] {
+			return nil, fmt.Errorf("trace: duplicate op column %q", name)
+		}
+		seen[op] = true
 		ops = append(ops, op)
 	}
-	t := NewTrace(time.Duration(secs*float64(time.Second)), ops...)
+	t := NewTrace(interval, ops...)
 	line := 1
 	for sc.Scan() {
 		line++
@@ -291,7 +307,7 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 		rates := make([]float64, len(fields))
 		for i, f := range fields {
 			v, err := strconv.ParseFloat(f, 64)
-			if err != nil || v < 0 {
+			if err != nil || v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
 				return nil, fmt.Errorf("trace: line %d: bad rate %q", line, f)
 			}
 			rates[i] = v

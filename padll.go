@@ -193,10 +193,14 @@ type DataPlane struct {
 	shim   *interpose.Shim
 	stg    *stage.Stage
 	router *mount.Router
+	clk    clock.Clock
 	// server state when exposed over the network
 	stop       func()
 	listenAddr string
 	controller string
+	// heartbeat state (controller liveness probe)
+	hbStop chan struct{}
+	hbDone chan struct{}
 }
 
 // NewDataPlane builds a data plane over the given mounts.
@@ -224,7 +228,7 @@ func NewDataPlane(info JobInfo, mounts ...MountSpec) (*DataPlane, error) {
 		User:     info.User,
 	}, clk)
 	shim := interpose.New(router, stg, clk)
-	return &DataPlane{shim: shim, stg: stg, router: router}, nil
+	return &DataPlane{shim: shim, stg: stg, router: router, clk: clk}, nil
 }
 
 // Client returns a POSIX client whose calls are interposed by this data
@@ -278,10 +282,77 @@ func (dp *DataPlane) Serve(addr, controllerAddr string) error {
 // Addr returns the served control address ("" before Serve).
 func (dp *DataPlane) Addr() string { return dp.listenAddr }
 
+// StartHeartbeat begins probing the registered controller every interval
+// (each probe bounded by timeout). When a probe fails the stage enters
+// the Degraded state: it keeps enforcing the last rates the controller
+// pushed (fail-secure — an unreachable controller must not mean
+// unlimited I/O), and surfaces the condition through Stats. When the
+// controller answers again, the stage re-registers — which replays the
+// controller's last-known rule set for this stage — and leaves Degraded.
+//
+// Serve must have been called with a controller address first.
+func (dp *DataPlane) StartHeartbeat(interval, timeout time.Duration) error {
+	if dp.controller == "" {
+		return fmt.Errorf("padll: no controller to monitor; Serve with a controller address first")
+	}
+	if dp.hbStop != nil {
+		return fmt.Errorf("padll: heartbeat already running")
+	}
+	if interval <= 0 {
+		return fmt.Errorf("padll: heartbeat interval must be positive, got %v", interval)
+	}
+	if timeout <= 0 {
+		timeout = rpcio.DefaultCallTimeout
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	dp.hbStop, dp.hbDone = stop, done
+	controller := dp.controller
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			case <-dp.clk.After(interval):
+			}
+			if err := rpcio.ProbeController(controller, timeout); err != nil {
+				dp.stg.SetDegraded(true)
+				continue
+			}
+			if dp.stg.Degraded() {
+				// The controller is back. Re-register so it replays the
+				// last-known rules and folds this stage into the next
+				// allocation round; only then clear the degraded flag.
+				if rerr := rpcio.RegisterWithController(controller, dp.stg.Info(), dp.listenAddr); rerr == nil {
+					dp.stg.SetDegraded(false)
+				}
+			}
+		}
+	}()
+	return nil
+}
+
+// Degraded reports whether the stage has lost its controller.
+func (dp *DataPlane) Degraded() bool { return dp.stg.Degraded() }
+
+// DegradedFor returns the cumulative time spent degraded.
+func (dp *DataPlane) DegradedFor() time.Duration { return dp.stg.DegradedFor() }
+
+func (dp *DataPlane) stopHeartbeat() {
+	if dp.hbStop == nil {
+		return
+	}
+	close(dp.hbStop)
+	<-dp.hbDone
+	dp.hbStop, dp.hbDone = nil, nil
+}
+
 // Close deregisters from the control plane (if registered) and stops the
 // control service.
 func (dp *DataPlane) Close() error {
 	var err error
+	dp.stopHeartbeat()
 	if dp.controller != "" {
 		err = rpcio.DeregisterFromController(dp.controller, dp.stg.Info().StageID)
 		dp.controller = ""
@@ -313,6 +384,15 @@ func WithAlgorithm(a Algorithm) ControlOption { return control.WithAlgorithm(a) 
 // WithControlledMatcher overrides which requests the managed queue
 // throttles (default: all metadata-like classes).
 func WithControlledMatcher(m Matcher) ControlOption { return control.WithControlledMatcher(m) }
+
+// WithEvictAfter enables mark-sweep eviction: a stage whose collects or
+// pushes fail for n consecutive control rounds is deregistered and its
+// share redistributed (0 disables eviction, the default).
+func WithEvictAfter(n int) ControlOption { return control.WithEvictAfter(n) }
+
+// WithCollectConcurrency bounds the number of stages collected in
+// parallel during each control round (default 8).
+func WithCollectConcurrency(n int) ControlOption { return control.WithCollectConcurrency(n) }
 
 // WithGroupBy overrides the feedback loop's orchestration granularity:
 // the default groups stages per job; GroupByUser shares one allocation

@@ -273,3 +273,64 @@ func TestServeMonitorEndpoint(t *testing.T) {
 		t.Errorf("overview = %d %s", resp.StatusCode, body)
 	}
 }
+
+func TestHeartbeatDegradesAndReconciles(t *testing.T) {
+	cp := padll.NewControlPlane(
+		padll.WithAlgorithm(padll.StaticShare(4000)),
+		padll.WithClusterLimit(8000),
+	)
+	addr, err := cp.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	backend, local := newBackends()
+	dp, err := padll.NewDataPlane(padll.JobInfo{JobID: "hb-job", Hostname: "n", PID: 1},
+		padll.MountPFS("/pfs", backend), padll.MountLocal("/", local))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dp.Close()
+	if err := dp.Serve("127.0.0.1:0", addr); err != nil {
+		t.Fatal(err)
+	}
+	if err := dp.StartHeartbeat(20*time.Millisecond, 100*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	cp.RunOnce()
+	if dp.Degraded() {
+		t.Fatal("degraded while the controller is healthy")
+	}
+
+	// Controller crash: probes start failing, the stage must freeze its
+	// limits and report degraded.
+	cp.Stop()
+	waitFor(t, 5*time.Second, func() bool { return dp.Degraded() })
+
+	// Controller restart on the same address: the stage must re-register
+	// (fresh registry) and leave degraded mode on its own.
+	cp2 := padll.NewControlPlane(
+		padll.WithAlgorithm(padll.StaticShare(4000)),
+		padll.WithClusterLimit(8000),
+	)
+	if _, err := cp2.Serve(addr); err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Stop()
+	waitFor(t, 5*time.Second, func() bool { return !dp.Degraded() })
+	waitFor(t, 5*time.Second, func() bool { return len(cp2.Jobs()) == 1 })
+	if dp.DegradedFor() <= 0 {
+		t.Error("DegradedFor() = 0 after an outage")
+	}
+}
+
+func waitFor(t *testing.T, budget time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(budget)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
