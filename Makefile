@@ -9,6 +9,10 @@ GO ?= go
 BENCH_PKGS = ./internal/stage/... ./internal/metrics/... \
              ./internal/tokenbucket/... ./internal/policy/...
 
+# Control-plane packages benchmarked by `make bench` (the fleet feedback
+# loop: batched wire protocol, delta collection, RunOnce at scale).
+BENCH_CONTROL_PKGS = ./internal/control/... ./internal/rpcio/...
+
 all: build lint test
 
 build:
@@ -30,21 +34,27 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzMatcher -fuzztime 10s ./internal/policy/
 	$(GO) test -run '^$$' -fuzz FuzzTraceParse -fuzztime 10s ./internal/trace/
 
-# Hot-path microbenchmarks at 1, 4 and 8 simulated CPUs; the raw
-# `go test -json` event stream lands in BENCH_stage.json so runs can be
-# diffed against the committed baseline.
+# Hot-path microbenchmarks at 1, 4 and 8 simulated CPUs, then the
+# control-plane fleet benchmarks; the raw `go test -json` event streams
+# land in BENCH_stage.json / BENCH_control.json so runs can be diffed
+# against the committed baselines. The fleet benchmarks run at the
+# default CPU count only: they measure wall-clock rounds over live
+# sockets, not CPU-parallel hot paths.
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem -cpu=1,4,8 -json $(BENCH_PKGS) \
-		| tee BENCH_stage.json \
-		| $(GO) run ./cmd/padll-benchfmt
+		| $(GO) run ./cmd/padll-benchfmt -raw BENCH_stage.json
+	$(GO) test -run='^$$' -bench=. -benchmem -json $(BENCH_CONTROL_PKGS) \
+		| $(GO) run ./cmd/padll-benchfmt -raw BENCH_control.json
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
-# One-iteration pass over every hot-path benchmark: catches bitrot
-# (compile errors, panics, b.Fatal) without paying for real measurement.
+# One-iteration pass over every hot-path and control-plane benchmark:
+# catches bitrot (compile errors, panics, b.Fatal) without paying for
+# real measurement.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x $(BENCH_PKGS) > /dev/null
+	$(GO) test -run='^$$' -bench=. -benchtime=1x $(BENCH_CONTROL_PKGS) > /dev/null
 
 vet:
 	$(GO) vet ./...

@@ -1,17 +1,21 @@
 // Command padll-benchfmt renders a `go test -json` benchmark event
 // stream back into human-readable text. `make bench` pipes through it so
-// the raw JSON can be captured to BENCH_stage.json for machine diffing
-// while the terminal still shows the familiar benchmark table.
+// the raw JSON can be captured (BENCH_stage.json, BENCH_control.json)
+// for machine diffing while the terminal still shows the familiar
+// benchmark table.
 //
 // Usage:
 //
 //	go test -run='^$' -bench=. -json ./... | padll-benchfmt
+//	go test -run='^$' -bench=. -json ./... | padll-benchfmt -raw BENCH_control.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 )
@@ -24,12 +28,42 @@ type event struct {
 }
 
 func main() {
+	rawPath := flag.String("raw", "", "also copy the raw input stream to this file (replaces `| tee`)")
+	flag.Parse()
+
+	var raw io.Writer
+	if *rawPath != "" {
+		f, err := os.Create(*rawPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "padll-benchfmt:", err)
+			os.Exit(1)
+		}
+		w := bufio.NewWriter(f)
+		defer func() {
+			// Flush-then-close: a full disk surfaces here, not silently.
+			err := w.Flush()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "padll-benchfmt:", err)
+				os.Exit(1)
+			}
+		}()
+		raw = w
+	}
+
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 	benches := 0
 	pending := "" // benchmark name emitted without its result line yet
 	for sc.Scan() {
 		line := sc.Bytes()
+		if raw != nil {
+			// Stream copy errors (disk full) surface at Close.
+			_, _ = raw.Write(line)
+			_, _ = raw.Write([]byte{'\n'})
+		}
 		var ev event
 		if err := json.Unmarshal(line, &ev); err != nil {
 			// Pass non-JSON lines through untouched so plain-text input

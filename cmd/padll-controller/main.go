@@ -51,6 +51,7 @@ func main() {
 		interval  = flag.Duration("interval", time.Second, "feedback loop period")
 		report    = flag.Duration("report", 5*time.Second, "allocation report period (0 = quiet)")
 		evict     = flag.Int("evict-after", 3, "deregister a stage after this many consecutive failed control rounds (0 = never)")
+		pushConc  = flag.Int("push-concurrency", 0, "stages pushed to in parallel per round (0 = default, 1 = sequential)")
 		httpAddr  = flag.String("http", "", "HTTP monitor address (e.g. 127.0.0.1:8080; empty = disabled)")
 	)
 	flag.Var(res, "reserve", "per-job reservation, repeatable: job=rate (rates accept k/m suffixes)")
@@ -77,6 +78,9 @@ func main() {
 	}
 	if *evict > 0 {
 		opts = append(opts, padll.WithEvictAfter(*evict))
+	}
+	if *pushConc > 0 {
+		opts = append(opts, padll.WithPushConcurrency(*pushConc))
 	}
 	cp := padll.NewControlPlane(opts...)
 	for job, rate := range res {
@@ -138,5 +142,10 @@ func printReport(cp *padll.ControlPlane) {
 			line += fmt.Sprintf(" failed=%d", s.FailedStages)
 		}
 		fmt.Println(line)
+	}
+	if rs, ok := cp.LastRound(); ok {
+		fmt.Printf("  round: %d stages, %d rpcs (%d pushes skipped), %d B on wire, %s\n",
+			rs.Stages, rs.RPCs(), rs.PushesSkipped,
+			rs.BytesRead+rs.BytesWritten, rs.Duration.Round(time.Microsecond))
 	}
 }

@@ -6,7 +6,8 @@
 //
 //	padll-ctl -stage 127.0.0.1:7171 ping
 //	padll-ctl -stage 127.0.0.1:7171 stats
-//	padll-ctl -stage 127.0.0.1:7171 apply 'limit id:open-cap op:open rate:10k burst:500'
+//	padll-ctl -stage 127.0.0.1:7171 apply 'limit id:open-cap op:open rate:10k burst:500' \
+//	    'limit id:stat-cap op:stat rate:50k'
 //	padll-ctl -stage 127.0.0.1:7171 set-rate open-cap 25k
 //	padll-ctl -stage 127.0.0.1:7171 remove open-cap
 //	padll-ctl -stage 127.0.0.1:7171 mode passthrough
@@ -29,7 +30,9 @@ func usage() {
 commands:
   ping                 probe the stage and print its identity
   stats                print per-queue statistics
-  apply '<rule dsl>'   install or update a rule
+  apply '<rule dsl>' [more rules...]
+                       install or update rules; several rules land
+                       atomically in one batched round trip
   set-rate <id> <rate> retune a rule's rate (k/m suffixes accepted)
   remove <id>          delete a rule
   mode <enforce|passthrough>`)
@@ -78,17 +81,28 @@ func main() {
 		}
 
 	case "apply":
-		if len(args) != 2 {
+		if len(args) < 2 {
 			usage()
 		}
-		rule, err := policy.Parse(args[1])
-		if err != nil {
+		// Parse everything before touching the stage, then ship all the
+		// rules in one Stage.Batch round trip: either every rule lands or
+		// none does, so a typo in rule three can't leave one and two live.
+		ops := make([]rpcio.StageOp, 0, len(args)-1)
+		rules := make([]policy.Rule, 0, len(args)-1)
+		for _, dsl := range args[1:] {
+			rule, err := policy.Parse(dsl)
+			if err != nil {
+				fatal(err)
+			}
+			ops = append(ops, rpcio.StageOp{Kind: rpcio.OpApplyRule, Rule: rule})
+			rules = append(rules, rule)
+		}
+		if _, _, err := h.ExecBatch(ops, false); err != nil {
 			fatal(err)
 		}
-		if err := h.ApplyRule(rule); err != nil {
-			fatal(err)
+		for _, rule := range rules {
+			fmt.Println("applied", rule.String())
 		}
-		fmt.Println("applied", rule.String())
 
 	case "set-rate":
 		if len(args) != 3 {

@@ -28,7 +28,7 @@ func main() {
 	var (
 		fig    = flag.String("fig", "", "figures to regenerate: 1,2,4,5 or all")
 		table  = flag.String("table", "", "tables to regenerate: overhead")
-		ext    = flag.String("ext", "", "extensions: drf,mds,ablation,scalability,adaptive,chaos or all")
+		ext    = flag.String("ext", "", "extensions: drf,mds,ablation,scalability,adaptive,chaos,fleet or all")
 		seed   = flag.Int64("seed", experiments.DefaultSeed, "workload seed")
 		csvDir = flag.String("csv", "", "directory to dump series CSVs into")
 	)
@@ -134,6 +134,13 @@ func main() {
 			series = append(series, named(id, r.PerJob[id]))
 		}
 		dumpCSV(*csvDir, "e7_chaos.csv", metrics.MergeCSV(series...))
+	}
+	if want(*ext, "fleet") {
+		r, err := experiments.FleetScale()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r.Render())
 	}
 	if want(*ext, "ablation") {
 		burst := experiments.BurstAblation(*seed)

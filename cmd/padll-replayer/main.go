@@ -184,6 +184,10 @@ func main() {
 		}
 		fmt.Println(line)
 	}
+	if svc, ok := dp.ControlServiceStats(); ok {
+		fmt.Printf("  control service: %d calls (%d batched ops), collects %d delta / %d full\n",
+			svc.Calls, svc.BatchedOps, svc.DeltaCollects, svc.FullCollects)
+	}
 }
 
 func fatal(err error) {

@@ -24,6 +24,7 @@ import (
 	"padll/internal/clock"
 	"padll/internal/control"
 	"padll/internal/policy"
+	"padll/internal/rpcio"
 	"padll/internal/stage"
 )
 
@@ -49,6 +50,11 @@ type Config struct {
 	Reservations map[string]float64
 	// Algorithm defaults to control.StaticEqualShare{}.
 	Algorithm control.Algorithm
+	// Batched runs the control plane over the batched delta protocol
+	// (an in-process rpcio.StageService per stage) instead of per-call
+	// pushes. Fault injection gates whole round trips: a batch with ops
+	// consumes one push-budget unit, a collect one collect-budget unit.
+	Batched bool
 }
 
 // Event is one scheduled action in a scenario.
@@ -64,7 +70,7 @@ type StageNode struct {
 	Job string
 	Stg *stage.Stage
 
-	conn        *chaosConn
+	conn        control.StageConn
 	partitioned atomic.Bool
 	crashed     atomic.Bool
 	// collectBudget < 0 disables the counter; otherwise the node crashes
@@ -125,6 +131,10 @@ func (h *Harness) newController() *control.Controller {
 	opts := []control.Option{
 		control.WithClusterLimit(h.cfg.Limit),
 		control.WithAlgorithm(h.cfg.Algorithm),
+		// The mid-round crash budget (pushBudget) is a single global
+		// counter: pushes must run sequentially so the same seed always
+		// crashes the controller after the same stage.
+		control.WithPushConcurrency(1),
 		control.WithErrorHandler(func(id string, err error) {
 			if errors.Is(err, control.ErrEvicted) {
 				h.logf("stage %s evicted by controller", id)
@@ -151,7 +161,13 @@ func (h *Harness) AddStage(id, job string) *StageNode {
 		Stg: stage.New(stage.Info{StageID: id, JobID: job}, h.clk),
 	}
 	n.collectBudget.Store(-1)
-	n.conn = &chaosConn{LocalConn: control.LocalConn{Stg: n.Stg}, h: h, node: n}
+	base := chaosConn{LocalConn: control.LocalConn{Stg: n.Stg}, h: h, node: n}
+	if h.cfg.Batched {
+		svc := rpcio.NewStageService(n.Stg)
+		n.conn = &chaosBatchConn{chaosConn: base, handle: rpcio.LoopbackStage(svc)}
+	} else {
+		n.conn = &base
+	}
 	if err := h.ctl.Register(n.conn); err != nil {
 		h.logf("stage %s registration error: %v", id, err)
 	}
@@ -353,17 +369,26 @@ type chaosConn struct {
 }
 
 func (c *chaosConn) Collect() (stage.Stats, error) {
+	if err := c.collectGate(); err != nil {
+		return stage.Stats{}, err
+	}
+	return c.LocalConn.Collect()
+}
+
+// collectGate applies the collect-side failure state: unreachable nodes
+// fail, and an armed collect budget crashes the node when it hits zero.
+func (c *chaosConn) collectGate() error {
 	if c.node.crashed.Load() || c.node.partitioned.Load() {
-		return stage.Stats{}, ErrUnreachable
+		return ErrUnreachable
 	}
 	if b := c.node.collectBudget.Load(); b >= 0 {
 		if b == 0 {
 			c.node.crashed.Store(true)
-			return stage.Stats{}, ErrUnreachable
+			return ErrUnreachable
 		}
 		c.node.collectBudget.Store(b - 1)
 	}
-	return c.LocalConn.Collect()
+	return nil
 }
 
 func (c *chaosConn) SetRate(id string, rate float64) (bool, error) {
@@ -399,4 +424,44 @@ func (c *chaosConn) reachable() (bool, error) {
 		c.h.pushBudget.Store(b - 1)
 	}
 	return true, nil
+}
+
+// chaosBatchConn speaks the batched delta protocol to an in-process
+// rpcio.StageService, with the same failure state gating whole round
+// trips instead of individual calls. It satisfies control.BatchConn, so
+// the controller drives it exactly like a remote batched stage.
+type chaosBatchConn struct {
+	chaosConn
+	handle *rpcio.StageHandle
+}
+
+var _ control.BatchConn = (*chaosBatchConn)(nil)
+
+// Collect rides the incremental protocol: after the first exchange only
+// changed queues cross the (simulated) wire.
+func (c *chaosBatchConn) Collect() (stage.Stats, error) {
+	if err := c.collectGate(); err != nil {
+		return stage.Stats{}, err
+	}
+	return c.handle.CollectDelta()
+}
+
+// ExecBatch implements control.BatchConn. A batch carrying ops consumes
+// one push-budget unit — the mid-round crash granularity is a round
+// trip, matching what a real batched controller would observe.
+func (c *chaosBatchConn) ExecBatch(ops []rpcio.StageOp, collect bool) ([]rpcio.OpResult, stage.Stats, error) {
+	if len(ops) > 0 {
+		if ok, err := c.reachable(); !ok {
+			return nil, stage.Stats{}, err
+		}
+	}
+	if collect {
+		if c.h.controllerDown {
+			return nil, stage.Stats{}, ErrControllerDown
+		}
+		if err := c.collectGate(); err != nil {
+			return nil, stage.Stats{}, err
+		}
+	}
+	return c.handle.ExecBatch(ops, collect)
 }

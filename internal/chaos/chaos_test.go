@@ -181,6 +181,7 @@ func TestSameSeedRunsAreByteIdentical(t *testing.T) {
 		"controller-crash": ControllerCrashMidRun,
 		"stage-crash":      StageCrashMidCollect,
 		"partition-heal":   PartitionHeal,
+		"batched-outage":   BatchedOutage,
 	} {
 		a := mk(42)
 		a.Run(runFor)
@@ -193,6 +194,50 @@ func TestSameSeedRunsAreByteIdentical(t *testing.T) {
 		c.Run(runFor)
 		if a.Log() == c.Log() {
 			t.Errorf("%s: different seeds produced identical logs — scenario ignores its seed", name)
+		}
+	}
+}
+
+// TestBatchedModeRecoversAndStaysIncremental runs the batched-protocol
+// scenario end to end: faults must not wedge the cluster (every stage is
+// back at its fixed share after the outage) and steady-state collects
+// must actually ride the incremental path rather than silently falling
+// back to full snapshots every round.
+func TestBatchedModeRecoversAndStaysIncremental(t *testing.T) {
+	h := BatchedOutage(2022)
+	h.Run(runFor)
+
+	for _, id := range h.ids {
+		n := h.Node(id)
+		if n.crashed.Load() {
+			continue
+		}
+		want := map[string]float64{"job1": 15_000, "job2": 25_000}[n.Job]
+		if got := RuleRate(n.Stg, control.ControlRuleID); math.Abs(got-want) > 1 {
+			t.Errorf("stage %s rate = %v after recovery, want %v", id, got, want)
+		}
+	}
+
+	var deltas uint64
+	for _, id := range h.ids {
+		bc, ok := h.Node(id).conn.(*chaosBatchConn)
+		if !ok {
+			t.Fatalf("stage %s is not running a batched conn", id)
+		}
+		fulls, ds := bc.handle.CollectCounts()
+		if fulls == 0 {
+			t.Errorf("stage %s never took a full snapshot (first collect must be full)", id)
+		}
+		deltas += ds
+	}
+	if deltas == 0 {
+		t.Error("no incremental collects happened — batched mode fell back to full snapshots every round")
+	}
+
+	log := h.Log()
+	for _, want := range []string{"partition", "heal", "controller crashed", "controller restarted"} {
+		if !strings.Contains(log, want) {
+			t.Errorf("event log missing %q:\n%s", want, log)
 		}
 	}
 }

@@ -12,12 +12,13 @@ import (
 // storyline. Every random choice comes from the harness's seeded rng,
 // so a scenario is fully determined by its seed.
 
-func smallCluster(seed int64, evictAfter int) *Harness {
+func smallCluster(seed int64, evictAfter int, batched bool) *Harness {
 	h := New(Config{
 		Seed:       seed,
 		Interval:   time.Second,
 		Limit:      100_000,
 		EvictAfter: evictAfter,
+		Batched:    batched,
 		// Priority (fixed rates): each job is granted its reservation
 		// verbatim, so expected rates are exact regardless of demand.
 		Algorithm: control.FixedRates{},
@@ -58,7 +59,7 @@ func offerDemand(h *Harness, until time.Duration) {
 // empty registry. Stages must freeze their limits while degraded and
 // reconcile within one control interval of the restart.
 func ControllerCrashMidRun(seed int64) *Harness {
-	h := smallCluster(seed, 0)
+	h := smallCluster(seed, 0, false)
 	offerDemand(h, 30*time.Second)
 	// Crash between rounds 5 and 9, after 1..3 of the round's pushes;
 	// recover 6..10 intervals later.
@@ -75,7 +76,7 @@ func ControllerCrashMidRun(seed int64) *Harness {
 // collect fan-out. With eviction enabled the controller must sweep the
 // corpse and re-grant its share to the job's surviving stage.
 func StageCrashMidCollect(seed int64) *Harness {
-	h := smallCluster(seed, 2)
+	h := smallCluster(seed, 2, false)
 	offerDemand(h, 30*time.Second)
 	victim := h.ids[h.rng.Intn(len(h.ids))]
 	at := time.Duration(4+h.rng.Intn(4))*h.Interval() - h.Interval()/2
@@ -89,7 +90,7 @@ func StageCrashMidCollect(seed int64) *Harness {
 // the link. The stage must re-register and be folded back into the
 // allocation within one control interval of the heal.
 func PartitionHeal(seed int64) *Harness {
-	h := smallCluster(seed, 3)
+	h := smallCluster(seed, 3, false)
 	offerDemand(h, 30*time.Second)
 	victim := h.ids[h.rng.Intn(len(h.ids))]
 	from := time.Duration(3+h.rng.Intn(3))*h.Interval() + h.Interval()/2
@@ -97,5 +98,25 @@ func PartitionHeal(seed int64) *Harness {
 	h.OutageStart, h.OutageEnd = from, to
 	h.At(from, "partition", func(h *Harness) { h.Partition(victim) })
 	h.At(to, "heal", func(h *Harness) { h.Heal(victim) })
+	return h
+}
+
+// BatchedOutage drives the batched delta protocol through a partition/
+// heal followed by a full controller outage and restart. The mid-round
+// push crash stays a per-call scenario: in batch mode an unchanged rate
+// skips the push round trip entirely, so a FixedRates steady state has
+// no pushes to arm a budget against.
+func BatchedOutage(seed int64) *Harness {
+	h := smallCluster(seed, 3, true)
+	offerDemand(h, 30*time.Second)
+	victim := h.ids[h.rng.Intn(len(h.ids))]
+	pFrom := time.Duration(3+h.rng.Intn(3))*h.Interval() + h.Interval()/2
+	pTo := pFrom + time.Duration(4+h.rng.Intn(3))*h.Interval()
+	h.At(pFrom, "partition", func(h *Harness) { h.Partition(victim) })
+	h.At(pTo, "heal", func(h *Harness) { h.Heal(victim) })
+	h.OutageStart = pTo + time.Duration(2+h.rng.Intn(3))*h.Interval() + h.Interval()/2
+	h.OutageEnd = h.OutageStart + time.Duration(4+h.rng.Intn(4))*h.Interval()
+	h.At(h.OutageStart, "crash-controller", func(h *Harness) { h.CrashController() })
+	h.At(h.OutageEnd, "restart-controller", func(h *Harness) { h.RestartController() })
 	return h
 }

@@ -1,0 +1,153 @@
+package control
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"padll/internal/clock"
+	"padll/internal/policy"
+	"padll/internal/rpcio"
+	"padll/internal/stage"
+)
+
+// The fleet benchmarks measure one feedback-loop round (RunOnce) at
+// increasing stage counts, over the two wire protocols:
+//
+//   - batched (RemoteConn): one Stage.Batch round trip per stage carrying
+//     the collect; steady-state collects are incremental deltas and
+//     unchanged rates skip the push round trip entirely.
+//   - per-call (PerCallConn): the pre-batch protocol — a full-snapshot
+//     Collect RPC plus a SetRate RPC per stage per round.
+//
+// Each stage carries a realistic rule set (the managed control queue
+// plus benchRulesPerStage administrator rules), so a full snapshot has
+// real serialization weight, as it does on a production stage.
+const (
+	benchJobs          = 8
+	benchRulesPerStage = 8
+)
+
+var benchEpoch = time.Date(2022, 5, 1, 0, 0, 0, 0, time.UTC)
+
+// benchStage builds one stage preloaded with admin rules.
+func benchStage(i int) *stage.Stage {
+	job := fmt.Sprintf("job%02d", i%benchJobs)
+	stg := stage.New(stage.Info{
+		StageID:  fmt.Sprintf("s%04d", i),
+		JobID:    job,
+		Hostname: fmt.Sprintf("node%03d", i/8),
+		PID:      1000 + i,
+	}, clock.NewSim(benchEpoch))
+	for r := 0; r < benchRulesPerStage; r++ {
+		stg.ApplyRule(policy.Rule{
+			ID:   fmt.Sprintf("admin-%02d", r),
+			Rate: float64(1000 * (r + 1)),
+		})
+	}
+	return stg
+}
+
+// benchController builds the controller the fleet registers with:
+// FixedRates with a reservation per job, so every round allocates the
+// same nonzero rates — the steady state a long-lived fleet sits in.
+func benchController() *Controller {
+	ctl := New(nil,
+		WithClusterLimit(1_000_000),
+		WithAlgorithm(FixedRates{}),
+	)
+	for j := 0; j < benchJobs; j++ {
+		ctl.SetReservation(fmt.Sprintf("job%02d", j), float64(1000*(j+1)))
+	}
+	return ctl
+}
+
+// benchFleetTCP serves n stages over real TCP (each on its own loopback
+// listener, as deployed fleets do) and registers them through mkConn.
+func benchFleetTCP(b *testing.B, n int, mkConn func(stage.Info, *rpcio.StageHandle) StageConn) *Controller {
+	b.Helper()
+	ctl := benchController()
+	for i := 0; i < n; i++ {
+		stg := benchStage(i)
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		stop := rpcio.ServeStage(l, stg)
+		b.Cleanup(stop)
+		h, err := rpcio.DialStage(l.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { h.Close() })
+		if err := ctl.Register(mkConn(stg.Info(), h)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return ctl
+}
+
+// benchFleetLoopback wires n stages through the in-process transport —
+// no sockets, same protocol — which is what lets a single machine hold
+// a 1024-stage fleet.
+func benchFleetLoopback(b *testing.B, n int) *Controller {
+	b.Helper()
+	ctl := benchController()
+	for i := 0; i < n; i++ {
+		stg := benchStage(i)
+		h := rpcio.LoopbackStage(rpcio.NewStageService(stg))
+		if err := ctl.Register(NewRemoteConn(stg.Info(), h)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return ctl
+}
+
+func runRounds(b *testing.B, ctl *Controller) {
+	// First round off the clock: it pays the one-time full snapshots and
+	// initial rate pushes; every later round is the steady state.
+	if ctl.RunOnce() == nil {
+		b.Fatal("RunOnce returned nil allocation")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctl.RunOnce()
+	}
+	b.StopTimer()
+	rs, ok := ctl.LastRound()
+	if !ok {
+		b.Fatal("no round stats recorded")
+	}
+	b.ReportMetric(float64(rs.RPCs()), "rpcs/round")
+	b.ReportMetric(float64(rs.BytesRead+rs.BytesWritten), "wireB/round")
+}
+
+func BenchmarkControllerRunOnce64(b *testing.B) {
+	runRounds(b, benchFleetTCP(b, 64, func(info stage.Info, h *rpcio.StageHandle) StageConn {
+		return NewRemoteConn(info, h)
+	}))
+}
+
+func BenchmarkControllerRunOnce256(b *testing.B) {
+	runRounds(b, benchFleetTCP(b, 256, func(info stage.Info, h *rpcio.StageHandle) StageConn {
+		return NewRemoteConn(info, h)
+	}))
+}
+
+func BenchmarkControllerRunOnce1024(b *testing.B) {
+	runRounds(b, benchFleetLoopback(b, 1024))
+}
+
+func BenchmarkControllerRunOncePerCall64(b *testing.B) {
+	runRounds(b, benchFleetTCP(b, 64, func(info stage.Info, h *rpcio.StageHandle) StageConn {
+		return NewPerCallConn(info, h)
+	}))
+}
+
+func BenchmarkControllerRunOncePerCall256(b *testing.B) {
+	runRounds(b, benchFleetTCP(b, 256, func(info stage.Info, h *rpcio.StageHandle) StageConn {
+		return NewPerCallConn(info, h)
+	}))
+}

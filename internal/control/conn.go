@@ -68,13 +68,38 @@ func (c *LocalConn) SetMode(m stage.Mode) error {
 // Close implements StageConn.
 func (c *LocalConn) Close() error { return nil }
 
-// RemoteConn drives a stage over the RPC transport.
+// BatchConn is the optional StageConn extension for peers speaking the
+// batched delta protocol: a round's operations (and optionally a
+// statistics collect) execute in one round trip. The controller type-
+// asserts for it and falls back to per-call RPCs, so wrappers that hide
+// it (fault injectors, legacy adapters) transparently select the
+// per-call path.
+type BatchConn interface {
+	StageConn
+	// ExecBatch executes ops (and an incremental collect when collect
+	// is set) in one round trip; st is the merged full snapshot.
+	ExecBatch(ops []rpcio.StageOp, collect bool) (results []rpcio.OpResult, st stage.Stats, err error)
+}
+
+// WireStatser is the optional StageConn extension for transports that
+// account their traffic; the controller sums it into RoundStats.
+type WireStatser interface {
+	WireStats() rpcio.WireStats
+}
+
+// RemoteConn drives a stage over the RPC transport, using the batched
+// delta protocol: Collect rides Stage.Batch and after the first
+// exchange only changed queues cross the wire.
 type RemoteConn struct {
 	info   stage.Info
 	handle *rpcio.StageHandle
 }
 
-var _ StageConn = (*RemoteConn)(nil)
+var (
+	_ StageConn   = (*RemoteConn)(nil)
+	_ BatchConn   = (*RemoteConn)(nil)
+	_ WireStatser = (*RemoteConn)(nil)
+)
 
 // NewRemoteConn wraps a dialed stage handle with its registered identity.
 func NewRemoteConn(info stage.Info, handle *rpcio.StageHandle) *RemoteConn {
@@ -95,11 +120,65 @@ func (c *RemoteConn) SetRate(id string, rate float64) (bool, error) {
 	return c.handle.SetRate(id, rate)
 }
 
-// Collect implements StageConn.
-func (c *RemoteConn) Collect() (stage.Stats, error) { return c.handle.Collect() }
+// Collect implements StageConn over the incremental protocol.
+func (c *RemoteConn) Collect() (stage.Stats, error) { return c.handle.CollectDelta() }
+
+// ExecBatch implements BatchConn.
+func (c *RemoteConn) ExecBatch(ops []rpcio.StageOp, collect bool) ([]rpcio.OpResult, stage.Stats, error) {
+	return c.handle.ExecBatch(ops, collect)
+}
+
+// WireStats implements WireStatser.
+func (c *RemoteConn) WireStats() rpcio.WireStats { return c.handle.WireStats() }
 
 // SetMode implements StageConn.
 func (c *RemoteConn) SetMode(m stage.Mode) error { return c.handle.SetMode(m) }
 
 // Close implements StageConn.
 func (c *RemoteConn) Close() error { return c.handle.Close() }
+
+// PerCallConn drives a stage with the PR-4-era per-call protocol: one
+// RPC per operation and full-snapshot collects. It exists as the
+// measured baseline for the batched protocol (experiments, benchmarks)
+// and as an escape hatch against stages running an older service.
+type PerCallConn struct {
+	info   stage.Info
+	handle *rpcio.StageHandle
+}
+
+var (
+	_ StageConn   = (*PerCallConn)(nil)
+	_ WireStatser = (*PerCallConn)(nil)
+)
+
+// NewPerCallConn wraps a dialed stage handle with its registered
+// identity, speaking only per-call RPCs.
+func NewPerCallConn(info stage.Info, handle *rpcio.StageHandle) *PerCallConn {
+	return &PerCallConn{info: info, handle: handle}
+}
+
+// Info implements StageConn.
+func (c *PerCallConn) Info() stage.Info { return c.info }
+
+// ApplyRule implements StageConn.
+func (c *PerCallConn) ApplyRule(r policy.Rule) error { return c.handle.ApplyRule(r) }
+
+// RemoveRule implements StageConn.
+func (c *PerCallConn) RemoveRule(id string) (bool, error) { return c.handle.RemoveRule(id) }
+
+// SetRate implements StageConn.
+func (c *PerCallConn) SetRate(id string, rate float64) (bool, error) {
+	return c.handle.SetRate(id, rate)
+}
+
+// Collect implements StageConn with a full-snapshot RPC.
+func (c *PerCallConn) Collect() (stage.Stats, error) { return c.handle.Collect() }
+
+// WireStats implements WireStatser.
+func (c *PerCallConn) WireStats() rpcio.WireStats { return c.handle.WireStats() }
+
+// SetMode implements StageConn.
+func (c *PerCallConn) SetMode(m stage.Mode) error { return c.handle.SetMode(m) }
+
+// Close implements StageConn.
+func (c *PerCallConn) Close() error { return c.handle.Close() }

@@ -51,6 +51,13 @@ type Controller struct {
 	// tolerates slow stages without serializing behind them, but a
 	// thousand-stage registry must not burst a thousand goroutines.
 	collectWorkers int
+	// pushWorkers bounds RunOnce's push fan-out the same way (default 8;
+	// 1 forces sequential pushes in sorted order, which the chaos
+	// harness relies on for deterministic fault injection).
+	pushWorkers int
+	// lastRound is the most recent RunOnce's accounting.
+	lastRound RoundStats
+	haveRound bool
 	// evictAfter is the mark-sweep threshold: a stage whose collect/push
 	// RPCs fail this many consecutive rounds is evicted from the registry
 	// (0 disables eviction — dead stages are skipped but kept).
@@ -125,6 +132,18 @@ func WithCollectConcurrency(n int) Option {
 	}
 }
 
+// WithPushConcurrency bounds how many stages RunOnce pushes rates to in
+// parallel (default 8; 1 forces sequential pushes in sorted job/stage
+// order). Whatever the bound, push outcomes are folded in sorted order,
+// so error reporting and eviction marks stay deterministic.
+func WithPushConcurrency(n int) Option {
+	return func(c *Controller) {
+		if n > 0 {
+			c.pushWorkers = n
+		}
+	}
+}
+
 // WithEvictAfter enables mark-sweep eviction: a stage that fails n
 // consecutive control rounds is deregistered and its group's share
 // released for redistribution. n <= 0 disables eviction.
@@ -132,8 +151,13 @@ func WithEvictAfter(n int) Option {
 	return func(c *Controller) { c.evictAfter = n }
 }
 
-// New returns a controller.
+// New returns a controller. A nil clk defaults to the wall clock (the
+// loop timestamps its round accounting even when the caller never
+// starts Run).
 func New(clk clock.Clock, opts ...Option) *Controller {
+	if clk == nil {
+		clk = clock.NewReal()
+	}
 	c := &Controller{
 		clk:          clk,
 		stages:       make(map[string]StageConn),
@@ -146,6 +170,7 @@ func New(clk clock.Clock, opts ...Option) *Controller {
 		onError:          func(string, error) {},
 		lastAlloc:        make(map[string]float64),
 		collectWorkers:   8,
+		pushWorkers:      8,
 		misses:           make(map[string]int),
 		adminRules:       make(map[string]map[string]policy.Rule),
 		clusterRules:     make(map[string]policy.Rule),
@@ -204,6 +229,21 @@ func (c *Controller) Register(conn StageConn) error {
 			rate = c.initialRate()
 		}
 		rule := c.managedRuleFor(key, rate)
+		if bc, ok := conn.(BatchConn); ok {
+			// Control rule plus the whole replay set in one round trip —
+			// what keeps a re-registration storm (every stage reconnecting
+			// after a controller restart) from multiplying into
+			// rules×stages RPCs.
+			ops := make([]rpcio.StageOp, 0, 1+len(replay))
+			ops = append(ops, rpcio.StageOp{Kind: rpcio.OpApplyRule, Rule: rule})
+			for _, r := range replay {
+				ops = append(ops, rpcio.StageOp{Kind: rpcio.OpApplyRule, Rule: r})
+			}
+			if _, _, err := bc.ExecBatch(ops, false); err != nil {
+				return fmt.Errorf("control: install rules on %s: %w", id, err)
+			}
+			return nil
+		}
 		if err := conn.ApplyRule(rule); err != nil {
 			return fmt.Errorf("control: install control rule on %s: %w", id, err)
 		}
@@ -530,6 +570,41 @@ type JobSnapshot struct {
 	FailedStages int
 }
 
+// runBounded runs fn(i) for every i in [0, n) on at most workers
+// concurrent goroutines; workers <= 1 degenerates to a sequential loop
+// in index order.
+func runBounded(n, workers int, fn func(int)) {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// stageProbe is what a collect round learns about one stage beyond the
+// per-job aggregates: whether it answered, and the managed control
+// queue's currently enforced limit. The push phase uses it to skip
+// stages that already enforce the target rate and to spot stages that
+// lost their managed queue.
+type stageProbe struct {
+	ok       bool
+	hasCtl   bool
+	ctlLimit float64
+}
+
 // CollectAll gathers statistics from every stage, aggregated per job
 // (feedback-loop step 1). Stages are queried concurrently under a
 // bounded worker pool, but results are folded in StageID order, so the
@@ -538,6 +613,13 @@ type JobSnapshot struct {
 // eviction, and skipped: the loop runs on partial snapshots rather than
 // blocking behind a dead peer.
 func (c *Controller) CollectAll() []JobSnapshot {
+	snaps, _ := c.collectRound(nil)
+	return snaps
+}
+
+// collectRound is CollectAll plus the per-stage probes RunOnce's push
+// phase wants; rs (when non-nil) accumulates round accounting.
+func (c *Controller) collectRound(rs *RoundStats) ([]JobSnapshot, map[string]stageProbe) {
 	c.mu.Lock()
 	conns := make([]StageConn, 0, len(c.stages))
 	for _, conn := range c.stages {
@@ -561,27 +643,12 @@ func (c *Controller) CollectAll() []JobSnapshot {
 		err error
 	}
 	results := make([]result, len(conns))
-	if workers <= 1 || len(conns) <= 1 {
-		for i, conn := range conns {
-			st, err := conn.Collect()
-			results[i] = result{st, err}
-		}
-	} else {
-		sem := make(chan struct{}, workers)
-		var wg sync.WaitGroup
-		for i, conn := range conns {
-			wg.Add(1)
-			go func(i int, conn StageConn) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				st, err := conn.Collect()
-				results[i] = result{st, err}
-			}(i, conn)
-		}
-		wg.Wait()
-	}
+	runBounded(len(conns), workers, func(i int) {
+		st, err := conns[i].Collect()
+		results[i] = result{st, err}
+	})
 
+	probes := make(map[string]stageProbe, len(conns))
 	agg := map[string]*JobSnapshot{}
 	failed := map[string]int{}
 	for i, conn := range conns {
@@ -591,9 +658,17 @@ func (c *Controller) CollectAll() []JobSnapshot {
 			c.onError(info.StageID, err)
 			c.noteMiss(info.StageID)
 			failed[key]++
+			if rs != nil {
+				rs.CollectCalls++
+				rs.CollectFailures++
+			}
 			continue
 		}
 		c.noteOK(info.StageID)
+		if rs != nil {
+			rs.CollectCalls++
+		}
+		probe := stageProbe{ok: true}
 		st := results[i].st
 		snap, ok := agg[key]
 		if !ok {
@@ -614,6 +689,8 @@ func (c *Controller) CollectAll() []JobSnapshot {
 		}
 		for _, q := range st.Queues {
 			if q.RuleID == ControlRuleID {
+				probe.hasCtl = true
+				probe.ctlLimit = q.Limit
 				snap.Demand += q.DemandRate
 				snap.Throughput += q.ThroughputRate
 				if q.WaitP50 > snap.WaitP50 {
@@ -627,6 +704,7 @@ func (c *Controller) CollectAll() []JobSnapshot {
 				}
 			}
 		}
+		probes[info.StageID] = probe
 	}
 	out := make([]JobSnapshot, 0, len(agg))
 	for key, s := range agg {
@@ -634,12 +712,78 @@ func (c *Controller) CollectAll() []JobSnapshot {
 		out = append(out, *s)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].JobID < out[j].JobID })
-	return out
+	return out, probes
+}
+
+// RoundStats is one RunOnce iteration's accounting: how many round
+// trips the feedback loop cost at the current fleet size, and what the
+// delta protocol saved. The monitor and padll-controller's report
+// surface it; experiment E8 sweeps it against stage count.
+type RoundStats struct {
+	// Stages is the number of registered stages when the round began.
+	Stages int
+	// CollectCalls counts collect round trips issued (one per stage);
+	// CollectFailures counts the ones that errored.
+	CollectCalls    int
+	CollectFailures int
+	// PushCalls counts push-phase round trips; PushOps the operations
+	// they carried (a reinstall adds an op without a round trip on the
+	// batched path).
+	PushCalls int
+	PushOps   int
+	// PushesSkipped counts stages whose collect probe showed the target
+	// rate already enforced, so no push RPC was issued at all — the
+	// delta protocol's steady-state win.
+	PushesSkipped int
+	// Duration is the wall (or simulated) time the round took.
+	Duration time.Duration
+	// BytesRead/BytesWritten are the controller-side wire traffic this
+	// round across connections that account it (TCP transports).
+	BytesRead    uint64
+	BytesWritten uint64
+}
+
+// RPCs is the round's total round trips.
+func (r RoundStats) RPCs() int { return r.CollectCalls + r.PushCalls }
+
+// LastRound reports the most recent RunOnce's accounting; ok is false
+// before the first completed round.
+func (c *Controller) LastRound() (rs RoundStats, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastRound, c.haveRound
+}
+
+// wireSample snapshots the traffic counters of every registered
+// connection that exposes them, so a round's byte cost is the
+// difference of two samples.
+func (c *Controller) wireSample() ([]WireStatser, []rpcio.WireStats) {
+	c.mu.Lock()
+	var ws []WireStatser
+	for _, conn := range c.stages {
+		if w, ok := conn.(WireStatser); ok {
+			ws = append(ws, w)
+		}
+	}
+	c.mu.Unlock()
+	before := make([]rpcio.WireStats, len(ws))
+	for i, w := range ws {
+		before[i] = w.WireStats()
+	}
+	return ws, before
 }
 
 // RunOnce executes one feedback-loop iteration: collect, allocate, and
 // push per-stage rates. It returns the per-job allocation for reporting.
 // It is a no-op (returning nil) when no algorithm is installed.
+//
+// Both wire-heavy phases are fleet-scale aware: collects use the
+// incremental delta protocol on connections that support it, and pushes
+// run under a bounded worker pool (WithPushConcurrency), batch their
+// operations per stage, and are skipped outright for stages whose
+// collect probe shows the target rate already enforced. Push outcomes
+// are folded in sorted job/stage order regardless of the concurrency
+// bound, preserving the determinism contract the chaos harness checks.
 func (c *Controller) RunOnce() map[string]float64 {
 	c.mu.Lock()
 	alg := c.algorithm
@@ -647,12 +791,18 @@ func (c *Controller) RunOnce() map[string]float64 {
 		c.clusterLimit = c.limitAdapter.AdjustLimit(c.clusterLimit)
 	}
 	limit := c.clusterLimit
+	pushWorkers := c.pushWorkers
+	stages := len(c.stages)
 	c.mu.Unlock()
 	if alg == nil {
 		return nil
 	}
 
-	snaps := c.CollectAll()
+	start := c.clk.Now()
+	rs := RoundStats{Stages: stages}
+	wireConns, wireBefore := c.wireSample()
+
+	snaps, probes := c.collectRound(&rs)
 	// Sweep before allocating: stages past the eviction threshold leave
 	// the registry now, so the per-stage split below divides a job's
 	// grant among its live stages only instead of letting a dead one
@@ -671,43 +821,119 @@ func (c *Controller) RunOnce() map[string]float64 {
 
 	c.mu.Lock()
 	c.lastAlloc = alloc
-	plans := make(map[string][]StageConn, len(alloc))
+	plansByJob := make(map[string][]StageConn, len(alloc))
 	for jobID := range alloc {
-		plans[jobID] = c.stagesOfJobLocked(jobID)
+		plansByJob[jobID] = c.stagesOfJobLocked(jobID)
 	}
 	c.mu.Unlock()
 
-	// Push in sorted job order (stagesOfJobLocked already sorts within a
-	// job): a crash mid-push then partitions the fleet the same way on
-	// every same-seed run, which the chaos determinism tests rely on.
-	jobIDs := make([]string, 0, len(plans))
-	for jobID := range plans {
+	// Build the push plan in sorted job order (stagesOfJobLocked already
+	// sorts within a job): a crash mid-push then partitions the fleet
+	// the same way on every same-seed run, which the chaos determinism
+	// tests rely on.
+	jobIDs := make([]string, 0, len(plansByJob))
+	for jobID := range plansByJob {
 		jobIDs = append(jobIDs, jobID)
 	}
 	sort.Strings(jobIDs)
+	type pushPlan struct {
+		conn    StageConn
+		stageID string
+		jobID   string
+		rate    float64
+	}
+	var plans []pushPlan
 	for _, jobID := range jobIDs {
-		conns := plans[jobID]
+		conns := plansByJob[jobID]
 		if len(conns) == 0 {
 			continue
 		}
 		perStage := alloc[jobID] / float64(len(conns))
 		for _, conn := range conns {
-			found, err := conn.SetRate(ControlRuleID, perStage)
-			if err != nil {
-				c.onError(conn.Info().StageID, err)
-				c.noteMiss(conn.Info().StageID)
-				continue
-			}
-			if !found {
-				// The stage lost its managed queue (e.g. restarted):
-				// reinstall it.
-				if err := conn.ApplyRule(c.managedRuleFor(jobID, perStage)); err != nil {
-					c.onError(conn.Info().StageID, err)
-					c.noteMiss(conn.Info().StageID)
-				}
-			}
+			plans = append(plans, pushPlan{conn: conn, stageID: conn.Info().StageID, jobID: jobID, rate: perStage})
 		}
 	}
+
+	type pushOutcome struct {
+		err     error
+		calls   int
+		ops     int
+		skipped bool
+	}
+	outcomes := make([]pushOutcome, len(plans))
+	runBounded(len(plans), pushWorkers, func(i int) {
+		p := plans[i]
+		bc, batched := p.conn.(BatchConn)
+		if !batched {
+			// Per-call path: exactly the pre-batch protocol, including a
+			// push every round (its own liveness signal for conns without
+			// probes).
+			found, err := p.conn.SetRate(ControlRuleID, p.rate)
+			out := pushOutcome{err: err, calls: 1, ops: 1}
+			if err == nil && !found {
+				// The stage lost its managed queue (e.g. restarted):
+				// reinstall it.
+				out.err = p.conn.ApplyRule(c.managedRuleFor(p.jobID, p.rate))
+				out.calls++
+				out.ops++
+			}
+			outcomes[i] = out
+			return
+		}
+		probe := probes[p.stageID]
+		if probe.ok && probe.hasCtl && probe.ctlLimit == p.rate {
+			// The collect half of this round's batch already proved the
+			// stage enforces exactly this rate: nothing needs to cross
+			// the wire.
+			outcomes[i] = pushOutcome{skipped: true}
+			return
+		}
+		op := rpcio.StageOp{Kind: rpcio.OpSetRate, ID: ControlRuleID, Rate: p.rate}
+		if probe.ok && !probe.hasCtl {
+			// The stage answered collect without the managed queue
+			// (restarted): reinstall rather than retune.
+			op = rpcio.StageOp{Kind: rpcio.OpApplyRule, Rule: c.managedRuleFor(p.jobID, p.rate)}
+		}
+		res, _, err := bc.ExecBatch([]rpcio.StageOp{op}, false)
+		out := pushOutcome{err: err, calls: 1, ops: 1}
+		if err == nil && op.Kind == rpcio.OpSetRate && len(res) == 1 && !res[0].Found {
+			// Lost a race with a stage restart between collect and push:
+			// reinstall.
+			reinstall := rpcio.StageOp{Kind: rpcio.OpApplyRule, Rule: c.managedRuleFor(p.jobID, p.rate)}
+			_, _, err = bc.ExecBatch([]rpcio.StageOp{reinstall}, false)
+			out.err = err
+			out.calls++
+			out.ops++
+		}
+		outcomes[i] = out
+	})
+
+	// Fold outcomes in plan (sorted) order: error reporting and eviction
+	// marks are deterministic whatever the worker interleaving was.
+	for i, p := range plans {
+		o := outcomes[i]
+		rs.PushCalls += o.calls
+		rs.PushOps += o.ops
+		if o.skipped {
+			rs.PushesSkipped++
+			continue
+		}
+		if o.err != nil {
+			c.onError(p.stageID, o.err)
+			c.noteMiss(p.stageID)
+		}
+	}
+
+	rs.Duration = c.clk.Now().Sub(start)
+	for i, w := range wireConns {
+		after := w.WireStats()
+		rs.BytesRead += after.BytesRead - wireBefore[i].BytesRead
+		rs.BytesWritten += after.BytesWritten - wireBefore[i].BytesWritten
+	}
+	c.mu.Lock()
+	c.lastRound = rs
+	c.haveRound = true
+	c.mu.Unlock()
 	return alloc
 }
 

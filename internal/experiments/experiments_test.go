@@ -521,3 +521,38 @@ func TestE7ChaosReplayInvariants(t *testing.T) {
 		t.Error("ChaosReplay is not deterministic across runs")
 	}
 }
+
+func TestFleetScaleProtocolWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock measurement")
+	}
+	// Small points only: the full sweep is padll-experiments territory.
+	perCall, err := fleetPoint(16, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := fleetPoint(16, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Steady state: per-call pays collect+setrate per stage, batched pays
+	// one Batch per stage and skips unchanged-rate pushes.
+	if perCall.RPCs != 32 || batched.RPCs != 16 {
+		t.Errorf("rpcs/round = %d per-call / %d batched, want 32 / 16", perCall.RPCs, batched.RPCs)
+	}
+	if batched.WireBytes >= perCall.WireBytes {
+		t.Errorf("batched wire bytes %d not below per-call %d", batched.WireBytes, perCall.WireBytes)
+	}
+	pc, bc, err := fleetManagementRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc != 6 || bc != 1 {
+		t.Errorf("management round = %d per-call / %d batched RPCs, want 6 / 1", pc, bc)
+	}
+	r := FleetResult{Rows: []FleetRow{perCall, batched}, PerCallMgmtRPCs: pc, BatchedMgmtRPCs: bc}
+	out := r.Render()
+	if !strings.Contains(out, "fleet-scale wire protocol") || !strings.Contains(out, "6x fewer round trips") {
+		t.Errorf("render missing sections:\n%s", out)
+	}
+}

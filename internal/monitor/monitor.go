@@ -53,6 +53,22 @@ type WaitLatency struct {
 	P99 float64 `json:"p99_seconds"`
 }
 
+// ControlRound summarizes the most recent feedback round's wire cost —
+// the fleet-scale health signal: round trips, skipped pushes, bytes, and
+// how long the round took against the control interval.
+type ControlRound struct {
+	Stages          int     `json:"stages"`
+	RPCs            int     `json:"rpcs"`
+	CollectCalls    int     `json:"collect_calls"`
+	CollectFailures int     `json:"collect_failures"`
+	PushCalls       int     `json:"push_calls"`
+	PushOps         int     `json:"push_ops"`
+	PushesSkipped   int     `json:"pushes_skipped"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	BytesRead       uint64  `json:"bytes_read"`
+	BytesWritten    uint64  `json:"bytes_written"`
+}
+
 // Overview is the /api/overview response.
 type Overview struct {
 	Jobs       int                `json:"jobs"`
@@ -67,6 +83,9 @@ type Overview struct {
 	// stages in this collect round.
 	DegradedStages int `json:"degraded_stages"`
 	FailedStages   int `json:"failed_stages"`
+	// ControlRound is the last completed feedback round's accounting;
+	// absent until the loop has run once.
+	ControlRound *ControlRound `json:"control_round,omitempty"`
 }
 
 // NewHandler builds the HTTP handler for a controller.
@@ -93,6 +112,21 @@ func NewHandler(ctl *control.Controller) http.Handler {
 			degraded += s.DegradedStages
 			failed += s.FailedStages
 		}
+		var round *ControlRound
+		if rs, ok := ctl.LastRound(); ok {
+			round = &ControlRound{
+				Stages:          rs.Stages,
+				RPCs:            rs.RPCs(),
+				CollectCalls:    rs.CollectCalls,
+				CollectFailures: rs.CollectFailures,
+				PushCalls:       rs.PushCalls,
+				PushOps:         rs.PushOps,
+				PushesSkipped:   rs.PushesSkipped,
+				DurationSeconds: rs.Duration.Seconds(),
+				BytesRead:       rs.BytesRead,
+				BytesWritten:    rs.BytesWritten,
+			}
+		}
 		// The controller's clock, not the wall clock: under a simulated
 		// clock the overview timestamps the experiment's instant, keeping
 		// replayed runs byte-for-byte reproducible.
@@ -104,6 +138,7 @@ func NewHandler(ctl *control.Controller) http.Handler {
 			QueueWait:      queueWait,
 			DegradedStages: degraded,
 			FailedStages:   failed,
+			ControlRound:   round,
 		})
 	})
 

@@ -80,6 +80,30 @@ func TestOverviewJSON(t *testing.T) {
 	}
 }
 
+// TestOverviewReportsControlRound checks the fleet-scale accounting of
+// the last feedback round rides along in /api/overview.
+func TestOverviewReportsControlRound(t *testing.T) {
+	h := NewHandler(rig(t)) // rig runs one RunOnce
+	code, body := get(t, h, "/api/overview")
+	if code != 200 {
+		t.Fatalf("code = %d", code)
+	}
+	var ov Overview
+	if err := json.Unmarshal([]byte(body), &ov); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	cr := ov.ControlRound
+	if cr == nil {
+		t.Fatalf("control_round missing after a completed round:\n%s", body)
+	}
+	if cr.Stages != 2 || cr.CollectCalls != 2 {
+		t.Errorf("control_round = %+v, want 2 stages / 2 collects", cr)
+	}
+	if cr.RPCs != cr.CollectCalls+cr.PushCalls {
+		t.Errorf("rpcs = %d, want collect(%d)+push(%d)", cr.RPCs, cr.CollectCalls, cr.PushCalls)
+	}
+}
+
 // TestOverviewReportsWaitPercentiles drives a shaped request through a
 // throttled control queue and checks the wait shows up in /api/overview.
 func TestOverviewReportsWaitPercentiles(t *testing.T) {

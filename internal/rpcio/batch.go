@@ -1,0 +1,365 @@
+// The batched, delta-encoded control protocol.
+//
+// The per-call protocol costs one round trip per operation per stage
+// per control round, and every collect ships the stage's full Stats
+// blob even when nothing moved — at fleet scale the controller's
+// feedback loop (§III-C) is then bounded by the wire, not by the
+// allocation algorithm. Stage.Batch collapses a round's worth of
+// operations for one stage into a single RPC, and its collect half is
+// incremental: the stage remembers the last snapshot a client merged
+// (identified by an epoch+generation pair) and sends only the queues
+// that changed since. A client whose acknowledgment doesn't match —
+// first contact, a restarted stage (fresh epoch), or an evicted/
+// re-registered one — gets a full snapshot, so correctness never
+// depends on both sides staying in sync.
+package rpcio
+
+import (
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"padll/internal/policy"
+	"padll/internal/stage"
+)
+
+// OpKind selects which stage operation a StageOp performs.
+type OpKind uint8
+
+const (
+	// OpApplyRule installs or updates Rule (upsert).
+	OpApplyRule OpKind = iota + 1
+	// OpRemoveRule deletes rule ID.
+	OpRemoveRule
+	// OpSetRate retunes rule ID's queue to Rate.
+	OpSetRate
+	// OpSetMode switches the stage to Mode.
+	OpSetMode
+)
+
+// StageOp is one control operation inside a batch. Exactly the fields
+// its Kind names are meaningful.
+type StageOp struct {
+	Kind OpKind
+	Rule policy.Rule // OpApplyRule
+	ID   string      // OpRemoveRule, OpSetRate
+	Rate float64     // OpSetRate
+	Mode stage.Mode  // OpSetMode
+}
+
+// OpResult reports one op's outcome. Found mirrors the per-call
+// protocol's booleans: whether the rule existed for OpRemoveRule (it
+// was removed) and OpSetRate (it was retuned); always true for
+// OpApplyRule and OpSetMode.
+type OpResult struct {
+	Found bool
+}
+
+// BatchArgs carries one control round's operations for a stage.
+type BatchArgs struct {
+	Ops []StageOp
+	// Collect asks for a statistics snapshot in the same round trip,
+	// taken after Ops applied.
+	Collect bool
+	// AckEpoch/AckGen acknowledge the last StatsDelta this client
+	// merged; when they match the stage's current generation the reply
+	// is incremental.
+	AckEpoch uint64
+	AckGen   uint64
+}
+
+// BatchReply answers a batch: one result per op, plus the stats delta
+// when a collect was requested.
+type BatchReply struct {
+	Results []OpResult
+	Delta   StatsDelta
+}
+
+// StatsDelta is an incremental form of stage.Stats. When Full is set it
+// is a complete snapshot (Queues holds every queue, Info is set); when
+// clear, Queues holds only the queues whose statistics changed since
+// the acknowledged generation and Removed names the rules deleted since
+// then. The cheap scalar fields are always absolute values.
+type StatsDelta struct {
+	// Epoch identifies the serving StageService instance; it changes
+	// when a stage restarts, so a client can never misapply a delta
+	// from a reborn stage onto stale merged state.
+	Epoch uint64
+	// Gen is the generation this delta advances the client to.
+	Gen  uint64
+	Full bool
+	// Info is set only on full snapshots (stage identity is immutable).
+	Info    stage.Info
+	Queues  []stage.QueueStats
+	Removed []string
+
+	Passthrough     int64
+	Degraded        bool
+	DegradedSeconds float64
+}
+
+// newEpoch draws a random service-instance identifier. Epochs only need
+// to differ across stage restarts; 64 random bits make an accidental
+// match (which would silently corrupt one client's merged snapshot)
+// practically impossible.
+func newEpoch() uint64 {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		// No entropy source: fall back to a process-unique value, which
+		// still separates in-process restarts (the common test case).
+		return epochFallback.Add(1) << 1
+	}
+	return binary.LittleEndian.Uint64(b[:]) | 1
+}
+
+var epochFallback atomic.Uint64
+
+// ServiceStats counts what a StageService has served, for observability
+// (the replayer prints them at shutdown).
+type ServiceStats struct {
+	// Calls is the number of control RPCs served (batched or not).
+	Calls uint64
+	// BatchedOps is the number of operations that arrived inside
+	// Stage.Batch calls.
+	BatchedOps uint64
+	// DeltaCollects and FullCollects split batched collects by reply
+	// form; per-call Stage.Collect RPCs count as FullCollects.
+	DeltaCollects uint64
+	FullCollects  uint64
+}
+
+// deltaTracker is the stage-side memory of the last snapshot a client
+// acknowledged: the generation counter and the per-queue values at that
+// generation, which the next collect diffs against.
+type deltaTracker struct {
+	mu      sync.Mutex
+	gen     uint64
+	last    map[string]stage.QueueStats
+	lastIDs []string    // sorted rule IDs present at gen
+	scratch stage.Stats // CollectInto buffer, reused every round
+}
+
+// validateOps rejects a malformed batch before any op applies, so a bad
+// batch is all-or-nothing instead of partially executed.
+func validateOps(ops []StageOp) error {
+	for i, op := range ops {
+		switch op.Kind {
+		case OpApplyRule, OpRemoveRule, OpSetRate, OpSetMode:
+		default:
+			return fmt.Errorf("rpcio: batch op %d: unknown kind %d", i, op.Kind)
+		}
+	}
+	return nil
+}
+
+// Batch executes a round's operations and optional incremental collect
+// in one round trip.
+func (s *StageService) Batch(args BatchArgs, reply *BatchReply) error {
+	if err := validateOps(args.Ops); err != nil {
+		return err
+	}
+	s.calls.Add(1)
+	s.batchedOps.Add(uint64(len(args.Ops)))
+	reply.Results = reply.Results[:0]
+	for _, op := range args.Ops {
+		res := OpResult{Found: true}
+		switch op.Kind {
+		case OpApplyRule:
+			s.stg.ApplyRule(op.Rule)
+		case OpRemoveRule:
+			res.Found = s.stg.RemoveRule(op.ID)
+		case OpSetRate:
+			res.Found = s.stg.SetRate(op.ID, op.Rate)
+		case OpSetMode:
+			s.stg.SetMode(op.Mode)
+		}
+		reply.Results = append(reply.Results, res)
+	}
+	if args.Collect {
+		s.collectDelta(args.AckEpoch, args.AckGen, &reply.Delta)
+	}
+	return nil
+}
+
+// collectDelta snapshots the stage and encodes it as a delta against
+// the acknowledged generation, or a full snapshot when the ack doesn't
+// match. The reply owns its data: queue values are copied out of the
+// tracker's scratch buffer, never aliased, because net/rpc encodes the
+// reply after this method returns and may serve a concurrent call that
+// rewrites the scratch.
+func (s *StageService) collectDelta(ackEpoch, ackGen uint64, d *StatsDelta) {
+	t := &s.delta
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	s.stg.CollectInto(&t.scratch)
+	st := &t.scratch
+
+	incremental := ackEpoch == s.epoch && ackGen == t.gen && t.gen > 0
+	t.gen++
+	d.Epoch, d.Gen = s.epoch, t.gen
+	d.Full = !incremental
+	d.Queues = d.Queues[:0]
+	d.Removed = d.Removed[:0]
+	d.Passthrough = st.Passthrough
+	d.Degraded = st.Degraded
+	d.DegradedSeconds = st.DegradedSeconds
+	if incremental {
+		d.Info = stage.Info{}
+		s.deltaCollects.Add(1)
+		for _, q := range st.Queues {
+			if prev, ok := t.last[q.RuleID]; !ok || prev != q {
+				d.Queues = append(d.Queues, q)
+			}
+		}
+		// Removed rules: walk the previous sorted ID list against the
+		// current sorted queues (Collect sorts by RuleID).
+		j := 0
+		for _, id := range t.lastIDs {
+			for j < len(st.Queues) && st.Queues[j].RuleID < id {
+				j++
+			}
+			if j >= len(st.Queues) || st.Queues[j].RuleID != id {
+				d.Removed = append(d.Removed, id)
+			}
+		}
+	} else {
+		d.Info = st.Info
+		s.fullCollects.Add(1)
+		d.Queues = append(d.Queues, st.Queues...)
+	}
+
+	// Advance the tracker to this generation.
+	if t.last == nil {
+		t.last = make(map[string]stage.QueueStats, len(st.Queues))
+	}
+	for _, id := range d.Removed {
+		delete(t.last, id)
+	}
+	if !incremental {
+		// Full replies didn't compute Removed; rebuild the map.
+		clear(t.last)
+	}
+	t.lastIDs = t.lastIDs[:0]
+	for _, q := range st.Queues {
+		t.last[q.RuleID] = q
+		t.lastIDs = append(t.lastIDs, q.RuleID)
+	}
+}
+
+// DeltaState is the client half of incremental collection: the merged
+// snapshot a sequence of StatsDelta replies reconstructs. It is not
+// safe for concurrent use; StageHandle guards its own instance.
+type DeltaState struct {
+	epoch  uint64
+	gen    uint64
+	info   stage.Info
+	queues map[string]stage.QueueStats
+
+	passthrough     int64
+	degraded        bool
+	degradedSeconds float64
+
+	// fulls/deltas count reply forms, for tests and experiments.
+	fulls, deltas uint64
+}
+
+// Ack returns the epoch/generation pair to acknowledge in the next
+// BatchArgs.
+func (ds *DeltaState) Ack() (epoch, gen uint64) { return ds.epoch, ds.gen }
+
+// Apply merges one reply into the state.
+func (ds *DeltaState) Apply(d *StatsDelta) {
+	if ds.queues == nil {
+		ds.queues = make(map[string]stage.QueueStats, len(d.Queues))
+	}
+	if d.Full {
+		ds.fulls++
+		clear(ds.queues)
+		ds.info = d.Info
+	} else {
+		ds.deltas++
+		for _, id := range d.Removed {
+			delete(ds.queues, id)
+		}
+	}
+	for _, q := range d.Queues {
+		ds.queues[q.RuleID] = q
+	}
+	ds.epoch, ds.gen = d.Epoch, d.Gen
+	ds.passthrough = d.Passthrough
+	ds.degraded = d.Degraded
+	ds.degradedSeconds = d.DegradedSeconds
+}
+
+// Snapshot materializes the merged state as a stage.Stats equal to what
+// a direct Collect at the same instant would have returned (queues
+// sorted by rule ID). The returned value owns its Queues slice.
+func (ds *DeltaState) Snapshot() stage.Stats {
+	out := stage.Stats{
+		Info:            ds.info,
+		Passthrough:     ds.passthrough,
+		Degraded:        ds.degraded,
+		DegradedSeconds: ds.degradedSeconds,
+	}
+	if len(ds.queues) > 0 {
+		out.Queues = make([]stage.QueueStats, 0, len(ds.queues))
+		for _, q := range ds.queues {
+			out.Queues = append(out.Queues, q)
+		}
+		sort.Slice(out.Queues, func(i, j int) bool { return out.Queues[i].RuleID < out.Queues[j].RuleID })
+	}
+	return out
+}
+
+// CollectCounts reports how many replies arrived in each form.
+func (ds *DeltaState) CollectCounts() (fulls, deltas uint64) { return ds.fulls, ds.deltas }
+
+// ---- handle-side batched API ----
+
+// ExecBatch performs ops and, when collect is set, an incremental
+// statistics collect, all in one round trip. The stats are the merged
+// full snapshot (the handle tracks generations internally); results has
+// one entry per op. Batched calls on one handle serialize with each
+// other, so interleaved collectors (controller loop and monitor) merge
+// deltas consistently.
+func (h *StageHandle) ExecBatch(ops []StageOp, collect bool) (results []OpResult, st stage.Stats, err error) {
+	h.bmu.Lock()
+	defer h.bmu.Unlock()
+	h.bargs.Ops = ops
+	h.bargs.Collect = collect
+	h.bargs.AckEpoch, h.bargs.AckGen = h.dstate.Ack()
+	err = h.t.Call("Stage.Batch", &h.bargs, &h.breply)
+	h.bargs.Ops = nil
+	if err != nil {
+		return nil, stage.Stats{}, err
+	}
+	if len(h.breply.Results) > 0 {
+		results = make([]OpResult, len(h.breply.Results))
+		copy(results, h.breply.Results)
+	}
+	if collect {
+		h.dstate.Apply(&h.breply.Delta)
+		st = h.dstate.Snapshot()
+	}
+	return results, st, nil
+}
+
+// CollectDelta fetches the stage's statistics over the batched
+// incremental protocol: after the first (full) exchange, only changed
+// queues cross the wire each round.
+func (h *StageHandle) CollectDelta() (stage.Stats, error) {
+	_, st, err := h.ExecBatch(nil, true)
+	return st, err
+}
+
+// CollectCounts reports how many of this handle's incremental collects
+// were answered with full snapshots vs deltas.
+func (h *StageHandle) CollectCounts() (fulls, deltas uint64) {
+	h.bmu.Lock()
+	defer h.bmu.Unlock()
+	return h.dstate.CollectCounts()
+}

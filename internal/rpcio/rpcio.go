@@ -8,11 +8,11 @@
 package rpcio
 
 import (
-	"errors"
 	"fmt"
 	"net"
 	"net/rpc"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"padll/internal/clock"
@@ -31,9 +31,35 @@ type Registration struct {
 
 // ---- stage-side control service ----
 
-// StageService exposes a stage's control operations over RPC.
+// StageService exposes a stage's control operations over RPC: the
+// per-call methods below plus the batched delta protocol (batch.go).
 type StageService struct {
 	stg *stage.Stage
+	// epoch identifies this service instance to delta-collect clients;
+	// see StatsDelta.Epoch.
+	epoch uint64
+	delta deltaTracker
+
+	calls         atomic.Uint64
+	batchedOps    atomic.Uint64
+	deltaCollects atomic.Uint64
+	fullCollects  atomic.Uint64
+}
+
+// NewStageService wraps a stage for serving, either over a listener
+// (ServeService) or in process (NewLoopback).
+func NewStageService(stg *stage.Stage) *StageService {
+	return &StageService{stg: stg, epoch: newEpoch()}
+}
+
+// Served reports cumulative service-side counters.
+func (s *StageService) Served() ServiceStats {
+	return ServiceStats{
+		Calls:         s.calls.Load(),
+		BatchedOps:    s.batchedOps.Load(),
+		DeltaCollects: s.deltaCollects.Load(),
+		FullCollects:  s.fullCollects.Load(),
+	}
 }
 
 // ApplyRuleArgs carries a rule to install or update.
@@ -41,6 +67,7 @@ type ApplyRuleArgs struct{ Rule policy.Rule }
 
 // ApplyRule installs or updates a rule on the stage.
 func (s *StageService) ApplyRule(args ApplyRuleArgs, _ *struct{}) error {
+	s.calls.Add(1)
 	s.stg.ApplyRule(args.Rule)
 	return nil
 }
@@ -50,6 +77,7 @@ type RemoveRuleArgs struct{ ID string }
 
 // RemoveRule deletes a rule; Removed reports whether it existed.
 func (s *StageService) RemoveRule(args RemoveRuleArgs, removed *bool) error {
+	s.calls.Add(1)
 	*removed = s.stg.RemoveRule(args.ID)
 	return nil
 }
@@ -62,13 +90,17 @@ type SetRateArgs struct {
 
 // SetRate retunes a live queue; Found reports whether the rule existed.
 func (s *StageService) SetRate(args SetRateArgs, found *bool) error {
+	s.calls.Add(1)
 	*found = s.stg.SetRate(args.ID, args.Rate)
 	return nil
 }
 
-// Collect snapshots the stage's statistics.
+// Collect snapshots the stage's statistics (the per-call, full-snapshot
+// protocol; Batch carries the incremental form).
 func (s *StageService) Collect(_ struct{}, reply *stage.Stats) error {
-	*reply = s.stg.Collect()
+	s.calls.Add(1)
+	s.fullCollects.Add(1)
+	s.stg.CollectInto(reply)
 	return nil
 }
 
@@ -77,12 +109,14 @@ type SetModeArgs struct{ Mode stage.Mode }
 
 // SetMode switches the stage between Enforce and Passthrough.
 func (s *StageService) SetMode(args SetModeArgs, _ *struct{}) error {
+	s.calls.Add(1)
 	s.stg.SetMode(args.Mode)
 	return nil
 }
 
 // Ping is a liveness probe; it echoes the stage's identity.
 func (s *StageService) Ping(_ struct{}, reply *stage.Info) error {
+	s.calls.Add(1)
 	*reply = s.stg.Info()
 	return nil
 }
@@ -107,6 +141,7 @@ type StageHealth struct {
 
 // Health reports the stage's liveness and degraded accounting.
 func (s *StageService) Health(probe HealthProbe, reply *StageHealth) error {
+	s.calls.Add(1)
 	*reply = StageHealth{
 		Seq:             probe.Seq,
 		Info:            s.stg.Info(),
@@ -117,34 +152,118 @@ func (s *StageService) Health(probe HealthProbe, reply *StageHealth) error {
 	return nil
 }
 
-// ServeStage starts serving the stage's control service on l. It returns
-// immediately; the returned stop function closes the listener and waits
-// for in-flight connections to finish being accepted.
-func ServeStage(l net.Listener, stg *stage.Stage) (stop func()) {
-	srv := rpc.NewServer()
-	// Registration cannot fail: StageService's method set is valid by
-	// construction.
-	if err := srv.RegisterName("Stage", &StageService{stg: stg}); err != nil {
-		panic(fmt.Sprintf("rpcio: register stage service: %v", err))
+// DefaultMaxConns bounds how many connections one control endpoint
+// serves concurrently. A stage normally has a handful of clients (its
+// controller, maybe an operator CLI); the bound exists so a connection
+// flood degrades into queued accepts instead of unbounded goroutines.
+const DefaultMaxConns = 128
+
+// ServeOption configures ServeStage/ServeService/ServeRegistrar.
+type ServeOption func(*serveConfig)
+
+type serveConfig struct {
+	maxConns int
+}
+
+// WithMaxConns bounds concurrently served connections (default
+// DefaultMaxConns; n <= 0 keeps the default).
+func WithMaxConns(n int) ServeOption {
+	return func(c *serveConfig) {
+		if n > 0 {
+			c.maxConns = n
+		}
 	}
+}
+
+// serveBounded accepts and serves connections on l with a hard bound on
+// concurrently served connections: the accept loop takes a semaphore
+// slot before accepting, so at most maxConns handler goroutines exist
+// and excess dials queue in the listener backlog. The returned stop
+// function is deterministic: it closes the listener, closes every
+// in-flight connection (unblocking their handlers), and waits for all
+// goroutines to finish.
+func serveBounded(l net.Listener, srv *rpc.Server, maxConns int) (stop func()) {
+	if maxConns <= 0 {
+		maxConns = DefaultMaxConns
+	}
+	sem := make(chan struct{}, maxConns)
+	var (
+		mu      sync.Mutex
+		stopped bool
+		live    = make(map[net.Conn]struct{})
+	)
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		for {
+			sem <- struct{}{}
 			conn, err := l.Accept()
 			if err != nil {
+				<-sem
 				return // listener closed
 			}
-			go srv.ServeConn(conn)
+			mu.Lock()
+			if stopped {
+				mu.Unlock()
+				// Lost the race with stop(): this connection would
+				// outlive the server, so refuse it.
+				_ = conn.Close()
+				<-sem
+				continue
+			}
+			live[conn] = struct{}{}
+			mu.Unlock()
+			wg.Add(1)
+			go func(conn net.Conn) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				srv.ServeConn(conn)
+				mu.Lock()
+				delete(live, conn)
+				mu.Unlock()
+			}(conn)
 		}
 	}()
 	return func() {
 		// Closing an already-serving listener: the only error is "already
 		// closed", which a stop function tolerates by design.
 		_ = l.Close()
+		mu.Lock()
+		stopped = true
+		for conn := range live {
+			// Force in-flight connections down; ServeConn returns once
+			// its transport dies, and handler goroutines drain.
+			_ = conn.Close()
+		}
+		mu.Unlock()
 		wg.Wait()
 	}
+}
+
+// ServeStage starts serving the stage's control service on l. It
+// returns immediately; the returned stop function closes the listener
+// and every in-flight connection, then waits for all serving goroutines
+// to exit.
+func ServeStage(l net.Listener, stg *stage.Stage, opts ...ServeOption) (stop func()) {
+	return ServeService(l, NewStageService(stg), opts...)
+}
+
+// ServeService is ServeStage for a caller-built StageService — the form
+// to use when the caller also wants the service (for Served counters or
+// a Loopback transport onto the same generation state).
+func ServeService(l net.Listener, svc *StageService, opts ...ServeOption) (stop func()) {
+	var cfg serveConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	srv := rpc.NewServer()
+	// Registration cannot fail: StageService's method set is valid by
+	// construction.
+	if err := srv.RegisterName("Stage", svc); err != nil {
+		panic(fmt.Sprintf("rpcio: register stage service: %v", err))
+	}
+	return serveBounded(l, srv, cfg.maxConns)
 }
 
 // Default deadlines for control-plane RPCs. A single hung peer must
@@ -154,235 +273,98 @@ const (
 	DefaultCallTimeout = 5 * time.Second
 )
 
-// StageHandle is the control plane's typed client for one stage. It is
-// hardened against a flaky wire: every call runs under a deadline, a
-// broken connection is transparently redialed (every stage RPC is
-// idempotent), and retries follow a seeded exponential backoff on the
-// handle's clock.
+// StageHandle is the control plane's typed client for one stage,
+// layered over a Transport: TCP/gob with redial, deadlines and seeded
+// backoff for remote stages (DialStage), or direct in-process dispatch
+// (LoopbackStage). Besides the per-call methods mirroring the wire
+// protocol, the handle owns the client half of the batched delta
+// protocol (ExecBatch/CollectDelta in batch.go).
 type StageHandle struct {
-	addr    string
-	clk     clock.Clock
-	timeout time.Duration // per-call deadline (0 = unbounded)
-	dialTO  time.Duration // per-dial deadline
-	backoff Backoff
+	t Transport
 
-	mu     sync.Mutex
-	client *rpc.Client
-	closed bool
+	// bmu guards the batched-protocol state: the reusable args/reply
+	// buffers and the merged delta-collect snapshot.
+	bmu    sync.Mutex
+	bargs  BatchArgs
+	breply BatchReply
+	dstate DeltaState
 }
 
-// DialOption configures a StageHandle.
-type DialOption func(*StageHandle)
-
-// WithCallTimeout bounds each RPC (0 disables the deadline).
-func WithCallTimeout(d time.Duration) DialOption {
-	return func(h *StageHandle) { h.timeout = d }
-}
-
-// WithDialTimeout bounds each connection attempt.
-func WithDialTimeout(d time.Duration) DialOption {
-	return func(h *StageHandle) { h.dialTO = d }
-}
-
-// WithBackoff sets the redial/retry schedule.
-func WithBackoff(b Backoff) DialOption {
-	return func(h *StageHandle) { h.backoff = b }
-}
-
-// WithHandleClock sets the clock deadlines and backoff sleeps run on
-// (default: wall clock).
-func WithHandleClock(clk clock.Clock) DialOption {
-	return func(h *StageHandle) { h.clk = clk }
-}
-
-// DialStage connects to a stage's control service.
+// DialStage connects to a stage's control service over TCP.
 func DialStage(addr string, opts ...DialOption) (*StageHandle, error) {
-	h := &StageHandle{
-		addr:    addr,
-		clk:     clock.NewReal(),
-		timeout: DefaultCallTimeout,
-		dialTO:  DefaultDialTimeout,
-		backoff: DefaultBackoff,
-	}
-	for _, o := range opts {
-		o(h)
-	}
-	if _, err := h.ensureClient(); err != nil {
+	t := newTCPTransport(addr, opts...)
+	if _, err := t.ensureClient(); err != nil {
 		return nil, err
 	}
-	return h, nil
+	return &StageHandle{t: t}, nil
 }
+
+// LoopbackStage returns a handle driving svc directly in process: no
+// socket, no serialization, same protocol semantics (including
+// generation-tracked incremental collects against svc's state).
+func LoopbackStage(svc *StageService) *StageHandle {
+	return &StageHandle{t: NewLoopback(svc)}
+}
+
+// NewStageHandle wraps an arbitrary transport (tests inject faulty
+// ones).
+func NewStageHandle(t Transport) *StageHandle { return &StageHandle{t: t} }
 
 // Addr returns the stage's address.
-func (h *StageHandle) Addr() string { return h.addr }
+func (h *StageHandle) Addr() string { return h.t.Addr() }
 
-// ensureClient returns the live connection, dialing a fresh one when the
-// previous call invalidated it.
-func (h *StageHandle) ensureClient() (*rpc.Client, error) {
-	h.mu.Lock()
-	if h.closed {
-		h.mu.Unlock()
-		return nil, fmt.Errorf("rpcio: stage %s: connection closed", h.addr)
-	}
-	if h.client != nil {
-		c := h.client
-		h.mu.Unlock()
-		return c, nil
-	}
-	h.mu.Unlock()
-
-	conn, err := net.DialTimeout("tcp", h.addr, h.dialTO)
-	if err != nil {
-		return nil, fmt.Errorf("rpcio: dial stage %s: %w", h.addr, err)
-	}
-	c := rpc.NewClient(conn)
-
-	h.mu.Lock()
-	switch {
-	case h.closed:
-		h.mu.Unlock()
-		_ = c.Close()
-		return nil, fmt.Errorf("rpcio: stage %s: connection closed", h.addr)
-	case h.client != nil:
-		// A concurrent caller won the redial race; use its connection.
-		existing := h.client
-		h.mu.Unlock()
-		_ = c.Close()
-		return existing, nil
-	default:
-		h.client = c
-		h.mu.Unlock()
-		return c, nil
-	}
-}
-
-// invalidate drops c as the handle's connection (if it still is) and
-// closes it, so the next call redials.
-func (h *StageHandle) invalidate(c *rpc.Client) {
-	h.mu.Lock()
-	if h.client == c {
-		h.client = nil
-	}
-	h.mu.Unlock()
-	// Double closes from racing invalidations only return ErrShutdown.
-	_ = c.Close()
-}
-
-// callOnce performs one RPC attempt under the handle's deadline.
-func (h *StageHandle) callOnce(c *rpc.Client, method string, args, reply interface{}) error {
-	if h.timeout <= 0 {
-		return c.Call(method, args, reply)
-	}
-	call := c.Go(method, args, reply, make(chan *rpc.Call, 1))
-	select {
-	case <-call.Done:
-		return call.Error
-	case <-h.clk.After(h.timeout):
-		// A late reply on this connection would be ambiguous; the only
-		// safe recovery is to kill it, which also resolves the pending
-		// call instead of leaking its goroutine.
-		h.invalidate(c)
-		<-call.Done
-		if call.Error == nil {
-			return nil // the reply raced the deadline and won
-		}
-		return fmt.Errorf("rpcio: %s to stage %s: deadline %v exceeded: %w",
-			method, h.addr, h.timeout, call.Error)
-	}
-}
-
-func (h *StageHandle) call(method string, args, reply interface{}) error {
-	r := newRetrier(h.backoff)
-	for {
-		c, err := h.ensureClient()
-		if err == nil {
-			err = h.callOnce(c, method, args, reply)
-			if err == nil {
-				return nil
-			}
-			var se rpc.ServerError
-			if errors.As(err, &se) {
-				// The wire worked; the stage itself refused. Retrying an
-				// application error is wrong.
-				return err
-			}
-			h.invalidate(c)
-		}
-		if h.isClosed() {
-			return err
-		}
-		d, ok := r.delay()
-		if !ok {
-			return err
-		}
-		h.clk.Sleep(d)
-	}
-}
-
-func (h *StageHandle) isClosed() bool {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.closed
-}
+// WireStats reports the handle's cumulative traffic accounting.
+func (h *StageHandle) WireStats() WireStats { return h.t.WireStats() }
 
 // ApplyRule installs or updates a rule on the remote stage.
 func (h *StageHandle) ApplyRule(r policy.Rule) error {
-	return h.call("Stage.ApplyRule", ApplyRuleArgs{Rule: r}, &struct{}{})
+	return h.t.Call("Stage.ApplyRule", &ApplyRuleArgs{Rule: r}, &struct{}{})
 }
 
 // RemoveRule deletes a rule on the remote stage.
 func (h *StageHandle) RemoveRule(id string) (bool, error) {
 	var removed bool
-	err := h.call("Stage.RemoveRule", RemoveRuleArgs{ID: id}, &removed)
+	err := h.t.Call("Stage.RemoveRule", &RemoveRuleArgs{ID: id}, &removed)
 	return removed, err
 }
 
 // SetRate retunes a queue on the remote stage.
 func (h *StageHandle) SetRate(id string, rate float64) (bool, error) {
 	var found bool
-	err := h.call("Stage.SetRate", SetRateArgs{ID: id, Rate: rate}, &found)
+	err := h.t.Call("Stage.SetRate", &SetRateArgs{ID: id, Rate: rate}, &found)
 	return found, err
 }
 
-// Collect fetches the remote stage's statistics.
+// Collect fetches the remote stage's statistics as a full snapshot in
+// one dedicated RPC. CollectDelta is the incremental form.
 func (h *StageHandle) Collect() (stage.Stats, error) {
 	var st stage.Stats
-	err := h.call("Stage.Collect", struct{}{}, &st)
+	err := h.t.Call("Stage.Collect", &struct{}{}, &st)
 	return st, err
 }
 
 // SetMode switches the remote stage's mode.
 func (h *StageHandle) SetMode(m stage.Mode) error {
-	return h.call("Stage.SetMode", SetModeArgs{Mode: m}, &struct{}{})
+	return h.t.Call("Stage.SetMode", &SetModeArgs{Mode: m}, &struct{}{})
 }
 
 // Ping probes liveness.
 func (h *StageHandle) Ping() (stage.Info, error) {
 	var info stage.Info
-	err := h.call("Stage.Ping", struct{}{}, &info)
+	err := h.t.Call("Stage.Ping", &struct{}{}, &info)
 	return info, err
 }
 
 // Health fetches the stage's health report.
 func (h *StageHandle) Health(seq uint64) (StageHealth, error) {
 	var st StageHealth
-	err := h.call("Stage.Health", HealthProbe{Seq: seq}, &st)
+	err := h.t.Call("Stage.Health", &HealthProbe{Seq: seq}, &st)
 	return st, err
 }
 
-// Close tears down the connection; subsequent calls fail without
+// Close tears down the transport; subsequent calls fail without
 // redialing.
-func (h *StageHandle) Close() error {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.closed = true
-	if h.client == nil {
-		return nil
-	}
-	err := h.client.Close()
-	h.client = nil
-	return err
-}
+func (h *StageHandle) Close() error { return h.t.Close() }
 
 // ---- controller-side registration service ----
 
@@ -415,28 +397,18 @@ func (r *RegistrarService) Ping(probe HealthProbe, reply *HealthProbe) error {
 
 // ServeRegistrar serves a registration endpoint on l, invoking onRegister
 // for each arriving stage and onDeregister (may be nil) on departures.
-func ServeRegistrar(l net.Listener, onRegister func(Registration) error, onDeregister func(string)) (stop func()) {
+// Connection handling is bounded and stop is deterministic; see
+// ServeStage.
+func ServeRegistrar(l net.Listener, onRegister func(Registration) error, onDeregister func(string), opts ...ServeOption) (stop func()) {
+	var cfg serveConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	srv := rpc.NewServer()
 	if err := srv.RegisterName("Registrar", &RegistrarService{onRegister: onRegister, onDeregister: onDeregister}); err != nil {
 		panic(fmt.Sprintf("rpcio: register registrar service: %v", err))
 	}
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		for {
-			conn, err := l.Accept()
-			if err != nil {
-				return
-			}
-			go srv.ServeConn(conn)
-		}
-	}()
-	return func() {
-		// See ServeStage: close errors on a stop path are tolerated.
-		_ = l.Close()
-		wg.Wait()
-	}
+	return serveBounded(l, srv, cfg.maxConns)
 }
 
 // registrarCall dials the control plane's registrar with a bounded dial

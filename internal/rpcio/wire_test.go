@@ -14,6 +14,8 @@ import (
 	"testing"
 
 	"padll/internal/control"
+	"padll/internal/policy"
+	"padll/internal/posix"
 	"padll/internal/rpcio"
 	"padll/internal/stage"
 )
@@ -75,6 +77,90 @@ func TestStageHealthSurvivesGob(t *testing.T) {
 	roundTrip(t, in, &out)
 	if !reflect.DeepEqual(in, out) {
 		t.Errorf("StageHealth drifted over gob:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestBatchArgsSurviveGob(t *testing.T) {
+	in := rpcio.BatchArgs{
+		Ops: []rpcio.StageOp{
+			{Kind: rpcio.OpApplyRule, Rule: policy.Rule{
+				ID:     "cap",
+				Match:  policy.Matcher{Ops: []posix.Op{posix.OpOpen}, JobID: "j1"},
+				Rate:   5000,
+				Burst:  100,
+				Action: policy.ActionDrop,
+			}},
+			{Kind: rpcio.OpRemoveRule, ID: "old"},
+			{Kind: rpcio.OpSetRate, ID: "cap", Rate: 2500},
+			{Kind: rpcio.OpSetMode, Mode: stage.Passthrough},
+		},
+		Collect:  true,
+		AckEpoch: 1<<60 + 3,
+		AckGen:   41,
+	}
+	var out rpcio.BatchArgs
+	roundTrip(t, in, &out)
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("BatchArgs drifted over gob:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestBatchReplySurvivesGob(t *testing.T) {
+	in := rpcio.BatchReply{
+		Results: []rpcio.OpResult{{Found: true}, {Found: false}},
+		Delta: rpcio.StatsDelta{
+			Epoch: 0xfeedface,
+			Gen:   17,
+			Full:  true,
+			Info:  stage.Info{StageID: "s1", JobID: "j1", Hostname: "n1", PID: 42, User: "u"},
+			Queues: []stage.QueueStats{{
+				RuleID:         "cap",
+				Limit:          5000,
+				Burst:          100,
+				ThroughputRate: 4200,
+				DemandRate:     6000,
+				Total:          1000,
+				TotalDemand:    1500,
+				Dropped:        3,
+				Waiting:        7,
+				WaitP50:        0.001,
+				WaitP95:        0.005,
+				WaitP99:        0.010,
+			}},
+			Removed:         []string{"gone-1", "gone-2"},
+			Passthrough:     99,
+			Degraded:        true,
+			DegradedSeconds: 12.5,
+		},
+	}
+	var out rpcio.BatchReply
+	roundTrip(t, in, &out)
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("BatchReply drifted over gob:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+// Gob omits zero-valued fields, so a steady-state incremental delta (no
+// queue changes, no removals) must encode to only a handful of bytes —
+// the property the fleet-scale collect path is built on. The bound is
+// generous; the point is "tens of bytes, not a serialized Stats blob".
+func TestEmptyDeltaEncodesSmall(t *testing.T) {
+	d := rpcio.StatsDelta{Epoch: ^uint64(0), Gen: 1 << 62, Passthrough: 1 << 40}
+	// A fresh encoder front-loads the type description; measure the
+	// second value on the same stream, which is what a long-lived RPC
+	// connection actually pays per round.
+	var steady bytes.Buffer
+	enc := gob.NewEncoder(&steady)
+	if err := enc.Encode(d); err != nil {
+		t.Fatal(err)
+	}
+	first := steady.Len()
+	if err := enc.Encode(d); err != nil {
+		t.Fatal(err)
+	}
+	perRound := steady.Len() - first
+	if perRound > 64 {
+		t.Errorf("steady-state empty delta encodes to %d bytes, want <= 64", perRound)
 	}
 }
 

@@ -492,13 +492,23 @@ func (s *Stage) Offer(req *posix.Request, n float64, dt time.Duration) float64 {
 // demand guarantees Total + Dropped ≤ TotalDemand even while enforcers
 // run concurrently.
 func (s *Stage) Collect() Stats {
+	var out Stats
+	s.CollectInto(&out)
+	return out
+}
+
+// CollectInto is Collect with caller-owned storage: out's Queues backing
+// array is reused when its capacity suffices, so a control service that
+// snapshots every feedback interval holds one buffer at steady state
+// instead of allocating a fresh slice per round. All other fields of out
+// are overwritten.
+func (s *Stage) CollectInto(out *Stats) {
 	sn := s.snap.Load()
-	out := Stats{
-		Info:            s.info,
-		Passthrough:     s.passthrough.Total(),
-		Degraded:        s.degraded.Load(),
-		DegradedSeconds: s.DegradedFor().Seconds(),
-	}
+	out.Info = s.info
+	out.Queues = out.Queues[:0]
+	out.Passthrough = s.passthrough.Total()
+	out.Degraded = s.degraded.Load()
+	out.DegradedSeconds = s.DegradedFor().Seconds()
 	for _, e := range sn.all {
 		q := e.q
 		totalAdm := q.admitted.Total()
@@ -520,7 +530,6 @@ func (s *Stage) Collect() Stats {
 		})
 	}
 	sort.Slice(out.Queues, func(i, j int) bool { return out.Queues[i].RuleID < out.Queues[j].RuleID })
-	return out
 }
 
 // QueueSeries returns a copy of a queue's admitted-rate time series (for

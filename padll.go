@@ -82,6 +82,11 @@ type (
 	JobSnapshot = control.JobSnapshot
 	// Algorithm computes per-job allocations in the feedback loop.
 	Algorithm = control.Algorithm
+	// RoundStats is one feedback round's wire accounting (round trips,
+	// skipped pushes, bytes, duration).
+	RoundStats = control.RoundStats
+	// ServiceStats counts what a stage's control service has served.
+	ServiceStats = rpcio.ServiceStats
 )
 
 // Open flags and common constants, re-exported for call sites.
@@ -195,6 +200,7 @@ type DataPlane struct {
 	router *mount.Router
 	clk    clock.Clock
 	// server state when exposed over the network
+	svc        *rpcio.StageService
 	stop       func()
 	listenAddr string
 	controller string
@@ -266,7 +272,8 @@ func (dp *DataPlane) Serve(addr, controllerAddr string) error {
 	if err != nil {
 		return fmt.Errorf("padll: listen %s: %w", addr, err)
 	}
-	dp.stop = rpcio.ServeStage(l, dp.stg)
+	dp.svc = rpcio.NewStageService(dp.stg)
+	dp.stop = rpcio.ServeService(l, dp.svc)
 	dp.listenAddr = l.Addr().String()
 	if controllerAddr != "" {
 		if err := rpcio.RegisterWithController(controllerAddr, dp.stg.Info(), dp.listenAddr); err != nil {
@@ -281,6 +288,16 @@ func (dp *DataPlane) Serve(addr, controllerAddr string) error {
 
 // Addr returns the served control address ("" before Serve).
 func (dp *DataPlane) Addr() string { return dp.listenAddr }
+
+// ControlServiceStats reports what the stage's control service has
+// served — calls, batched ops, delta vs full collects; ok is false
+// before Serve.
+func (dp *DataPlane) ControlServiceStats() (stats ServiceStats, ok bool) {
+	if dp.svc == nil {
+		return ServiceStats{}, false
+	}
+	return dp.svc.Served(), true
+}
 
 // StartHeartbeat begins probing the registered controller every interval
 // (each probe bounded by timeout). When a probe fails the stage enters
@@ -394,6 +411,11 @@ func WithEvictAfter(n int) ControlOption { return control.WithEvictAfter(n) }
 // parallel during each control round (default 8).
 func WithCollectConcurrency(n int) ControlOption { return control.WithCollectConcurrency(n) }
 
+// WithPushConcurrency bounds the number of stages the feedback loop
+// pushes rates to in parallel each round (default 8; 1 forces
+// sequential, deterministic-order pushes).
+func WithPushConcurrency(n int) ControlOption { return control.WithPushConcurrency(n) }
+
 // WithGroupBy overrides the feedback loop's orchestration granularity:
 // the default groups stages per job; GroupByUser shares one allocation
 // among all of a user's jobs (the paper's "group of jobs" level).
@@ -493,3 +515,7 @@ func (cp *ControlPlane) Collect() []JobSnapshot { return cp.ctl.CollectAll() }
 
 // LastAllocation returns the most recent per-job allocation.
 func (cp *ControlPlane) LastAllocation() map[string]float64 { return cp.ctl.LastAllocation() }
+
+// LastRound reports the most recent feedback round's wire accounting;
+// ok is false before the first completed round.
+func (cp *ControlPlane) LastRound() (rs RoundStats, ok bool) { return cp.ctl.LastRound() }
