@@ -572,7 +572,10 @@ type JobSnapshot struct {
 
 // runBounded runs fn(i) for every i in [0, n) on at most workers
 // concurrent goroutines; workers <= 1 degenerates to a sequential loop
-// in index order.
+// in index order. Exactly min(workers, n) goroutines are spawned,
+// pulling indices from a shared channel — a thousand-stage registry
+// must not burst a thousand goroutines per round just to gate them on
+// a semaphore.
 func runBounded(n, workers int, fn func(int)) {
 	if workers <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
@@ -580,17 +583,24 @@ func runBounded(n, workers int, fn func(int)) {
 		}
 		return
 	}
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			fn(i)
-		}(i)
+	if workers > n {
+		workers = n
 	}
+	idx := make(chan int, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
 	wg.Wait()
 }
 

@@ -6,9 +6,10 @@
 // feedback loop (§III-C) is then bounded by the wire, not by the
 // allocation algorithm. Stage.Batch collapses a round's worth of
 // operations for one stage into a single RPC, and its collect half is
-// incremental: the stage remembers the last snapshot a client merged
-// (identified by an epoch+generation pair) and sends only the queues
-// that changed since. A client whose acknowledgment doesn't match —
+// incremental: the stage remembers, per client, the last snapshot that
+// client merged (identified by an epoch+generation pair) and sends only
+// the queues that changed since. A client whose acknowledgment doesn't
+// match —
 // first contact, a restarted stage (fresh epoch), or an evicted/
 // re-registered one — gets a full snapshot, so correctness never
 // depends on both sides staying in sync.
@@ -64,9 +65,15 @@ type BatchArgs struct {
 	// Collect asks for a statistics snapshot in the same round trip,
 	// taken after Ops applied.
 	Collect bool
+	// ClientID names the collecting client; the stage keeps one delta
+	// baseline per client, so independent collectors (controller loop,
+	// monitor, an operator CLI) each stay incremental instead of
+	// invalidating each other's acknowledgments. Zero is a valid shared
+	// identity (all anonymous clients alternate over one baseline).
+	ClientID uint64
 	// AckEpoch/AckGen acknowledge the last StatsDelta this client
-	// merged; when they match the stage's current generation the reply
-	// is incremental.
+	// merged; when they match the stage's current generation for this
+	// client the reply is incremental.
 	AckEpoch uint64
 	AckGen   uint64
 }
@@ -101,10 +108,12 @@ type StatsDelta struct {
 	DegradedSeconds float64
 }
 
-// newEpoch draws a random service-instance identifier. Epochs only need
-// to differ across stage restarts; 64 random bits make an accidental
-// match (which would silently corrupt one client's merged snapshot)
-// practically impossible.
+// newEpoch draws a random nonzero identifier, used both as a service
+// instance's epoch and as a handle's collector ClientID. Identifiers
+// only need to differ across stage restarts (epochs) or live handles
+// (client IDs); 64 random bits make an accidental match (which would
+// silently corrupt one client's merged snapshot) practically
+// impossible.
 func newEpoch() uint64 {
 	var b [8]byte
 	if _, err := cryptorand.Read(b[:]); err != nil {
@@ -131,7 +140,7 @@ type ServiceStats struct {
 	FullCollects  uint64
 }
 
-// deltaTracker is the stage-side memory of the last snapshot a client
+// deltaTracker is the stage-side memory of the last snapshot one client
 // acknowledged: the generation counter and the per-queue values at that
 // generation, which the next collect diffs against.
 type deltaTracker struct {
@@ -140,6 +149,49 @@ type deltaTracker struct {
 	last    map[string]stage.QueueStats
 	lastIDs []string    // sorted rule IDs present at gen
 	scratch stage.Stats // CollectInto buffer, reused every round
+
+	// lastUse is the service's LRU stamp, guarded by trackMu (not mu).
+	lastUse uint64
+}
+
+// maxDeltaTrackers bounds how many client baselines one StageService
+// remembers. A stage normally has a couple of collectors (controller,
+// monitor, maybe a CLI); the bound keeps re-dialed handles — each draws
+// a fresh ClientID — from accumulating baselines forever. At the cap
+// the least-recently-used baseline is evicted; its client simply falls
+// back to a full snapshot on its next collect.
+const maxDeltaTrackers = 64
+
+// tracker returns clientID's baseline, creating it (and evicting the
+// least-recently-used one at the cap) on first contact.
+func (s *StageService) tracker(clientID uint64) *deltaTracker {
+	s.trackMu.Lock()
+	defer s.trackMu.Unlock()
+	s.trackUse++
+	if t, ok := s.trackers[clientID]; ok {
+		t.lastUse = s.trackUse
+		return t
+	}
+	if s.trackers == nil {
+		s.trackers = make(map[uint64]*deltaTracker)
+	}
+	if len(s.trackers) >= maxDeltaTrackers {
+		var evictID, minUse uint64
+		first := true
+		for id, t := range s.trackers {
+			if first || t.lastUse < minUse {
+				first = false
+				evictID, minUse = id, t.lastUse
+			}
+		}
+		// A collect concurrently holding the evicted tracker finishes on
+		// the orphan; the client's next ack then mismatches the fresh
+		// tracker's generation and degrades to a full snapshot.
+		delete(s.trackers, evictID)
+	}
+	t := &deltaTracker{lastUse: s.trackUse}
+	s.trackers[clientID] = t
+	return t
 }
 
 // validateOps rejects a malformed batch before any op applies, so a bad
@@ -179,19 +231,19 @@ func (s *StageService) Batch(args BatchArgs, reply *BatchReply) error {
 		reply.Results = append(reply.Results, res)
 	}
 	if args.Collect {
-		s.collectDelta(args.AckEpoch, args.AckGen, &reply.Delta)
+		s.collectDelta(args.ClientID, args.AckEpoch, args.AckGen, &reply.Delta)
 	}
 	return nil
 }
 
 // collectDelta snapshots the stage and encodes it as a delta against
-// the acknowledged generation, or a full snapshot when the ack doesn't
-// match. The reply owns its data: queue values are copied out of the
-// tracker's scratch buffer, never aliased, because net/rpc encodes the
-// reply after this method returns and may serve a concurrent call that
-// rewrites the scratch.
-func (s *StageService) collectDelta(ackEpoch, ackGen uint64, d *StatsDelta) {
-	t := &s.delta
+// the client's acknowledged generation, or a full snapshot when the ack
+// doesn't match. The reply owns its data: queue values are copied out
+// of the tracker's scratch buffer, never aliased, because net/rpc
+// encodes the reply after this method returns and may serve a
+// concurrent call that rewrites the scratch.
+func (s *StageService) collectDelta(clientID, ackEpoch, ackGen uint64, d *StatsDelta) {
+	t := s.tracker(clientID)
 	t.mu.Lock()
 	defer t.mu.Unlock()
 
@@ -320,6 +372,32 @@ func (ds *DeltaState) CollectCounts() (fulls, deltas uint64) { return ds.fulls, 
 
 // ---- handle-side batched API ----
 
+// resetReply zeroes the handle's reusable reply in place while keeping
+// slice capacity. This is a wire-correctness requirement, not an
+// optimization: gob omits zero-valued fields on encode and leaves
+// absent fields untouched on decode, so any residue from the previous
+// round — a stale Full flag, old Results booleans, queue values in
+// backing arrays the decoder reuses — would silently merge into the
+// next decoded reply. Elements are cleared up to capacity because gob
+// decodes into the existing backing array whenever it is large enough.
+func resetReply(r *BatchReply) {
+	results := r.Results[:cap(r.Results)]
+	for i := range results {
+		results[i] = OpResult{}
+	}
+	queues := r.Delta.Queues[:cap(r.Delta.Queues)]
+	for i := range queues {
+		queues[i] = stage.QueueStats{}
+	}
+	removed := r.Delta.Removed[:cap(r.Delta.Removed)]
+	for i := range removed {
+		removed[i] = ""
+	}
+	*r = BatchReply{Results: results[:0]}
+	r.Delta.Queues = queues[:0]
+	r.Delta.Removed = removed[:0]
+}
+
 // ExecBatch performs ops and, when collect is set, an incremental
 // statistics collect, all in one round trip. The stats are the merged
 // full snapshot (the handle tracks generations internally); results has
@@ -329,9 +407,16 @@ func (ds *DeltaState) CollectCounts() (fulls, deltas uint64) { return ds.fulls, 
 func (h *StageHandle) ExecBatch(ops []StageOp, collect bool) (results []OpResult, st stage.Stats, err error) {
 	h.bmu.Lock()
 	defer h.bmu.Unlock()
+	if h.bargs.ClientID == 0 {
+		// Lazily draw this handle's collector identity; the stage keys
+		// its delta baselines by it, so two handles never invalidate
+		// each other's acknowledged generations.
+		h.bargs.ClientID = newEpoch()
+	}
 	h.bargs.Ops = ops
 	h.bargs.Collect = collect
 	h.bargs.AckEpoch, h.bargs.AckGen = h.dstate.Ack()
+	resetReply(&h.breply)
 	err = h.t.Call("Stage.Batch", &h.bargs, &h.breply)
 	h.bargs.Ops = nil
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"math/rand"
+	"net"
 	"reflect"
 	"testing"
 	"time"
@@ -186,18 +187,21 @@ func TestDeltaFallsBackToFullAfterStageRestart(t *testing.T) {
 	}
 }
 
-// TestDeltaTrackerSingleSlotAlternation drives two clients against one
-// service. The stage remembers only the last acknowledged generation, so
-// alternating collectors each miss the ack and get full snapshots —
-// wasteful, but every snapshot must still be exactly right.
-func TestDeltaTrackerSingleSlotAlternation(t *testing.T) {
+// TestDeltaTrackerPerClientBaselines drives two clients against one
+// service. The stage keeps one baseline per client (keyed by the
+// handle's ClientID), so interleaved collectors don't invalidate each
+// other's acknowledgments: after each client's first-contact full
+// snapshot, both stay incremental — and every snapshot must still be
+// exactly right.
+func TestDeltaTrackerPerClientBaselines(t *testing.T) {
 	clk := clock.NewSim(epoch)
 	stg := stage.New(stage.Info{StageID: "s1", JobID: "j1"}, clk)
 	stg.ApplyRule(policy.Rule{ID: "q", Match: policy.Matcher{JobID: "j1"}, Rate: 500})
 	svc := NewStageService(stg)
 	a, b := LoopbackStage(svc), LoopbackStage(svc)
 
-	for i := 0; i < 4; i++ {
+	const rounds = 4
+	for i := 0; i < rounds; i++ {
 		stg.Offer(&posix.Request{Op: posix.OpOpen, JobID: "j1"}, 100, time.Second)
 		clk.Advance(time.Second)
 		for _, h := range []*StageHandle{a, b} {
@@ -207,9 +211,49 @@ func TestDeltaTrackerSingleSlotAlternation(t *testing.T) {
 			}
 			direct := stg.Collect()
 			if !bytes.Equal(gobBytes(t, merged), gobBytes(t, direct)) {
-				t.Fatalf("round %d: alternating client diverged\nmerged: %+v\ndirect: %+v", i, merged, direct)
+				t.Fatalf("round %d: interleaved client diverged\nmerged: %+v\ndirect: %+v", i, merged, direct)
 			}
 		}
+	}
+	for name, h := range map[string]*StageHandle{"a": a, "b": b} {
+		fulls, deltas := h.CollectCounts()
+		if fulls != 1 || deltas != rounds-1 {
+			t.Errorf("client %s: fulls=%d deltas=%d, want 1/%d (per-client baselines must keep interleaved collectors incremental)",
+				name, fulls, deltas, rounds-1)
+		}
+	}
+	served := svc.Served()
+	if served.FullCollects != 2 || served.DeltaCollects != 2*(rounds-1) {
+		t.Errorf("service counters = %+v, want 2 fulls and %d deltas", served, 2*(rounds-1))
+	}
+}
+
+// TestDeltaTrackerEvictionFallsBackToFull fills the service's baseline
+// table past its cap and returns to the first (evicted) client: its next
+// collect must degrade to a full snapshot, not a bogus delta.
+func TestDeltaTrackerEvictionFallsBackToFull(t *testing.T) {
+	stg := stage.New(stage.Info{StageID: "s1", JobID: "j1"}, clock.NewSim(epoch))
+	stg.ApplyRule(policy.Rule{ID: "q", Rate: 500})
+	svc := NewStageService(stg)
+
+	first := LoopbackStage(svc)
+	if _, err := first.CollectDelta(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < maxDeltaTrackers; i++ {
+		if _, err := LoopbackStage(svc).CollectDelta(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, err := first.CollectDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gobBytes(t, merged), gobBytes(t, stg.Collect())) {
+		t.Fatal("evicted client's merged snapshot diverged from direct collect")
+	}
+	if fulls, _ := first.CollectCounts(); fulls != 2 {
+		t.Errorf("evicted client saw %d full snapshots, want 2 (first contact + post-eviction fallback)", fulls)
 	}
 }
 
@@ -256,6 +300,100 @@ func TestBatchStaleGenerationGetsFull(t *testing.T) {
 		if resync.Delta.Full {
 			t.Errorf("%s: client did not resync to incremental after the fallback", name)
 		}
+	}
+}
+
+// TestDeltaCollectOverWire runs the incremental protocol over the real
+// TCP/gob transport (ServeService + DialStage) instead of a Loopback.
+// This is the regression test for reply reuse: gob omits zero-valued
+// fields on encode and leaves absent fields untouched on decode, so a
+// handle that reuses its reply without zeroing it would decode every
+// post-full incremental reply (Full=false omitted on the wire) with a
+// stale Full=true and wipe unchanged queues from the merged snapshot.
+func TestDeltaCollectOverWire(t *testing.T) {
+	clk := clock.NewSim(epoch)
+	stg := stage.New(stage.Info{StageID: "s1", JobID: "j1", Hostname: "n1", PID: 7}, clk)
+	stg.ApplyRule(policy.Rule{ID: "a", Match: policy.Matcher{Ops: []posix.Op{posix.OpOpen}, JobID: "j1"}, Rate: 100})
+	stg.ApplyRule(policy.Rule{ID: "b", Rate: 200})
+	svc := NewStageService(stg)
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := ServeService(l, svc)
+	t.Cleanup(stop)
+	h, err := DialStage(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { h.Close() })
+
+	check := func(round string) stage.Stats {
+		t.Helper()
+		merged, err := h.CollectDelta()
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct := stg.Collect()
+		if !bytes.Equal(gobBytes(t, merged), gobBytes(t, direct)) {
+			t.Fatalf("%s: merged snapshot diverged from direct collect\nmerged: %+v\ndirect: %+v", round, merged, direct)
+		}
+		return merged
+	}
+
+	check("first contact (full)")
+	// Nothing changed: the delta is empty on the wire, and the merged
+	// snapshot must still hold both queues.
+	if got := check("empty delta"); len(got.Queues) != 2 {
+		t.Fatalf("merged snapshot lost queues over an empty delta: %d queues, want 2", len(got.Queues))
+	}
+	// Traffic on one queue only: the other must survive the merge.
+	stg.Offer(&posix.Request{Op: posix.OpOpen, JobID: "j1"}, 50, time.Second)
+	clk.Advance(time.Second)
+	if got := check("one-queue delta"); len(got.Queues) != 2 {
+		t.Fatalf("merged snapshot lost the unchanged queue: %d queues, want 2", len(got.Queues))
+	}
+	// A removal must cross the wire in Removed.
+	stg.RemoveRule("b")
+	check("removal delta")
+
+	fulls, deltas := h.CollectCounts()
+	if fulls != 1 || deltas != 3 {
+		t.Errorf("client counted fulls=%d deltas=%d, want 1/3", fulls, deltas)
+	}
+	served := svc.Served()
+	if served.FullCollects != 1 || served.DeltaCollects != 3 {
+		t.Errorf("server sent fulls=%d deltas=%d, want 1/3 (client and server must agree the steady state is incremental)",
+			served.FullCollects, served.DeltaCollects)
+	}
+}
+
+// TestBatchResultsOverWireDropStaleFound: gob omits Found=false on
+// encode, so a reused reply would leave a previous round's Found=true in
+// place. Over the real transport, ops that fail after ops that succeeded
+// must still decode as Found=false.
+func TestBatchResultsOverWireDropStaleFound(t *testing.T) {
+	_, h := servedStage(t)
+	results, _, err := h.ExecBatch([]StageOp{
+		{Kind: OpApplyRule, Rule: policy.Rule{ID: "a", Rate: 100}},
+		{Kind: OpRemoveRule, ID: "a"},
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !results[0].Found || !results[1].Found {
+		t.Fatalf("first batch results = %+v, want both Found", results)
+	}
+	results, _, err = h.ExecBatch([]StageOp{
+		{Kind: OpRemoveRule, ID: "a"},
+		{Kind: OpSetRate, ID: "ghost", Rate: 1},
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Found || results[1].Found {
+		t.Fatalf("second batch results = %+v, want both not-Found (stale Found=true leaked through reply reuse)", results)
 	}
 }
 

@@ -38,7 +38,12 @@ type StageService struct {
 	// epoch identifies this service instance to delta-collect clients;
 	// see StatsDelta.Epoch.
 	epoch uint64
-	delta deltaTracker
+	// trackers holds one delta baseline per collecting client (keyed by
+	// BatchArgs.ClientID), bounded by maxDeltaTrackers with LRU
+	// eviction; trackUse is the eviction clock. See batch.go.
+	trackMu  sync.Mutex
+	trackers map[uint64]*deltaTracker
+	trackUse uint64
 
 	calls         atomic.Uint64
 	batchedOps    atomic.Uint64
