@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz-smoke bench bench-all bench-smoke vet fmt lint ci experiments tools clean
+.PHONY: all build test race fuzz-smoke bench bench-all bench-smoke vet fmt lint lint-self fix-smoke ci experiments tools clean
 
 # Hot-path packages benchmarked by `make bench` (the data-plane fast path).
 BENCH_PKGS = ./internal/stage/... ./internal/metrics/... \
@@ -33,6 +33,7 @@ race:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzMatcher -fuzztime 10s ./internal/policy/
 	$(GO) test -run '^$$' -fuzz FuzzTraceParse -fuzztime 10s ./internal/trace/
+	$(GO) test -run '^$$' -fuzz FuzzPragmaParse -fuzztime 10s ./internal/lint/
 
 # Hot-path microbenchmarks at 1, 4 and 8 simulated CPUs, then the
 # control-plane fleet benchmarks; the raw `go test -json` event streams
@@ -62,21 +63,41 @@ vet:
 fmt:
 	gofmt -l -w .
 
-# Run the in-tree static-analysis suite (clockcheck, lockcheck, errdrop,
-# printcheck). Exits non-zero on any unsuppressed finding.
+# Run go vet plus the in-tree static-analysis suite (all eight
+# analyzers: clockcheck, lockcheck, errdrop, printcheck, atomiccheck,
+# hotpathcheck, wirecheck, leakcheck). Exits non-zero on any
+# unsuppressed finding.
 lint:
+	$(GO) vet ./...
 	$(GO) run ./cmd/padll-lint ./...
 
-# The full gate: formatting, vet, padll-lint, build, race-enabled tests,
-# the doubled control-plane race pass, and a one-iteration benchmark
-# smoke so the hot-path benches can't rot.
+# The analyzer suite must hold to its own standards: run padll-lint
+# over internal/lint and the driver itself.
+lint-self:
+	$(GO) run ./cmd/padll-lint ./internal/lint ./cmd/padll-lint
+
+# -fix dry-run smoke: a clean tree must propose zero fixes, and the
+# preview must be idempotent (two consecutive runs print the same plan).
+fix-smoke:
+	@$(GO) run ./cmd/padll-lint -diff ./... > .fixsmoke.1
+	@$(GO) run ./cmd/padll-lint -diff ./... > .fixsmoke.2
+	@cmp .fixsmoke.1 .fixsmoke.2 || { echo "padll-lint -diff is not idempotent"; rm -f .fixsmoke.1 .fixsmoke.2; exit 1; }
+	@grep -q "0 fixes available" .fixsmoke.1 || { echo "padll-lint -diff proposes fixes on a clean tree:"; cat .fixsmoke.1; rm -f .fixsmoke.1 .fixsmoke.2; exit 1; }
+	@rm -f .fixsmoke.1 .fixsmoke.2
+	@echo "fix-smoke: -diff idempotent, no fixes pending"
+
+# The full gate: formatting, vet, padll-lint (plus self-lint and the
+# -fix dry-run smoke), build, race-enabled tests, the doubled
+# control-plane race pass, and a one-iteration benchmark smoke so the
+# hot-path benches can't rot.
 ci:
 	@unformatted="$$(gofmt -l .)"; \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed:"; echo "$$unformatted"; exit 1; \
 	fi
-	$(GO) vet ./...
-	$(GO) run ./cmd/padll-lint ./...
+	$(MAKE) lint
+	$(MAKE) lint-self
+	$(MAKE) fix-smoke
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(MAKE) race

@@ -1,8 +1,8 @@
-// Command padll-lint runs PADLL's static-analysis suite: four analyzers
-// that enforce the repository's determinism and concurrency invariants
-// (see internal/lint). It is built purely on the standard library's
-// go/ast, go/parser, go/types and go/token packages — no external
-// analysis framework.
+// Command padll-lint runs PADLL's static-analysis suite: eight analyzers
+// that enforce the repository's determinism, concurrency, hot-path, and
+// wire-protocol invariants (see internal/lint). It is built purely on
+// the standard library's go/ast, go/parser, go/types and go/token
+// packages — no external analysis framework.
 //
 // Usage:
 //
@@ -10,9 +10,14 @@
 //	padll-lint ./internal/stage      # one package
 //	padll-lint -json ./...           # machine-readable findings
 //	padll-lint -list                 # describe the analyzers
+//	padll-lint -enable wirecheck     # run only the named analyzers
+//	padll-lint -disable leakcheck    # run all but the named analyzers
+//	padll-lint -diff ./...           # preview mechanical fixes
+//	padll-lint -fix ./...            # apply mechanical fixes in place
 //
 // Exit code contract: 0 = no findings, 1 = findings reported,
-// 2 = usage or load error. Suppression pragma:
+// 2 = usage or load error. With -fix, findings that were mechanically
+// repaired do not count against the exit code. Suppression pragma:
 //
 //	//lint:allow <analyzer> <reason>
 package main
@@ -31,7 +36,11 @@ func main() {
 	var (
 		jsonOut  = flag.Bool("json", false, "emit findings as JSON")
 		list     = flag.Bool("list", false, "list the analyzers and exit")
-		analyzer = flag.String("analyzer", "", "run only the named analyzers (comma-separated)")
+		analyzer = flag.String("analyzer", "", "alias of -enable (kept for compatibility)")
+		enable   = flag.String("enable", "", "run only the named analyzers (comma-separated)")
+		disable  = flag.String("disable", "", "run all analyzers except the named ones (comma-separated)")
+		fix      = flag.Bool("fix", false, "apply mechanical fixes in place")
+		diff     = flag.Bool("diff", false, "print the fixes -fix would apply, without writing")
 	)
 	flag.Parse()
 
@@ -41,18 +50,15 @@ func main() {
 		}
 		return
 	}
+	if *fix && *diff {
+		fmt.Fprintln(os.Stderr, "padll-lint: -fix and -diff are mutually exclusive")
+		os.Exit(2)
+	}
 
-	analyzers := lint.Analyzers()
-	if *analyzer != "" {
-		analyzers = nil
-		for _, name := range strings.Split(*analyzer, ",") {
-			a := lint.AnalyzerByName(strings.TrimSpace(name))
-			if a == nil {
-				fmt.Fprintf(os.Stderr, "padll-lint: unknown analyzer %q\n", name)
-				os.Exit(2)
-			}
-			analyzers = append(analyzers, a)
-		}
+	analyzers, err := selectAnalyzers(*enable, *analyzer, *disable)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "padll-lint:", err)
+		os.Exit(2)
 	}
 
 	patterns := flag.Args()
@@ -70,17 +76,104 @@ func main() {
 		fmt.Fprintln(os.Stderr, "padll-lint:", err)
 		os.Exit(2)
 	}
-	if *jsonOut {
+
+	switch {
+	case *diff:
+		fixes := res.Fixes()
+		for _, f := range fixes {
+			fmt.Printf("%s: would insert %q (%s)\n", relPath(root, f.Path), f.Insert, f.Summary)
+		}
+		fmt.Printf("padll-lint: %d packages, %d fixes available\n", res.Packages, len(fixes))
+		if len(res.Diags) > 0 {
+			os.Exit(1)
+		}
+		return
+	case *fix:
+		fixes := res.Fixes()
+		changed, err := lint.ApplyFixes(fixes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "padll-lint:", err)
+			os.Exit(2)
+		}
+		for _, path := range changed {
+			fmt.Printf("fixed %s\n", relPath(root, path))
+		}
+		// Unfixable findings still fail the run.
+		unfixed := 0
+		for _, d := range res.Diags {
+			if d.Fix == nil {
+				fmt.Println(d.String())
+				unfixed++
+			}
+		}
+		fmt.Printf("padll-lint: %d packages, %d fixes applied, %d findings left\n",
+			res.Packages, len(fixes), unfixed)
+		if unfixed > 0 {
+			os.Exit(1)
+		}
+		return
+	case *jsonOut:
 		if err := res.WriteJSON(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "padll-lint:", err)
 			os.Exit(2)
 		}
-	} else {
+	default:
 		res.WriteText(os.Stdout)
 	}
 	if len(res.Diags) > 0 {
 		os.Exit(1)
 	}
+}
+
+// selectAnalyzers resolves the -enable/-analyzer/-disable flags against
+// the registry.
+func selectAnalyzers(enable, alias, disable string) ([]*lint.Analyzer, error) {
+	if enable == "" {
+		enable = alias
+	} else if alias != "" {
+		return nil, fmt.Errorf("-enable and -analyzer are aliases; pass only one")
+	}
+	if enable != "" && disable != "" {
+		return nil, fmt.Errorf("-enable and -disable are mutually exclusive")
+	}
+	if enable != "" {
+		var out []*lint.Analyzer
+		for _, name := range strings.Split(enable, ",") {
+			a := lint.AnalyzerByName(strings.TrimSpace(name))
+			if a == nil {
+				return nil, fmt.Errorf("unknown analyzer %q", strings.TrimSpace(name))
+			}
+			out = append(out, a)
+		}
+		return out, nil
+	}
+	analyzers := lint.Analyzers()
+	if disable == "" {
+		return analyzers, nil
+	}
+	off := make(map[string]bool)
+	for _, name := range strings.Split(disable, ",") {
+		name = strings.TrimSpace(name)
+		if lint.AnalyzerByName(name) == nil {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		off[name] = true
+	}
+	var out []*lint.Analyzer
+	for _, a := range analyzers {
+		if !off[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}
+
+// relPath renders a path relative to the module root when possible.
+func relPath(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
 }
 
 // findModuleRoot walks up from the working directory to the nearest

@@ -64,6 +64,7 @@ func main() {
 		ID:    "meta",
 		Match: padll.Matcher{Classes: []padll.Class{padll.ClassMetadata}},
 	}
+	//lint:allow leakcheck bounded administrator script: two sleeps then returns, and main outlives the 12s replay it paces
 	go func() {
 		clk.Sleep(4 * time.Second)
 		metaRule.Rate = mean * 0.3

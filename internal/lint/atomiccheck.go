@@ -1,0 +1,258 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicCheck enforces the repository's two atomicity disciplines:
+//
+//  1. A struct field accessed through a sync/atomic function anywhere in
+//     the package (atomic.LoadInt64(&s.n), atomic.AddUint64(&s.n, 1), …)
+//     must be accessed atomically everywhere: a plain read or write of
+//     the same field races with the atomic sites. The typed atomics
+//     (atomic.Int64, atomic.Pointer[T]) make this impossible by
+//     construction and are the preferred repair.
+//
+//  2. A value stored into an atomic.Pointer[T] (or atomic.Value) is
+//     published: readers hold it lock-free, so it must be copy-on-write.
+//     Mutating the stored value after the Store — the COW snapshot rule
+//     the stage's classify path depends on — is a finding.
+var AtomicCheck = &Analyzer{
+	Name: "atomiccheck",
+	Doc:  "atomic fields are atomic everywhere; values stored into atomic.Pointer are not mutated after publication",
+	Run:  runAtomicCheck,
+}
+
+func runAtomicCheck(pass *Pass) {
+	checkMixedAtomicAccess(pass)
+	checkPublishThenMutate(pass)
+}
+
+// atomicFuncArg reports whether call is a sync/atomic package-level
+// function and returns the argument that names the operand (&field).
+func atomicFuncArg(pass *Pass, call *ast.CallExpr) (ast.Expr, bool) {
+	fn := calleeOf(pass, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return nil, false
+	}
+	if sig := fn.Type().(*types.Signature); sig.Recv() != nil {
+		return nil, false // typed-atomic method: safe by construction
+	}
+	if len(call.Args) == 0 {
+		return nil, false
+	}
+	return call.Args[0], true
+}
+
+// fieldOf resolves a &x.f or x.f expression to the field's object.
+func fieldOf(pass *Pass, expr ast.Expr) *types.Var {
+	expr = ast.Unparen(expr)
+	if u, ok := expr.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		expr = ast.Unparen(u.X)
+	}
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if s, ok := pass.Pkg.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// checkMixedAtomicAccess implements rule 1.
+func checkMixedAtomicAccess(pass *Pass) {
+	// First sweep: fields that are operands of sync/atomic functions,
+	// and the positions of those sanctioned uses.
+	atomicFields := make(map[*types.Var]bool)
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			arg, ok := atomicFuncArg(pass, call)
+			if !ok {
+				return true
+			}
+			if v := fieldOf(pass, arg); v != nil {
+				atomicFields[v] = true
+				inner := ast.Unparen(arg)
+				if u, ok := inner.(*ast.UnaryExpr); ok && u.Op == token.AND {
+					inner = ast.Unparen(u.X)
+				}
+				if sel, ok := inner.(*ast.SelectorExpr); ok {
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+	// Second sweep: every other access to those fields is plain.
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			s, ok := pass.Pkg.TypesInfo.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			v, ok := s.Obj().(*types.Var)
+			if !ok || !atomicFields[v] {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(),
+				"field %s is accessed via sync/atomic elsewhere; this plain access races — use atomic ops everywhere or the typed atomic.%s",
+				v.Name(), suggestTypedAtomic(v.Type()))
+			return true
+		})
+	}
+}
+
+// suggestTypedAtomic names the typed atomic matching a plain field type.
+func suggestTypedAtomic(t types.Type) string {
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Int32:
+			return "Int32"
+		case types.Int64, types.Int:
+			return "Int64"
+		case types.Uint32:
+			return "Uint32"
+		case types.Uint64, types.Uint, types.Uintptr:
+			return "Uint64"
+		case types.Bool:
+			return "Bool"
+		}
+	}
+	if _, ok := t.Underlying().(*types.Pointer); ok {
+		return "Pointer[T]"
+	}
+	return "Value"
+}
+
+// isAtomicPublish reports whether call is atomic.Pointer[T].Store /
+// atomic.Value.Store (a publication point) and returns the published
+// expression.
+func isAtomicPublish(pass *Pass, call *ast.CallExpr) (ast.Expr, bool) {
+	fn := calleeOf(pass, call)
+	if fn == nil || fn.Name() != "Store" || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return nil, false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil || len(call.Args) != 1 {
+		return nil, false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	name := ""
+	switch t := recv.(type) {
+	case *types.Named:
+		name = t.Obj().Name()
+	}
+	if name != "Pointer" && name != "Value" {
+		return nil, false
+	}
+	return call.Args[0], true
+}
+
+// checkPublishThenMutate implements rule 2: within one function body,
+// a local stored into an atomic.Pointer must not be written through
+// afterwards. (Publication is a one-way door; later mutations belong on
+// a fresh copy that is itself Stored.)
+func checkPublishThenMutate(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		inspectFunctions(f, func(name string, body *ast.BlockStmt) {
+			// published maps a local variable object to the Store position.
+			published := make(map[*types.Var]token.Pos)
+			ast.Inspect(body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				arg, ok := isAtomicPublish(pass, call)
+				if !ok {
+					return true
+				}
+				if v := rootVar(pass, arg); v != nil {
+					if _, seen := published[v]; !seen {
+						published[v] = call.Pos()
+					}
+				}
+				return true
+			})
+			if len(published) == 0 {
+				return
+			}
+			ast.Inspect(body, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range st.Lhs {
+						reportIfPublishedRoot(pass, published, lhs, st.Pos())
+					}
+				case *ast.IncDecStmt:
+					reportIfPublishedRoot(pass, published, st.X, st.Pos())
+				}
+				return true
+			})
+		})
+	}
+}
+
+// reportIfPublishedRoot flags writes through a published variable:
+// assignments whose left side drills into it (p.f = …, p.s[i] = …).
+// Rebinding the variable itself (p = newSnapshot()) is fine — that is
+// how the copy-on-write loop builds the next snapshot.
+func reportIfPublishedRoot(pass *Pass, published map[*types.Var]token.Pos, lhs ast.Expr, at token.Pos) {
+	if _, isIdent := ast.Unparen(lhs).(*ast.Ident); isIdent {
+		return
+	}
+	v := rootVar(pass, lhs)
+	if v == nil {
+		return
+	}
+	storePos, ok := published[v]
+	if !ok || at <= storePos {
+		return
+	}
+	pass.Reportf(at,
+		"%s was stored into an atomic.Pointer; mutating it after publication breaks the copy-on-write snapshot rule — build a fresh copy and Store that",
+		v.Name())
+}
+
+// rootVar walks selector/index/star/address chains to the root local
+// variable: &s, s.f, s.m[k], (*s).f all root at s.
+func rootVar(pass *Pass, expr ast.Expr) *types.Var {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			v, _ := pass.Pkg.TypesInfo.Uses[e].(*types.Var)
+			return v
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.UnaryExpr:
+			if e.Op != token.AND {
+				return nil
+			}
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}

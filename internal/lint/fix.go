@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"fmt"
+	"go/format"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// Fix is one mechanical, insertion-only edit that resolves a finding.
+// Fixes never delete or rewrite existing source — the suite's repairs
+// (zeroing a reused decode target, assigning a dropped error to _) are
+// all insertions, and insertion-only edits compose: applying several to
+// one file cannot corrupt each other as long as they are applied in
+// descending offset order.
+type Fix struct {
+	// Path is the absolute path of the file to edit.
+	Path string
+	// Offset is the byte offset at which Insert is placed.
+	Offset int
+	// Insert is the text to insert; the result is passed through
+	// go/format, so indentation need only be approximate.
+	Insert string
+	// Summary is a one-line human description ("zero *reply before
+	// Decode"), shown by -diff.
+	Summary string
+}
+
+// insertAt builds a Fix placing text at pos in the package's file set.
+func insertAt(pkg *Package, pos token.Pos, text, summary string) *Fix {
+	p := pkg.Fset.Position(pos)
+	return &Fix{Path: p.Filename, Offset: p.Offset, Insert: text, Summary: summary}
+}
+
+// Fixes extracts the fixes carried by the result's findings.
+func (r *Result) Fixes() []*Fix {
+	var fixes []*Fix
+	for _, d := range r.Diags {
+		if d.Fix != nil {
+			fixes = append(fixes, d.Fix)
+		}
+	}
+	return fixes
+}
+
+// ApplyFixes applies the given fixes to the files on disk and returns
+// the changed paths, sorted. Duplicate fixes (same path, offset, and
+// insertion — e.g. one site reported by two analysis roots) are applied
+// once. Each edited file is reformatted with go/format; a file that
+// fails to format (fix landed in a syntactically impossible spot) is
+// left untouched and reported as an error.
+func ApplyFixes(fixes []*Fix) ([]string, error) {
+	byPath := make(map[string][]*Fix)
+	for _, f := range fixes {
+		byPath[f.Path] = append(byPath[f.Path], f)
+	}
+	var changed []string
+	for _, path := range sortedKeys(byPath) {
+		edits := byPath[path]
+		sort.Slice(edits, func(i, j int) bool {
+			if edits[i].Offset != edits[j].Offset {
+				return edits[i].Offset > edits[j].Offset // descending
+			}
+			return edits[i].Insert > edits[j].Insert
+		})
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return changed, fmt.Errorf("lint: fix: %w", err)
+		}
+		out := src
+		var lastOff = -1
+		var lastIns string
+		for _, e := range edits {
+			if e.Offset == lastOff && e.Insert == lastIns {
+				continue // duplicate
+			}
+			if e.Offset < 0 || e.Offset > len(out) {
+				return changed, fmt.Errorf("lint: fix: offset %d out of range for %s", e.Offset, path)
+			}
+			var buf []byte
+			buf = append(buf, out[:e.Offset]...)
+			buf = append(buf, e.Insert...)
+			buf = append(buf, out[e.Offset:]...)
+			out = buf
+			lastOff, lastIns = e.Offset, e.Insert
+		}
+		formatted, err := format.Source(out)
+		if err != nil {
+			return changed, fmt.Errorf("lint: fix: %s does not format after edits: %w", path, err)
+		}
+		info, err := os.Stat(path)
+		if err != nil {
+			return changed, fmt.Errorf("lint: fix: %w", err)
+		}
+		if err := os.WriteFile(path, formatted, info.Mode().Perm()); err != nil {
+			return changed, fmt.Errorf("lint: fix: %w", err)
+		}
+		changed = append(changed, path)
+	}
+	return changed, nil
+}
+
+// lineStartOffset returns the offset of the first byte of the line
+// containing pos — the canonical insertion point for a statement-level
+// fix placed above the offending statement.
+func lineStartOffset(fset *token.FileSet, pos token.Pos) int {
+	p := fset.Position(pos)
+	f := fset.File(pos)
+	if f == nil {
+		return p.Offset
+	}
+	return f.Offset(f.LineStart(p.Line))
+}

@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// copyFixture copies one fixture package into a fresh temp dir so fixes
+// can be applied without touching testdata.
+func copyFixture(t *testing.T, fixture string) string {
+	t.Helper()
+	src := filepath.Join(repoRoot(t), "internal", "lint", "testdata", "src", fixture)
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// loadAt loads a package from dir under a unique import path with a
+// fresh loader (the shared loader caches packages by import path, and
+// these tests reload edited source).
+func loadAt(t *testing.T, dir, importPath string) *Package {
+	t.Helper()
+	l, err := NewLoader(repoRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	return pkg
+}
+
+// TestWireCheckFixInsertsReset drives the advertised repair for the
+// stale-decode bug class end to end: wirecheck's -fix inserts the
+// zeroing assignment, the findings disappear, and a second -fix pass is
+// a no-op (idempotence).
+func TestWireCheckFixInsertsReset(t *testing.T) {
+	dir := copyFixture(t, "wirefix")
+
+	pkg := loadAt(t, dir, "padll/internal/lintfixtures/wirefixcopy1")
+	diags := RunAnalyzers(pkg, []*Analyzer{WireCheck})
+	var fixes []*Fix
+	resetFindings := 0
+	for _, d := range diags {
+		if strings.Contains(d.Message, "decode target") {
+			resetFindings++
+			if d.Fix == nil {
+				t.Errorf("decode-target finding carries no fix: %s", d)
+				continue
+			}
+			fixes = append(fixes, d.Fix)
+		}
+	}
+	if resetFindings != 3 {
+		t.Fatalf("expected 3 decode-target findings in the fixture, got %d", resetFindings)
+	}
+
+	changed, err := ApplyFixes(fixes)
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if len(changed) != 1 {
+		t.Fatalf("expected 1 changed file, got %v", changed)
+	}
+	fixed, err := os.ReadFile(changed[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(fixed), "h.breply = BatchReply{}\n\treturn h.t.Call") {
+		t.Errorf("fix did not insert the reset before the Call:\n%s", fixed)
+	}
+	if !strings.Contains(string(fixed), "msg = BatchReply{}\n\t\t_ = dec.Decode(&msg)") {
+		t.Errorf("fix did not insert the in-loop reset:\n%s", fixed)
+	}
+
+	// Second pass: the decode-target findings are gone and no fixes
+	// remain — -fix is idempotent.
+	pkg2 := loadAt(t, dir, "padll/internal/lintfixtures/wirefixcopy2")
+	for _, d := range RunAnalyzers(pkg2, []*Analyzer{WireCheck}) {
+		if strings.Contains(d.Message, "decode target") {
+			t.Errorf("decode-target finding survived the fix: %s", d)
+		}
+		if d.Fix != nil {
+			t.Errorf("second pass still proposes a fix: %s", d)
+		}
+	}
+}
+
+// TestErrDropFixBlanksError checks the `_ = ` insertion on a dropped
+// error expression statement.
+func TestErrDropFixBlanksError(t *testing.T) {
+	dir := copyFixture(t, "errfix")
+
+	pkg := loadAt(t, dir, "padll/internal/lintfixtures/errfixcopy1")
+	var fixes []*Fix
+	for _, d := range RunAnalyzers(pkg, []*Analyzer{ErrDrop}) {
+		if d.Fix != nil {
+			fixes = append(fixes, d.Fix)
+		}
+	}
+	if len(fixes) == 0 {
+		t.Fatal("errdrop fixture produced no fixable findings")
+	}
+	if _, err := ApplyFixes(fixes); err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+
+	pkg2 := loadAt(t, dir, "padll/internal/lintfixtures/errfixcopy2")
+	for _, d := range RunAnalyzers(pkg2, []*Analyzer{ErrDrop}) {
+		if d.Fix != nil {
+			t.Errorf("finding still fixable after -fix: %s", d)
+		}
+	}
+}
+
+// TestApplyFixesDeduplicates ensures a fix reported twice (one site
+// reached from two analysis roots) is applied once.
+func TestApplyFixesDeduplicates(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.go")
+	if err := os.WriteFile(path, []byte("package f\n\nfunc g() {\n}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fix := &Fix{Path: path, Offset: len("package f\n\nfunc g() {\n"), Insert: "\t_ = 1\n"}
+	dup := &Fix{Path: path, Offset: fix.Offset, Insert: fix.Insert}
+	if _, err := ApplyFixes([]*Fix{fix, dup}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(string(out), "_ = 1") != 1 {
+		t.Errorf("duplicate fix applied twice:\n%s", out)
+	}
+}

@@ -111,6 +111,24 @@ func TestPrintCheckGolden(t *testing.T) {
 	runGolden(t, PrintCheck, "printfix", "padll/internal/lintfixtures/printfix")
 }
 
+func TestAtomicCheckGolden(t *testing.T) {
+	runGolden(t, AtomicCheck, "atomicfix", "padll/internal/lintfixtures/atomicfix")
+}
+
+func TestHotPathCheckGolden(t *testing.T) {
+	runGolden(t, HotPathCheck, "hotpathfix", "padll/internal/lintfixtures/hotpathfix")
+}
+
+func TestWireCheckGolden(t *testing.T) {
+	// The fixture reproduces the batched-protocol stale-reply decode bug
+	// as a wirecheck positive (reused h.breply without a reset).
+	runGolden(t, WireCheck, "wirefix", "padll/internal/lintfixtures/wirefix")
+}
+
+func TestLeakCheckGolden(t *testing.T) {
+	runGolden(t, LeakCheck, "leakfix", "padll/internal/lintfixtures/leakfix")
+}
+
 // TestFixturesSeedViolations guards against silently-passing goldens: a
 // fixture with zero findings would "match" an empty want set.
 func TestFixturesSeedViolations(t *testing.T) {
@@ -123,6 +141,10 @@ func TestFixturesSeedViolations(t *testing.T) {
 		{LockCheck, "lockfix", 6},
 		{ErrDrop, "errfix", 4},
 		{PrintCheck, "printfix", 4},
+		{AtomicCheck, "atomicfix", 4},
+		{HotPathCheck, "hotpathfix", 10},
+		{WireCheck, "wirefix", 9},
+		{LeakCheck, "leakfix", 2},
 	}
 	loader := fixtureLoader(t)
 	for _, c := range cases {

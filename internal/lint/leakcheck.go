@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LeakCheck enforces the goroutine-lifecycle discipline: every go
+// statement in non-test code must be visibly tied to a shutdown path.
+// The control plane's stop() contract (stop drains conns, Close joins
+// the serve loop) only holds if no goroutine outlives its owner, and a
+// leaked goroutine in the shim perturbs exactly the data plane the
+// paper says must not be perturbed.
+//
+// A goroutine counts as tied down when the spawned call references any
+// of, from the enclosing scope:
+//
+//   - a sync.WaitGroup (the spawner Waits for it),
+//   - a channel (a stop/done channel it selects on, a semaphore it
+//     releases, or a result channel it sends to), or
+//   - a context.Context (it watches ctx.Done()).
+//
+// Fire-and-forget goroutines that are genuinely bounded some other way
+// (a Serve loop killed by closing its listener) carry a
+// //lint:allow leakcheck pragma with the reason spelled out.
+var LeakCheck = &Analyzer{
+	Name: "leakcheck",
+	Doc:  "every go statement is tied to a WaitGroup, stop channel, or context",
+	Run:  runLeakCheck,
+}
+
+func runLeakCheck(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goroutineTiedDown(pass, g) {
+				pass.Reportf(g.Pos(),
+					"goroutine has no visible shutdown path; tie it to a sync.WaitGroup, stop channel, or context (or //lint:allow leakcheck <why it is bounded>)")
+			}
+			return true
+		})
+	}
+}
+
+// goroutineTiedDown scans the spawned call — function literal body and
+// arguments alike — for a reference to a WaitGroup, channel, or context.
+func goroutineTiedDown(pass *Pass, g *ast.GoStmt) bool {
+	tied := false
+	ast.Inspect(g.Call, func(n ast.Node) bool {
+		if tied {
+			return false
+		}
+		expr, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		switch expr.(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+		default:
+			return true
+		}
+		if t := pass.Pkg.TypesInfo.Types[expr].Type; t != nil && isShutdownType(t) {
+			tied = true
+			return false
+		}
+		return true
+	})
+	return tied
+}
+
+// isShutdownType reports channel, sync.WaitGroup, and context.Context
+// types (through one level of pointer).
+func isShutdownType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+		pkg, name := named.Obj().Pkg().Path(), named.Obj().Name()
+		if pkg == "sync" && name == "WaitGroup" {
+			return true
+		}
+		if pkg == "context" && name == "Context" {
+			return true
+		}
+	}
+	return false
+}

@@ -12,6 +12,20 @@
 //     Close methods, and the rpcio conn layer are never silently dropped.
 //   - printcheck: internal/* packages never write to the terminal; only
 //     cmd/ and examples/ own stdout.
+//   - atomiccheck: a struct field accessed through sync/atomic anywhere
+//     is atomic everywhere — no mixed plain reads/writes — and data
+//     published through an atomic.Pointer store is copy-on-write: the
+//     stored value must not be mutated after publication.
+//   - hotpathcheck: functions annotated //lint:hotpath, and everything
+//     they statically call, must not allocate (no composite literals,
+//     append, map writes, capturing closures, boxing conversions, defer,
+//     or fmt) unless the callee is annotated //lint:coldpath <reason>.
+//   - wirecheck: gob wire types stay gob-safe (no unexported fields, no
+//     maps with interface values) and reused decode targets are zeroed
+//     before every Decode — gob's zero-field elision leaves stale state
+//     behind otherwise.
+//   - leakcheck: every go statement in non-test code is tied to a
+//     visible shutdown path (sync.WaitGroup, stop channel, or context).
 //
 // The suite is built purely on the standard library (go/ast, go/parser,
 // go/types, go/token, go/build): packages are parsed and type-checked from
@@ -31,7 +45,6 @@ import (
 	"go/ast"
 	"go/token"
 	"sort"
-	"strings"
 )
 
 // Diagnostic is one finding.
@@ -45,6 +58,9 @@ type Diagnostic struct {
 	Col  int `json:"col"`
 	// Message describes the finding and how to fix or suppress it.
 	Message string `json:"message"`
+	// Fix, when non-nil, is a mechanical edit that resolves the finding
+	// (applied by padll-lint -fix). Not part of the JSON surface.
+	Fix *Fix `json:"-"`
 }
 
 // String renders the diagnostic in the conventional path:line:col form.
@@ -64,13 +80,26 @@ type Analyzer struct {
 
 // Pass is one analyzer's view of one package.
 type Pass struct {
-	Pkg      *Package
+	Pkg *Package
+	// Prog is the cross-package program view; the first-generation
+	// analyzers ignore it, atomiccheck/hotpathcheck/wirecheck follow
+	// call-graph and type facts through it.
+	Prog     *Program
 	analyzer *Analyzer
 	diags    *[]Diagnostic
 }
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.report(pos, nil, format, args...)
+}
+
+// ReportfFix records a finding at pos carrying a mechanical fix.
+func (p *Pass) ReportfFix(pos token.Pos, fix *Fix, format string, args ...interface{}) {
+	p.report(pos, fix, format, args...)
+}
+
+func (p *Pass) report(pos token.Pos, fix *Fix, format string, args ...interface{}) {
 	position := p.Pkg.Fset.Position(pos)
 	*p.diags = append(*p.diags, Diagnostic{
 		Analyzer: p.analyzer.Name,
@@ -78,6 +107,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 		Line:     position.Line,
 		Col:      position.Column,
 		Message:  fmt.Sprintf(format, args...),
+		Fix:      fix,
 	})
 }
 
@@ -88,6 +118,10 @@ func Analyzers() []*Analyzer {
 		LockCheck,
 		ErrDrop,
 		PrintCheck,
+		AtomicCheck,
+		HotPathCheck,
+		WireCheck,
+		LeakCheck,
 	}
 }
 
@@ -101,25 +135,29 @@ func AnalyzerByName(name string) *Analyzer {
 	return nil
 }
 
-// pragmaPrefix introduces a suppression comment.
-const pragmaPrefix = "//lint:allow"
-
 // allowance is one parsed //lint:allow pragma.
 type allowance struct {
 	analyzer string
 	reason   string
+	path     string
 	line     int
-	pos      token.Pos
 }
 
-// collectAllowances parses every //lint:allow pragma in the package.
-// Malformed pragmas (no analyzer, no reason, or an unknown analyzer name)
-// are reported as findings of the "pragma" pseudo-analyzer so that typos
-// cannot silently disable a check. Names are validated against the full
-// registry, not the analyzers selected for this run — a -analyzer
-// filtered run must not flag the other analyzers' legitimate pragmas.
+// collectAllowances parses every //lint: directive in the package
+// through the tolerant parser in pragma.go (whitespace-indented and
+// block-comment forms included). Malformed pragmas (no analyzer, no
+// reason, an unknown analyzer name, or an unknown directive verb) are
+// reported as findings of the "pragma" pseudo-analyzer so that typos
+// cannot silently disable a check; pass diags == nil to collect
+// allowances without re-reporting (program-wide suppression). Names are
+// validated against the full registry, not the analyzers selected for
+// this run — a filtered run must not flag the other analyzers'
+// legitimate pragmas.
 func collectAllowances(pkg *Package, diags *[]Diagnostic) []allowance {
 	report := func(pos token.Pos, msg string) {
+		if diags == nil {
+			return
+		}
 		p := pkg.Fset.Position(pos)
 		*diags = append(*diags, Diagnostic{
 			Analyzer: "pragma", Path: p.Filename, Line: p.Line, Col: p.Column, Message: msg,
@@ -129,28 +167,20 @@ func collectAllowances(pkg *Package, diags *[]Diagnostic) []allowance {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, pragmaPrefix) {
+				analyzer, reason, problem, isAllow := parseAllowPragma(c.Text)
+				if !isAllow {
 					continue
 				}
-				rest := strings.TrimPrefix(c.Text, pragmaPrefix)
-				fields := strings.Fields(rest)
-				if len(fields) == 0 {
-					report(c.Pos(), "malformed pragma: want //lint:allow <analyzer> <reason>")
+				if problem != "" {
+					report(c.Pos(), problem)
 					continue
 				}
-				if AnalyzerByName(fields[0]) == nil {
-					report(c.Pos(), fmt.Sprintf("pragma names unknown analyzer %q", fields[0]))
-					continue
-				}
-				if len(fields) < 2 {
-					report(c.Pos(), fmt.Sprintf("pragma for %q has no reason; a justification is mandatory", fields[0]))
-					continue
-				}
+				p := pkg.Fset.Position(c.Pos())
 				allows = append(allows, allowance{
-					analyzer: fields[0],
-					reason:   strings.Join(fields[1:], " "),
-					line:     pkg.Fset.Position(c.Pos()).Line,
-					pos:      c.Pos(),
+					analyzer: analyzer,
+					reason:   reason,
+					path:     p.Filename,
+					line:     p.Line,
 				})
 			}
 		}
@@ -161,7 +191,7 @@ func collectAllowances(pkg *Package, diags *[]Diagnostic) []allowance {
 // suppress filters diags through the allowances: a pragma suppresses its
 // analyzer's findings on the pragma's own line and on the line directly
 // below it (so it can trail the offending statement or sit above it).
-func suppress(pkg *Package, diags []Diagnostic, allows []allowance) []Diagnostic {
+func suppress(diags []Diagnostic, allows []allowance) []Diagnostic {
 	if len(allows) == 0 {
 		return diags
 	}
@@ -171,9 +201,8 @@ func suppress(pkg *Package, diags []Diagnostic, allows []allowance) []Diagnostic
 	}
 	allowed := make(map[key]bool)
 	for _, a := range allows {
-		path := pkg.Fset.Position(a.pos).Filename
-		allowed[key{a.analyzer, path, a.line}] = true
-		allowed[key{a.analyzer, path, a.line + 1}] = true
+		allowed[key{a.analyzer, a.path, a.line}] = true
+		allowed[key{a.analyzer, a.path, a.line + 1}] = true
 	}
 	kept := diags[:0]
 	for _, d := range diags {

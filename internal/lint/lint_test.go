@@ -23,7 +23,10 @@ func TestRepoIsLintClean(t *testing.T) {
 }
 
 func TestAnalyzerRegistry(t *testing.T) {
-	want := []string{"clockcheck", "lockcheck", "errdrop", "printcheck"}
+	want := []string{
+		"clockcheck", "lockcheck", "errdrop", "printcheck",
+		"atomiccheck", "hotpathcheck", "wirecheck", "leakcheck",
+	}
 	got := Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))

@@ -33,30 +33,48 @@ func Run(moduleRoot string, patterns []string, analyzers []*Analyzer) (*Result, 
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{}
+	var pkgs []*Package
 	for _, dir := range dirs {
 		pkg, err := loader.LoadDir(dir, importPathFor(loader, dir))
 		if err != nil {
 			return nil, err
 		}
-		res.Packages++
-		res.Diags = append(res.Diags, RunAnalyzers(pkg, analyzers)...)
+		pkgs = append(pkgs, pkg)
 	}
+	// All target packages form one program so the cross-package analyzers
+	// can follow hot paths and wire types across package boundaries; the
+	// program lazily pulls in module packages reached but not targeted.
+	prog := newProgram(loader, pkgs...)
+	res := &Result{Packages: len(pkgs)}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			a.Run(&Pass{Pkg: pkg, Prog: prog, analyzer: a, diags: &diags})
+		}
+		// Report malformed pragmas per target package; the allowances
+		// themselves are re-collected program-wide below so pragmas in
+		// lazily loaded packages also suppress.
+		collectAllowances(pkg, &diags)
+	}
+	diags = dedupe(suppressProgram(prog, diags, nil))
+	res.Diags = diags
 	relativize(moduleRoot, res.Diags)
 	sortDiagnostics(res.Diags)
 	return res, nil
 }
 
 // RunAnalyzers applies the analyzers to one loaded package, returning the
-// unsuppressed findings (pragma handling included).
+// unsuppressed findings (pragma handling included). The package is its
+// own single-package program: cross-package facts stop at its imports.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	prog := newProgram(nil, pkg)
 	var diags []Diagnostic
 	for _, a := range analyzers {
-		pass := &Pass{Pkg: pkg, analyzer: a, diags: &diags}
+		pass := &Pass{Pkg: pkg, Prog: prog, analyzer: a, diags: &diags}
 		a.Run(pass)
 	}
 	allows := collectAllowances(pkg, &diags)
-	return suppress(pkg, diags, allows)
+	return dedupe(suppress(diags, allows))
 }
 
 // importPathFor maps a directory under the module root to its import path.

@@ -1,0 +1,70 @@
+// Package atomicfix seeds atomiccheck violations: fields accessed both
+// atomically and plainly, and atomic.Pointer values mutated after
+// publication.
+package atomicfix
+
+import "sync/atomic"
+
+type counterState struct {
+	// hits is accessed through sync/atomic in bump, so every other
+	// access must be atomic too.
+	hits int64
+	// misses is only ever accessed plainly: fine.
+	misses int64
+	// cold is only ever accessed atomically: fine.
+	cold int64
+}
+
+func (c *counterState) bump() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.cold, 1)
+}
+
+func (c *counterState) readPlain() int64 {
+	return c.hits // want `field hits is accessed via sync/atomic elsewhere`
+}
+
+func (c *counterState) writePlain() {
+	c.hits = 0 // want `field hits is accessed via sync/atomic elsewhere`
+	c.misses++
+}
+
+func (c *counterState) swap() int64 {
+	return atomic.SwapInt64(&c.hits, 0) + atomic.LoadInt64(&c.cold)
+}
+
+// snapshot is published through an atomic.Pointer, so it is
+// copy-on-write after Store.
+type snapshot struct {
+	rules []string
+	byID  map[string]int
+	gen   int
+}
+
+type stage struct {
+	snap atomic.Pointer[snapshot]
+}
+
+func (s *stage) publishThenMutate(rules []string) {
+	sn := &snapshot{rules: rules}
+	s.snap.Store(sn)
+	sn.byID = map[string]int{} // want `mutating it after publication`
+	sn.gen++                   // want `mutating it after publication`
+}
+
+func (s *stage) publishClean(rules []string) {
+	sn := &snapshot{rules: rules, byID: make(map[string]int, len(rules))}
+	for i, r := range rules {
+		sn.byID[r] = i // mutation before Store: building the copy is fine
+	}
+	s.snap.Store(sn)
+	// Rebinding the variable (building the next snapshot) is fine.
+	sn = &snapshot{gen: 1}
+	_ = sn
+}
+
+func (s *stage) rebuild() {
+	old := s.snap.Load()
+	next := &snapshot{rules: old.rules, gen: old.gen + 1}
+	s.snap.Store(next)
+}

@@ -1,0 +1,68 @@
+// Package hotpathfix seeds hotpathcheck violations: allocation-shaped
+// constructs inside //lint:hotpath functions and their static callees.
+package hotpathfix
+
+import "fmt"
+
+type item struct{ n int }
+
+type sink struct {
+	m   map[string]int
+	buf []int
+}
+
+func release() {}
+
+//lint:hotpath
+func fastAdd(s *sink, k string) {
+	s.buf = append(s.buf, 1)        // want `append`
+	s.m[k] = 1                      // want `map write`
+	it := item{n: 2}                // want `composite literal`
+	defer release()                 // want `defer`
+	f := func() int { return it.n } // want `capturing function literal`
+	_ = f
+	fmt.Println(k) // want `fmt call`
+	helper()
+	coldHelper()
+}
+
+// helper is reached from the fastAdd hot root; its allocations count.
+func helper() {
+	_ = make([]int, 4) // want `make`
+	_ = new(item)      // want `new`
+}
+
+//lint:coldpath deliberate fixture slow path; allocations here are off the contract
+func coldHelper() {
+	_ = make([]int, 8)
+}
+
+//lint:hotpath
+func fastConcat(a, b string) string {
+	go release() // want `go statement`
+	return a + b // want `string concatenation`
+}
+
+//lint:hotpath
+func fastBox(it item) any {
+	return any(it) // want `interface conversion`
+}
+
+//lint:coldpath
+func missingReason() {} // want `has no reason`
+
+// doubly is annotated inconsistently.
+//
+//lint:hotpath
+//lint:coldpath fixture reason
+func doubly() {} // want `both //lint:hotpath and //lint:coldpath`
+
+//lint:hotpath
+func fastClean(s *sink, now int64) int64 {
+	// Reads, arithmetic, and calls into annotated cold paths are fine.
+	if len(s.buf) > 0 {
+		now += int64(s.buf[0])
+	}
+	coldHelper()
+	return now
+}

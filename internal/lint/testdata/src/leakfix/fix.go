@@ -1,0 +1,75 @@
+// Package leakfix seeds leakcheck violations: goroutines with no
+// visible shutdown path.
+package leakfix
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+func worker(ctx context.Context) { <-ctx.Done() }
+
+// fireAndForget spawns a goroutine nothing can stop or join.
+func fireAndForget() {
+	go work() // want `no visible shutdown path`
+}
+
+// capturingLeak captures state but still has no shutdown linkage.
+func capturingLeak(n int) {
+	go func() { // want `no visible shutdown path`
+		_ = n
+	}()
+}
+
+// withWaitGroup joins the goroutine: fine.
+func withWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// withStopChan watches a stop channel from the enclosing scope: fine.
+func withStopChan(stop chan struct{}) {
+	go func() {
+		<-stop
+	}()
+}
+
+// withContext watches a context: fine.
+func withContext(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// withArgContext passes the context into a named worker: fine.
+func withArgContext(ctx context.Context) {
+	go worker(ctx)
+}
+
+type server struct {
+	stop chan struct{}
+}
+
+// run ties the goroutine to the server's stop channel field: fine.
+func (s *server) run() {
+	go func() {
+		<-s.stop
+	}()
+}
+
+// results sends to a channel the spawner drains: fine (the channel is
+// the join point).
+func results() int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 1
+	}()
+	return <-ch
+}

@@ -1,0 +1,106 @@
+// Package wirefix seeds wirecheck violations, including the stale-reply
+// gob decode bug the batched control protocol shipped with: gob elides
+// zero fields on encode and leaves absent fields untouched on decode,
+// so decoding into a reused target resurrects the previous message.
+package wirefix
+
+import "encoding/gob"
+
+// transport mimics net/rpc's Call shape: (method string, args, reply).
+type transport struct{}
+
+func (t *transport) Call(method string, args any, reply any) error {
+	return nil
+}
+
+// BatchReply mirrors the batched protocol's reply struct whose stale
+// Found field caused the original corruption.
+//
+//lint:wire
+type BatchReply struct {
+	Found   bool
+	Results []int
+}
+
+//lint:wire
+type BatchArgs struct {
+	Ops []int
+}
+
+type handle struct {
+	t      *transport
+	bargs  BatchArgs
+	breply BatchReply
+}
+
+// execStale is the original bug: h.breply keeps the previous reply's
+// fields wherever the new encoding elides them.
+func (h *handle) execStale() error {
+	h.bargs.Ops = append(h.bargs.Ops[:0], 1)
+	return h.t.Call("Stage.Batch", &h.bargs, &h.breply) // want `decode target h.breply is reused`
+}
+
+// execReset zeroes the reused target directly.
+func (h *handle) execReset() error {
+	h.breply = BatchReply{}
+	return h.t.Call("Stage.Batch", &h.bargs, &h.breply)
+}
+
+func resetReply(r *BatchReply) { *r = BatchReply{} }
+
+// execHelperReset resets through a helper taking the target's address —
+// the repaired shape the real client uses.
+func (h *handle) execHelperReset() error {
+	resetReply(&h.breply)
+	return h.t.Call("Stage.Batch", &h.bargs, &h.breply)
+}
+
+// decodeLoop decodes into a loop-hoisted local: iteration two reuses
+// iteration one's fields.
+func decodeLoop(dec *gob.Decoder) {
+	var msg BatchReply
+	for i := 0; i < 3; i++ {
+		_ = dec.Decode(&msg) // want `decode target msg is reused`
+	}
+}
+
+// decodeLoopReset zeroes inside the loop: each iteration starts fresh.
+func decodeLoopReset(dec *gob.Decoder) {
+	var msg BatchReply
+	for i := 0; i < 3; i++ {
+		msg = BatchReply{}
+		_ = dec.Decode(&msg)
+	}
+}
+
+// decodeFresh decodes exactly once into a fresh local: fine.
+func decodeFresh(dec *gob.Decoder) int {
+	var msg BatchReply
+	_ = dec.Decode(&msg)
+	return len(msg.Results)
+}
+
+// decodeTwice reuses the same local for a second message.
+func decodeTwice(dec *gob.Decoder) {
+	var msg BatchReply
+	_ = dec.Decode(&msg)
+	_ = dec.Decode(&msg) // want `decode target msg is reused`
+}
+
+// badWire carries every field shape gob mangles or rejects.
+//
+//lint:wire
+type badWire struct {
+	secret int            // want `unexported field secret`
+	Attrs  map[string]any // want `map with interface values`
+	Any    any            // want `interface-typed`
+	C      chan int       // want `channel`
+	F      func()         // want `func`
+	Nested nestedWire
+}
+
+// nestedWire is reached transitively through badWire.Nested.
+type nestedWire struct {
+	hidden int // want `unexported field hidden`
+	OK     string
+}

@@ -98,12 +98,16 @@ func (rc *RateCounter) shard() *rcShard {
 
 // Add records n events at the current instant, closing any elapsed
 // windows first.
+//
+//lint:hotpath
 func (rc *RateCounter) Add(n int64) { rc.AddAt(n, rc.clk.Now()) }
 
 // AddAt records n events at a caller-supplied instant, letting hot paths
 // share one clock read across several counters. Instants may lag the
 // real clock slightly (hot paths amortize clock reads); an instant
 // earlier than the open window is attributed to the open window.
+//
+//lint:hotpath
 func (rc *RateCounter) AddAt(n int64, now time.Time) {
 	if now.UnixNano() < rc.winEndNano.Load() {
 		rc.shard().n.Add(n)
@@ -209,6 +213,8 @@ func (rc *RateCounter) drainLocked() int64 {
 // windows were idle. winEndNano is published only after the last close,
 // so a concurrent fast-path add either sees the stale end and queues on
 // the mutex, or sees the final end and lands in the new open window.
+//
+//lint:coldpath window-close path: runs once per sampling window under the mutex and appends to the series
 func (rc *RateCounter) rollLocked(now time.Time) {
 	if now.Sub(rc.winStart) < rc.window {
 		return

@@ -50,6 +50,8 @@ func NewHistogram(bounds []float64) *Histogram {
 func (h *Histogram) Observe(d time.Duration) { h.ObserveSeconds(d.Seconds()) }
 
 // ObserveSeconds records one observation expressed in seconds.
+//
+//lint:coldpath latency is only observed on the shaping path, after the request already blocked in the bucket
 func (h *Histogram) ObserveSeconds(v float64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()

@@ -222,6 +222,7 @@ func Serve(addr string, ctl *control.Controller) (*Server, error) {
 		return nil, fmt.Errorf("monitor: listen %s: %w", addr, err)
 	}
 	s := &Server{srv: &http.Server{Handler: NewHandler(ctl)}, addr: l.Addr().String()}
+	//lint:allow leakcheck Serve returns when Close closes the http.Server, which closes the listener
 	go func() {
 		// ErrServerClosed is the normal shutdown path.
 		_ = s.srv.Serve(l)

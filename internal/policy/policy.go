@@ -42,6 +42,7 @@ type Matcher struct {
 	// the hot-path prefix test. It is computed by compile() when a rule
 	// enters a RuleSet; matchers built by hand fall back to computing it
 	// per call. Unexported, so it never travels over gob.
+	//lint:allow wirecheck derived cache, deliberately not on the wire; compile() rebuilds it on the receiving side
 	prefixSlash string
 }
 
@@ -66,6 +67,7 @@ func (m *Matcher) Matches(req *posix.Request) bool {
 	if m.PathPrefix != "" {
 		ps := m.prefixSlash
 		if ps == "" {
+			//lint:allow hotpathcheck fallback for hand-built matchers only; compiled rules hit the cached prefixSlash above
 			ps = strings.TrimSuffix(m.PathPrefix, "/") + "/"
 		}
 		if req.Path != m.PathPrefix && !strings.HasPrefix(req.Path, ps) {

@@ -23,6 +23,8 @@ import (
 // Registration is what a stage announces to the control plane at startup:
 // the identity attributes the controller groups stages by (job-ID, PID,
 // hostname, user) plus the address of the stage's control service.
+//
+//lint:wire
 type Registration struct {
 	Info stage.Info
 	// Addr is the host:port of the stage's RPC server.
@@ -68,6 +70,8 @@ func (s *StageService) Served() ServiceStats {
 }
 
 // ApplyRuleArgs carries a rule to install or update.
+//
+//lint:wire
 type ApplyRuleArgs struct{ Rule policy.Rule }
 
 // ApplyRule installs or updates a rule on the stage.
@@ -78,6 +82,8 @@ func (s *StageService) ApplyRule(args ApplyRuleArgs, _ *struct{}) error {
 }
 
 // RemoveRuleArgs names a rule to delete.
+//
+//lint:wire
 type RemoveRuleArgs struct{ ID string }
 
 // RemoveRule deletes a rule; Removed reports whether it existed.
@@ -88,6 +94,8 @@ func (s *StageService) RemoveRule(args RemoveRuleArgs, removed *bool) error {
 }
 
 // SetRateArgs retunes one queue's rate.
+//
+//lint:wire
 type SetRateArgs struct {
 	ID   string
 	Rate float64
@@ -110,6 +118,8 @@ func (s *StageService) Collect(_ struct{}, reply *stage.Stats) error {
 }
 
 // SetModeArgs switches enforcement mode.
+//
+//lint:wire
 type SetModeArgs struct{ Mode stage.Mode }
 
 // SetMode switches the stage between Enforce and Passthrough.
@@ -128,12 +138,16 @@ func (s *StageService) Ping(_ struct{}, reply *stage.Info) error {
 
 // HealthProbe is the liveness-check request both services accept. Seq is
 // echoed back so a prober can match replies to probes across retries.
+//
+//lint:wire
 type HealthProbe struct {
 	Seq uint64
 }
 
 // StageHealth is a stage's health report: identity plus the degraded
 // accounting the monitor surfaces.
+//
+//lint:wire
 type StageHealth struct {
 	Seq             uint64
 	Info            stage.Info

@@ -1,0 +1,156 @@
+package rpcio
+
+import (
+	"reflect"
+	"testing"
+
+	"padll/internal/policy"
+	"padll/internal/stage"
+)
+
+// wireRegistry locks the field sets of every struct that crosses the
+// control-plane wire, directly (Call args/replies) or transitively
+// (types embedded in them). gob identifies fields by name, elides zero
+// values on encode, and silently ignores unknown names on decode — so
+// renaming, retyping, or removing a field does not fail loudly, it
+// quietly desynchronizes old and new peers. The contract is therefore
+// append-only: new fields may be added at the end (old decoders ignore
+// them, new decoders see zero values from old encoders), but the fields
+// recorded here must never change.
+//
+// Only exported fields are registered: gob never encodes unexported
+// ones (see policy.Matcher.prefixSlash, a receiver-side cache).
+var wireRegistry = map[string][]string{
+	// rpcio.go: per-call protocol.
+	"rpcio.Registration":   {"Info stage.Info", "Addr string"},
+	"rpcio.ApplyRuleArgs":  {"Rule policy.Rule"},
+	"rpcio.RemoveRuleArgs": {"ID string"},
+	"rpcio.SetRateArgs":    {"ID string", "Rate float64"},
+	"rpcio.SetModeArgs":    {"Mode stage.Mode"},
+	"rpcio.HealthProbe":    {"Seq uint64"},
+	"rpcio.StageHealth": {
+		"Seq uint64", "Info stage.Info", "Degraded bool",
+		"DegradedSeconds float64", "Rules int",
+	},
+
+	// batch.go: batched delta protocol.
+	"rpcio.StageOp": {
+		"Kind rpcio.OpKind", "Rule policy.Rule", "ID string",
+		"Rate float64", "Mode stage.Mode",
+	},
+	"rpcio.OpResult": {"Found bool"},
+	"rpcio.BatchArgs": {
+		"Ops []rpcio.StageOp", "Collect bool", "ClientID uint64",
+		"AckEpoch uint64", "AckGen uint64",
+	},
+	"rpcio.BatchReply": {"Results []rpcio.OpResult", "Delta rpcio.StatsDelta"},
+	"rpcio.StatsDelta": {
+		"Epoch uint64", "Gen uint64", "Full bool", "Info stage.Info",
+		"Queues []stage.QueueStats", "Removed []string",
+		"Passthrough int64", "Degraded bool", "DegradedSeconds float64",
+	},
+
+	// Transitively encoded types from other packages.
+	"stage.Info": {
+		"StageID string", "JobID string", "Hostname string",
+		"PID int", "User string",
+	},
+	"stage.Stats": {
+		"Info stage.Info", "Queues []stage.QueueStats",
+		"Passthrough int64", "Degraded bool", "DegradedSeconds float64",
+	},
+	"stage.QueueStats": {
+		"RuleID string", "Limit float64", "Burst float64",
+		"ThroughputRate float64", "DemandRate float64",
+		"Total int64", "TotalDemand int64", "Dropped int64",
+		"Waiting int", "WaitP50 float64", "WaitP95 float64", "WaitP99 float64",
+	},
+	"policy.Rule": {
+		"ID string", "Match policy.Matcher", "Rate float64",
+		"Burst float64", "Action policy.Action",
+	},
+	"policy.Matcher": {
+		"Ops []posix.Op", "Classes []posix.Class", "PathPrefix string",
+		"JobID string", "User string",
+	},
+}
+
+// wireTypes instantiates one value of every registered type, in a fixed
+// order matching wireRegistry's keys.
+var wireTypes = []any{
+	Registration{}, ApplyRuleArgs{}, RemoveRuleArgs{}, SetRateArgs{},
+	SetModeArgs{}, HealthProbe{}, StageHealth{},
+	StageOp{}, OpResult{}, BatchArgs{}, BatchReply{}, StatsDelta{},
+	stage.Info{}, stage.Stats{}, stage.QueueStats{},
+	policy.Rule{}, policy.Matcher{},
+}
+
+// exportedFields renders a struct type's exported fields in declaration
+// order as "Name Type" strings.
+func exportedFields(t reflect.Type) []string {
+	var out []string
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		out = append(out, f.Name+" "+f.Type.String())
+	}
+	return out
+}
+
+// TestWireRegistryIsAppendOnly enforces the gob compatibility contract:
+// every field recorded in wireRegistry must still exist, at the same
+// position, with the same name and type. Fields appended after the
+// recorded set fail with a reminder to register them, so the registry
+// stays complete; any change to a recorded field is flagged as a wire
+// compatibility break.
+func TestWireRegistryIsAppendOnly(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, v := range wireTypes {
+		rt := reflect.TypeOf(v)
+		name := rt.String()
+		seen[name] = true
+		want, ok := wireRegistry[name]
+		if !ok {
+			t.Errorf("%s: instantiated in wireTypes but missing from wireRegistry", name)
+			continue
+		}
+		got := exportedFields(rt)
+		for i, w := range want {
+			if i >= len(got) {
+				t.Errorf("%s: registered field %q removed — this breaks gob wire compatibility with deployed peers", name, w)
+				continue
+			}
+			if got[i] != w {
+				t.Errorf("%s: field %d changed from %q to %q — gob matches fields by name, so renames/retypes silently desynchronize peers; wire fields are append-only", name, i, w, got[i])
+			}
+		}
+		for _, g := range got[min(len(want), len(got)):] {
+			t.Errorf("%s: new wire field %q — append it to wireRegistry to lock it in", name, g)
+		}
+	}
+	for name := range wireRegistry {
+		if !seen[name] {
+			t.Errorf("wireRegistry entry %s has no value in wireTypes", name)
+		}
+	}
+}
+
+// TestWireRegistryCoversAnnotatedTypes cross-checks the registry against
+// the //lint:wire annotations in this package's sources: every annotated
+// struct must be locked by the registry, so the static analyzer and the
+// runtime contract can't drift apart.
+func TestWireRegistryCoversAnnotatedTypes(t *testing.T) {
+	annotated := []string{
+		"rpcio.Registration", "rpcio.ApplyRuleArgs", "rpcio.RemoveRuleArgs",
+		"rpcio.SetRateArgs", "rpcio.SetModeArgs", "rpcio.HealthProbe",
+		"rpcio.StageHealth", "rpcio.StageOp", "rpcio.OpResult",
+		"rpcio.BatchArgs", "rpcio.BatchReply", "rpcio.StatsDelta",
+	}
+	for _, name := range annotated {
+		if _, ok := wireRegistry[name]; !ok {
+			t.Errorf("//lint:wire type %s is not locked by wireRegistry", name)
+		}
+	}
+}

@@ -389,6 +389,8 @@ func (s *Stage) SetRate(ruleID string, rate float64) bool {
 // it. Requests matching no rule, and all requests in Passthrough mode,
 // return immediately. The admit path takes no locks: classification reads
 // the published snapshot, counters are sharded atomics.
+//
+//lint:hotpath
 func (s *Stage) Enforce(req *posix.Request) error {
 	e := s.snap.Load().classify(req)
 	if e == nil {

@@ -1,0 +1,39 @@
+package tokenbucket
+
+import (
+	"testing"
+	"time"
+
+	"padll/internal/clock"
+)
+
+// TestTryTakeZeroAllocs is the runtime half of the //lint:hotpath
+// contract on TryTake: both the lock-free unlimited branch and the
+// locked finite-rate branch must admit without allocating.
+func TestTryTakeZeroAllocs(t *testing.T) {
+	clk := clock.NewSim(time.Unix(0, 0))
+
+	unlimited := NewUnlimited(clk)
+	if !unlimited.TryTake(1) {
+		t.Fatal("unlimited TryTake refused")
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		if !unlimited.TryTake(1) {
+			t.Fatal("unlimited TryTake refused")
+		}
+	}); avg != 0 {
+		t.Errorf("TryTake (unlimited fast path) allocates %.3f allocs/op, want 0 — the //lint:hotpath contract is broken at runtime", avg)
+	}
+
+	limited := New(clk, 1e12, 1e12)
+	if !limited.TryTake(1) {
+		t.Fatal("limited TryTake refused")
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		if !limited.TryTake(1) {
+			t.Fatal("limited TryTake refused")
+		}
+	}); avg != 0 {
+		t.Errorf("TryTake (finite-rate path) allocates %.3f allocs/op, want 0", avg)
+	}
+}
