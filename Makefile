@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz-smoke bench bench-all bench-smoke vet fmt lint lint-self fix-smoke ci experiments tools clean
+.PHONY: all build test race fuzz-smoke bench bench-all bench-smoke bench-diff vet fmt lint lint-self fix-smoke ci experiments tools clean
 
 # Hot-path packages benchmarked by `make bench` (the data-plane fast path).
 BENCH_PKGS = ./internal/stage/... ./internal/metrics/... \
@@ -34,6 +34,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzMatcher -fuzztime 10s ./internal/policy/
 	$(GO) test -run '^$$' -fuzz FuzzTraceParse -fuzztime 10s ./internal/trace/
 	$(GO) test -run '^$$' -fuzz FuzzPragmaParse -fuzztime 10s ./internal/lint/
+	$(GO) test -run '^$$' -fuzz FuzzWireDecode -fuzztime 10s ./internal/rpcio/
 
 # Hot-path microbenchmarks at 1, 4 and 8 simulated CPUs, then the
 # control-plane fleet benchmarks; the raw `go test -json` event streams
@@ -49,6 +50,16 @@ bench:
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
+
+# Re-run the control-plane fleet benchmarks and fail on >15% regression
+# in ns/op or wireB/round against the committed BENCH_control.json
+# baseline (refresh baselines with `make bench`). This is the tripwire
+# that keeps the binary codec's latency and wire-byte wins locked in.
+# -count=3 with padll-benchfmt keeping each benchmark's fastest run
+# filters scheduler-contention noise, which only ever inflates ns/op.
+bench-diff:
+	$(GO) test -run='^$$' -bench=. -benchmem -count=3 -json $(BENCH_CONTROL_PKGS) \
+		| $(GO) run ./cmd/padll-benchfmt -diff BENCH_control.json
 
 # One-iteration pass over every hot-path and control-plane benchmark:
 # catches bitrot (compile errors, panics, b.Fatal) without paying for
@@ -102,6 +113,7 @@ ci:
 	$(GO) test -race ./...
 	$(MAKE) race
 	$(MAKE) bench-smoke
+	$(MAKE) bench-diff
 
 # Regenerate every figure/table of the paper (tables printed to stdout,
 # plot series dumped under out/).

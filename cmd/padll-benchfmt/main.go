@@ -4,10 +4,16 @@
 // for machine diffing while the terminal still shows the familiar
 // benchmark table.
 //
+// With -diff it also compares the fresh stream against a committed
+// baseline capture and exits non-zero when ns/op or wireB/round regress
+// beyond the tolerance, which is how `make ci` locks in wire-protocol
+// wins.
+//
 // Usage:
 //
 //	go test -run='^$' -bench=. -json ./... | padll-benchfmt
 //	go test -run='^$' -bench=. -json ./... | padll-benchfmt -raw BENCH_control.json
+//	go test -run='^$' -bench=. -json ./... | padll-benchfmt -diff BENCH_control.json
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 )
 
@@ -27,36 +34,60 @@ type event struct {
 	Output  string `json:"Output"`
 }
 
-func main() {
-	rawPath := flag.String("raw", "", "also copy the raw input stream to this file (replaces `| tee`)")
-	flag.Parse()
+// diffUnits are the measurements -diff guards. ns/op is the round
+// latency win; wireB/round is the codec's bytes-on-the-wire win. The
+// rest (B/op, allocs/op, rpcs/round) stay informational: they are
+// either covered transitively or legitimately change shape.
+var diffUnits = []string{"ns/op", "wireB/round"}
 
-	var raw io.Writer
-	if *rawPath != "" {
-		f, err := os.Create(*rawPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "padll-benchfmt:", err)
-			os.Exit(1)
-		}
-		w := bufio.NewWriter(f)
-		defer func() {
-			// Flush-then-close: a full disk surfaces here, not silently.
-			err := w.Flush()
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "padll-benchfmt:", err)
-				os.Exit(1)
-			}
-		}()
-		raw = w
+// parseBenchLine splits a complete benchmark result line into its name
+// and unit measurements: "BenchmarkX  1065  3607304 ns/op  5376 wireB/round ..."
+func parseBenchLine(line string) (string, map[string]float64, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", nil, false
 	}
+	metrics := map[string]float64{}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		metrics[fields[i+1]] = v
+	}
+	if _, ok := metrics["ns/op"]; !ok {
+		return "", nil, false
+	}
+	return fields[0], metrics, true
+}
 
-	sc := bufio.NewScanner(os.Stdin)
+// render consumes a test2json stream, writing the human-readable
+// benchmark table to out, copying the raw stream to raw (nil to skip),
+// and recording parsed results into results (nil to skip). Returns the
+// number of benchmark results seen.
+func render(in io.Reader, out, raw io.Writer, results map[string]map[string]float64) (int, error) {
+	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 	benches := 0
 	pending := "" // benchmark name emitted without its result line yet
+	record := func(line string) {
+		benches++
+		if results == nil {
+			return
+		}
+		name, metrics, ok := parseBenchLine(line)
+		if !ok {
+			return
+		}
+		// With -count=N each benchmark reports N times; keep the fastest
+		// run. Scheduler contention only ever inflates ns/op, so the
+		// minimum is the best estimate of true cost — and what makes
+		// -diff stable enough to gate CI on a busy machine.
+		if prev, seen := results[name]; seen && prev["ns/op"] <= metrics["ns/op"] {
+			return
+		}
+		results[name] = metrics
+	}
 	for sc.Scan() {
 		line := sc.Bytes()
 		if raw != nil {
@@ -68,7 +99,7 @@ func main() {
 		if err := json.Unmarshal(line, &ev); err != nil {
 			// Pass non-JSON lines through untouched so plain-text input
 			// (or interleaved tool noise) is never swallowed.
-			fmt.Println(string(line))
+			fmt.Fprintln(out, string(line))
 			continue
 		}
 		if ev.Action != "output" {
@@ -77,34 +108,134 @@ func main() {
 		// test2json splits a benchmark result into two events: the name
 		// (no trailing newline) and then the measurements. Stitch them.
 		if pending != "" {
-			fmt.Println(pending + strings.TrimRight(ev.Output, "\n"))
+			whole := pending + strings.TrimRight(ev.Output, "\n")
+			fmt.Fprintln(out, whole)
 			pending = ""
-			benches++
+			record(whole)
 			continue
 		}
-		out := strings.TrimRight(ev.Output, "\n")
+		outLine := strings.TrimRight(ev.Output, "\n")
 		switch {
-		case strings.HasPrefix(out, "Benchmark") && !strings.HasSuffix(ev.Output, "\n"):
-			pending = out
-		case strings.HasPrefix(out, "Benchmark") && strings.Contains(out, "ns/op"):
-			benches++
-			fmt.Println(out)
-		case strings.HasPrefix(out, "Benchmark"):
+		case strings.HasPrefix(outLine, "Benchmark") && !strings.HasSuffix(ev.Output, "\n"):
+			pending = outLine
+		case strings.HasPrefix(outLine, "Benchmark") && strings.Contains(outLine, "ns/op"):
+			record(outLine)
+			fmt.Fprintln(out, outLine)
+		case strings.HasPrefix(outLine, "Benchmark"):
 			// Bare RUN line (no measurements attached) — skip.
-		case strings.HasPrefix(out, "goos:"),
-			strings.HasPrefix(out, "goarch:"),
-			strings.HasPrefix(out, "pkg:"),
-			strings.HasPrefix(out, "cpu:"),
-			strings.HasPrefix(out, "ok "),
-			strings.HasPrefix(out, "FAIL"),
-			strings.HasPrefix(out, "--- FAIL"),
-			strings.HasPrefix(out, "panic:"):
-			fmt.Println(out)
+		case strings.HasPrefix(outLine, "goos:"),
+			strings.HasPrefix(outLine, "goarch:"),
+			strings.HasPrefix(outLine, "pkg:"),
+			strings.HasPrefix(outLine, "cpu:"),
+			strings.HasPrefix(outLine, "ok "),
+			strings.HasPrefix(outLine, "FAIL"),
+			strings.HasPrefix(outLine, "--- FAIL"),
+			strings.HasPrefix(outLine, "panic:"):
+			fmt.Fprintln(out, outLine)
 		}
 	}
-	if err := sc.Err(); err != nil {
+	return benches, sc.Err()
+}
+
+// diff compares fresh results against a baseline capture and reports
+// per-benchmark deltas on the guarded units. Returns the number of
+// regressions beyond tolerance.
+func diff(basePath string, fresh map[string]map[string]float64, tolerance float64) (int, error) {
+	f, err := os.Open(basePath)
+	if err != nil {
+		return 0, err
+	}
+	// Read-only baseline: a close error has nothing to report.
+	defer func() { _ = f.Close() }()
+	base := map[string]map[string]float64{}
+	if _, err := render(f, io.Discard, nil, base); err != nil {
+		return 0, err
+	}
+
+	fmt.Printf("\ndiff vs %s (tolerance %.0f%%):\n", basePath, tolerance*100)
+	regressions, compared := 0, 0
+	for name, baseM := range base {
+		freshM, ok := fresh[name]
+		if !ok {
+			continue // baseline benchmark not in this run (different package set)
+		}
+		for _, unit := range diffUnits {
+			b, okB := baseM[unit]
+			fr, okF := freshM[unit]
+			if !okB || !okF || b == 0 {
+				continue
+			}
+			compared++
+			delta := (fr - b) / b
+			verdict := "ok"
+			if delta > tolerance {
+				verdict = "REGRESSED"
+				regressions++
+			}
+			fmt.Printf("  %-44s %-12s %14.0f -> %-14.0f %+7.1f%%  %s\n",
+				name, unit, b, fr, delta*100, verdict)
+		}
+	}
+	if compared == 0 {
+		return 0, fmt.Errorf("no comparable benchmarks between this run and %s", basePath)
+	}
+	fmt.Printf("%d measurements compared, %d regressed\n", compared, regressions)
+	return regressions, nil
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() (code int) {
+	rawPath := flag.String("raw", "", "also copy the raw input stream to this file (replaces `| tee`)")
+	diffPath := flag.String("diff", "", "compare against this baseline `go test -json` capture; exit non-zero on regression")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional regression per measurement in -diff mode")
+	flag.Parse()
+
+	var raw io.Writer
+	if *rawPath != "" {
+		f, err := os.Create(*rawPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "padll-benchfmt:", err)
+			return 1
+		}
+		w := bufio.NewWriter(f)
+		defer func() {
+			// Flush-then-close: a full disk surfaces here, not silently.
+			err := w.Flush()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "padll-benchfmt:", err)
+				code = 1
+			}
+		}()
+		raw = w
+	}
+
+	var fresh map[string]map[string]float64
+	if *diffPath != "" {
+		fresh = map[string]map[string]float64{}
+	}
+	benches, err := render(os.Stdin, os.Stdout, raw, fresh)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "padll-benchfmt:", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("\n%d benchmark results\n", benches)
+
+	if *diffPath != "" {
+		regressions, err := diff(*diffPath, fresh, *tolerance)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "padll-benchfmt:", err)
+			return 1
+		}
+		if regressions > 0 {
+			fmt.Fprintf(os.Stderr, "padll-benchfmt: %d benchmark measurements regressed more than %.0f%%\n", regressions, *tolerance*100)
+			return 1
+		}
+	}
+	return 0
 }

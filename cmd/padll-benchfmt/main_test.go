@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	name, m, ok := parseBenchLine("BenchmarkControllerRunOnce64         \t    1065\t   3607304 ns/op\t        64.00 rpcs/round\t      5376 wireB/round\t  480197 B/op\t    2023 allocs/op")
+	if !ok {
+		t.Fatal("failed to parse a canonical benchmark line")
+	}
+	if name != "BenchmarkControllerRunOnce64" {
+		t.Errorf("name = %q", name)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 3607304, "rpcs/round": 64, "wireB/round": 5376, "B/op": 480197, "allocs/op": 2023,
+	} {
+		if m[unit] != want {
+			t.Errorf("%s = %v, want %v", unit, m[unit], want)
+		}
+	}
+	for _, bad := range []string{
+		"ok  \tpadll/internal/control\t30.812s",
+		"BenchmarkNoResult",
+		"Benchmark only words here no numbers",
+		"",
+	} {
+		if _, _, ok := parseBenchLine(bad); ok {
+			t.Errorf("parseBenchLine accepted %q", bad)
+		}
+	}
+}
+
+// stream builds a test2json capture with each benchmark's result split
+// across two output events, exactly as test2json emits them.
+func stream(t *testing.T, results map[string]string) string {
+	t.Helper()
+	var b strings.Builder
+	for name, tail := range results {
+		for _, out := range []string{name + " \t", tail + "\n"} {
+			line, err := json.Marshal(event{Action: "output", Package: "p", Output: out})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.Write(line)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func TestRenderStitchesAndRecords(t *testing.T) {
+	in := stream(t, map[string]string{
+		"BenchmarkA": "  100\t  2000 ns/op\t  512 wireB/round",
+		"BenchmarkB": "  100\t  3000 ns/op",
+	})
+	var out strings.Builder
+	got := map[string]map[string]float64{}
+	n, err := render(strings.NewReader(in), &out, nil, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("rendered %d benchmarks, want 2", n)
+	}
+	if got["BenchmarkA"]["wireB/round"] != 512 || got["BenchmarkB"]["ns/op"] != 3000 {
+		t.Errorf("recorded metrics wrong: %v", got)
+	}
+	if !strings.Contains(out.String(), "BenchmarkA \t  100\t  2000 ns/op") {
+		t.Errorf("human output lost the stitched line:\n%s", out.String())
+	}
+}
+
+func TestRenderKeepsFastestOfRepeatedRuns(t *testing.T) {
+	// -count=N repeats each benchmark; the recorded entry must be the
+	// fastest run (contention noise only ever inflates ns/op).
+	var b strings.Builder
+	for _, tail := range []string{"  100\t  3000 ns/op\t  500 wireB/round", "  100\t  2000 ns/op\t  510 wireB/round", "  100\t  2500 ns/op\t  505 wireB/round"} {
+		for _, out := range []string{"BenchmarkRepeat \t", tail + "\n"} {
+			line, err := json.Marshal(event{Action: "output", Package: "p", Output: out})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.Write(line)
+			b.WriteByte('\n')
+		}
+	}
+	got := map[string]map[string]float64{}
+	if _, err := render(strings.NewReader(b.String()), io.Discard, nil, got); err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkRepeat"]["ns/op"] != 2000 || got["BenchmarkRepeat"]["wireB/round"] != 510 {
+		t.Errorf("recorded %v, want the fastest run (2000 ns/op, 510 wireB/round)", got["BenchmarkRepeat"])
+	}
+}
+
+func TestDiffFlagsRegressionsOnly(t *testing.T) {
+	baseline := stream(t, map[string]string{
+		"BenchmarkFast":   "  100\t  1000 ns/op\t  100 wireB/round",
+		"BenchmarkSteady": "  100\t  5000 ns/op\t  200 wireB/round",
+		"BenchmarkGone":   "  100\t  9000 ns/op",
+	})
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, []byte(baseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Within tolerance everywhere (10% worse ns/op on Steady, big win on
+	// Fast, Gone not re-run): zero regressions.
+	fresh := map[string]map[string]float64{
+		"BenchmarkFast":   {"ns/op": 500, "wireB/round": 90},
+		"BenchmarkSteady": {"ns/op": 5500, "wireB/round": 200},
+		"BenchmarkNew":    {"ns/op": 1}, // no baseline: ignored
+	}
+	if n, err := diff(path, fresh, 0.15); err != nil || n != 0 {
+		t.Errorf("diff = %d regressions, err %v; want 0, nil", n, err)
+	}
+
+	// Blow the budget on one ns/op and one wireB/round.
+	fresh["BenchmarkSteady"] = map[string]float64{"ns/op": 6000, "wireB/round": 200}
+	fresh["BenchmarkFast"] = map[string]float64{"ns/op": 500, "wireB/round": 150}
+	if n, err := diff(path, fresh, 0.15); err != nil || n != 2 {
+		t.Errorf("diff = %d regressions, err %v; want 2, nil", n, err)
+	}
+
+	// Nothing comparable must be an error, not a silent pass.
+	if _, err := diff(path, map[string]map[string]float64{}, 0.15); err == nil {
+		t.Error("diff with no overlap passed; want an error")
+	}
+}

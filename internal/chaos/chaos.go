@@ -35,6 +35,11 @@ var ErrUnreachable = errors.New("chaos: peer unreachable")
 // controller process is dead.
 var ErrControllerDown = errors.New("chaos: controller is down")
 
+// ErrReplyLost marks a batch exchange whose reply frame was dropped
+// after the stage applied it — the applied-but-unacknowledged case the
+// delta protocol must answer with a full-snapshot resync.
+var ErrReplyLost = errors.New("chaos: reply frame lost")
+
 // Config sizes a harness.
 type Config struct {
 	// Seed drives every random choice a scenario makes.
@@ -70,7 +75,10 @@ type StageNode struct {
 	Job string
 	Stg *stage.Stage
 
-	conn        control.StageConn
+	conn control.StageConn
+	// frames is the binary-codec transport under a batched node's handle;
+	// nil in per-call mode. Frame-granular faults hook here.
+	frames      *rpcio.EncodedLoopback
 	partitioned atomic.Bool
 	crashed     atomic.Bool
 	// collectBudget < 0 disables the counter; otherwise the node crashes
@@ -163,8 +171,12 @@ func (h *Harness) AddStage(id, job string) *StageNode {
 	n.collectBudget.Store(-1)
 	base := chaosConn{LocalConn: control.LocalConn{Stg: n.Stg}, h: h, node: n}
 	if h.cfg.Batched {
-		svc := rpcio.NewStageService(n.Stg)
-		n.conn = &chaosBatchConn{chaosConn: base, handle: rpcio.LoopbackStage(svc)}
+		// Batched nodes speak the real binary frame codec end to end
+		// (EncodedLoopback): every chaos exchange encodes and decodes
+		// actual frames, so codec bugs and frame-level faults are inside
+		// the deterministic loop.
+		n.frames = rpcio.NewEncodedLoopback(rpcio.NewStageService(n.Stg))
+		n.conn = &chaosBatchConn{chaosConn: base, handle: rpcio.NewStageHandle(n.frames)}
 	} else {
 		n.conn = &base
 	}
@@ -253,6 +265,31 @@ func (h *Harness) CrashStage(id string) {
 func (h *Harness) ArmStageCrashAfterCollects(id string, n int) {
 	h.nodes[id].collectBudget.Store(int64(n))
 	h.logf("stage %s armed to crash after %d collects", id, n)
+}
+
+// DropNextBatchReply arms a one-shot frame fault on a batched node: the
+// next Stage.Batch reply frame is lost after the service applied the
+// exchange. The node's state (rules, delta generation) advances but the
+// controller never learns, so the delta protocol must detect the stale
+// acknowledgement and resync with a full snapshot. Only meaningful with
+// Config.Batched; a per-call node has no frame transport to fault.
+func (h *Harness) DropNextBatchReply(id string) {
+	n := h.nodes[id]
+	if n.frames == nil {
+		h.logf("stage %s has no frame transport; drop-reply ignored", id)
+		return
+	}
+	armed := true
+	n.frames.SetFault(func(dir rpcio.FrameDir, method string) error {
+		// Single-threaded under the loopback's lock; armed needs no
+		// atomicity.
+		if armed && dir == rpcio.FrameReply && method == "Stage.Batch" {
+			armed = false
+			return ErrReplyLost
+		}
+		return nil
+	})
+	h.logf("stage %s armed to drop its next batch reply frame", id)
 }
 
 // ---- the run loop ----
@@ -444,6 +481,15 @@ func (c *chaosBatchConn) Collect() (stage.Stats, error) {
 		return stage.Stats{}, err
 	}
 	return c.handle.CollectDelta()
+}
+
+// CollectInto rides the incremental protocol under the same gating,
+// deliberately opting the batched conn into control.CollectIntoConn.
+func (c *chaosBatchConn) CollectInto(dst *stage.Stats) error {
+	if err := c.collectGate(); err != nil {
+		return err
+	}
+	return c.handle.CollectDeltaInto(dst)
 }
 
 // ExecBatch implements control.BatchConn. A batch carrying ops consumes

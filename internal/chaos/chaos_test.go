@@ -182,6 +182,7 @@ func TestSameSeedRunsAreByteIdentical(t *testing.T) {
 		"stage-crash":      StageCrashMidCollect,
 		"partition-heal":   PartitionHeal,
 		"batched-outage":   BatchedOutage,
+		"frame-loss":       FrameLoss,
 	} {
 		a := mk(42)
 		a.Run(runFor)
@@ -239,5 +240,66 @@ func TestBatchedModeRecoversAndStaysIncremental(t *testing.T) {
 		if !strings.Contains(log, want) {
 			t.Errorf("event log missing %q:\n%s", want, log)
 		}
+	}
+}
+
+// TestDroppedBatchReplyForcesFullResync injects the applied-but-
+// unacknowledged failure: a Stage.Batch reply frame is lost after the
+// stage applied the exchange, so the stage's delta generation runs
+// ahead of the controller's acknowledgement. The delta protocol must
+// answer the next exchange with a full-snapshot resync — and the fleet
+// must hold its allocations throughout.
+func TestDroppedBatchReplyForcesFullResync(t *testing.T) {
+	h := smallCluster(7, 0, true)
+	offerDemand(h, 20*time.Second)
+	h.At(5*time.Second+h.Interval()/2, "drop-reply", func(h *Harness) { h.DropNextBatchReply("s1") })
+	h.Run(20 * time.Second)
+
+	bc, ok := h.Node("s1").conn.(*chaosBatchConn)
+	if !ok {
+		t.Fatal("s1 is not running a batched conn")
+	}
+	fulls, deltas := bc.handle.CollectCounts()
+	if fulls < 2 {
+		t.Errorf("s1 took %d full snapshots, want >= 2 (initial + post-drop resync)", fulls)
+	}
+	if deltas == 0 {
+		t.Error("s1 never collected incrementally")
+	}
+	// Untouched peers must not have been forced to resync.
+	other := h.Node("s3").conn.(*chaosBatchConn)
+	if otherFulls, _ := other.handle.CollectCounts(); otherFulls != 1 {
+		t.Errorf("s3 took %d full snapshots, want exactly the initial one", otherFulls)
+	}
+
+	log := h.Log()
+	if !strings.Contains(log, "armed to drop its next batch reply frame") {
+		t.Errorf("log missing the drop-arm line:\n%s", log)
+	}
+	if !strings.Contains(log, "reply frame lost") {
+		t.Errorf("log missing the controller-observed frame loss:\n%s", log)
+	}
+
+	// FixedRates: each job1 stage ends at reservation/stages.
+	if got, want := RuleRate(h.Node("s1").Stg, control.ControlRuleID), 15_000.0; math.Abs(got-want) > 1 {
+		t.Errorf("s1 rate after frame loss = %v, want %v", got, want)
+	}
+}
+
+// TestFrameLossScenarioConverges runs the seed-randomized frame-loss
+// scenario: every drop must surface as a controller-visible error and a
+// resync, never as a wedged or misallocated fleet.
+func TestFrameLossScenarioConverges(t *testing.T) {
+	h := FrameLoss(2022)
+	h.Run(runFor)
+	for _, id := range h.ids {
+		n := h.Node(id)
+		want := map[string]float64{"job1": 15_000, "job2": 25_000}[n.Job]
+		if got := RuleRate(n.Stg, control.ControlRuleID); math.Abs(got-want) > 1 {
+			t.Errorf("stage %s rate = %v after frame-loss run, want %v", id, got, want)
+		}
+	}
+	if !strings.Contains(h.Log(), "reply frame lost") {
+		t.Errorf("scenario never actually lost a frame:\n%s", h.Log())
 	}
 }

@@ -120,3 +120,19 @@ func BatchedOutage(seed int64) *Harness {
 	h.At(h.OutageEnd, "restart-controller", func(h *Harness) { h.RestartController() })
 	return h
 }
+
+// FrameLoss drops Stage.Batch reply frames on seed-chosen batched nodes
+// at seed-chosen rounds: each loss leaves the stage's delta generation
+// ahead of the controller's acknowledgement, forcing a full-snapshot
+// resync on the next exchange while the fleet keeps its allocations.
+func FrameLoss(seed int64) *Harness {
+	h := smallCluster(seed, 0, true)
+	offerDemand(h, 30*time.Second)
+	drops := 2 + h.rng.Intn(3)
+	for i := 0; i < drops; i++ {
+		victim := h.ids[h.rng.Intn(len(h.ids))]
+		at := time.Duration(3+h.rng.Intn(20))*h.Interval() + h.Interval()/2
+		h.At(at, "drop-reply", func(h *Harness) { h.DropNextBatchReply(victim) })
+	}
+	return h
+}

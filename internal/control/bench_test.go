@@ -52,10 +52,12 @@ func benchStage(i int) *stage.Stage {
 // benchController builds the controller the fleet registers with:
 // FixedRates with a reservation per job, so every round allocates the
 // same nonzero rates — the steady state a long-lived fleet sits in.
-func benchController() *Controller {
+func benchController(opts ...Option) *Controller {
 	ctl := New(nil,
-		WithClusterLimit(1_000_000),
-		WithAlgorithm(FixedRates{}),
+		append([]Option{
+			WithClusterLimit(1_000_000),
+			WithAlgorithm(FixedRates{}),
+		}, opts...)...,
 	)
 	for j := 0; j < benchJobs; j++ {
 		ctl.SetReservation(fmt.Sprintf("job%02d", j), float64(1000*(j+1)))
@@ -65,7 +67,7 @@ func benchController() *Controller {
 
 // benchFleetTCP serves n stages over real TCP (each on its own loopback
 // listener, as deployed fleets do) and registers them through mkConn.
-func benchFleetTCP(b *testing.B, n int, mkConn func(stage.Info, *rpcio.StageHandle) StageConn) *Controller {
+func benchFleetTCP(b *testing.B, n int, mkConn func(stage.Info, *rpcio.StageHandle) StageConn, opts ...rpcio.DialOption) *Controller {
 	b.Helper()
 	ctl := benchController()
 	for i := 0; i < n; i++ {
@@ -76,7 +78,7 @@ func benchFleetTCP(b *testing.B, n int, mkConn func(stage.Info, *rpcio.StageHand
 		}
 		stop := rpcio.ServeStage(l, stg)
 		b.Cleanup(stop)
-		h, err := rpcio.DialStage(l.Addr().String())
+		h, err := rpcio.DialStage(l.Addr().String(), opts...)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -88,15 +90,50 @@ func benchFleetTCP(b *testing.B, n int, mkConn func(stage.Info, *rpcio.StageHand
 	return ctl
 }
 
-// benchFleetLoopback wires n stages through the in-process transport —
-// no sockets, same protocol — which is what lets a single machine hold
-// a 1024-stage fleet.
-func benchFleetLoopback(b *testing.B, n int) *Controller {
+// benchFleetLoopback wires n stages through the encoded in-process
+// transport — no sockets, but every exchange round-trips through the
+// binary wire codec with exact frame-byte accounting — which is what
+// lets a single machine hold a 1024-stage fleet and still report a
+// truthful wireB/round.
+func benchFleetLoopback(b *testing.B, n int, opts ...Option) *Controller {
 	b.Helper()
-	ctl := benchController()
+	ctl := benchController(opts...)
 	for i := 0; i < n; i++ {
 		stg := benchStage(i)
-		h := rpcio.LoopbackStage(rpcio.NewStageService(stg))
+		h := rpcio.EncodedLoopbackStage(rpcio.NewStageService(stg))
+		if err := ctl.Register(NewRemoteConn(stg.Info(), h)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return ctl
+}
+
+// benchFleetMux serves n stages from one FrameServer on a single TCP
+// listener and dials them through the shared multiplexed connection —
+// the deployment shape where one node hosts many stages.
+func benchFleetMux(b *testing.B, n int, opts ...rpcio.DialOption) *Controller {
+	b.Helper()
+	ctl := benchController()
+	fs := rpcio.NewFrameServer()
+	stages := make([]*stage.Stage, n)
+	for i := 0; i < n; i++ {
+		stages[i] = benchStage(i)
+		fs.Add(rpcio.NewStageService(stages[i]))
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	stop := rpcio.ServeMux(l, fs)
+	b.Cleanup(stop)
+	for i := 0; i < n; i++ {
+		stg := stages[i]
+		h, err := rpcio.DialStage(l.Addr().String(),
+			append([]rpcio.DialOption{rpcio.WithMuxStage(stg.Info().StageID)}, opts...)...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { h.Close() })
 		if err := ctl.Register(NewRemoteConn(stg.Info(), h)); err != nil {
 			b.Fatal(err)
 		}
@@ -138,6 +175,29 @@ func BenchmarkControllerRunOnce256(b *testing.B) {
 
 func BenchmarkControllerRunOnce1024(b *testing.B) {
 	runRounds(b, benchFleetLoopback(b, 1024))
+}
+
+// ...Pipelined fuses push and collect into one exchange per stage per
+// round (WithPipelinedRounds): the rpcs/round metric should read ~1024
+// against the two-phase loop's collect+push total.
+func BenchmarkControllerRunOnce1024Pipelined(b *testing.B) {
+	runRounds(b, benchFleetLoopback(b, 1024, WithPipelinedRounds()))
+}
+
+// ...Mux256 serves all 256 stages from one listener and multiplexes
+// every handle over a single shared TCP connection — the per-node
+// deployment shape — instead of 256 sockets.
+func BenchmarkControllerRunOnceMux256(b *testing.B) {
+	runRounds(b, benchFleetMux(b, 256))
+}
+
+// ...Gob64 is the legacy-codec baseline (WithCodec(CodecGob)): same
+// batched protocol, gob wire format, one conn per stage. Its wireB/round
+// against BenchmarkControllerRunOnce64 is the codec's measured win.
+func BenchmarkControllerRunOnceGob64(b *testing.B) {
+	runRounds(b, benchFleetTCP(b, 64, func(info stage.Info, h *rpcio.StageHandle) StageConn {
+		return NewRemoteConn(info, h)
+	}, rpcio.WithCodec(rpcio.CodecGob)))
 }
 
 func BenchmarkControllerRunOncePerCall64(b *testing.B) {

@@ -81,10 +81,36 @@ type BatchConn interface {
 	ExecBatch(ops []rpcio.StageOp, collect bool) (results []rpcio.OpResult, st stage.Stats, err error)
 }
 
+// BatchIntoConn extends BatchConn with caller-owned collect storage,
+// the shape the pipelined round loop wants: one fused push+collect
+// exchange that materializes into a reusable buffer.
+type BatchIntoConn interface {
+	BatchConn
+	// ExecBatchInto is ExecBatch writing the merged snapshot into dst
+	// (fully overwritten, capacity reused); dst may be nil when collect
+	// is false.
+	ExecBatchInto(ops []rpcio.StageOp, collect bool, dst *stage.Stats) ([]rpcio.OpResult, error)
+}
+
 // WireStatser is the optional StageConn extension for transports that
 // account their traffic; the controller sums it into RoundStats.
 type WireStatser interface {
 	WireStats() rpcio.WireStats
+}
+
+// CollectIntoConn is the optional StageConn extension for peers that can
+// materialize a collect into caller-owned storage. The controller's
+// round loop uses it with per-slot reusable buffers, so a steady-state
+// thousand-stage collect allocates nothing; conns without it fall back
+// to Collect. Like BatchConn, wrappers that embed an implementation and
+// override Collect to inject failures hide it only if they don't embed
+// a CollectIntoConn — which is why LocalConn deliberately omits it:
+// interface promotion would otherwise route the controller around every
+// embedding wrapper's Collect override.
+type CollectIntoConn interface {
+	// CollectInto overwrites dst with the stage's statistics, reusing
+	// dst's backing capacity.
+	CollectInto(dst *stage.Stats) error
 }
 
 // RemoteConn drives a stage over the RPC transport, using the batched
@@ -96,9 +122,11 @@ type RemoteConn struct {
 }
 
 var (
-	_ StageConn   = (*RemoteConn)(nil)
-	_ BatchConn   = (*RemoteConn)(nil)
-	_ WireStatser = (*RemoteConn)(nil)
+	_ StageConn       = (*RemoteConn)(nil)
+	_ BatchConn       = (*RemoteConn)(nil)
+	_ BatchIntoConn   = (*RemoteConn)(nil)
+	_ WireStatser     = (*RemoteConn)(nil)
+	_ CollectIntoConn = (*RemoteConn)(nil)
 )
 
 // NewRemoteConn wraps a dialed stage handle with its registered identity.
@@ -123,9 +151,19 @@ func (c *RemoteConn) SetRate(id string, rate float64) (bool, error) {
 // Collect implements StageConn over the incremental protocol.
 func (c *RemoteConn) Collect() (stage.Stats, error) { return c.handle.CollectDelta() }
 
+// CollectInto implements CollectIntoConn over the incremental protocol.
+func (c *RemoteConn) CollectInto(dst *stage.Stats) error {
+	return c.handle.CollectDeltaInto(dst)
+}
+
 // ExecBatch implements BatchConn.
 func (c *RemoteConn) ExecBatch(ops []rpcio.StageOp, collect bool) ([]rpcio.OpResult, stage.Stats, error) {
 	return c.handle.ExecBatch(ops, collect)
+}
+
+// ExecBatchInto implements BatchIntoConn.
+func (c *RemoteConn) ExecBatchInto(ops []rpcio.StageOp, collect bool, dst *stage.Stats) ([]rpcio.OpResult, error) {
+	return c.handle.ExecBatchInto(ops, collect, dst)
 }
 
 // WireStats implements WireStatser.

@@ -71,6 +71,24 @@ type Controller struct {
 	// restarted stage.
 	adminRules   map[string]map[string]policy.Rule
 	clusterRules map[string]policy.Rule
+
+	// pipelined fuses each round's pushes with its collect
+	// (WithPipelinedRounds); prevProbes carries the latest round's
+	// probes across rounds so the fused push can skip stages already at
+	// target.
+	pipelined  bool
+	prevProbes map[string]stageProbe
+
+	// roundMu serializes collect rounds; it single-owns the scratch
+	// below and is never held while taking mu (the fold inside takes mu
+	// briefly via noteMiss/noteOK, so the order is roundMu then mu).
+	roundMu sync.Mutex
+	// collectBuf/collectErr are positional per-stage scratch reused
+	// across rounds: slot i is fully overwritten each round, so a
+	// steady-state collect keeps its Queues capacity and allocates
+	// nothing per stage.
+	collectBuf []stage.Stats
+	collectErr []error
 }
 
 // Option configures a Controller.
@@ -149,6 +167,19 @@ func WithPushConcurrency(n int) Option {
 // released for redistribution. n <= 0 disables eviction.
 func WithEvictAfter(n int) Option {
 	return func(c *Controller) { c.evictAfter = n }
+}
+
+// WithPipelinedRounds fuses each RunOnce's push phase with its collect:
+// the allocation computed at the end of round N rides round N+1's
+// Stage.Batch exchange alongside the incremental collect, so a
+// steady-state round costs one round trip per stage instead of two.
+// The price is one round of staleness (a rate computed this round is
+// enforced next round) and a coarser failure signal (a dead stage
+// accrues one eviction mark per round, not two), which is why the
+// two-phase loop stays the default — the chaos harness depends on its
+// fault interleavings.
+func WithPipelinedRounds() Option {
+	return func(c *Controller) { c.pipelined = true }
 }
 
 // New returns a controller. A nil clk defaults to the wall clock (the
@@ -627,44 +658,85 @@ func (c *Controller) CollectAll() []JobSnapshot {
 	return snaps
 }
 
-// collectRound is CollectAll plus the per-stage probes RunOnce's push
-// phase wants; rs (when non-nil) accumulates round accounting.
-func (c *Controller) collectRound(rs *RoundStats) ([]JobSnapshot, map[string]stageProbe) {
+// roundSetup snapshots everything a collect round needs from under the
+// registry lock: the sorted connection list and copies of the maps the
+// fold reads.
+func (c *Controller) roundSetup() (conns []StageConn, reservations, lastAlloc map[string]float64, groupBy func(stage.Info) string, workers int) {
 	c.mu.Lock()
-	conns := make([]StageConn, 0, len(c.stages))
+	conns = make([]StageConn, 0, len(c.stages))
 	for _, conn := range c.stages {
 		conns = append(conns, conn)
 	}
-	reservations := make(map[string]float64, len(c.reservations))
+	reservations = make(map[string]float64, len(c.reservations))
 	for k, v := range c.reservations {
 		reservations[k] = v
 	}
-	lastAlloc := make(map[string]float64, len(c.lastAlloc))
+	lastAlloc = make(map[string]float64, len(c.lastAlloc))
 	for k, v := range c.lastAlloc {
 		lastAlloc[k] = v
 	}
-	groupBy := c.groupBy
-	workers := c.collectWorkers
+	groupBy = c.groupBy
+	workers = c.collectWorkers
 	c.mu.Unlock()
 	sort.Slice(conns, func(i, j int) bool { return conns[i].Info().StageID < conns[j].Info().StageID })
+	return conns, reservations, lastAlloc, groupBy, workers
+}
 
-	type result struct {
-		st  stage.Stats
-		err error
+// roundScratch sizes the positional collect scratch for n stages.
+// Caller must hold roundMu.
+func (c *Controller) roundScratch(n int) ([]stage.Stats, []error) {
+	for len(c.collectBuf) < n {
+		c.collectBuf = append(c.collectBuf, stage.Stats{})
 	}
-	results := make([]result, len(conns))
-	runBounded(len(conns), workers, func(i int) {
-		st, err := conns[i].Collect()
-		results[i] = result{st, err}
-	})
+	for len(c.collectErr) < n {
+		c.collectErr = append(c.collectErr, nil)
+	}
+	return c.collectBuf[:n], c.collectErr[:n]
+}
 
+// collectConn gathers one stage's statistics into caller-owned dst,
+// using the allocation-free CollectInto extension when the connection
+// offers it.
+func collectConn(conn StageConn, dst *stage.Stats) error {
+	if ci, ok := conn.(CollectIntoConn); ok {
+		return ci.CollectInto(dst)
+	}
+	st, err := conn.Collect()
+	if err == nil {
+		*dst = st
+	}
+	return err
+}
+
+// collectRound is CollectAll plus the per-stage probes RunOnce's push
+// phase wants; rs (when non-nil) accumulates round accounting.
+func (c *Controller) collectRound(rs *RoundStats) ([]JobSnapshot, map[string]stageProbe) {
+	conns, reservations, lastAlloc, groupBy, workers := c.roundSetup()
+
+	c.roundMu.Lock()
+	defer c.roundMu.Unlock()
+	buf, errs := c.roundScratch(len(conns))
+	runBounded(len(conns), workers, func(i int) {
+		errs[i] = collectConn(conns[i], &buf[i])
+	})
+	return c.foldCollect(conns, buf, errs, reservations, lastAlloc, groupBy, rs)
+}
+
+// foldCollect aggregates a round's per-stage results (positional in
+// conns order) into per-job snapshots and per-stage probes, folding in
+// StageID order so the output is deterministic whatever the worker
+// interleaving was. Failures are reported, marked for eviction, and
+// skipped.
+func (c *Controller) foldCollect(conns []StageConn, buf []stage.Stats, errs []error,
+	reservations, lastAlloc map[string]float64, groupBy func(stage.Info) string,
+	rs *RoundStats) ([]JobSnapshot, map[string]stageProbe) {
 	probes := make(map[string]stageProbe, len(conns))
 	agg := map[string]*JobSnapshot{}
 	failed := map[string]int{}
 	for i, conn := range conns {
 		info := conn.Info()
 		key := groupBy(info)
-		if err := results[i].err; err != nil {
+		if err := errs[i]; err != nil {
 			c.onError(info.StageID, err)
 			c.noteMiss(info.StageID)
 			failed[key]++
@@ -679,7 +751,7 @@ func (c *Controller) collectRound(rs *RoundStats) ([]JobSnapshot, map[string]sta
 			rs.CollectCalls++
 		}
 		probe := stageProbe{ok: true}
-		st := results[i].st
+		st := &buf[i]
 		snap, ok := agg[key]
 		if !ok {
 			snap = &JobSnapshot{
@@ -783,6 +855,59 @@ func (c *Controller) wireSample() ([]WireStatser, []rpcio.WireStats) {
 	return ws, before
 }
 
+// pushPlan is one stage's intent for a round's push phase.
+type pushPlan struct {
+	conn    StageConn
+	stageID string
+	jobID   string
+	rate    float64
+}
+
+// buildPushPlans materializes the per-stage push intents for an
+// allocation, in sorted job order (stagesOfJobLocked already sorts
+// within a job): a crash mid-push then partitions the fleet the same
+// way on every same-seed run, which the chaos determinism tests rely
+// on.
+func (c *Controller) buildPushPlans(alloc map[string]float64) []pushPlan {
+	c.mu.Lock()
+	plansByJob := make(map[string][]StageConn, len(alloc))
+	for jobID := range alloc {
+		plansByJob[jobID] = c.stagesOfJobLocked(jobID)
+	}
+	c.mu.Unlock()
+	jobIDs := make([]string, 0, len(plansByJob))
+	for jobID := range plansByJob {
+		jobIDs = append(jobIDs, jobID)
+	}
+	sort.Strings(jobIDs)
+	var plans []pushPlan
+	for _, jobID := range jobIDs {
+		conns := plansByJob[jobID]
+		if len(conns) == 0 {
+			continue
+		}
+		perStage := alloc[jobID] / float64(len(conns))
+		for _, conn := range conns {
+			plans = append(plans, pushPlan{conn: conn, stageID: conn.Info().StageID, jobID: jobID, rate: perStage})
+		}
+	}
+	return plans
+}
+
+// pushOpFor chooses the batched push operation for one stage given its
+// latest probe: skip when the probe already shows the target rate
+// enforced, reinstall when the stage answered collect without the
+// managed queue (restarted), retune otherwise.
+func (c *Controller) pushOpFor(probe stageProbe, jobID string, rate float64) (op rpcio.StageOp, skip bool) {
+	if probe.ok && probe.hasCtl && probe.ctlLimit == rate {
+		return rpcio.StageOp{}, true
+	}
+	if probe.ok && !probe.hasCtl {
+		return rpcio.StageOp{Kind: rpcio.OpApplyRule, Rule: c.managedRuleFor(jobID, rate)}, false
+	}
+	return rpcio.StageOp{Kind: rpcio.OpSetRate, ID: ControlRuleID, Rate: rate}, false
+}
+
 // RunOnce executes one feedback-loop iteration: collect, allocate, and
 // push per-stage rates. It returns the per-job allocation for reporting.
 // It is a no-op (returning nil) when no algorithm is installed.
@@ -794,7 +919,16 @@ func (c *Controller) wireSample() ([]WireStatser, []rpcio.WireStats) {
 // collect probe shows the target rate already enforced. Push outcomes
 // are folded in sorted job/stage order regardless of the concurrency
 // bound, preserving the determinism contract the chaos harness checks.
+// Under WithPipelinedRounds the two phases fuse into one round trip per
+// stage; see runOncePipelined.
 func (c *Controller) RunOnce() map[string]float64 {
+	c.mu.Lock()
+	pipelined := c.pipelined
+	c.mu.Unlock()
+	if pipelined {
+		return c.runOncePipelined()
+	}
+
 	c.mu.Lock()
 	alg := c.algorithm
 	if c.limitAdapter != nil {
@@ -831,38 +965,8 @@ func (c *Controller) RunOnce() map[string]float64 {
 
 	c.mu.Lock()
 	c.lastAlloc = alloc
-	plansByJob := make(map[string][]StageConn, len(alloc))
-	for jobID := range alloc {
-		plansByJob[jobID] = c.stagesOfJobLocked(jobID)
-	}
 	c.mu.Unlock()
-
-	// Build the push plan in sorted job order (stagesOfJobLocked already
-	// sorts within a job): a crash mid-push then partitions the fleet
-	// the same way on every same-seed run, which the chaos determinism
-	// tests rely on.
-	jobIDs := make([]string, 0, len(plansByJob))
-	for jobID := range plansByJob {
-		jobIDs = append(jobIDs, jobID)
-	}
-	sort.Strings(jobIDs)
-	type pushPlan struct {
-		conn    StageConn
-		stageID string
-		jobID   string
-		rate    float64
-	}
-	var plans []pushPlan
-	for _, jobID := range jobIDs {
-		conns := plansByJob[jobID]
-		if len(conns) == 0 {
-			continue
-		}
-		perStage := alloc[jobID] / float64(len(conns))
-		for _, conn := range conns {
-			plans = append(plans, pushPlan{conn: conn, stageID: conn.Info().StageID, jobID: jobID, rate: perStage})
-		}
-	}
+	plans := c.buildPushPlans(alloc)
 
 	type pushOutcome struct {
 		err     error
@@ -890,19 +994,13 @@ func (c *Controller) RunOnce() map[string]float64 {
 			outcomes[i] = out
 			return
 		}
-		probe := probes[p.stageID]
-		if probe.ok && probe.hasCtl && probe.ctlLimit == p.rate {
+		op, skip := c.pushOpFor(probes[p.stageID], p.jobID, p.rate)
+		if skip {
 			// The collect half of this round's batch already proved the
 			// stage enforces exactly this rate: nothing needs to cross
 			// the wire.
 			outcomes[i] = pushOutcome{skipped: true}
 			return
-		}
-		op := rpcio.StageOp{Kind: rpcio.OpSetRate, ID: ControlRuleID, Rate: p.rate}
-		if probe.ok && !probe.hasCtl {
-			// The stage answered collect without the managed queue
-			// (restarted): reinstall rather than retune.
-			op = rpcio.StageOp{Kind: rpcio.OpApplyRule, Rule: c.managedRuleFor(p.jobID, p.rate)}
 		}
 		res, _, err := bc.ExecBatch([]rpcio.StageOp{op}, false)
 		out := pushOutcome{err: err, calls: 1, ops: 1}
@@ -941,6 +1039,164 @@ func (c *Controller) RunOnce() map[string]float64 {
 		rs.BytesWritten += after.BytesWritten - wireBefore[i].BytesWritten
 	}
 	c.mu.Lock()
+	c.lastRound = rs
+	c.haveRound = true
+	c.mu.Unlock()
+	return alloc
+}
+
+// execBatchCollect runs a fused push+collect exchange, materializing
+// the snapshot into caller-owned dst when the connection supports it.
+func execBatchCollect(bc BatchConn, ops []rpcio.StageOp, dst *stage.Stats) ([]rpcio.OpResult, error) {
+	if bi, ok := bc.(BatchIntoConn); ok {
+		return bi.ExecBatchInto(ops, true, dst)
+	}
+	res, st, err := bc.ExecBatch(ops, true)
+	if err == nil {
+		*dst = st
+	}
+	return res, err
+}
+
+// runOncePipelined is RunOnce with the push and collect phases fused:
+// the allocation computed at the end of the previous round rides this
+// round's Stage.Batch exchange alongside the incremental collect, so a
+// steady-state round costs one round trip per stage instead of two.
+//
+// Accounting in fused mode: the fused exchange counts as a collect
+// call; PushOps counts the operations it carried; PushCalls counts only
+// the extra round trips (reinstall retries, per-call fallbacks);
+// PushesSkipped keeps its meaning. A stage whose fused exchange fails
+// accrues one eviction mark for the round (the two-phase loop charges
+// two: one per phase).
+func (c *Controller) runOncePipelined() map[string]float64 {
+	c.mu.Lock()
+	alg := c.algorithm
+	if c.limitAdapter != nil {
+		c.clusterLimit = c.limitAdapter.AdjustLimit(c.clusterLimit)
+	}
+	limit := c.clusterLimit
+	stages := len(c.stages)
+	prevAlloc := make(map[string]float64, len(c.lastAlloc))
+	for k, v := range c.lastAlloc {
+		prevAlloc[k] = v
+	}
+	prevProbes := c.prevProbes
+	c.mu.Unlock()
+	if alg == nil {
+		return nil
+	}
+
+	start := c.clk.Now()
+	rs := RoundStats{Stages: stages}
+	wireConns, wireBefore := c.wireSample()
+
+	// This round enacts the allocation the previous round computed; the
+	// first round has none and is collect-only.
+	plans := c.buildPushPlans(prevAlloc)
+	planBy := make(map[string]pushPlan, len(plans))
+	for _, p := range plans {
+		planBy[p.stageID] = p
+	}
+
+	conns, reservations, lastAlloc, groupBy, workers := c.roundSetup()
+
+	type fusedOutcome struct {
+		pushErr error
+		calls   int // extra round trips beyond the fused exchange
+		ops     int
+		skipped bool
+	}
+	outcomes := make([]fusedOutcome, len(conns))
+	c.roundMu.Lock()
+	buf, errs := c.roundScratch(len(conns))
+	runBounded(len(conns), workers, func(i int) {
+		conn := conns[i]
+		id := conn.Info().StageID
+		p, hasPlan := planBy[id]
+		out := &outcomes[i]
+		bc, batched := conn.(BatchConn)
+		if !batched {
+			// Per-call peers can't fuse: push then collect, two round
+			// trips in one loop slot.
+			if hasPlan {
+				found, err := conn.SetRate(ControlRuleID, p.rate)
+				out.calls, out.ops = 1, 1
+				if err == nil && !found {
+					err = conn.ApplyRule(c.managedRuleFor(p.jobID, p.rate))
+					out.calls++
+					out.ops++
+				}
+				out.pushErr = err
+			}
+			errs[i] = collectConn(conn, &buf[i])
+			return
+		}
+		var ops []rpcio.StageOp
+		var op rpcio.StageOp
+		if hasPlan {
+			var skip bool
+			op, skip = c.pushOpFor(prevProbes[id], p.jobID, p.rate)
+			if skip {
+				out.skipped = true
+			} else {
+				ops = append(ops, op)
+				out.ops++
+			}
+		}
+		res, err := execBatchCollect(bc, ops, &buf[i])
+		errs[i] = err
+		if err == nil && len(ops) == 1 && op.Kind == rpcio.OpSetRate && len(res) == 1 && !res[0].Found {
+			// Lost a race with a stage restart since the probe was
+			// taken: reinstall in an extra round trip.
+			reinstall := rpcio.StageOp{Kind: rpcio.OpApplyRule, Rule: c.managedRuleFor(p.jobID, p.rate)}
+			_, _, rerr := bc.ExecBatch([]rpcio.StageOp{reinstall}, false)
+			out.pushErr = rerr
+			out.calls++
+			out.ops++
+		}
+	})
+	snaps, probes := c.foldCollect(conns, buf, errs, reservations, lastAlloc, groupBy, &rs)
+	c.roundMu.Unlock()
+
+	// Fold fused outcomes in sorted (conns) order, mirroring the
+	// two-phase loop's determinism contract.
+	for i, conn := range conns {
+		o := outcomes[i]
+		rs.PushCalls += o.calls
+		rs.PushOps += o.ops
+		if o.skipped {
+			rs.PushesSkipped++
+			continue
+		}
+		if o.pushErr != nil {
+			id := conn.Info().StageID
+			c.onError(id, o.pushErr)
+			c.noteMiss(id)
+		}
+	}
+
+	c.EvictDead()
+	jobs := make([]JobState, 0, len(snaps))
+	for _, s := range snaps {
+		jobs = append(jobs, JobState{
+			JobID:       s.JobID,
+			Demand:      s.Demand,
+			Reservation: s.Reservation,
+			Stages:      s.Stages,
+		})
+	}
+	alloc := alg.Allocate(limit, jobs)
+
+	rs.Duration = c.clk.Now().Sub(start)
+	for i, w := range wireConns {
+		after := w.WireStats()
+		rs.BytesRead += after.BytesRead - wireBefore[i].BytesRead
+		rs.BytesWritten += after.BytesWritten - wireBefore[i].BytesWritten
+	}
+	c.mu.Lock()
+	c.lastAlloc = alloc
+	c.prevProbes = probes
 	c.lastRound = rs
 	c.haveRound = true
 	c.mu.Unlock()

@@ -1,0 +1,203 @@
+package control
+
+import (
+	"testing"
+	"time"
+
+	"padll/internal/clock"
+	"padll/internal/posix"
+	"padll/internal/rpcio"
+	"padll/internal/stage"
+)
+
+// pipelinedFleet registers n loopback-batched stages for one job each
+// (job-0..job-n-1) on a pipelined controller and returns the stages.
+func pipelinedFleet(t *testing.T, clk clock.Clock, c *Controller, n int) []*stage.Stage {
+	t.Helper()
+	stages := make([]*stage.Stage, n)
+	for i := 0; i < n; i++ {
+		id := string(rune('a' + i))
+		stg := stage.New(stage.Info{StageID: "s-" + id, JobID: "job-" + id, Hostname: "n", User: "u"}, clk)
+		h := rpcio.EncodedLoopbackStage(rpcio.NewStageService(stg))
+		if err := c.Register(NewRemoteConn(stg.Info(), h)); err != nil {
+			t.Fatal(err)
+		}
+		stages[i] = stg
+	}
+	return stages
+}
+
+// TestPipelinedRoundsEnactPreviousAllocation pins the pipelining
+// semantics: round N's fused exchange pushes the allocation round N-1
+// computed, so rates land on the stages exactly one round late, and a
+// steady-state round costs one round trip per stage with every push
+// skipped.
+func TestPipelinedRoundsEnactPreviousAllocation(t *testing.T) {
+	clk := clock.NewSim(epoch)
+	c := New(clk, WithAlgorithm(ProportionalShare{}), WithClusterLimit(1000), WithPipelinedRounds())
+	stages := pipelinedFleet(t, clk, c, 2)
+	sA, sB := stages[0], stages[1]
+
+	offer := func() {
+		sA.Offer(&posix.Request{Op: posix.OpOpen, Path: "/f", JobID: "job-a"}, 2000, time.Second)
+		sB.Offer(&posix.Request{Op: posix.OpOpen, Path: "/f", JobID: "job-b"}, 100, time.Second)
+		clk.Advance(time.Second)
+		sA.Offer(&posix.Request{Op: posix.OpOpen, Path: "/f", JobID: "job-a"}, 0, time.Second)
+		sB.Offer(&posix.Request{Op: posix.OpOpen, Path: "/f", JobID: "job-b"}, 0, time.Second)
+	}
+	offer()
+
+	rateOf := func(s *stage.Stage) float64 {
+		t.Helper()
+		for _, r := range s.Rules() {
+			if r.ID == ControlRuleID {
+				return r.Rate
+			}
+		}
+		t.Fatalf("stage %s has no control rule", s.Info().StageID)
+		return 0
+	}
+	installRate := rateOf(sA) // what registration installed
+
+	// Round 1 is collect-only: it computes an allocation but has no
+	// previous one to enact, so stage rates must be untouched.
+	alloc1 := c.RunOnce()
+	if alloc1 == nil {
+		t.Fatal("pipelined RunOnce returned nil with algorithm installed")
+	}
+	if got := rateOf(sA); got != installRate {
+		t.Fatalf("round 1 changed stage rate to %v; pipelined rounds enact the previous allocation only", got)
+	}
+	rs, _ := c.LastRound()
+	if rs.CollectCalls != 2 || rs.PushOps != 0 || rs.PushCalls != 0 {
+		t.Errorf("round 1 stats = %+v, want 2 collects and no pushes", rs)
+	}
+
+	// Round 2 enacts alloc1.
+	offer()
+	alloc2 := c.RunOnce()
+	if got, want := rateOf(sA), alloc1["job-a"]; got != want {
+		t.Errorf("round 2 stage rate = %v, want round 1's allocation %v", got, want)
+	}
+	if got, want := rateOf(sB), alloc1["job-b"]; got != want {
+		t.Errorf("round 2 stage rate = %v, want round 1's allocation %v", got, want)
+	}
+	rs, _ = c.LastRound()
+	if rs.CollectCalls != 2 {
+		t.Errorf("round 2 collect calls = %d, want 2 (fused)", rs.CollectCalls)
+	}
+	if rs.PushOps == 0 {
+		t.Error("round 2 carried no push ops despite a pending allocation")
+	}
+	if rs.PushCalls != 0 {
+		t.Errorf("round 2 used %d extra push round trips; ops must ride the fused exchange", rs.PushCalls)
+	}
+
+	// Round 3: demand unchanged, so alloc2 == alloc1 is already enforced
+	// and every push is skipped — the steady state costs exactly one
+	// round trip per stage.
+	offer()
+	c.RunOnce()
+	rs, _ = c.LastRound()
+	if rs.PushesSkipped != 2 || rs.PushOps != 0 || rs.PushCalls != 0 {
+		t.Errorf("steady-state round stats = %+v, want every push skipped", rs)
+	}
+	if rs.RPCs() != 2 {
+		t.Errorf("steady-state RPCs = %d, want one per stage", rs.RPCs())
+	}
+	if got, want := rateOf(sA), alloc2["job-a"]; got != want {
+		t.Errorf("steady-state rate = %v, want %v", got, want)
+	}
+}
+
+// TestPipelinedMatchesTwoPhaseAfterCatchUp runs the same deterministic
+// demand history through a pipelined and a two-phase controller: once
+// demand holds steady, both must converge to identical stage rates (the
+// pipeline only delays enactment by one round, it never changes the
+// fixed point).
+func TestPipelinedMatchesTwoPhaseAfterCatchUp(t *testing.T) {
+	type world struct {
+		clk    *clock.Sim
+		c      *Controller
+		stages []*stage.Stage
+	}
+	mk := func(opts ...Option) world {
+		clk := clock.NewSim(epoch)
+		opts = append([]Option{WithAlgorithm(ProportionalShare{}), WithClusterLimit(3000)}, opts...)
+		c := New(clk, opts...)
+		return world{clk: clk, c: c, stages: pipelinedFleet(t, clk, c, 3)}
+	}
+	run := func(w world, rounds int) {
+		demands := []float64{2400, 600, 1200}
+		for r := 0; r < rounds; r++ {
+			for i, s := range w.stages {
+				s.Offer(&posix.Request{Op: posix.OpOpen, Path: "/f", JobID: s.Info().JobID}, demands[i], time.Second)
+			}
+			w.clk.Advance(time.Second)
+			for _, s := range w.stages {
+				s.Offer(&posix.Request{Op: posix.OpOpen, Path: "/f", JobID: s.Info().JobID}, 0, time.Second)
+			}
+			w.c.RunOnce()
+		}
+	}
+	plain := mk()
+	piped := mk(WithPipelinedRounds())
+	run(plain, 6)
+	run(piped, 7) // one extra round: the pipeline enacts with one round of lag
+
+	for i := range plain.stages {
+		var got, want float64
+		for _, r := range piped.stages[i].Rules() {
+			if r.ID == ControlRuleID {
+				got = r.Rate
+			}
+		}
+		for _, r := range plain.stages[i].Rules() {
+			if r.ID == ControlRuleID {
+				want = r.Rate
+			}
+		}
+		if got != want {
+			t.Errorf("stage %d: pipelined converged to %v, two-phase to %v", i, got, want)
+		}
+	}
+}
+
+// TestPipelinedRoundEvictsDeadStage: a stage whose fused exchange fails
+// accrues one miss per round and is evicted once the mark threshold is
+// reached, exactly like the two-phase loop — and the survivors keep
+// being allocated.
+func TestPipelinedRoundEvictsDeadStage(t *testing.T) {
+	clk := clock.NewSim(epoch)
+	c := New(clk,
+		WithAlgorithm(StaticEqualShare{}), WithClusterLimit(1000),
+		WithPipelinedRounds(), WithEvictAfter(2))
+	stages := pipelinedFleet(t, clk, c, 2)
+
+	// A third stage whose every exchange fails.
+	deadStg := stage.New(stage.Info{StageID: "s-b", JobID: "job-b", Hostname: "n", User: "u"}, clk)
+	deadConn := &failingConn{LocalConn: LocalConn{Stg: deadStg}}
+	if err := c.Register(deadConn); err != nil {
+		t.Fatal(err)
+	}
+
+	for r := 0; r < 3; r++ {
+		clk.Advance(time.Second)
+		c.RunOnce()
+	}
+	for _, info := range c.Stages() {
+		if info.StageID == "s-b" {
+			t.Fatalf("dead stage still registered after 3 failed pipelined rounds: %+v", c.Stages())
+		}
+	}
+	// The healthy stage from pipelinedFleet keeps its allocation flowing.
+	var rate float64
+	for _, r := range stages[0].Rules() {
+		if r.ID == ControlRuleID {
+			rate = r.Rate
+		}
+	}
+	if rate <= 0 {
+		t.Errorf("surviving stage rate = %v after eviction rounds", rate)
+	}
+}

@@ -121,17 +121,20 @@ type StatsDelta struct {
 // newEpoch draws a random nonzero identifier, used both as a service
 // instance's epoch and as a handle's collector ClientID. Identifiers
 // only need to differ across stage restarts (epochs) or live handles
-// (client IDs); 64 random bits make an accidental match (which would
-// silently corrupt one client's merged snapshot) practically
-// impossible.
+// (client IDs); 32 random bits make an accidental match (which would
+// silently corrupt one client's merged snapshot) a non-event, and —
+// unlike a full-width value — varint-encode to at most 5 bytes. Three
+// of these ride every steady-state batch exchange (ClientID, AckEpoch,
+// Epoch), so the width shows up directly in wireB/round. The wire
+// field stays uint64: the decoder accepts historic full-width values.
 func newEpoch() uint64 {
-	var b [8]byte
+	var b [4]byte
 	if _, err := cryptorand.Read(b[:]); err != nil {
 		// No entropy source: fall back to a process-unique value, which
 		// still separates in-process restarts (the common test case).
 		return epochFallback.Add(1) << 1
 	}
-	return binary.LittleEndian.Uint64(b[:]) | 1
+	return uint64(binary.LittleEndian.Uint32(b[:]) | 1)
 }
 
 var epochFallback atomic.Uint64
@@ -320,6 +323,11 @@ type DeltaState struct {
 	gen    uint64
 	info   stage.Info
 	queues map[string]stage.QueueStats
+	// ids caches the queue rule IDs in sorted order so SnapshotInto
+	// materializes without allocating; idsDirty marks membership changes
+	// (inserts/removals) that require a re-sort before the next use.
+	ids      []string
+	idsDirty bool
 
 	passthrough     int64
 	degraded        bool
@@ -341,14 +349,27 @@ func (ds *DeltaState) Apply(d *StatsDelta) {
 	if d.Full {
 		ds.fulls++
 		clear(ds.queues)
+		ds.ids = ds.ids[:0]
 		ds.info = d.Info
 	} else {
 		ds.deltas++
 		for _, id := range d.Removed {
-			delete(ds.queues, id)
+			if _, ok := ds.queues[id]; ok {
+				delete(ds.queues, id)
+				for i, cached := range ds.ids {
+					if cached == id {
+						ds.ids = append(ds.ids[:i], ds.ids[i+1:]...)
+						break
+					}
+				}
+			}
 		}
 	}
 	for _, q := range d.Queues {
+		if _, ok := ds.queues[q.RuleID]; !ok {
+			ds.ids = append(ds.ids, q.RuleID)
+			ds.idsDirty = true
+		}
 		ds.queues[q.RuleID] = q
 	}
 	ds.epoch, ds.gen = d.Epoch, d.Gen
@@ -361,20 +382,29 @@ func (ds *DeltaState) Apply(d *StatsDelta) {
 // a direct Collect at the same instant would have returned (queues
 // sorted by rule ID). The returned value owns its Queues slice.
 func (ds *DeltaState) Snapshot() stage.Stats {
-	out := stage.Stats{
-		Info:            ds.info,
-		Passthrough:     ds.passthrough,
-		Degraded:        ds.degraded,
-		DegradedSeconds: ds.degradedSeconds,
-	}
-	if len(ds.queues) > 0 {
-		out.Queues = make([]stage.QueueStats, 0, len(ds.queues))
-		for _, q := range ds.queues {
-			out.Queues = append(out.Queues, q)
-		}
-		sort.Slice(out.Queues, func(i, j int) bool { return out.Queues[i].RuleID < out.Queues[j].RuleID })
-	}
+	var out stage.Stats
+	ds.SnapshotInto(&out)
 	return out
+}
+
+// SnapshotInto is Snapshot writing into a caller-owned buffer: every
+// field of dst is overwritten and dst.Queues is rebuilt in place, so a
+// caller reusing dst across rounds pays no allocations once capacities
+// warm up. The cached sorted ID list makes the steady state (unchanged
+// membership) a straight copy-out with no sort.
+func (ds *DeltaState) SnapshotInto(dst *stage.Stats) {
+	if ds.idsDirty {
+		sort.Strings(ds.ids)
+		ds.idsDirty = false
+	}
+	dst.Info = ds.info
+	dst.Passthrough = ds.passthrough
+	dst.Degraded = ds.degraded
+	dst.DegradedSeconds = ds.degradedSeconds
+	dst.Queues = dst.Queues[:0]
+	for _, id := range ds.ids {
+		dst.Queues = append(dst.Queues, ds.queues[id])
+	}
 }
 
 // CollectCounts reports how many replies arrived in each form.
@@ -415,6 +445,15 @@ func resetReply(r *BatchReply) {
 // other, so interleaved collectors (controller loop and monitor) merge
 // deltas consistently.
 func (h *StageHandle) ExecBatch(ops []StageOp, collect bool) (results []OpResult, st stage.Stats, err error) {
+	results, err = h.ExecBatchInto(ops, collect, &st)
+	return results, st, err
+}
+
+// ExecBatchInto is ExecBatch materializing the merged snapshot into a
+// caller-owned dst (fully overwritten, capacity reused): the form the
+// controller's collect loop uses so a thousand-stage steady-state round
+// allocates nothing per stage. dst may be nil when collect is false.
+func (h *StageHandle) ExecBatchInto(ops []StageOp, collect bool, dst *stage.Stats) (results []OpResult, err error) {
 	h.bmu.Lock()
 	defer h.bmu.Unlock()
 	if h.bargs.ClientID == 0 {
@@ -430,7 +469,7 @@ func (h *StageHandle) ExecBatch(ops []StageOp, collect bool) (results []OpResult
 	err = h.t.Call("Stage.Batch", &h.bargs, &h.breply)
 	h.bargs.Ops = nil
 	if err != nil {
-		return nil, stage.Stats{}, err
+		return nil, err
 	}
 	if len(h.breply.Results) > 0 {
 		results = make([]OpResult, len(h.breply.Results))
@@ -438,9 +477,9 @@ func (h *StageHandle) ExecBatch(ops []StageOp, collect bool) (results []OpResult
 	}
 	if collect {
 		h.dstate.Apply(&h.breply.Delta)
-		st = h.dstate.Snapshot()
+		h.dstate.SnapshotInto(dst)
 	}
-	return results, st, nil
+	return results, nil
 }
 
 // CollectDelta fetches the stage's statistics over the batched
@@ -449,6 +488,14 @@ func (h *StageHandle) ExecBatch(ops []StageOp, collect bool) (results []OpResult
 func (h *StageHandle) CollectDelta() (stage.Stats, error) {
 	_, st, err := h.ExecBatch(nil, true)
 	return st, err
+}
+
+// CollectDeltaInto is CollectDelta writing into a caller-owned buffer;
+// the steady-state path (empty delta, warm capacities) is
+// allocation-free end to end.
+func (h *StageHandle) CollectDeltaInto(dst *stage.Stats) error {
+	_, err := h.ExecBatchInto(nil, true, dst)
+	return err
 }
 
 // CollectCounts reports how many of this handle's incremental collects

@@ -420,22 +420,26 @@ func TestServiceStatsCountBatchTraffic(t *testing.T) {
 
 // BenchmarkCollectDeltaSteadyState measures the per-round cost of an
 // incremental collect when nothing changes — the fleet steady state the
-// controller's feedback loop sits in. The interesting number is allocs:
-// the service reuses its scratch snapshot and the handle its args/reply
-// buffers, so steady-state rounds must stay allocation-stable.
+// controller's feedback loop sits in. It runs the full binary wire
+// codec (EncodedLoopback) and materializes into a caller-owned buffer;
+// the interesting number is allocs: the service reuses its scratch
+// snapshot, the handle its args/reply buffers and delta cache, and the
+// codec appends into reused frames, so steady-state rounds must stay
+// allocation-free (≤2 allocs/op tolerated for map-iteration noise).
 func BenchmarkCollectDeltaSteadyState(b *testing.B) {
 	stg := stage.New(stage.Info{StageID: "s1", JobID: "j1"}, clock.NewSim(epoch))
 	for _, id := range []string{"a", "b", "c", "d"} {
 		stg.ApplyRule(policy.Rule{ID: id, Rate: 1000})
 	}
-	h := LoopbackStage(NewStageService(stg))
-	if _, err := h.CollectDelta(); err != nil { // first contact: full
+	h := EncodedLoopbackStage(NewStageService(stg))
+	var st stage.Stats
+	if err := h.CollectDeltaInto(&st); err != nil { // first contact: full
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := h.CollectDelta(); err != nil {
+		if err := h.CollectDeltaInto(&st); err != nil {
 			b.Fatal(err)
 		}
 	}

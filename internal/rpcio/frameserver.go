@@ -1,0 +1,265 @@
+// Server half of the multiplexed frame transport.
+//
+// A FrameServer hosts any number of StageServices behind one listener:
+// clients address a service by channel number, resolved once per
+// connection per stage via the attach handshake (methodAttach with the
+// stage ID as payload). Each accepted connection is served by one
+// goroutine that processes frames strictly in arrival order — requests
+// pipeline (a client may have many in flight; none waits for a network
+// round trip behind another) but replies never reorder, and the
+// per-connection decode buffers and reply structs are reused across
+// frames, so a steady-state collect allocates nothing on the server
+// side either.
+//
+// ServeService speaks both protocols on one listener during the gob →
+// binary migration: the first four bytes of a fresh connection are
+// sniffed, and wireMagic routes to the frame handler while anything
+// else replays into a net/rpc gob session.
+package rpcio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"net/rpc"
+	"sync"
+
+	"padll/internal/stage"
+)
+
+// FrameServer routes frames to the StageServices multiplexed behind one
+// listener. Channel 0 is the first service added — the implicit default
+// for clients that never attach (a single-stage endpoint).
+type FrameServer struct {
+	mu       sync.Mutex
+	byName   map[string]uint32
+	services []*StageService
+}
+
+// NewFrameServer returns an empty mux.
+func NewFrameServer() *FrameServer {
+	return &FrameServer{byName: make(map[string]uint32)}
+}
+
+// Add registers a service under its stage's ID and returns the channel
+// clients resolve via attach. The first service added also serves
+// channel 0 (the no-attach default).
+func (fs *FrameServer) Add(svc *StageService) uint32 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	ch := uint32(len(fs.services))
+	fs.services = append(fs.services, svc)
+	fs.byName[svc.stg.Info().StageID] = ch
+	return ch
+}
+
+// lookup resolves a channel to its service.
+func (fs *FrameServer) lookup(ch uint32) *StageService {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if int(ch) >= len(fs.services) {
+		return nil
+	}
+	return fs.services[ch]
+}
+
+// attach resolves a stage ID to its channel. The empty ID names the
+// default service.
+func (fs *FrameServer) attach(stageID string) (uint32, bool) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if stageID == "" {
+		if len(fs.services) == 0 {
+			return 0, false
+		}
+		return 0, true
+	}
+	ch, ok := fs.byName[stageID]
+	return ch, ok
+}
+
+// frameSession is one accepted connection's reusable server state:
+// decode targets and reply values survive across frames, so the
+// steady-state dispatch path allocates nothing.
+type frameSession struct {
+	hdr     [frameHeaderLen]byte
+	payload []byte
+	wbuf    []byte
+
+	applyArgs  ApplyRuleArgs
+	removeArgs RemoveRuleArgs
+	rateArgs   SetRateArgs
+	modeArgs   SetModeArgs
+	probeArgs  HealthProbe
+	batchArgs  BatchArgs
+
+	boolReply   bool
+	statsReply  stage.Stats
+	infoReply   stage.Info
+	healthReply StageHealth
+	batchReply  BatchReply
+}
+
+// serveFrameConn runs one connection's frame loop until the connection
+// dies. Frames are handled in order; each reply is written with a
+// single Write so write-granular fault injection drops whole frames.
+func (fs *FrameServer) serveFrameConn(conn net.Conn) {
+	var s frameSession
+	for {
+		if _, err := io.ReadFull(conn, s.hdr[:]); err != nil {
+			return // peer hung up (or the listener stopped and closed us)
+		}
+		h, err := parseFrameHeader(s.hdr[:])
+		if err != nil {
+			return // unusable framing: kill the connection
+		}
+		if cap(s.payload) < int(h.length) {
+			s.payload = make([]byte, h.length)
+		}
+		s.payload = s.payload[:h.length]
+		if _, err := io.ReadFull(conn, s.payload); err != nil {
+			return
+		}
+		if h.kind != frameRequest {
+			return // a client must only send requests
+		}
+		reply := frameStart(s.wbuf)
+		kind := frameReply
+		if h.method == methodAttach {
+			reply, kind = fs.handleAttach(s.payload, reply)
+		} else {
+			reply, kind = fs.handleCall(&s, h, reply)
+		}
+		s.wbuf = reply
+		putFrameHeader(reply[:frameHeaderLen], frameHeader{
+			kind:    kind,
+			method:  h.method,
+			stream:  h.stream,
+			channel: h.channel,
+			length:  uint32(len(reply) - frameHeaderLen),
+		})
+		if _, err := conn.Write(reply); err != nil {
+			return
+		}
+	}
+}
+
+// handleAttach resolves a stage ID to its channel.
+func (fs *FrameServer) handleAttach(payload, reply []byte) ([]byte, uint8) {
+	ch, ok := fs.attach(string(payload))
+	if !ok {
+		return appendErrorPayload(reply, fmt.Sprintf("rpcio: no stage %q on this endpoint", payload)), frameError
+	}
+	return appendUvarintPayload(reply, uint64(ch)), frameReply
+}
+
+func appendErrorPayload(reply []byte, msg string) []byte {
+	return append(reply, msg...)
+}
+
+func appendUvarintPayload(reply []byte, v uint64) []byte {
+	return binary.AppendUvarint(reply, v)
+}
+
+// handleCall decodes, dispatches, and encodes one service method.
+func (fs *FrameServer) handleCall(s *frameSession, h frameHeader, reply []byte) ([]byte, uint8) {
+	svc := fs.lookup(h.channel)
+	if svc == nil {
+		return appendErrorPayload(reply, fmt.Sprintf("rpcio: no service on channel %d", h.channel)), frameError
+	}
+	var (
+		err error
+		out []byte
+	)
+	switch h.method {
+	case methodApplyRule:
+		if err = readCallArgs(h.method, s.payload, &s.applyArgs); err == nil {
+			err = svc.ApplyRule(s.applyArgs, &struct{}{})
+		}
+		out = reply
+	case methodRemoveRule:
+		if err = readCallArgs(h.method, s.payload, &s.removeArgs); err == nil {
+			err = svc.RemoveRule(s.removeArgs, &s.boolReply)
+		}
+		out = appendBool(reply, s.boolReply)
+	case methodSetRate:
+		if err = readCallArgs(h.method, s.payload, &s.rateArgs); err == nil {
+			err = svc.SetRate(s.rateArgs, &s.boolReply)
+		}
+		out = appendBool(reply, s.boolReply)
+	case methodCollect:
+		if err = readCallArgs(h.method, s.payload, &struct{}{}); err == nil {
+			err = svc.Collect(struct{}{}, &s.statsReply)
+		}
+		out = appendStats(reply, &s.statsReply)
+	case methodSetMode:
+		if err = readCallArgs(h.method, s.payload, &s.modeArgs); err == nil {
+			err = svc.SetMode(s.modeArgs, &struct{}{})
+		}
+		out = reply
+	case methodPing:
+		if err = readCallArgs(h.method, s.payload, &struct{}{}); err == nil {
+			err = svc.Ping(struct{}{}, &s.infoReply)
+		}
+		out = appendInfo(reply, &s.infoReply)
+	case methodHealth:
+		if err = readCallArgs(h.method, s.payload, &s.probeArgs); err == nil {
+			err = svc.Health(s.probeArgs, &s.healthReply)
+		}
+		out = appendStageHealth(reply, &s.healthReply)
+	case methodBatch:
+		if err = readCallArgs(h.method, s.payload, &s.batchArgs); err == nil {
+			err = svc.Batch(s.batchArgs, &s.batchReply)
+		}
+		out = appendBatchReply(reply, &s.batchReply)
+	default:
+		err = fmt.Errorf("rpcio: unknown method %d", h.method)
+		out = reply
+	}
+	if err != nil {
+		return appendErrorPayload(reply[:frameHeaderLen], err.Error()), frameError
+	}
+	return out, frameReply
+}
+
+// prefixConn replays already-sniffed bytes before reading from the
+// underlying connection.
+type prefixConn struct {
+	net.Conn
+	pre []byte
+}
+
+func (c *prefixConn) Read(p []byte) (int, error) {
+	if len(c.pre) > 0 {
+		n := copy(p, c.pre)
+		c.pre = c.pre[n:]
+		return n, nil
+	}
+	return c.Conn.Read(p)
+}
+
+// sniffServe reads a connection's first four bytes and routes it:
+// wireMagic selects the frame protocol, anything else replays into the
+// net/rpc gob server. srv may be nil on frames-only listeners.
+func sniffServe(conn net.Conn, fs *FrameServer, srv *rpc.Server) {
+	var head [4]byte
+	n, err := io.ReadFull(conn, head[:])
+	if err != nil {
+		// The peer hung up before identifying its protocol; with a
+		// partial prefix there is no protocol to speak.
+		_ = conn.Close()
+		return
+	}
+	pc := &prefixConn{Conn: conn, pre: head[:n]}
+	if binary.LittleEndian.Uint32(head[:]) == wireMagic {
+		fs.serveFrameConn(pc)
+		_ = conn.Close()
+		return
+	}
+	if srv == nil {
+		_ = conn.Close()
+		return
+	}
+	srv.ServeConn(pc)
+}

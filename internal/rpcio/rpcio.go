@@ -194,14 +194,15 @@ func WithMaxConns(n int) ServeOption {
 	}
 }
 
-// serveBounded accepts and serves connections on l with a hard bound on
-// concurrently served connections: the accept loop takes a semaphore
-// slot before accepting, so at most maxConns handler goroutines exist
-// and excess dials queue in the listener backlog. The returned stop
-// function is deterministic: it closes the listener, closes every
-// in-flight connection (unblocking their handlers), and waits for all
-// goroutines to finish.
-func serveBounded(l net.Listener, srv *rpc.Server, maxConns int) (stop func()) {
+// serveBounded accepts connections on l and hands each to handler, with
+// a hard bound on concurrently served connections: the accept loop
+// takes a semaphore slot before accepting, so at most maxConns handler
+// goroutines exist and excess dials queue in the listener backlog. The
+// handler must serve the connection to completion and return when it
+// dies. The returned stop function is deterministic: it closes the
+// listener, closes every in-flight connection (unblocking their
+// handlers), and waits for all goroutines to finish.
+func serveBounded(l net.Listener, handler func(net.Conn), maxConns int) (stop func()) {
 	if maxConns <= 0 {
 		maxConns = DefaultMaxConns
 	}
@@ -237,7 +238,7 @@ func serveBounded(l net.Listener, srv *rpc.Server, maxConns int) (stop func()) {
 			go func(conn net.Conn) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				srv.ServeConn(conn)
+				handler(conn)
 				mu.Lock()
 				delete(live, conn)
 				mu.Unlock()
@@ -270,7 +271,11 @@ func ServeStage(l net.Listener, stg *stage.Stage, opts ...ServeOption) (stop fun
 
 // ServeService is ServeStage for a caller-built StageService — the form
 // to use when the caller also wants the service (for Served counters or
-// a Loopback transport onto the same generation state).
+// a Loopback transport onto the same generation state). The listener
+// speaks both wire protocols: each accepted connection's first bytes
+// are sniffed, routing binary-framed clients (DialStage's default) to
+// the frame handler and gob clients (CodecGob, pre-upgrade peers) into
+// a net/rpc session.
 func ServeService(l net.Listener, svc *StageService, opts ...ServeOption) (stop func()) {
 	var cfg serveConfig
 	for _, o := range opts {
@@ -282,7 +287,23 @@ func ServeService(l net.Listener, svc *StageService, opts ...ServeOption) (stop 
 	if err := srv.RegisterName("Stage", svc); err != nil {
 		panic(fmt.Sprintf("rpcio: register stage service: %v", err))
 	}
-	return serveBounded(l, srv, cfg.maxConns)
+	fs := NewFrameServer()
+	fs.Add(svc)
+	return serveBounded(l, func(conn net.Conn) { sniffServe(conn, fs, srv) }, cfg.maxConns)
+}
+
+// ServeMux serves many stages' services behind one listener over the
+// frame protocol: clients resolve a stage ID to a channel with the
+// attach handshake and multiplex all their calls over one connection
+// per endpoint. Register services with fs.Add before or after this
+// call. The listener is frames-only (a gob peer cannot name a stage);
+// gob clients belong on per-stage ServeService listeners.
+func ServeMux(l net.Listener, fs *FrameServer, opts ...ServeOption) (stop func()) {
+	var cfg serveConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return serveBounded(l, func(conn net.Conn) { sniffServe(conn, fs, nil) }, cfg.maxConns)
 }
 
 // Default deadlines for control-plane RPCs. A single hung peer must
@@ -309,10 +330,27 @@ type StageHandle struct {
 	dstate DeltaState
 }
 
-// DialStage connects to a stage's control service over TCP.
+// DialStage connects to a stage's control service over TCP. The default
+// wire is the versioned binary frame codec, multiplexed: every handle
+// to the same endpoint address shares one TCP connection (frames carry
+// stream IDs; a demux goroutine routes replies). WithCodec(CodecGob)
+// selects the legacy net/rpc+gob wire, one connection per handle, for
+// peers that have not upgraded. WithMuxStage routes calls to a named
+// stage on a multi-stage (ServeMux) endpoint.
 func DialStage(addr string, opts ...DialOption) (*StageHandle, error) {
-	t := newTCPTransport(addr, opts...)
-	if _, err := t.ensureClient(); err != nil {
+	cfg := defaultDialConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.codec == CodecGob {
+		t := newTCPTransport(addr, cfg)
+		if _, err := t.ensureClient(); err != nil {
+			return nil, err
+		}
+		return &StageHandle{t: t}, nil
+	}
+	t := newFrameTransport(addr, cfg)
+	if _, err := t.ensureConn(); err != nil {
 		return nil, err
 	}
 	return &StageHandle{t: t}, nil
@@ -427,7 +465,7 @@ func ServeRegistrar(l net.Listener, onRegister func(Registration) error, onDereg
 	if err := srv.RegisterName("Registrar", &RegistrarService{onRegister: onRegister, onDeregister: onDeregister}); err != nil {
 		panic(fmt.Sprintf("rpcio: register registrar service: %v", err))
 	}
-	return serveBounded(l, srv, cfg.maxConns)
+	return serveBounded(l, func(conn net.Conn) { srv.ServeConn(conn) }, cfg.maxConns)
 }
 
 // registrarCall dials the control plane's registrar with a bounded dial

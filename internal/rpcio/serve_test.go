@@ -47,6 +47,9 @@ func TestStopClosesInFlightConnections(t *testing.T) {
 // TestMaxConnsBoundsConcurrentClients serves with a single connection
 // slot. A second client can complete the TCP handshake (kernel backlog)
 // but its calls go unanswered until the first client releases the slot.
+// The second client gets a private frame dialer: the default pool would
+// share the first client's multiplexed connection (the mux's whole
+// point), and this test needs two real sockets.
 func TestMaxConnsBoundsConcurrentClients(t *testing.T) {
 	stg := stage.New(stage.Info{StageID: "s1", JobID: "j1"}, clock.NewSim(epoch))
 	l, err := net.Listen("tcp", "127.0.0.1:0")
@@ -66,7 +69,8 @@ func TestMaxConnsBoundsConcurrentClients(t *testing.T) {
 
 	b, err := DialStage(l.Addr().String(),
 		WithCallTimeout(200*time.Millisecond),
-		WithBackoff(Backoff{Attempts: 1}))
+		WithBackoff(Backoff{Attempts: 1}),
+		func(c *dialConfig) { c.dialer = &frameDialer{} })
 	if err != nil {
 		t.Fatal(err)
 	}

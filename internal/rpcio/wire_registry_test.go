@@ -1,7 +1,11 @@
 package rpcio
 
 import (
+	"crypto/sha256"
+	"fmt"
 	"reflect"
+	"sort"
+	"strings"
 	"testing"
 
 	"padll/internal/policy"
@@ -134,6 +138,65 @@ func TestWireRegistryIsAppendOnly(t *testing.T) {
 		if !seen[name] {
 			t.Errorf("wireRegistry entry %s has no value in wireTypes", name)
 		}
+	}
+}
+
+// TestCodecCoversEveryWireStruct pins the binary codec's per-struct
+// field coverage to the registry's locked field lists. Appending a
+// field to a wire struct extends the registry (the append-only test
+// demands it) but not the hand-written codec — this test is what makes
+// that forgetting loud: the counts diverge and the failure says to
+// extend the Encode/Decode pair and bump WireVersion together.
+func TestCodecCoversEveryWireStruct(t *testing.T) {
+	for name, fields := range wireRegistry {
+		n, ok := codecFieldCoverage[name]
+		if !ok {
+			t.Errorf("%s: locked in wireRegistry but has no binary codec coverage entry — write its append/read pair in wirecodec.go and record it in codecFieldCoverage", name)
+			continue
+		}
+		if n != len(fields) {
+			t.Errorf("%s: registry locks %d fields but the binary codec covers %d — extend the codec's append/read pair, update codecFieldCoverage, and bump WireVersion (with a new wireSchemaFingerprints entry)", name, len(fields), n)
+		}
+	}
+	for name := range codecFieldCoverage {
+		if _, ok := wireRegistry[name]; !ok {
+			t.Errorf("codecFieldCoverage entry %s is not locked by wireRegistry", name)
+		}
+	}
+}
+
+// wireSchemaFingerprint renders the whole locked schema — every
+// registered type's ordered field list, types in sorted order — and
+// hashes it. The result changes iff the wire schema changes.
+func wireSchemaFingerprint() string {
+	names := make([]string, 0, len(wireRegistry))
+	for name := range wireRegistry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		b.WriteString(name)
+		b.WriteString("{")
+		b.WriteString(strings.Join(wireRegistry[name], "; "))
+		b.WriteString("}\n")
+	}
+	return fmt.Sprintf("sha256:%x", sha256.Sum256([]byte(b.String())))
+}
+
+// TestWireSchemaFingerprintMatchesVersion ties WireVersion to the
+// schema it claims to describe: the fingerprint of the locked registry
+// must be the one recorded for the current version. A schema change
+// therefore forces two deliberate edits — the registry (append-only
+// test) and the version/fingerprint pair — before the suite goes green.
+func TestWireSchemaFingerprintMatchesVersion(t *testing.T) {
+	want, ok := wireSchemaFingerprints[WireVersion]
+	if !ok {
+		t.Fatalf("WireVersion %d has no entry in wireSchemaFingerprints", WireVersion)
+	}
+	got := wireSchemaFingerprint()
+	if got != want {
+		t.Errorf("wire schema fingerprint mismatch:\n  recorded for v%d: %s\n  computed now:    %s\nif the schema deliberately changed, bump WireVersion and record the computed fingerprint", WireVersion, want, got)
 	}
 }
 

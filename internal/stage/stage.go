@@ -130,6 +130,11 @@ type entry struct {
 type snapshot struct {
 	// all lists entries in selection (descending-specificity) order.
 	all []*entry
+	// collect lists the same entries in RuleID order — the order Collect
+	// reports in. Sorting here, once per control-plane mutation, keeps
+	// the per-round collect path sort-free (sort.Slice allocates its
+	// closure and swapper on every call).
+	collect []*entry
 	// perOp[op] lists the entries whose op/class constraints op can
 	// satisfy, in selection order — the hot-path dispatch index.
 	perOp [posix.NumOps][]*entry
@@ -301,6 +306,8 @@ func (s *Stage) publishLocked() {
 		sn.all = append(sn.all, e)
 		sn.byID[e.rule.ID] = e
 	}
+	sn.collect = append(sn.collect, sn.all...)
+	sort.Slice(sn.collect, func(i, j int) bool { return sn.collect[i].rule.ID < sn.collect[j].rule.ID })
 	for op := 0; op < posix.NumOps; op++ {
 		for _, e := range sn.all {
 			if e.rule.Match.CouldMatchOp(posix.Op(op)) {
@@ -511,17 +518,17 @@ func (s *Stage) CollectInto(out *Stats) {
 	out.Passthrough = s.passthrough.Total()
 	out.Degraded = s.degraded.Load()
 	out.DegradedSeconds = s.DegradedFor().Seconds()
-	for _, e := range sn.all {
+	for _, e := range sn.collect {
 		q := e.q
-		totalAdm := q.admitted.Total()
+		totalAdm, thrRate := q.admitted.TotalAndLastRate()
 		dropped := q.dropped.Load()
-		totalDem := q.demand.Total()
+		totalDem, demRate := q.demand.TotalAndLastRate()
 		out.Queues = append(out.Queues, QueueStats{
 			RuleID:         e.rule.ID,
 			Limit:          e.rule.Rate,
 			Burst:          e.rule.EffectiveBurst(),
-			ThroughputRate: q.admitted.LastWindowRate(),
-			DemandRate:     q.demand.LastWindowRate(),
+			ThroughputRate: thrRate,
+			DemandRate:     demRate,
 			Total:          totalAdm,
 			TotalDemand:    totalDem,
 			Dropped:        dropped,
@@ -531,7 +538,6 @@ func (s *Stage) CollectInto(out *Stats) {
 			WaitP99:        q.latency.Quantile(0.99),
 		})
 	}
-	sort.Slice(out.Queues, func(i, j int) bool { return out.Queues[i].RuleID < out.Queues[j].RuleID })
 }
 
 // QueueSeries returns a copy of a queue's admitted-rate time series (for

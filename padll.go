@@ -119,6 +119,26 @@ const (
 // policing (ActionDrop) rule.
 var ErrRateLimited = stage.ErrRateLimited
 
+// Codec selects the control-plane wire encoding of a stage connection.
+type Codec = rpcio.Codec
+
+const (
+	// CodecBinary is the versioned zero-copy binary frame protocol —
+	// the default: one multiplexed TCP connection per endpoint, explicit
+	// per-struct field encoding, no reflection.
+	CodecBinary = rpcio.CodecBinary
+	// CodecGob is the legacy net/rpc+gob wire, kept for one release so
+	// mixed fleets can upgrade incrementally; servers speak both and
+	// sniff the protocol per connection.
+	CodecGob = rpcio.CodecGob
+
+	// WireVersion is the binary frame protocol version this build
+	// speaks. Decoders reject frames from any other version, forcing
+	// mixed fleets through the gob compatibility path instead of
+	// guessing at field layouts.
+	WireVersion = rpcio.WireVersion
+)
+
 // ParseRule parses a rule in DSL form, e.g.
 // "limit id:open-cap job:job1 op:open rate:10k burst:500".
 func ParseRule(s string) (Rule, error) { return policy.Parse(s) }
@@ -415,6 +435,13 @@ func WithCollectConcurrency(n int) ControlOption { return control.WithCollectCon
 // pushes rates to in parallel each round (default 8; 1 forces
 // sequential, deterministic-order pushes).
 func WithPushConcurrency(n int) ControlOption { return control.WithPushConcurrency(n) }
+
+// WithPipelinedRounds fuses each feedback round's push phase into the
+// next round's batched collect exchange, halving steady-state round
+// trips per stage at the cost of one round of enactment staleness (the
+// rate computed in round N is enforced by round N+1's exchange). The
+// classic two-phase loop stays the default.
+func WithPipelinedRounds() ControlOption { return control.WithPipelinedRounds() }
 
 // WithGroupBy overrides the feedback loop's orchestration granularity:
 // the default groups stages per job; GroupByUser shares one allocation
