@@ -25,7 +25,7 @@ test:
 # defeats the test cache and shakes out order-dependent state, which is
 # how the chaos determinism tests are meant to be run.
 race:
-	$(GO) test -race -count=2 ./internal/stage/... ./internal/control/... ./internal/rpcio/...
+	$(GO) test -race -count=2 ./internal/stage/... ./internal/control/... ./internal/rpcio/... ./internal/tokenbucket/...
 
 # 10-second smoke run of each fuzz target (go allows one -fuzz per
 # invocation). The checked-in corpora under testdata/fuzz replay on every

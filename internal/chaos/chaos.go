@@ -60,6 +60,11 @@ type Config struct {
 	// pushes. Fault injection gates whole round trips: a batch with ops
 	// consumes one push-budget unit, a collect one collect-budget unit.
 	Batched bool
+	// BorrowBudget > 0 enables decentralized token borrowing inside
+	// every aggregator added with AddAggregator: sibling stages under
+	// one shard share a borrow pool with this per-member debt budget
+	// (a fraction of burst capacity).
+	BorrowBudget float64
 }
 
 // Event is one scheduled action in a scenario.
@@ -86,6 +91,15 @@ type StageNode struct {
 	collectBudget atomic.Int64
 }
 
+// AggNode is one simulated aggregator shard plus its failure state.
+type AggNode struct {
+	ID  string
+	Agg *control.Aggregator
+
+	conn    *chaosAggConn
+	crashed atomic.Bool
+}
+
 // Harness wires a controller and stages together under injected faults.
 type Harness struct {
 	cfg   Config
@@ -94,6 +108,9 @@ type Harness struct {
 	ctl   *control.Controller
 	nodes map[string]*StageNode
 	ids   []string // sorted; the deterministic iteration order
+
+	aggs   map[string]*AggNode
+	aggIDs []string // sorted, like ids
 
 	events   []Event
 	nextTick time.Duration
@@ -126,6 +143,7 @@ func New(cfg Config) *Harness {
 		cfg:      cfg,
 		clk:      clock.NewSim(time.Date(2022, 5, 1, 0, 0, 0, 0, time.UTC)),
 		nodes:    map[string]*StageNode{},
+		aggs:     map[string]*AggNode{},
 		nextTick: cfg.Interval,
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 	}
@@ -190,8 +208,36 @@ func (h *Harness) AddStage(id, job string) *StageNode {
 	return n
 }
 
+// AddAggregator fronts the named stages (which must already be added)
+// with an aggregator shard and registers it with the controller,
+// switching the control loop into tree mode: each round exchanges one
+// Agg.Round per shard instead of one RPC per stage. With
+// Config.BorrowBudget > 0 the shard's members share a borrow pool on
+// the managed control queue.
+func (h *Harness) AddAggregator(id string, stageIDs ...string) *AggNode {
+	var opts []control.AggOption
+	if h.cfg.BorrowBudget > 0 {
+		opts = append(opts, control.WithAggBorrowing(h.cfg.BorrowBudget))
+	}
+	agg := control.NewAggregator(id, opts...)
+	for _, sid := range stageIDs {
+		agg.AddMember(h.nodes[sid].conn)
+	}
+	n := &AggNode{ID: id, Agg: agg}
+	n.conn = &chaosAggConn{h: h, node: n, inner: &control.LocalAggConn{Agg: agg}}
+	h.aggs[id] = n
+	h.aggIDs = append(h.aggIDs, id)
+	sort.Strings(h.aggIDs)
+	h.ctl.RegisterAggregator(n.conn)
+	h.logf("aggregator %s registered (%d stages)", id, agg.Members())
+	return n
+}
+
 // Node returns a stage node by ID (nil when absent).
 func (h *Harness) Node(id string) *StageNode { return h.nodes[id] }
+
+// AggregatorNode returns an aggregator node by ID (nil when absent).
+func (h *Harness) AggregatorNode(id string) *AggNode { return h.aggs[id] }
 
 // Rand is the scenario's seeded randomness source.
 func (h *Harness) Rand() *rand.Rand { return h.rng }
@@ -238,7 +284,30 @@ func (h *Harness) RestartController() {
 	h.ctl = h.newController()
 	h.controllerDown = false
 	h.pushBudget.Store(-1)
+	// Aggregator shards re-attach immediately (they dial the controller,
+	// not the other way around); stages re-register at their next
+	// heartbeat tick.
+	for _, id := range h.aggIDs {
+		h.ctl.RegisterAggregator(h.aggs[id].conn)
+	}
 	h.logf("controller restarted (empty registry)")
+}
+
+// CrashAggregator kills an aggregator shard: the controller's rounds to
+// it fail, its member stages receive no plan pushes, and — when
+// borrowing is on — the shard's pool keeps moving tokens between the
+// members locally, with no settles until the next plan lands.
+func (h *Harness) CrashAggregator(id string) {
+	h.aggs[id].crashed.Store(true)
+	h.logf("aggregator %s crashed", id)
+}
+
+// HealAggregator revives a crashed aggregator shard; the next control
+// round folds its members back into the allocation and its first plan
+// push settles the borrow ledger.
+func (h *Harness) HealAggregator(id string) {
+	h.aggs[id].crashed.Store(false)
+	h.logf("aggregator %s healed", id)
 }
 
 // Partition cuts a stage off from the controller in both directions.
@@ -462,6 +531,33 @@ func (c *chaosConn) reachable() (bool, error) {
 	}
 	return true, nil
 }
+
+// chaosAggConn gates the controller's channel to one aggregator shard
+// on the harness's failure state. The underlying aggregator keeps
+// running while "crashed" — exactly the decentralized-borrowing story:
+// the shard's stages (and their borrow pool) are alive, only the
+// control channel through the aggregator is severed.
+type chaosAggConn struct {
+	h     *Harness
+	node  *AggNode
+	inner control.AggConn
+}
+
+var _ control.AggConn = (*chaosAggConn)(nil)
+
+func (c *chaosAggConn) ID() string { return c.node.ID }
+
+func (c *chaosAggConn) Round(grants []rpcio.JobGrant, collect bool, reply *rpcio.AggRoundReply) error {
+	if c.h.controllerDown {
+		return ErrControllerDown
+	}
+	if c.node.crashed.Load() {
+		return ErrUnreachable
+	}
+	return c.inner.Round(grants, collect, reply)
+}
+
+func (c *chaosAggConn) Close() error { return nil }
 
 // chaosBatchConn speaks the batched delta protocol to an in-process
 // rpcio.StageService, with the same failure state gating whole round

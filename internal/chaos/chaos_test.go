@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"padll/internal/control"
+	"padll/internal/stage"
 )
 
 const runFor = 30 * time.Second
@@ -183,6 +184,7 @@ func TestSameSeedRunsAreByteIdentical(t *testing.T) {
 		"partition-heal":   PartitionHeal,
 		"batched-outage":   BatchedOutage,
 		"frame-loss":       FrameLoss,
+		"aggregator-loss":  AggregatorLoss,
 	} {
 		a := mk(42)
 		a.Run(runFor)
@@ -283,6 +285,112 @@ func TestDroppedBatchReplyForcesFullResync(t *testing.T) {
 	// FixedRates: each job1 stage ends at reservation/stages.
 	if got, want := RuleRate(h.Node("s1").Stg, control.ControlRuleID), 15_000.0; math.Abs(got-want) > 1 {
 		t.Errorf("s1 rate after frame loss = %v, want %v", got, want)
+	}
+}
+
+// ctlTotal reads a stage's lifetime admitted count on the managed
+// control queue.
+func ctlTotal(s *stage.Stage) int64 {
+	for _, q := range s.Collect().Queues {
+		if q.RuleID == control.ControlRuleID {
+			return q.Total
+		}
+	}
+	return 0
+}
+
+// TestAggregatorLossBorrowsAndStaysConserving drives the hierarchical
+// scenario: while job2's aggregator is dark, its overloaded member must
+// keep running above its solo per-stage grant on tokens borrowed from
+// the idle sibling (work conservation), the shard as a whole must never
+// exceed its granted share (conservation: tokens move, they are not
+// minted), and the heal's first plan push must settle the accumulated
+// ledger and fold job2 back into the allocation within one interval.
+func TestAggregatorLossBorrowsAndStaysConserving(t *testing.T) {
+	h := AggregatorLoss(2022)
+	type sample struct {
+		borrowed float64
+		s3, s4   int64
+	}
+	var before, during sample
+	snap := func(into *sample) func(*Harness) {
+		return func(h *Harness) {
+			into.borrowed, _, _ = h.AggregatorNode("agg-2").Agg.BorrowCounts()
+			into.s3 = ctlTotal(h.Node("s3").Stg)
+			into.s4 = ctlTotal(h.Node("s4").Stg)
+		}
+	}
+	// Bracket the outage window (probes sit just off the crash and heal
+	// instants, so exactly the outage's demand ticks land between them).
+	h.At(h.OutageStart-h.Interval()/4, "", snap(&before))
+	h.At(h.OutageEnd-h.Interval()/4, "", snap(&during))
+	h.Run(runFor)
+
+	log := h.Log()
+	for _, want := range []string{
+		"aggregator agg-2 crashed",
+		"agg-2 control error",
+		"aggregator agg-2 healed",
+	} {
+		if !strings.Contains(log, want) {
+			t.Fatalf("log missing %q:\n%s", want, log)
+		}
+	}
+
+	ticks := float64((h.OutageEnd - h.OutageStart) / h.Interval())
+	if during.borrowed <= before.borrowed {
+		t.Errorf("no borrowing during the outage: %v -> %v", before.borrowed, during.borrowed)
+	}
+	// Work conservation: s3's 25k/s solo grant was exceeded on borrowed
+	// tokens while its control channel was dark.
+	admitted := float64(during.s3 - before.s3)
+	if admitted <= 25_000*ticks+2_000 {
+		t.Errorf("s3 admitted %v over %v outage ticks, want > solo grant %v — borrowing did not keep the shard work-conserving",
+			admitted, ticks, 25_000*ticks)
+	}
+	// Conservation: the shard's members together stayed within the 50k/s
+	// job2 grant (plus burst slack) — borrowing moved tokens, it never
+	// minted them.
+	shard := admitted + float64(during.s4-before.s4)
+	if limit := 50_000*ticks + 5_000; shard > limit {
+		t.Errorf("shard admitted %v during the outage, above its granted %v", shard, limit)
+	}
+
+	// The first post-heal plan push settled the ledger: every borrowed
+	// token is accounted as repaid or forgiven.
+	b, r, f := h.AggregatorNode("agg-2").Agg.BorrowCounts()
+	if math.Abs(b-(r+f)) > 1e-6*(1+b) {
+		t.Errorf("ledger unsettled after heal: borrowed %v != repaid %v + forgiven %v", b, r, f)
+	}
+
+	// Reconciled within one interval: the first control round at or
+	// after the heal carries job2 again.
+	healAt := -time.Second
+	for _, line := range strings.Split(log, "\n") {
+		ts, rest, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		at, err := time.ParseDuration(strings.TrimPrefix(strings.TrimSpace(ts), "t=+"))
+		if err != nil {
+			continue
+		}
+		rest = strings.TrimSpace(rest)
+		if strings.Contains(rest, "aggregator agg-2 healed") {
+			healAt = at
+		}
+		if healAt >= 0 && strings.Contains(rest, "control round") && strings.Contains(rest, "job2=50000") {
+			if at-healAt > h.Interval() {
+				t.Errorf("job2 reconciled %v after heal, want <= %v: %s", at-healAt, h.Interval(), line)
+			}
+			healAt = -time.Second
+			break
+		}
+	}
+
+	// During the outage the allocation ran on the surviving shard only.
+	if !strings.Contains(log, "control round: job1=30000\n") {
+		t.Errorf("no job1-only round during the outage:\n%s", log)
 	}
 }
 

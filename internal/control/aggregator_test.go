@@ -1,0 +1,373 @@
+package control
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"padll/internal/clock"
+	"padll/internal/posix"
+	"padll/internal/rpcio"
+	"padll/internal/stage"
+)
+
+// aggFixture builds an aggregator over four local stages: s1/s2 serve
+// job1, s3/s4 serve job2.
+func aggFixture(clk clock.Clock, opts ...AggOption) (*Aggregator, map[string]*stage.Stage) {
+	agg := NewAggregator("agg-test", opts...)
+	stages := make(map[string]*stage.Stage)
+	for id, job := range map[string]string{"s1": "job1", "s2": "job1", "s3": "job2", "s4": "job2"} {
+		stg, conn := localStage(id, job, clk)
+		stages[id] = stg
+		agg.AddMember(conn)
+	}
+	return agg, stages
+}
+
+// offerTo feeds demand through a stage's managed queue over one
+// simulated second.
+func offerTo(clk *clock.Sim, stages map[string]*stage.Stage, perStage map[string]float64) {
+	for id, n := range perStage {
+		s := stages[id]
+		s.Offer(&posix.Request{Op: posix.OpOpen, Path: "/f", JobID: s.Info().JobID}, n, time.Second)
+	}
+	clk.Advance(time.Second)
+	for id := range perStage {
+		s := stages[id]
+		s.Offer(&posix.Request{Op: posix.OpOpen, Path: "/f", JobID: s.Info().JobID}, 0, time.Second)
+	}
+}
+
+func TestAggregatorRoundPushesAndMerges(t *testing.T) {
+	clk := clock.NewSim(epoch)
+	agg, stages := aggFixture(clk)
+	if agg.Members() != 4 {
+		t.Fatalf("Members = %d, want 4", agg.Members())
+	}
+
+	// Push: each job's shard grant splits equally among its members, and
+	// the managed rule is installed where it did not exist.
+	grants := []rpcio.JobGrant{{JobID: "job1", Rate: 1000}, {JobID: "job2", Rate: 2000}}
+	var reply rpcio.AggRoundReply
+	if err := agg.Round(&rpcio.AggRoundArgs{Grants: grants}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	wantRate := map[string]float64{"s1": 500, "s2": 500, "s3": 1000, "s4": 1000}
+	for id, want := range wantRate {
+		rules := stages[id].Rules()
+		if len(rules) != 1 || rules[0].ID != ControlRuleID || rules[0].Rate != want {
+			t.Errorf("%s rules = %+v, want managed rule at %v", id, rules, want)
+		}
+		if job := stages[id].Info().JobID; rules[0].Match.JobID != job {
+			t.Errorf("%s managed rule scoped to %q, want %q", id, rules[0].Match.JobID, job)
+		}
+	}
+
+	// Collect: per-member statistics merge into one row per job.
+	offerTo(clk, stages, map[string]float64{"s1": 100, "s2": 200, "s3": 40, "s4": 60})
+	reply = rpcio.AggRoundReply{}
+	if err := agg.Round(&rpcio.AggRoundArgs{Collect: true}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.AggID != "agg-test" || reply.Stages != 4 {
+		t.Errorf("reply identity = %q/%d, want agg-test/4", reply.AggID, reply.Stages)
+	}
+	if len(reply.Jobs) != 2 || reply.Jobs[0].JobID != "job1" || reply.Jobs[1].JobID != "job2" {
+		t.Fatalf("reply.Jobs = %+v, want sorted [job1 job2]", reply.Jobs)
+	}
+	if j1 := reply.Jobs[0]; j1.Stages != 2 || j1.Demand != 300 {
+		t.Errorf("job1 row = %+v, want 2 stages / demand 300", j1)
+	}
+	if j2 := reply.Jobs[1]; j2.Stages != 2 || j2.Demand != 100 {
+		t.Errorf("job2 row = %+v, want 2 stages / demand 100", j2)
+	}
+}
+
+func TestAggregatorReinstallsLostManagedRule(t *testing.T) {
+	clk := clock.NewSim(epoch)
+	agg, stages := aggFixture(clk)
+	grants := []rpcio.JobGrant{{JobID: "job1", Rate: 1000}, {JobID: "job2", Rate: 2000}}
+	var reply rpcio.AggRoundReply
+	if err := agg.Round(&rpcio.AggRoundArgs{Grants: grants}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	// s2 restarts: its managed queue vanishes. The next push round must
+	// bring it back at the fresh rate.
+	stages["s2"].RemoveRule(ControlRuleID)
+	if err := agg.Round(&rpcio.AggRoundArgs{Grants: grants}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	rules := stages["s2"].Rules()
+	if len(rules) != 1 || rules[0].ID != ControlRuleID || rules[0].Rate != 500 {
+		t.Fatalf("s2 rules after reinstall = %+v, want managed rule at 500", rules)
+	}
+}
+
+// deadConn fails every exchange, simulating an unreachable member.
+type deadConn struct{ LocalConn }
+
+func (d *deadConn) SetRate(string, float64) (bool, error) {
+	return false, errors.New("member unreachable")
+}
+func (d *deadConn) Collect() (stage.Stats, error) {
+	return stage.Stats{}, errors.New("member unreachable")
+}
+
+func TestAggregatorReportsFailedStages(t *testing.T) {
+	clk := clock.NewSim(epoch)
+	agg := NewAggregator("agg-partial")
+	stg, conn := localStage("s1", "job1", clk)
+	agg.AddMember(conn)
+	dead, _ := localStage("s2", "job1", clk)
+	agg.AddMember(&deadConn{LocalConn{Stg: dead}})
+	_ = stg
+
+	var reply rpcio.AggRoundReply
+	err := agg.Round(&rpcio.AggRoundArgs{
+		Grants:  []rpcio.JobGrant{{JobID: "job1", Rate: 1000}},
+		Collect: true,
+	}, &reply)
+	if err != nil {
+		t.Fatalf("member failure must not fail the round: %v", err)
+	}
+	if len(reply.Jobs) != 1 {
+		t.Fatalf("reply.Jobs = %+v", reply.Jobs)
+	}
+	row := reply.Jobs[0]
+	if row.Stages != 1 || row.FailedStages != 1 {
+		t.Errorf("row = %+v, want 1 live / 1 failed", row)
+	}
+}
+
+func TestAggregatorBorrowingSettlesOnPush(t *testing.T) {
+	clk := clock.NewSim(epoch)
+	agg := NewAggregator("agg-borrow", WithAggBorrowing(1.0))
+	busy, busyConn := localStage("s1", "job1", clk)
+	idle, idleConn := localStage("s2", "job1", clk)
+	agg.AddMember(busyConn)
+	agg.AddMember(idleConn)
+	_ = idle
+
+	grants := []rpcio.JobGrant{{JobID: "job1", Rate: 200}}
+	var reply rpcio.AggRoundReply
+	if err := agg.Round(&rpcio.AggRoundArgs{Grants: grants}, &reply); err != nil {
+		t.Fatal(err)
+	}
+
+	// Saturate the busy member far past its per-stage share while its
+	// sibling idles: the shortage path must borrow the sibling's unused
+	// tokens rather than shaping.
+	req := &posix.Request{Op: posix.OpOpen, Path: "/f", JobID: "job1"}
+	busy.Offer(req, 500, time.Second)
+	clk.Advance(time.Second)
+	busy.Offer(req, 0, time.Second)
+
+	borrowed, _, _ := agg.BorrowCounts()
+	if borrowed <= 0 {
+		t.Fatal("busy member did not borrow from its idle sibling")
+	}
+	// Work conservation with a hard ceiling: the two members together
+	// must never admit more than the shard was granted (plus both
+	// bursts), tokens moved but not minted.
+	var st stage.Stats
+	busy.CollectInto(&st)
+	var admitted float64
+	for _, q := range st.Queues {
+		if q.RuleID == ControlRuleID {
+			admitted = float64(q.Total)
+		}
+	}
+	burst := busy.Rules()[0].EffectiveBurst() + idle.Rules()[0].EffectiveBurst()
+	if ceiling := 200 + burst + borrowed; admitted > ceiling {
+		t.Errorf("busy member admitted %v, above conservation ceiling %v", admitted, ceiling)
+	}
+
+	// The next plan push settles the ledger: debts repay or are
+	// forgiven, never carried into the fresh allocation.
+	if err := agg.Round(&rpcio.AggRoundArgs{Grants: grants}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	b, r, f := agg.BorrowCounts()
+	if b != r+f {
+		t.Errorf("after settle: borrowed %v != repaid %v + forgiven %v", b, r, f)
+	}
+	if reply.Borrowed != b || reply.Repaid != r || reply.Forgiven != f {
+		t.Errorf("reply counters %v/%v/%v diverge from pool %v/%v/%v",
+			reply.Borrowed, reply.Repaid, reply.Forgiven, b, r, f)
+	}
+}
+
+func TestControllerTreeModeMatchesFlat(t *testing.T) {
+	// The same fleet, demand, and algorithm must allocate identically
+	// through the tree and flat paths: the aggregator tier changes the
+	// wire shape, not the control decision.
+	runFleet := func(opts ...Option) (map[string]float64, map[string]*stage.Stage, *Controller) {
+		clk := clock.NewSim(epoch)
+		base := []Option{WithAlgorithm(ProportionalShare{}), WithClusterLimit(1000)}
+		c := New(clk, append(base, opts...)...)
+		c.SetReservation("job1", 400)
+		c.SetReservation("job2", 600)
+		stages := make(map[string]*stage.Stage)
+		for id, job := range map[string]string{"s1": "job1", "s2": "job1", "s3": "job2", "s4": "job2"} {
+			stg, conn := localStage(id, job, clk)
+			stages[id] = stg
+			if err := c.Register(conn); err != nil {
+				t.Fatal(err)
+			}
+		}
+		offerTo(clk, stages, map[string]float64{"s1": 900, "s2": 900, "s3": 30, "s4": 30})
+		return c.RunOnce(), stages, c
+	}
+
+	flatAlloc, _, _ := runFleet()
+	treeAlloc, treeStages, c := runFleet(WithTopology(2))
+	if treeAlloc == nil {
+		t.Fatal("tree RunOnce returned nil")
+	}
+	for job, want := range flatAlloc {
+		if got := treeAlloc[job]; got != want {
+			t.Errorf("tree alloc[%s] = %v, flat = %v", job, got, want)
+		}
+	}
+	// The grant reaches the stages: per-stage rate is the job allocation
+	// split across its (two) stages.
+	for id, stg := range treeStages {
+		job := stg.Info().JobID
+		want := treeAlloc[job] / 2
+		if got := stg.Rules()[0].Rate; got != want {
+			t.Errorf("%s enforced rate = %v, want %v", id, got, want)
+		}
+	}
+	if aggs := c.Aggregators(); len(aggs) != 2 || aggs[0] != "agg-0000" || aggs[1] != "agg-0001" {
+		t.Errorf("Aggregators = %v, want [agg-0000 agg-0001]", aggs)
+	}
+	rs, ok := c.LastRound()
+	if !ok || rs.Aggregators != 2 || rs.Stages != 4 {
+		t.Errorf("RoundStats = %+v, want 2 aggregators over 4 stages", rs)
+	}
+	if rs.CollectCalls != 2 || rs.PushCalls != 2 {
+		t.Errorf("round cost = %d collects / %d pushes, want 2/2 (one per shard)", rs.CollectCalls, rs.PushCalls)
+	}
+}
+
+func TestTreeTopologyRebuildsOnRegistryChange(t *testing.T) {
+	clk := clock.NewSim(epoch)
+	c := New(clk, WithAlgorithm(StaticEqualShare{}), WithClusterLimit(1000), WithTopology(2))
+	stages := make(map[string]*stage.Stage)
+	add := func(id, job string) {
+		stg, conn := localStage(id, job, clk)
+		stages[id] = stg
+		if err := c.Register(conn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("s1", "job1")
+	add("s2", "job1")
+	add("s3", "job1")
+	offerTo(clk, stages, map[string]float64{"s1": 10, "s2": 10, "s3": 10})
+	if c.RunOnce() == nil {
+		t.Fatal("RunOnce returned nil")
+	}
+	if aggs := c.Aggregators(); len(aggs) != 2 {
+		t.Fatalf("Aggregators = %v, want 2 shards for 3 stages at shard size 2", aggs)
+	}
+
+	// Growing the fleet reshards lazily at the next round.
+	add("s4", "job1")
+	add("s5", "job1")
+	offerTo(clk, stages, map[string]float64{"s4": 10, "s5": 10})
+	if c.RunOnce() == nil {
+		t.Fatal("RunOnce returned nil after growth")
+	}
+	if aggs := c.Aggregators(); len(aggs) != 3 {
+		t.Errorf("Aggregators = %v, want 3 shards for 5 stages", aggs)
+	}
+	rs, _ := c.LastRound()
+	if rs.Stages != 5 {
+		t.Errorf("RoundStats.Stages = %d, want 5", rs.Stages)
+	}
+}
+
+func TestTreeModeOverWire(t *testing.T) {
+	// One aggregator served through the encoded loopback: the controller
+	// drives it via the Agg.Round wire protocol, and the round's byte
+	// accounting shows traffic.
+	clk := clock.NewSim(epoch)
+	c := New(clk, WithAlgorithm(StaticEqualShare{}), WithClusterLimit(1000))
+	agg, stages := aggFixture(clk)
+	conn, err := NewRemoteAggConn(rpcio.EncodedLoopbackAgg(rpcio.NewAggService(agg)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conn.ID() != "agg-test" {
+		t.Fatalf("attach learned ID %q", conn.ID())
+	}
+	c.RegisterAggregator(conn)
+
+	offerTo(clk, stages, map[string]float64{"s1": 100, "s2": 100, "s3": 100, "s4": 100})
+	alloc := c.RunOnce()
+	if alloc == nil {
+		t.Fatal("RunOnce returned nil")
+	}
+	if alloc["job1"] != 500 || alloc["job2"] != 500 {
+		t.Errorf("alloc = %v, want equal 500/500 split", alloc)
+	}
+	for id, stg := range stages {
+		if got := stg.Rules()[0].Rate; got != 250 {
+			t.Errorf("%s rate = %v, want 250", id, got)
+		}
+	}
+	rs, ok := c.LastRound()
+	if !ok || rs.Aggregators != 1 || rs.Stages != 4 {
+		t.Errorf("RoundStats = %+v", rs)
+	}
+	if rs.BytesRead == 0 || rs.BytesWritten == 0 {
+		t.Errorf("wire accounting empty: %+v", rs)
+	}
+	if !c.DeregisterAggregator("agg-test") {
+		t.Error("DeregisterAggregator returned false")
+	}
+	if c.DeregisterAggregator("agg-test") {
+		t.Error("double DeregisterAggregator returned true")
+	}
+}
+
+func TestTreeModeSkipsDeadShard(t *testing.T) {
+	clk := clock.NewSim(epoch)
+	var reported []string
+	c := New(clk,
+		WithAlgorithm(StaticEqualShare{}),
+		WithClusterLimit(1000),
+		WithErrorHandler(func(id string, err error) { reported = append(reported, id) }),
+	)
+	agg, stages := aggFixture(clk)
+	c.RegisterAggregator(&LocalAggConn{Agg: agg})
+	c.RegisterAggregator(&failingAggConn{id: "agg-dead"})
+
+	offerTo(clk, stages, map[string]float64{"s1": 100, "s3": 100})
+	alloc := c.RunOnce()
+	if alloc == nil {
+		t.Fatal("RunOnce returned nil")
+	}
+	rs, _ := c.LastRound()
+	if rs.CollectFailures != 1 {
+		t.Errorf("CollectFailures = %d, want 1", rs.CollectFailures)
+	}
+	found := false
+	for _, id := range reported {
+		if id == "agg-dead" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("dead shard not reported: %v", reported)
+	}
+}
+
+type failingAggConn struct{ id string }
+
+func (f *failingAggConn) ID() string { return f.id }
+func (f *failingAggConn) Round([]rpcio.JobGrant, bool, *rpcio.AggRoundReply) error {
+	return errors.New("aggregator unreachable")
+}
+func (f *failingAggConn) Close() error { return nil }

@@ -3,6 +3,7 @@ package control
 import (
 	"fmt"
 	"net"
+	"runtime"
 	"testing"
 	"time"
 
@@ -141,12 +142,52 @@ func benchFleetMux(b *testing.B, n int, opts ...rpcio.DialOption) *Controller {
 	return ctl
 }
 
+// benchFleetTree builds the hierarchical control plane: stages in
+// shards of shardSize behind one Aggregator each, every layer speaking
+// the real binary codec — stage members through encoded-loopback
+// Stage.Batch handles, aggregators through encoded-loopback Agg.Round
+// handles. The controller's round cost is one exchange per shard per
+// phase, whatever the fleet size.
+func benchFleetTree(b *testing.B, n, shardSize int) *Controller {
+	b.Helper()
+	ctl := benchController()
+	for base := 0; base < n; base += shardSize {
+		// Loopback member exchanges are pure CPU, so a single-machine
+		// fleet runs its shards sequentially: concurrent workers only
+		// add scheduler handoffs. Real TCP shards keep the worker pool
+		// to overlap network latency.
+		agg := NewAggregator(fmt.Sprintf("agg-%04d", base/shardSize), WithAggWorkers(1))
+		end := base + shardSize
+		if end > n {
+			end = n
+		}
+		for i := base; i < end; i++ {
+			stg := benchStage(i)
+			h := rpcio.EncodedLoopbackStage(rpcio.NewStageService(stg))
+			agg.AddMember(NewRemoteConn(stg.Info(), h))
+		}
+		conn, err := NewRemoteAggConn(rpcio.EncodedLoopbackAgg(rpcio.NewAggService(agg)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctl.RegisterAggregator(conn)
+	}
+	return ctl
+}
+
 func runRounds(b *testing.B, ctl *Controller) {
-	// First round off the clock: it pays the one-time full snapshots and
-	// initial rate pushes; every later round is the steady state.
+	// Two rounds off the clock: the first pays the one-time full
+	// snapshots and initial rate pushes, the second warms the delta and
+	// reply buffers those first exchanges sized. Then collect the
+	// fleet-construction garbage off the clock too: at 10k stages the
+	// setup litter is tens of millions of objects, and letting the timed
+	// loop inherit that debt makes ns/op a function of b.N rather than
+	// of the round being measured.
 	if ctl.RunOnce() == nil {
 		b.Fatal("RunOnce returned nil allocation")
 	}
+	ctl.RunOnce()
+	runtime.GC()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -182,6 +223,20 @@ func BenchmarkControllerRunOnce1024(b *testing.B) {
 // against the two-phase loop's collect+push total.
 func BenchmarkControllerRunOnce1024Pipelined(b *testing.B) {
 	runRounds(b, benchFleetLoopback(b, 1024, WithPipelinedRounds()))
+}
+
+// ...Tree1024 runs the same 1024-stage fleet as RunOnce1024 through the
+// aggregator tier (32 shards of 32): the controller exchanges 64 frames
+// per round instead of 2048, and the shards fan out concurrently.
+func BenchmarkControllerRunOnceTree1024(b *testing.B) {
+	runRounds(b, benchFleetTree(b, 1024, 32))
+}
+
+// ...Tree10240 is the fleet-scale point the flat loop cannot reach in
+// one control interval: 10240 stages behind 320 shards. The acceptance
+// bar is a round cheaper per stage than the flat 1024 baseline.
+func BenchmarkControllerRunOnceTree10240(b *testing.B) {
+	runRounds(b, benchFleetTree(b, 10240, 32))
 }
 
 // ...Mux256 serves all 256 stages from one listener and multiplexes

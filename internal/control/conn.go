@@ -113,6 +113,18 @@ type CollectIntoConn interface {
 	CollectInto(dst *stage.Stats) error
 }
 
+// DeltaConn is the optional StageConn extension for peers whose collect
+// can report "nothing changed since your last collect" and skip
+// re-materializing. The caller must keep dst alive between calls: when
+// changed is false, dst is left holding the previous materialization,
+// which is exactly the current snapshot. The aggregator uses it with
+// its persistent per-member stats slots, so a steady-state shard round
+// re-copies no stats and re-folds no rows. Like BatchConn, LocalConn
+// deliberately omits it so fault-injecting wrappers aren't bypassed.
+type DeltaConn interface {
+	CollectChangedInto(dst *stage.Stats) (changed bool, err error)
+}
+
 // RemoteConn drives a stage over the RPC transport, using the batched
 // delta protocol: Collect rides Stage.Batch and after the first
 // exchange only changed queues cross the wire.
@@ -127,6 +139,7 @@ var (
 	_ BatchIntoConn   = (*RemoteConn)(nil)
 	_ WireStatser     = (*RemoteConn)(nil)
 	_ CollectIntoConn = (*RemoteConn)(nil)
+	_ DeltaConn       = (*RemoteConn)(nil)
 )
 
 // NewRemoteConn wraps a dialed stage handle with its registered identity.
@@ -154,6 +167,12 @@ func (c *RemoteConn) Collect() (stage.Stats, error) { return c.handle.CollectDel
 // CollectInto implements CollectIntoConn over the incremental protocol.
 func (c *RemoteConn) CollectInto(dst *stage.Stats) error {
 	return c.handle.CollectDeltaInto(dst)
+}
+
+// CollectChangedInto implements DeltaConn over the incremental protocol.
+func (c *RemoteConn) CollectChangedInto(dst *stage.Stats) (bool, error) {
+	_, changed, err := c.handle.ExecBatchChangedInto(nil, true, dst)
+	return changed, err
 }
 
 // ExecBatch implements BatchConn.

@@ -89,6 +89,25 @@ type Controller struct {
 	// nothing per stage.
 	collectBuf []stage.Stats
 	collectErr []error
+
+	// aggs is the aggregator registry; any entry switches RunOnce into
+	// tree mode (see aggregator.go). shardSize > 0 (WithTopology) also
+	// enables tree mode with auto-built in-process shards, optionally
+	// borrowing (WithBorrowing) inside each.
+	aggs         map[string]AggConn
+	shardSize    int
+	borrow       bool
+	borrowBudget float64
+	// registryRev counts stage registry mutations; topoRev is the
+	// revision the auto-built topology last sharded, so a changed
+	// registry reshards lazily at the next tree round.
+	registryRev int
+	topoRev     int
+	// aggReplies/aggErrs are the tree round's positional per-shard
+	// scratch, single-owned by roundMu like collectBuf/collectErr.
+	aggReplies []rpcio.AggRoundReply
+	aggErrs    []error
+	aggGrants  [][]rpcio.JobGrant
 }
 
 // Option configures a Controller.
@@ -236,6 +255,7 @@ func (c *Controller) Register(conn StageConn) error {
 	c.mu.Lock()
 	old := c.stages[id]
 	c.stages[id] = conn
+	c.registryRev++
 	delete(c.misses, id)
 	alg := c.algorithm
 	key := c.groupBy(info)
@@ -371,6 +391,7 @@ func (c *Controller) Deregister(stageID string) bool {
 	if ok {
 		key := c.groupBy(conn.Info())
 		delete(c.stages, stageID)
+		c.registryRev++
 		delete(c.misses, stageID)
 		if len(c.stagesOfJobLocked(key)) == 0 {
 			delete(c.lastAlloc, key)
@@ -823,6 +844,13 @@ type RoundStats struct {
 	// round across connections that account it (TCP transports).
 	BytesRead    uint64
 	BytesWritten uint64
+	// Aggregators is the shard count of a tree-mode round (0 in flat
+	// mode); TokensBorrowed/Repaid/Forgiven sum the shards' lifetime
+	// borrow-pool movement as of this round's collect.
+	Aggregators    int
+	TokensBorrowed float64
+	TokensRepaid   float64
+	TokensForgiven float64
 }
 
 // RPCs is the round's total round trips.
@@ -922,6 +950,9 @@ func (c *Controller) pushOpFor(probe stageProbe, jobID string, rate float64) (op
 // Under WithPipelinedRounds the two phases fuse into one round trip per
 // stage; see runOncePipelined.
 func (c *Controller) RunOnce() map[string]float64 {
+	if c.treeEnabled() {
+		return c.runOnceTree()
+	}
 	c.mu.Lock()
 	pipelined := c.pipelined
 	c.mu.Unlock()

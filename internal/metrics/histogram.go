@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -14,6 +15,12 @@ import (
 // service latency; the overhead experiment (§IV-A) uses it to compare
 // baseline against passthrough interposition.
 type Histogram struct {
+	// obs mirrors total so readers can detect "never observed" without
+	// the mutex: a fleet collect reads three quantiles per queue per
+	// round, and most queues on most stages are idle — their histograms
+	// answer with one atomic load instead of a lock and a bucket walk.
+	obs atomic.Int64
+
 	mu     sync.Mutex
 	bounds []float64 // upper bound (seconds) of each bucket, ascending
 	counts []int64   // len(bounds)+1, last bucket is overflow
@@ -58,6 +65,7 @@ func (h *Histogram) ObserveSeconds(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i]++
 	h.total++
+	h.obs.Store(h.total)
 	h.sum += v
 	if v < h.min {
 		h.min = v
@@ -107,8 +115,27 @@ func (h *Histogram) Max() float64 {
 // Quantile returns an upper-bound estimate for the q-th quantile
 // (0 < q <= 1) using the bucket upper bound containing the rank.
 func (h *Histogram) Quantile(q float64) float64 {
+	if h.obs.Load() == 0 {
+		return 0 // never observed: what the locked path would answer
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+// Quantiles3 answers three quantile queries in one lock acquisition —
+// the shape of a queue-stats snapshot (p50/p95/p99) — and answers a
+// never-observed histogram with zeros for the cost of one atomic load.
+func (h *Histogram) Quantiles3(q1, q2, q3 float64) (v1, v2, v3 float64) {
+	if h.obs.Load() == 0 {
+		return 0, 0, 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q1), h.quantileLocked(q2), h.quantileLocked(q3)
+}
+
+func (h *Histogram) quantileLocked(q float64) float64 {
 	if h.total == 0 {
 		return 0
 	}

@@ -157,11 +157,20 @@ type ServiceStats struct {
 // acknowledged: the generation counter and the per-queue values at that
 // generation, which the next collect diffs against.
 type deltaTracker struct {
-	mu      sync.Mutex
-	gen     uint64
-	last    map[string]stage.QueueStats
-	lastIDs []string    // sorted rule IDs present at gen
+	mu  sync.Mutex
+	gen uint64
+	// last holds the queue values at gen, sorted by rule ID — the order
+	// CollectInto emits. Diffing the next snapshot is one two-pointer
+	// walk over two equally sorted slices and advancing the baseline is
+	// one bulk copy, where a map baseline would hash every rule ID on
+	// every round of every client.
+	last    []stage.QueueStats
 	scratch stage.Stats // CollectInto buffer, reused every round
+
+	// tok is the stage's quiescence token from the last collect (see
+	// stage.CollectQuietInto). While it holds, this client's collects
+	// skip the snapshot and the diff entirely.
+	tok uint64
 
 	// lastUse is the service's LRU stamp, guarded by trackMu (not mu).
 	lastUse uint64
@@ -260,10 +269,31 @@ func (s *StageService) collectDelta(clientID, ackEpoch, ackGen uint64, d *StatsD
 	t.mu.Lock()
 	defer t.mu.Unlock()
 
-	s.stg.CollectInto(&t.scratch)
+	incremental := ackEpoch == s.epoch && ackGen == t.gen && t.gen > 0
+	if incremental && t.tok != 0 && s.stg.QuietSince(t.tok) {
+		// The stage proves its statistics unchanged since this client's
+		// last collect: an empty delta, touching no counter. The scratch
+		// buffer still holds the snapshot the token vouches for, so the
+		// scalar fields every delta carries come straight from it. The
+		// generation still advances — gen identifies the collect, not
+		// the baseline, and any ack but the latest must keep falling
+		// back to a full snapshot.
+		s.deltaCollects.Add(1)
+		t.gen++
+		d.Epoch, d.Gen = s.epoch, t.gen
+		d.Full = false
+		d.Info = stage.Info{}
+		d.Queues = d.Queues[:0]
+		d.Removed = d.Removed[:0]
+		d.Passthrough = t.scratch.Passthrough
+		d.Degraded = t.scratch.Degraded
+		d.DegradedSeconds = t.scratch.DegradedSeconds
+		return
+	}
+
+	t.tok = s.stg.CollectQuietInto(&t.scratch)
 	st := &t.scratch
 
-	incremental := ackEpoch == s.epoch && ackGen == t.gen && t.gen > 0
 	t.gen++
 	d.Epoch, d.Gen = s.epoch, t.gen
 	d.Full = !incremental
@@ -275,21 +305,26 @@ func (s *StageService) collectDelta(clientID, ackEpoch, ackGen uint64, d *StatsD
 	if incremental {
 		d.Info = stage.Info{}
 		s.deltaCollects.Add(1)
-		for _, q := range st.Queues {
-			if prev, ok := t.last[q.RuleID]; !ok || prev != q {
-				d.Queues = append(d.Queues, q)
-			}
-		}
-		// Removed rules: walk the previous sorted ID list against the
-		// current sorted queues (Collect sorts by RuleID).
+		// Both slices are sorted by rule ID (Collect sorts), so one
+		// two-pointer walk finds changed, added, and removed rules.
 		j := 0
-		for _, id := range t.lastIDs {
-			for j < len(st.Queues) && st.Queues[j].RuleID < id {
+		for i := range st.Queues {
+			q := &st.Queues[i]
+			for j < len(t.last) && t.last[j].RuleID < q.RuleID {
+				d.Removed = append(d.Removed, t.last[j].RuleID)
 				j++
 			}
-			if j >= len(st.Queues) || st.Queues[j].RuleID != id {
-				d.Removed = append(d.Removed, id)
+			if j < len(t.last) && t.last[j].RuleID == q.RuleID {
+				if t.last[j] != *q {
+					d.Queues = append(d.Queues, *q)
+				}
+				j++
+			} else {
+				d.Queues = append(d.Queues, *q)
 			}
+		}
+		for ; j < len(t.last); j++ {
+			d.Removed = append(d.Removed, t.last[j].RuleID)
 		}
 	} else {
 		d.Info = st.Info
@@ -297,37 +332,23 @@ func (s *StageService) collectDelta(clientID, ackEpoch, ackGen uint64, d *StatsD
 		d.Queues = append(d.Queues, st.Queues...)
 	}
 
-	// Advance the tracker to this generation.
-	if t.last == nil {
-		t.last = make(map[string]stage.QueueStats, len(st.Queues))
-	}
-	for _, id := range d.Removed {
-		delete(t.last, id)
-	}
-	if !incremental {
-		// Full replies didn't compute Removed; rebuild the map.
-		clear(t.last)
-	}
-	t.lastIDs = t.lastIDs[:0]
-	for _, q := range st.Queues {
-		t.last[q.RuleID] = q
-		t.lastIDs = append(t.lastIDs, q.RuleID)
-	}
+	// Advance the baseline to this generation: a bulk copy of the
+	// already sorted snapshot.
+	t.last = append(t.last[:0], st.Queues...)
 }
 
 // DeltaState is the client half of incremental collection: the merged
 // snapshot a sequence of StatsDelta replies reconstructs. It is not
 // safe for concurrent use; StageHandle guards its own instance.
 type DeltaState struct {
-	epoch  uint64
-	gen    uint64
-	info   stage.Info
-	queues map[string]stage.QueueStats
-	// ids caches the queue rule IDs in sorted order so SnapshotInto
-	// materializes without allocating; idsDirty marks membership changes
-	// (inserts/removals) that require a re-sort before the next use.
-	ids      []string
-	idsDirty bool
+	epoch uint64
+	gen   uint64
+	info  stage.Info
+	// qs holds the merged queue stats sorted by rule ID — the order
+	// deltas arrive in and the order Snapshot must emit — so a
+	// steady-state round is binary-search overwrites on apply and one
+	// bulk copy on snapshot, with no per-rule hashing anywhere.
+	qs []stage.QueueStats
 
 	passthrough     int64
 	degraded        bool
@@ -341,41 +362,49 @@ type DeltaState struct {
 // BatchArgs.
 func (ds *DeltaState) Ack() (epoch, gen uint64) { return ds.epoch, ds.gen }
 
-// Apply merges one reply into the state.
-func (ds *DeltaState) Apply(d *StatsDelta) {
-	if ds.queues == nil {
-		ds.queues = make(map[string]stage.QueueStats, len(d.Queues))
-	}
+// find binary-searches qs for a rule ID, returning its index (or the
+// insertion point) and whether it is present.
+func (ds *DeltaState) find(id string) (int, bool) {
+	i := sort.Search(len(ds.qs), func(k int) bool { return ds.qs[k].RuleID >= id })
+	return i, i < len(ds.qs) && ds.qs[i].RuleID == id
+}
+
+// Apply merges one reply into the state and reports whether the merged
+// snapshot differs from what it was before this reply — false exactly
+// when a materialization from before the call is still current. Queue
+// entries may arrive in any order and may repeat within a reply (later
+// entries win, matching the map semantics this held before); the merged
+// state stays sorted.
+func (ds *DeltaState) Apply(d *StatsDelta) (changed bool) {
+	changed = d.Full || len(d.Queues) > 0 || len(d.Removed) > 0 ||
+		d.Passthrough != ds.passthrough || d.Degraded != ds.degraded ||
+		d.DegradedSeconds != ds.degradedSeconds
 	if d.Full {
 		ds.fulls++
-		clear(ds.queues)
-		ds.ids = ds.ids[:0]
+		ds.qs = ds.qs[:0]
 		ds.info = d.Info
 	} else {
 		ds.deltas++
 		for _, id := range d.Removed {
-			if _, ok := ds.queues[id]; ok {
-				delete(ds.queues, id)
-				for i, cached := range ds.ids {
-					if cached == id {
-						ds.ids = append(ds.ids[:i], ds.ids[i+1:]...)
-						break
-					}
-				}
+			if i, ok := ds.find(id); ok {
+				ds.qs = append(ds.qs[:i], ds.qs[i+1:]...)
 			}
 		}
 	}
 	for _, q := range d.Queues {
-		if _, ok := ds.queues[q.RuleID]; !ok {
-			ds.ids = append(ds.ids, q.RuleID)
-			ds.idsDirty = true
+		if i, ok := ds.find(q.RuleID); ok {
+			ds.qs[i] = q
+		} else {
+			ds.qs = append(ds.qs, stage.QueueStats{})
+			copy(ds.qs[i+1:], ds.qs[i:])
+			ds.qs[i] = q
 		}
-		ds.queues[q.RuleID] = q
 	}
 	ds.epoch, ds.gen = d.Epoch, d.Gen
 	ds.passthrough = d.Passthrough
 	ds.degraded = d.Degraded
 	ds.degradedSeconds = d.DegradedSeconds
+	return changed
 }
 
 // Snapshot materializes the merged state as a stage.Stats equal to what
@@ -390,21 +419,14 @@ func (ds *DeltaState) Snapshot() stage.Stats {
 // SnapshotInto is Snapshot writing into a caller-owned buffer: every
 // field of dst is overwritten and dst.Queues is rebuilt in place, so a
 // caller reusing dst across rounds pays no allocations once capacities
-// warm up. The cached sorted ID list makes the steady state (unchanged
-// membership) a straight copy-out with no sort.
+// warm up. The merged state is kept sorted on apply, so this is one
+// bulk copy with no sort and no per-rule lookups.
 func (ds *DeltaState) SnapshotInto(dst *stage.Stats) {
-	if ds.idsDirty {
-		sort.Strings(ds.ids)
-		ds.idsDirty = false
-	}
 	dst.Info = ds.info
 	dst.Passthrough = ds.passthrough
 	dst.Degraded = ds.degraded
 	dst.DegradedSeconds = ds.degradedSeconds
-	dst.Queues = dst.Queues[:0]
-	for _, id := range ds.ids {
-		dst.Queues = append(dst.Queues, ds.queues[id])
-	}
+	dst.Queues = append(dst.Queues[:0], ds.qs...)
 }
 
 // CollectCounts reports how many replies arrived in each form.
@@ -454,6 +476,22 @@ func (h *StageHandle) ExecBatch(ops []StageOp, collect bool) (results []OpResult
 // controller's collect loop uses so a thousand-stage steady-state round
 // allocates nothing per stage. dst may be nil when collect is false.
 func (h *StageHandle) ExecBatchInto(ops []StageOp, collect bool, dst *stage.Stats) (results []OpResult, err error) {
+	results, _, err = h.execBatch(ops, collect, dst, false)
+	return results, err
+}
+
+// ExecBatchChangedInto is ExecBatchInto for a caller that keeps dst
+// alive between collects: when the reply shows nothing changed since
+// this handle's previous collect, dst is left untouched — it still
+// holds the previous materialization, which is exactly the current
+// snapshot — and changed reports false. The contract requires dst to be
+// the same logical buffer across calls on this handle; an aggregator's
+// per-member stats slot is the intended shape.
+func (h *StageHandle) ExecBatchChangedInto(ops []StageOp, collect bool, dst *stage.Stats) (results []OpResult, changed bool, err error) {
+	return h.execBatch(ops, collect, dst, true)
+}
+
+func (h *StageHandle) execBatch(ops []StageOp, collect bool, dst *stage.Stats, skipUnchanged bool) (results []OpResult, changed bool, err error) {
 	h.bmu.Lock()
 	defer h.bmu.Unlock()
 	if h.bargs.ClientID == 0 {
@@ -469,17 +507,19 @@ func (h *StageHandle) ExecBatchInto(ops []StageOp, collect bool, dst *stage.Stat
 	err = h.t.Call("Stage.Batch", &h.bargs, &h.breply)
 	h.bargs.Ops = nil
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if len(h.breply.Results) > 0 {
 		results = make([]OpResult, len(h.breply.Results))
 		copy(results, h.breply.Results)
 	}
 	if collect {
-		h.dstate.Apply(&h.breply.Delta)
-		h.dstate.SnapshotInto(dst)
+		changed = h.dstate.Apply(&h.breply.Delta)
+		if changed || !skipUnchanged {
+			h.dstate.SnapshotInto(dst)
+		}
 	}
-	return results, nil
+	return results, changed, nil
 }
 
 // CollectDelta fetches the stage's statistics over the batched

@@ -24,17 +24,30 @@ import (
 	"net"
 	"net/rpc"
 	"sync"
+	"sync/atomic"
 
 	"padll/internal/stage"
 )
 
-// FrameServer routes frames to the StageServices multiplexed behind one
-// listener. Channel 0 is the first service added — the implicit default
-// for clients that never attach (a single-stage endpoint).
+// frameTarget is one mux channel's service: a stage service or an
+// aggregator service, never both.
+type frameTarget struct {
+	stage *StageService
+	agg   *AggService
+}
+
+// FrameServer routes frames to the services multiplexed behind one
+// listener — stage services and aggregator services share the channel
+// space and the attach handshake. Channel 0 is the first service added
+// — the implicit default for clients that never attach (a
+// single-service endpoint).
 type FrameServer struct {
-	mu       sync.Mutex
-	byName   map[string]uint32
-	services []*StageService
+	mu     sync.Mutex
+	byName map[string]uint32
+	// targets is published copy-on-write: registration appends to a
+	// fresh slice under mu, while lookup — on the path of every frame —
+	// reads the current snapshot with one atomic load and no lock.
+	targets atomic.Pointer[[]frameTarget]
 }
 
 // NewFrameServer returns an empty mux.
@@ -46,31 +59,47 @@ func NewFrameServer() *FrameServer {
 // clients resolve via attach. The first service added also serves
 // channel 0 (the no-attach default).
 func (fs *FrameServer) Add(svc *StageService) uint32 {
+	return fs.add(svc.stg.Info().StageID, frameTarget{stage: svc})
+}
+
+// AddAgg registers an aggregator service under its aggregator ID; the
+// attach handshake resolves it exactly as a stage ID.
+func (fs *FrameServer) AddAgg(svc *AggService) uint32 {
+	return fs.add(svc.id, frameTarget{agg: svc})
+}
+
+func (fs *FrameServer) add(name string, t frameTarget) uint32 {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	ch := uint32(len(fs.services))
-	fs.services = append(fs.services, svc)
-	fs.byName[svc.stg.Info().StageID] = ch
+	var cur []frameTarget
+	if p := fs.targets.Load(); p != nil {
+		cur = *p
+	}
+	ch := uint32(len(cur))
+	next := make([]frameTarget, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = t
+	fs.targets.Store(&next)
+	fs.byName[name] = ch
 	return ch
 }
 
 // lookup resolves a channel to its service.
-func (fs *FrameServer) lookup(ch uint32) *StageService {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	if int(ch) >= len(fs.services) {
-		return nil
+func (fs *FrameServer) lookup(ch uint32) (frameTarget, bool) {
+	p := fs.targets.Load()
+	if p == nil || int(ch) >= len(*p) {
+		return frameTarget{}, false
 	}
-	return fs.services[ch]
+	return (*p)[ch], true
 }
 
-// attach resolves a stage ID to its channel. The empty ID names the
-// default service.
+// attach resolves a stage or aggregator ID to its channel. The empty ID
+// names the default service.
 func (fs *FrameServer) attach(stageID string) (uint32, bool) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if stageID == "" {
-		if len(fs.services) == 0 {
+		if p := fs.targets.Load(); p == nil || len(*p) == 0 {
 			return 0, false
 		}
 		return 0, true
@@ -87,18 +116,22 @@ type frameSession struct {
 	payload []byte
 	wbuf    []byte
 
-	applyArgs  ApplyRuleArgs
-	removeArgs RemoveRuleArgs
-	rateArgs   SetRateArgs
-	modeArgs   SetModeArgs
-	probeArgs  HealthProbe
-	batchArgs  BatchArgs
+	applyArgs     ApplyRuleArgs
+	removeArgs    RemoveRuleArgs
+	rateArgs      SetRateArgs
+	modeArgs      SetModeArgs
+	probeArgs     HealthProbe
+	batchArgs     BatchArgs
+	aggAttachArgs AggAttachArgs
+	aggRoundArgs  AggRoundArgs
 
-	boolReply   bool
-	statsReply  stage.Stats
-	infoReply   stage.Info
-	healthReply StageHealth
-	batchReply  BatchReply
+	boolReply    bool
+	statsReply   stage.Stats
+	infoReply    stage.Info
+	healthReply  StageHealth
+	batchReply   BatchReply
+	aggInfoReply AggInfo
+	aggRndReply  AggRoundReply
 }
 
 // serveFrameConn runs one connection's frame loop until the connection
@@ -164,9 +197,16 @@ func appendUvarintPayload(reply []byte, v uint64) []byte {
 
 // handleCall decodes, dispatches, and encodes one service method.
 func (fs *FrameServer) handleCall(s *frameSession, h frameHeader, reply []byte) ([]byte, uint8) {
-	svc := fs.lookup(h.channel)
-	if svc == nil {
+	tgt, ok := fs.lookup(h.channel)
+	if !ok {
 		return appendErrorPayload(reply, fmt.Sprintf("rpcio: no service on channel %d", h.channel)), frameError
+	}
+	if h.method == methodAggAttach || h.method == methodAggRound {
+		return fs.handleAggCall(tgt.agg, s, h, reply)
+	}
+	svc := tgt.stage
+	if svc == nil {
+		return appendErrorPayload(reply, fmt.Sprintf("rpcio: channel %d hosts an aggregator, not a stage", h.channel)), frameError
 	}
 	var (
 		err error
@@ -216,6 +256,34 @@ func (fs *FrameServer) handleCall(s *frameSession, h frameHeader, reply []byte) 
 	default:
 		err = fmt.Errorf("rpcio: unknown method %d", h.method)
 		out = reply
+	}
+	if err != nil {
+		return appendErrorPayload(reply[:frameHeaderLen], err.Error()), frameError
+	}
+	return out, frameReply
+}
+
+// handleAggCall dispatches one aggregator-tier method; svc is nil when
+// the addressed channel hosts a stage service instead.
+func (fs *FrameServer) handleAggCall(svc *AggService, s *frameSession, h frameHeader, reply []byte) ([]byte, uint8) {
+	if svc == nil {
+		return appendErrorPayload(reply, fmt.Sprintf("rpcio: no aggregator on channel %d", h.channel)), frameError
+	}
+	var (
+		err error
+		out []byte
+	)
+	switch h.method {
+	case methodAggAttach:
+		if err = readCallArgs(h.method, s.payload, &s.aggAttachArgs); err == nil {
+			err = svc.Attach(s.aggAttachArgs, &s.aggInfoReply)
+		}
+		out = appendAggInfo(reply, &s.aggInfoReply)
+	case methodAggRound:
+		if err = readCallArgs(h.method, s.payload, &s.aggRoundArgs); err == nil {
+			err = svc.Round(s.aggRoundArgs, &s.aggRndReply)
+		}
+		out = appendAggRoundReply(reply, &s.aggRndReply)
 	}
 	if err != nil {
 		return appendErrorPayload(reply[:frameHeaderLen], err.Error()), frameError

@@ -23,6 +23,10 @@ func fuzzArgsDst(m methodID) any {
 		return &HealthProbe{}
 	case methodBatch:
 		return &BatchArgs{}
+	case methodAggAttach:
+		return &AggAttachArgs{}
+	case methodAggRound:
+		return &AggRoundArgs{}
 	default:
 		return nil
 	}
@@ -42,6 +46,10 @@ func fuzzReplyDst(m methodID) any {
 		return &StageHealth{}
 	case methodBatch:
 		return &BatchReply{}
+	case methodAggAttach:
+		return &AggInfo{}
+	case methodAggRound:
+		return &AggRoundReply{}
 	default:
 		return nil
 	}

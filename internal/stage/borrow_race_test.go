@@ -1,0 +1,187 @@
+package stage
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"padll/internal/clock"
+	"padll/internal/policy"
+	"padll/internal/posix"
+	"padll/internal/tokenbucket"
+)
+
+// TestBorrowRaceConservation hammers the borrow fast path from many
+// goroutines across two pooled stages (run under -race) while the
+// control plane settles the ledger and retunes rates concurrently. The
+// invariants, checked at every mid-flight Collect and at quiescence:
+//
+//  1. per-queue conservation: Total + Dropped <= TotalDemand;
+//  2. token conservation across the pool: after a final Settle, every
+//     borrowed token was either repaid or forgiven and no debt remains
+//     outstanding — borrowing moved tokens, it never minted them.
+func TestBorrowRaceConservation(t *testing.T) {
+	clk := clock.NewReal()
+	pool := tokenbucket.NewBorrowPool(1.0)
+	rule := policy.Rule{
+		ID:     "ctl",
+		Match:  policy.Matcher{Ops: []posix.Op{posix.OpOpen}},
+		Rate:   50000,
+		Burst:  5000,
+		Action: policy.ActionDrop,
+	}
+	busy := New(Info{StageID: "busy", JobID: "job1", Hostname: "n1", User: "u"}, clk)
+	idle := New(Info{StageID: "idle", JobID: "job1", Hostname: "n2", User: "u"}, clk)
+	for _, s := range []*Stage{busy, idle} {
+		s.ApplyRule(rule)
+		s.SetBorrowPool("ctl", pool)
+	}
+
+	const (
+		busyEnforcers = 6
+		idleEnforcers = 1
+		perEnforcer   = 5000
+	)
+	var enforcers, background sync.WaitGroup
+	stop := make(chan struct{})
+	var admitted, dropped atomic.Int64
+
+	hammer := func(s *Stage, n int) {
+		for g := 0; g < n; g++ {
+			enforcers.Add(1)
+			go func() {
+				defer enforcers.Done()
+				req := &posix.Request{Op: posix.OpOpen, Path: "/pfs/a", JobID: "job1"}
+				for i := 0; i < perEnforcer; i++ {
+					switch err := s.Enforce(req); err {
+					case nil:
+						admitted.Add(1)
+					case ErrRateLimited:
+						dropped.Add(1)
+					default:
+						t.Errorf("Enforce: %v", err)
+						return
+					}
+				}
+			}()
+		}
+	}
+	// Skewed load: the busy stage runs dry and must borrow from the idle
+	// sibling's mostly-unused bucket.
+	hammer(busy, busyEnforcers)
+	hammer(idle, idleEnforcers)
+
+	// Control plane: settle the ledger and retune rates mid-flight, the
+	// way plan pushes land on a live shard.
+	background.Add(1)
+	go func() {
+		defer background.Done()
+		rates := []float64{50000, 30000, 70000}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			pool.Settle()
+			busy.SetRate("ctl", rates[i%len(rates)])
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	// Collector: every snapshot observed mid-flight must conserve.
+	background.Add(1)
+	go func() {
+		defer background.Done()
+		var st Stats
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, s := range []*Stage{busy, idle} {
+				s.CollectInto(&st)
+				for _, q := range st.Queues {
+					if q.Total+q.Dropped > q.TotalDemand {
+						t.Errorf("%s/%s: Total %d + Dropped %d > TotalDemand %d",
+							s.Info().StageID, q.RuleID, q.Total, q.Dropped, q.TotalDemand)
+					}
+				}
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	// Enforcers never block (drop action), so this converges quickly;
+	// then halt the background churn.
+	enforcers.Wait()
+	close(stop)
+	background.Wait()
+
+	// Quiescence: per-queue conservation holds, the ledger settles to
+	// zero, and lifetime accounting balances exactly.
+	var st Stats
+	for _, s := range []*Stage{busy, idle} {
+		s.CollectInto(&st)
+		for _, q := range st.Queues {
+			if q.Total+q.Dropped > q.TotalDemand {
+				t.Errorf("final %s/%s: Total %d + Dropped %d > TotalDemand %d",
+					s.Info().StageID, q.RuleID, q.Total, q.Dropped, q.TotalDemand)
+			}
+		}
+	}
+	pool.Settle()
+	if out := pool.Outstanding(); out != 0 {
+		t.Errorf("Outstanding after final Settle = %v, want 0", out)
+	}
+	borrowed, repaid, forgiven := pool.Counts()
+	if borrowed < 0 || repaid < 0 || forgiven < 0 {
+		t.Fatalf("negative lifetime counts: %v/%v/%v", borrowed, repaid, forgiven)
+	}
+	if diff := math.Abs(borrowed - (repaid + forgiven)); diff > 1e-6*(1+borrowed) {
+		t.Errorf("borrowed %v != repaid %v + forgiven %v (diff %v)", borrowed, repaid, forgiven, diff)
+	}
+}
+
+// TestBorrowPoolSurvivesRuleReinstall pins the lifecycle contract:
+// SetBorrowPool outlives the queue, so a rule removed and reinstalled
+// (stage restart, controller reinstall) rejoins its pool with a fresh
+// bucket while the old bucket's debts are forgiven.
+func TestBorrowPoolSurvivesRuleReinstall(t *testing.T) {
+	clk := clock.NewSim(time.Date(2022, 5, 1, 0, 0, 0, 0, time.UTC))
+	pool := tokenbucket.NewBorrowPool(1.0)
+	rule := policy.Rule{
+		ID:     "ctl",
+		Match:  policy.Matcher{Ops: []posix.Op{posix.OpOpen}},
+		Rate:   100,
+		Burst:  10,
+		Action: policy.ActionDrop,
+	}
+	a := New(Info{StageID: "a", JobID: "j", Hostname: "n", User: "u"}, clk)
+	b := New(Info{StageID: "b", JobID: "j", Hostname: "n", User: "u"}, clk)
+	for _, s := range []*Stage{a, b} {
+		s.ApplyRule(rule)
+		s.SetBorrowPool("ctl", pool)
+	}
+	if pool.Members() != 2 {
+		t.Fatalf("Members = %d, want 2", pool.Members())
+	}
+	if !a.RemoveRule("ctl") {
+		t.Fatal("RemoveRule failed")
+	}
+	if pool.Members() != 1 {
+		t.Fatalf("Members after remove = %d, want 1 (bucket detached)", pool.Members())
+	}
+	a.ApplyRule(rule)
+	if pool.Members() != 2 {
+		t.Fatalf("Members after reinstall = %d, want 2 (bucket rejoined)", pool.Members())
+	}
+	// Unlinking detaches the live bucket.
+	a.SetBorrowPool("ctl", nil)
+	if pool.Members() != 1 {
+		t.Fatalf("Members after unlink = %d, want 1", pool.Members())
+	}
+}

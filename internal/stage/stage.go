@@ -181,6 +181,10 @@ type Stage struct {
 	mu     sync.Mutex
 	rules  *policy.RuleSet
 	queues map[string]*queue // by rule ID
+	// borrowPools maps rule IDs to the sibling borrow pool their bucket
+	// joins (nil until SetBorrowPool). The mapping outlives the queue:
+	// a rule reinstalled after removal rejoins its pool automatically.
+	borrowPools map[string]*tokenbucket.BorrowPool
 
 	// Amortized wall-clock sampling: reading the real clock costs more
 	// than the rest of the admit path combined, so the hot path reuses
@@ -205,6 +209,27 @@ type Stage struct {
 	degMu         sync.Mutex
 	degradedSince time.Time
 	degradedTotal time.Duration
+
+	// Quiescence tracking: epoch counts control-plane mutations (rule
+	// and mode changes, degraded flips), active flags data-plane events
+	// since the last collect. The hot path only ever reads active and
+	// re-stores it when it finds it false, so in steady state the flag's
+	// cache line is shared read-only across cores — no per-request
+	// write traffic. Together with per-counter quiet bits (see
+	// metrics.RateCounter.CollectAt) they let CollectQuietInto prove
+	// "these statistics can no longer change" and mint a token that
+	// makes every subsequent collect free; see quietID below.
+	epoch  atomic.Uint64
+	active atomic.Bool
+
+	// collectMu serializes collects and guards the quiescence ids:
+	// quietID is the token of the collect that established the current
+	// fixed point (0 = not at a fixed point), quietSeq mints fresh
+	// tokens, quietEpoch pins the epoch the token was minted at.
+	collectMu  sync.Mutex
+	quietID    uint64
+	quietSeq   uint64
+	quietEpoch uint64
 }
 
 // clockStride is how many amortized hot-path clock reads share one real
@@ -286,8 +311,26 @@ func (s *Stage) hotNow() time.Time {
 // Info returns the stage's identity.
 func (s *Stage) Info() Info { return s.info }
 
+// markActive records that a data-plane event mutated the statistics.
+// Called at the END of each hot-path branch, after every counter the
+// branch touches, so a collector that observed active==false before
+// reading counters either saw all of an op's effects or will see
+// active==true on its next check. The load-before-store keeps the
+// steady state read-only: only the first event after a collect writes
+// the line.
+//
+//lint:hotpath
+func (s *Stage) markActive() {
+	if !s.active.Load() {
+		s.active.Store(true)
+	}
+}
+
 // SetMode switches between Enforce and Passthrough.
-func (s *Stage) SetMode(m Mode) { s.mode.Store(int32(m)) }
+func (s *Stage) SetMode(m Mode) {
+	s.mode.Store(int32(m))
+	s.epoch.Add(1)
+}
 
 // Mode returns the current mode.
 func (s *Stage) Mode() Mode { return Mode(s.mode.Load()) }
@@ -316,6 +359,10 @@ func (s *Stage) publishLocked() {
 		}
 	}
 	s.snap.Store(sn)
+	// Every rule mutation republishes, so this is the single epoch bump
+	// point for rule/rate changes (bumped after the mutation lands: a
+	// concurrent collect that read the old epoch re-collects next round).
+	s.epoch.Add(1)
 }
 
 // ApplyRule installs or updates a rule and its queue. Updating an
@@ -345,7 +392,38 @@ func (s *Stage) ApplyRule(r policy.Rule) {
 		demand:   metrics.NewRateCounter("demand:"+r.ID, s.clk, s.window),
 		latency:  metrics.NewLatencyHistogram(),
 	}
+	if p, ok := s.borrowPools[r.ID]; ok {
+		p.Attach(b)
+	}
 	s.publishLocked()
+}
+
+// SetBorrowPool links the named rule's bucket into a sibling borrow
+// pool (see tokenbucket.BorrowPool): when the bucket runs dry between
+// control rounds it may borrow unused tokens from the pool's other
+// members. The link survives rule reinstallation — a queue created
+// later for ruleID joins the pool on creation. A nil pool unlinks (and
+// detaches any live bucket, forgiving its ledger entries).
+func (s *Stage) SetBorrowPool(ruleID string, p *tokenbucket.BorrowPool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p == nil {
+		prev, ok := s.borrowPools[ruleID]
+		delete(s.borrowPools, ruleID)
+		if ok {
+			if q, qok := s.queues[ruleID]; qok {
+				prev.Detach(q.bucket)
+			}
+		}
+		return
+	}
+	if s.borrowPools == nil {
+		s.borrowPools = make(map[string]*tokenbucket.BorrowPool)
+	}
+	s.borrowPools[ruleID] = p
+	if q, ok := s.queues[ruleID]; ok {
+		p.Attach(q.bucket)
+	}
 }
 
 // RemoveRule deletes a rule; its queue's waiters are released unthrottled
@@ -357,6 +435,9 @@ func (s *Stage) RemoveRule(id string) bool {
 		return false
 	}
 	if q, ok := s.queues[id]; ok {
+		if p, pok := s.borrowPools[id]; pok {
+			p.Detach(q.bucket)
+		}
 		q.bucket.Set(tokenbucket.Infinite, tokenbucket.Infinite)
 		delete(s.queues, id)
 	}
@@ -402,6 +483,7 @@ func (s *Stage) Enforce(req *posix.Request) error {
 	e := s.snap.Load().classify(req)
 	if e == nil {
 		s.passthrough.AddAt(1, s.hotNow())
+		s.markActive()
 		return nil
 	}
 	q := e.q
@@ -411,6 +493,7 @@ func (s *Stage) Enforce(req *posix.Request) error {
 		now := s.hotNow()
 		q.demand.AddAt(1, now)
 		q.admitted.AddAt(1, now)
+		s.markActive()
 		return nil
 	}
 
@@ -420,9 +503,11 @@ func (s *Stage) Enforce(req *posix.Request) error {
 		q.demand.AddAt(1, now)
 		if q.bucket.TryTake(1) {
 			q.admitted.AddAt(1, now)
+			s.markActive()
 			return nil
 		}
 		q.dropped.Add(1)
+		s.markActive()
 		return ErrRateLimited
 	}
 
@@ -432,14 +517,20 @@ func (s *Stage) Enforce(req *posix.Request) error {
 	start := s.clk.Now()
 	q.demand.AddAt(1, start)
 	q.waiting.Add(1)
+	// Raise the flag at arrival, not just at release: the wait below can
+	// outlast many collect rounds, and the queued demand must not hide
+	// behind a quiescence token the whole time.
+	s.markActive()
 	err := q.bucket.Wait(1)
 	q.waiting.Add(-1)
 	if err != nil {
+		s.markActive()
 		return err
 	}
 	end := s.clk.Now()
 	q.latency.Observe(end.Sub(start))
 	q.admitted.AddAt(1, end)
+	s.markActive()
 	return nil
 }
 
@@ -473,6 +564,7 @@ func (s *Stage) Offer(req *posix.Request, n float64, dt time.Duration) float64 {
 		add := carry(&s.ptRem, n)
 		s.ptMu.Unlock()
 		s.passthrough.AddAt(add, s.hotNow())
+		s.markActive()
 		return n
 	}
 	q := e.q
@@ -491,6 +583,7 @@ func (s *Stage) Offer(req *posix.Request, n float64, dt time.Duration) float64 {
 	admN := carry(&q.admRem, served)
 	q.offerMu.Unlock()
 	q.admitted.AddAt(admN, now)
+	s.markActive()
 	return served
 }
 
@@ -512,17 +605,49 @@ func (s *Stage) Collect() Stats {
 // instead of allocating a fresh slice per round. All other fields of out
 // are overwritten.
 func (s *Stage) CollectInto(out *Stats) {
+	s.CollectQuietInto(out)
+}
+
+// CollectQuietInto is CollectInto additionally reporting a quiescence
+// token. A non-zero token proves the written statistics are at a fixed
+// point: every queue's rates have decayed to zero with nothing pending
+// in an open window, no waiters are in flight, and the stage is not
+// degraded — so absent new data-plane events or control mutations, any
+// future collect returns byte-identical statistics. QuietSince(token)
+// checks that proof still holds, which is what lets a control service
+// answer a steady-state collect without touching a single counter: a
+// fleet's collect cost becomes proportional to its activity, not its
+// size. Token 0 means no such proof.
+func (s *Stage) CollectQuietInto(out *Stats) uint64 {
+	s.collectMu.Lock()
+	defer s.collectMu.Unlock()
+	e0 := s.epoch.Load()
+	// Swallow the activity flag before reading any counter: an event
+	// marking itself active does so after its counter adds, so an event
+	// missed by the reads below is guaranteed to re-raise the flag.
+	wasActive := s.active.Swap(false)
 	sn := s.snap.Load()
+	now := s.clk.Now() // one clock read shared by every counter below
 	out.Info = s.info
 	out.Queues = out.Queues[:0]
 	out.Passthrough = s.passthrough.Total()
 	out.Degraded = s.degraded.Load()
 	out.DegradedSeconds = s.DegradedFor().Seconds()
+	// Degraded time keeps growing while the flag is up, so a degraded
+	// stage is never quiet. The passthrough counter needs no quiet bit:
+	// its rate is not reported, and its total only moves on adds, which
+	// raise the active flag.
+	quiet := !out.Degraded
 	for _, e := range sn.collect {
 		q := e.q
-		totalAdm, thrRate := q.admitted.TotalAndLastRate()
+		totalAdm, thrRate, admQuiet := q.admitted.CollectAt(now)
 		dropped := q.dropped.Load()
-		totalDem, demRate := q.demand.TotalAndLastRate()
+		totalDem, demRate, demQuiet := q.demand.CollectAt(now)
+		p50, p95, p99 := q.latency.Quantiles3(0.50, 0.95, 0.99)
+		waiting := int(q.waiting.Load())
+		// In-flight waiters will observe a latency sample and an
+		// admission on release, with no new arrival to signal it.
+		quiet = quiet && admQuiet && demQuiet && waiting == 0
 		out.Queues = append(out.Queues, QueueStats{
 			RuleID:         e.rule.ID,
 			Limit:          e.rule.Rate,
@@ -532,12 +657,42 @@ func (s *Stage) CollectInto(out *Stats) {
 			Total:          totalAdm,
 			TotalDemand:    totalDem,
 			Dropped:        dropped,
-			Waiting:        int(q.waiting.Load()),
-			WaitP50:        q.latency.Quantile(0.50),
-			WaitP95:        q.latency.Quantile(0.95),
-			WaitP99:        q.latency.Quantile(0.99),
+			Waiting:        waiting,
+			WaitP50:        p50,
+			WaitP95:        p95,
+			WaitP99:        p99,
 		})
 	}
+	if s.epoch.Load() != e0 {
+		// A rule/mode/degraded mutation raced the reads above; the
+		// snapshot may straddle it.
+		quiet = false
+	}
+	if !quiet {
+		s.quietID = 0
+		return 0
+	}
+	if wasActive || s.quietID == 0 || s.quietEpoch != e0 {
+		// The statistics may differ from the ones the previous token
+		// vouched for, so holders of that token must not skip: mint a
+		// fresh one.
+		s.quietSeq++
+		s.quietID = s.quietSeq
+		s.quietEpoch = e0
+	}
+	return s.quietID
+}
+
+// QuietSince reports whether the stage's statistics are provably
+// unchanged since the CollectQuietInto call that returned token.
+func (s *Stage) QuietSince(token uint64) bool {
+	if token == 0 || s.active.Load() {
+		return false
+	}
+	s.collectMu.Lock()
+	ok := token == s.quietID && s.quietEpoch == s.epoch.Load()
+	s.collectMu.Unlock()
+	return ok
 }
 
 // QueueSeries returns a copy of a queue's admitted-rate time series (for
@@ -569,6 +724,7 @@ func (s *Stage) SetDegraded(degraded bool) bool {
 		s.degradedSince = time.Time{}
 	}
 	s.degraded.Store(degraded)
+	s.epoch.Add(1)
 	return true
 }
 

@@ -55,6 +55,11 @@ type Bucket struct {
 	// waiters receive a broadcast when tokens become available sooner
 	// than previously computed (rate increase or capacity change).
 	retune chan struct{}
+	// pool, when set, links this bucket to its siblings for
+	// decentralized token borrowing (borrow.go); guarded by mu, and
+	// never called into while mu is held (pool locks order before
+	// bucket locks).
+	pool *BorrowPool
 
 	// unlimitedA/closedA mirror rate == Infinite and closed for the
 	// lock-free admission path; both are updated under mu.
@@ -244,18 +249,24 @@ func (b *Bucket) TryTake(n float64) bool {
 		return true
 	}
 	b.mu.Lock()
-	//lint:allow hotpathcheck contended finite-rate branch; the measured 0-alloc fast path is the lock-free unlimited branch above
-	defer b.mu.Unlock()
 	if b.closed {
+		b.mu.Unlock()
 		return false
 	}
 	b.refillLocked(b.clk.Now())
 	if b.tokens >= n {
 		b.tokens -= n
 		b.addGranted(n)
+		b.mu.Unlock()
 		return true
 	}
-	return false
+	pool, need := b.pool, n-b.tokens
+	b.mu.Unlock()
+	if pool == nil {
+		return false
+	}
+	// Dry bucket with siblings: borrow the deficit and retry once.
+	return b.takeBorrowed(pool, n, need)
 }
 
 // Wait blocks until n tokens are available and takes them. It returns
@@ -339,14 +350,15 @@ func (b *Bucket) Grant(n float64, dt time.Duration) float64 {
 		dt = 0
 	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	if b.closed {
+		b.mu.Unlock()
 		return 0
 	}
 	now := b.clk.Now()
 	b.refillLocked(now)
 	if b.rate == Infinite {
 		b.addGranted(n)
+		b.mu.Unlock()
 		return n
 	}
 	// Refill only for the part of [last, now+dt) not already granted: a
@@ -365,6 +377,13 @@ func (b *Bucket) Grant(n float64, dt time.Duration) float64 {
 	admit := math.Min(n, b.tokens)
 	b.tokens -= admit
 	b.addGranted(admit)
+	pool := b.pool
+	b.mu.Unlock()
+	if admit < n && pool != nil {
+		// Backlogged window with siblings attached: top the window up
+		// with borrowed tokens so the group stays work-conserving.
+		admit += b.grantBorrowed(pool, n-admit)
+	}
 	return admit
 }
 

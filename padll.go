@@ -451,6 +451,21 @@ func WithGroupBy(f func(StageInfo) string) ControlOption { return control.WithGr
 // GroupByUser groups stages by submitting user.
 func GroupByUser(info StageInfo) string { return control.GroupByUser(info) }
 
+// WithTopology enables the hierarchical control plane: registered
+// stages are auto-sharded, in stage-ID order, into aggregators of at
+// most shardSize members, and each control round exchanges one RPC per
+// shard instead of one per stage.
+func WithTopology(shardSize int) ControlOption { return control.WithTopology(shardSize) }
+
+// WithBorrowing enables decentralized token borrowing between sibling
+// stages inside each auto-built shard (see WithTopology): a stage that
+// runs dry between control rounds borrows unused tokens from idle
+// siblings, bounded by budget (a fraction of burst capacity;
+// non-positive selects the default), and debts settle when the next
+// plan lands. Tokens move rather than being minted, so a shard's
+// aggregate enforcement never exceeds its granted share.
+func WithBorrowing(budget float64) ControlOption { return control.WithBorrowing(budget) }
+
 // NewControlPlane builds a control plane.
 func NewControlPlane(opts ...ControlOption) *ControlPlane {
 	return &ControlPlane{ctl: control.New(clock.NewReal(), opts...)}
