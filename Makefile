@@ -5,9 +5,11 @@ GO ?= go
 
 .PHONY: all build test race fuzz-smoke bench bench-all bench-smoke bench-diff vet fmt lint lint-self fix-smoke ci experiments tools clean
 
-# Hot-path packages benchmarked by `make bench` (the data-plane fast path).
+# Hot-path packages benchmarked by `make bench`: the data-plane fast
+# path plus the io/fs bridge (vfs/osfs bridge-vs-direct overhead).
 BENCH_PKGS = ./internal/stage/... ./internal/metrics/... \
-             ./internal/tokenbucket/... ./internal/policy/...
+             ./internal/tokenbucket/... ./internal/policy/... \
+             ./internal/vfs/...
 
 # Control-plane packages benchmarked by `make bench` (the fleet feedback
 # loop: batched wire protocol, delta collection, RunOnce at scale).
@@ -60,6 +62,8 @@ bench-all:
 bench-diff:
 	$(GO) test -run='^$$' -bench=. -benchmem -count=3 -json $(BENCH_CONTROL_PKGS) \
 		| $(GO) run ./cmd/padll-benchfmt -diff BENCH_control.json
+	$(GO) test -run='^$$' -bench=. -benchmem -count=3 -cpu=4 -json ./internal/vfs/... \
+		| $(GO) run ./cmd/padll-benchfmt -diff BENCH_stage.json
 
 # One-iteration pass over every hot-path and control-plane benchmark:
 # catches bitrot (compile errors, panics, b.Fatal) without paying for

@@ -53,6 +53,8 @@ func main() {
 		random   = flag.Bool("random", false, "random transfer order")
 		ruleFlag = flag.String("rule", "", "QoS rule installed on the data plane (DSL)")
 		ostBW    = flag.String("ost-bandwidth", "1g", "per-OST bandwidth")
+		backFlag = flag.String("backend", "sim", "sim | os — simulated PFS or a real OS directory")
+		osRoot   = flag.String("os-root", "", "host directory for -backend=os (a temp dir when empty)")
 	)
 	flag.Parse()
 
@@ -81,10 +83,34 @@ func main() {
 	}
 
 	clk := clock.NewReal()
-	backend := pfs.New(clk, pfs.Config{OSTBandwidth: float64(bw)})
-	cfg := backend.Config()
-	fmt.Printf("simulated PFS: %d MDS / %d MDT / %d OST, %s/s per OST\n",
-		cfg.NumMDS, cfg.NumMDT, cfg.NumOST, *ostBW)
+	var backend posix.FileSystem
+	var simBackend *pfs.PFS
+	switch *backFlag {
+	case "sim":
+		simBackend = pfs.New(clk, pfs.Config{OSTBandwidth: float64(bw)})
+		cfg := simBackend.Config()
+		fmt.Printf("simulated PFS: %d MDS / %d MDT / %d OST, %s/s per OST\n",
+			cfg.NumMDS, cfg.NumMDT, cfg.NumOST, *ostBW)
+		backend = simBackend
+	case "os":
+		root := *osRoot
+		if root == "" {
+			tmp, err := os.MkdirTemp("", "padll-ior-*")
+			if err != nil {
+				fatal(err)
+			}
+			defer os.RemoveAll(tmp)
+			root = tmp
+		}
+		osBackend, err := padll.NewOSBackend(root)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("OS backend rooted at %s (real kernel I/O)\n", root)
+		backend = osBackend
+	default:
+		fatal(fmt.Errorf("unknown backend %q (want sim or os)", *backFlag))
+	}
 
 	var client *posix.Client
 	if *ruleFlag != "" {
@@ -134,9 +160,11 @@ func main() {
 			res.ReadOps, float64(res.BytesRead)/(1<<20),
 			res.ReadBandwidth()/(1<<20), float64(res.ReadOps)/res.Elapsed.Seconds())
 	}
-	st := backend.Stats()
-	fmt.Printf("  PFS: %d metadata ops, %.1f MiB written, %.1f MiB read\n",
-		st.MetadataOps, float64(st.BytesWritten)/(1<<20), float64(st.BytesRead)/(1<<20))
+	if simBackend != nil {
+		st := simBackend.Stats()
+		fmt.Printf("  PFS: %d metadata ops, %.1f MiB written, %.1f MiB read\n",
+			st.MetadataOps, float64(st.BytesWritten)/(1<<20), float64(st.BytesRead)/(1<<20))
+	}
 }
 
 func fatal(err error) {

@@ -29,19 +29,45 @@ func main() {
 		dirs     = flag.Int("dirs", 4, "directories per rank")
 		ruleFlag = flag.String("rule", "", "QoS rule installed on the data plane (DSL)")
 		mdsCap   = flag.Float64("mds-capacity", 0, "MDS capacity in cost units/s (0 = effectively unbounded)")
+		backFlag = flag.String("backend", "sim", "sim | os — simulated PFS or a real OS directory")
+		osRoot   = flag.String("os-root", "", "host directory for -backend=os (a temp dir when empty)")
 	)
 	flag.Parse()
 
 	clk := clock.NewReal()
-	cfg := pfs.Config{}
-	if *mdsCap > 0 {
-		cfg.MDSCapacity = *mdsCap
-		cfg.MDSBurst = *mdsCap / 10
-	} else {
-		cfg.MDSCapacity = 1e12
-		cfg.MDSBurst = 1e12
+	var backend posix.FileSystem
+	var simBackend *pfs.PFS
+	switch *backFlag {
+	case "sim":
+		cfg := pfs.Config{}
+		if *mdsCap > 0 {
+			cfg.MDSCapacity = *mdsCap
+			cfg.MDSBurst = *mdsCap / 10
+		} else {
+			cfg.MDSCapacity = 1e12
+			cfg.MDSBurst = 1e12
+		}
+		simBackend = pfs.New(clk, cfg)
+		backend = simBackend
+	case "os":
+		root := *osRoot
+		if root == "" {
+			tmp, err := os.MkdirTemp("", "padll-mdtest-*")
+			if err != nil {
+				fatal(err)
+			}
+			defer os.RemoveAll(tmp)
+			root = tmp
+		}
+		osBackend, err := padll.NewOSBackend(root)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("OS backend rooted at %s (real kernel metadata I/O)\n", root)
+		backend = osBackend
+	default:
+		fatal(fmt.Errorf("unknown backend %q (want sim or os)", *backFlag))
 	}
-	backend := pfs.New(clk, cfg)
 
 	var client *posix.Client
 	if *ruleFlag != "" {
@@ -76,9 +102,11 @@ func main() {
 		fatal(err)
 	}
 	fmt.Print(res.Render())
-	st := backend.Stats()
-	fmt.Printf("PFS: %d metadata ops (%.0f weighted units), mean MDS latency %v\n",
-		st.MetadataOps, st.MetadataUnits, st.MeanMetadataLatency)
+	if simBackend != nil {
+		st := simBackend.Stats()
+		fmt.Printf("PFS: %d metadata ops (%.0f weighted units), mean MDS latency %v\n",
+			st.MetadataOps, st.MetadataUnits, st.MeanMetadataLatency)
+	}
 }
 
 func fatal(err error) {

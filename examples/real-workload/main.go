@@ -1,0 +1,137 @@
+// Real-workload onramp: an UNMODIFIED fs.WalkDir application — the
+// walk-everything-stat-everything pattern of build tools, linters and
+// backup scanners — running over a real OS directory through PADLL's
+// data plane. The program never calls a PADLL API after setup: it walks
+// a plain fs.FS. Underneath, every readdir, getattr, open and read is
+// classified and rate limited before reaching the kernel.
+//
+// Three runs over the same tree make the point:
+//
+//  1. direct os.DirFS (no interposition) — the baseline;
+//  2. through the bridge with no rules — the passthrough overhead,
+//     the reproduction of the paper's §IV-A claim;
+//  3. through the bridge with a metadata cap — the stat storm visibly
+//     paced, while the walker code is byte-for-byte the same.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"padll"
+)
+
+// buildTree fabricates a small source-tree-shaped workload on disk.
+func buildTree(root string) (files int, err error) {
+	for p := 0; p < 8; p++ {
+		pkg := filepath.Join(root, fmt.Sprintf("pkg%02d", p))
+		if err := os.MkdirAll(filepath.Join(pkg, "internal"), 0o755); err != nil {
+			return 0, err
+		}
+		for f := 0; f < 25; f++ {
+			body := []byte(fmt.Sprintf("// file %d in %s\npackage pkg\n", f, pkg))
+			for _, dir := range []string{pkg, filepath.Join(pkg, "internal")} {
+				name := filepath.Join(dir, fmt.Sprintf("src%03d.go", f))
+				if err := os.WriteFile(name, body, 0o644); err != nil {
+					return 0, err
+				}
+				files++
+			}
+		}
+	}
+	return files, nil
+}
+
+// scan is the "application": stock fs.WalkDir + a stat per file — it
+// knows nothing about PADLL and receives nothing but an fs.FS.
+func scan(fsys fs.FS) (files int, bytes int64, err error) {
+	err = fs.WalkDir(fsys, ".", func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		info, err := d.Info() // one getattr per file: the stat storm
+		if err != nil {
+			return err
+		}
+		files++
+		bytes += info.Size()
+		return nil
+	})
+	return files, bytes, err
+}
+
+func timeScan(label string, fsys fs.FS) time.Duration {
+	start := time.Now() //lint:allow clockcheck measuring real kernel I/O needs the wall clock
+	files, bytes, err := scan(fsys)
+	if err != nil {
+		log.Fatalf("%s: %v", label, err)
+	}
+	elapsed := time.Since(start) //lint:allow clockcheck measuring real kernel I/O needs the wall clock
+	fmt.Printf("  %-28s %5d files, %6d bytes, %8v\n", label, files, bytes, elapsed.Round(time.Microsecond))
+	return elapsed
+}
+
+func main() {
+	root, err := os.MkdirTemp("", "padll-real-workload-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(root)
+	files, err := buildTree(root)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %d files under %s\n\n", files, root)
+
+	// 1. Baseline: the application on the kernel directly.
+	fmt.Println("run 1 — direct OS access (no interposition):")
+	direct := timeScan("os.DirFS", os.DirFS(root))
+
+	// The onramp: a real-OS backend mounted as the controlled file
+	// system of an ordinary PADLL data plane.
+	backend, err := padll.NewOSBackend(root)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dp, err := padll.NewDataPlane(
+		padll.JobInfo{JobID: "nightly-build", User: "ci", PID: os.Getpid(), Hostname: "node-1"},
+		padll.MountPFS("/", backend),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dp.Close()
+
+	// 2. Passthrough: same application, same tree, now through
+	// app -> io/fs -> vfs -> shim -> router -> osfs -> kernel.
+	fmt.Println("\nrun 2 — through the data plane, no rules (passthrough):")
+	bridged := timeScan("padll bridge", dp.FS())
+	fmt.Printf("  interposition overhead: %.1fx over direct access\n",
+		float64(bridged)/float64(direct))
+
+	// 3. Throttled: the administrator caps this job's metadata rate.
+	// The walker binary is unchanged; only the rule differs.
+	rule, err := padll.ParseRule("limit id:meta class:metadata rate:2k burst:100")
+	if err != nil {
+		log.Fatal(err)
+	}
+	dp.ApplyRule(rule)
+	fmt.Println("\nrun 3 — same application under 'limit class:metadata rate:2k':")
+	throttled := timeScan("padll bridge + rule", dp.FS())
+
+	st := dp.Stats()
+	var ruled int64
+	for _, q := range st.Queues {
+		ruled += q.Total
+	}
+	fmt.Printf("\nstage throttled %d requests; the capped run took %.1fx the uncapped run\n",
+		ruled, float64(throttled)/float64(bridged))
+	fmt.Println("the application never changed — only the boundary under it did")
+}

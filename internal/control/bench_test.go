@@ -246,15 +246,6 @@ func BenchmarkControllerRunOnceMux256(b *testing.B) {
 	runRounds(b, benchFleetMux(b, 256))
 }
 
-// ...Gob64 is the legacy-codec baseline (WithCodec(CodecGob)): same
-// batched protocol, gob wire format, one conn per stage. Its wireB/round
-// against BenchmarkControllerRunOnce64 is the codec's measured win.
-func BenchmarkControllerRunOnceGob64(b *testing.B) {
-	runRounds(b, benchFleetTCP(b, 64, func(info stage.Info, h *rpcio.StageHandle) StageConn {
-		return NewRemoteConn(info, h)
-	}, rpcio.WithCodec(rpcio.CodecGob)))
-}
-
 func BenchmarkControllerRunOncePerCall64(b *testing.B) {
 	runRounds(b, benchFleetTCP(b, 64, func(info stage.Info, h *rpcio.StageHandle) StageConn {
 		return NewPerCallConn(info, h)

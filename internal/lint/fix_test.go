@@ -45,62 +45,6 @@ func loadAt(t *testing.T, dir, importPath string) *Package {
 	return pkg
 }
 
-// TestWireCheckFixInsertsReset drives the advertised repair for the
-// stale-decode bug class end to end: wirecheck's -fix inserts the
-// zeroing assignment, the findings disappear, and a second -fix pass is
-// a no-op (idempotence).
-func TestWireCheckFixInsertsReset(t *testing.T) {
-	dir := copyFixture(t, "wirefix")
-
-	pkg := loadAt(t, dir, "padll/internal/lintfixtures/wirefixcopy1")
-	diags := RunAnalyzers(pkg, []*Analyzer{WireCheck})
-	var fixes []*Fix
-	resetFindings := 0
-	for _, d := range diags {
-		if strings.Contains(d.Message, "decode target") {
-			resetFindings++
-			if d.Fix == nil {
-				t.Errorf("decode-target finding carries no fix: %s", d)
-				continue
-			}
-			fixes = append(fixes, d.Fix)
-		}
-	}
-	if resetFindings != 3 {
-		t.Fatalf("expected 3 decode-target findings in the fixture, got %d", resetFindings)
-	}
-
-	changed, err := ApplyFixes(fixes)
-	if err != nil {
-		t.Fatalf("ApplyFixes: %v", err)
-	}
-	if len(changed) != 1 {
-		t.Fatalf("expected 1 changed file, got %v", changed)
-	}
-	fixed, err := os.ReadFile(changed[0])
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !strings.Contains(string(fixed), "h.breply = BatchReply{}\n\treturn h.t.Call") {
-		t.Errorf("fix did not insert the reset before the Call:\n%s", fixed)
-	}
-	if !strings.Contains(string(fixed), "msg = BatchReply{}\n\t\t_ = dec.Decode(&msg)") {
-		t.Errorf("fix did not insert the in-loop reset:\n%s", fixed)
-	}
-
-	// Second pass: the decode-target findings are gone and no fixes
-	// remain — -fix is idempotent.
-	pkg2 := loadAt(t, dir, "padll/internal/lintfixtures/wirefixcopy2")
-	for _, d := range RunAnalyzers(pkg2, []*Analyzer{WireCheck}) {
-		if strings.Contains(d.Message, "decode target") {
-			t.Errorf("decode-target finding survived the fix: %s", d)
-		}
-		if d.Fix != nil {
-			t.Errorf("second pass still proposes a fix: %s", d)
-		}
-	}
-}
-
 // TestErrDropFixBlanksError checks the `_ = ` insertion on a dropped
 // error expression statement.
 func TestErrDropFixBlanksError(t *testing.T) {

@@ -120,8 +120,9 @@ func TestHotPathCheckGolden(t *testing.T) {
 }
 
 func TestWireCheckGolden(t *testing.T) {
-	// The fixture reproduces the batched-protocol stale-reply decode bug
-	// as a wirecheck positive (reused h.breply without a reset).
+	// The fixture seeds wire structs with unexported and codec-hostile
+	// fields, discovered both by //lint:wire annotation and by
+	// Call-shaped RPC sites.
 	runGolden(t, WireCheck, "wirefix", "padll/internal/lintfixtures/wirefix")
 }
 

@@ -1,30 +1,58 @@
-// Package wirefix seeds wirecheck violations, including the stale-reply
-// gob decode bug the batched control protocol shipped with: gob elides
-// zero fields on encode and leaves absent fields untouched on decode,
-// so decoding into a reused target resurrects the previous message.
+// Package wirefix seeds wirecheck violations: wire structs must carry
+// only exported, concretely typed fields. The binary frame codec (like
+// gob before it) drops unexported fields silently and cannot encode
+// interface values, channels or funcs at all.
 package wirefix
 
-import "encoding/gob"
-
-// transport mimics net/rpc's Call shape: (method string, args, reply).
+// transport mimics rpcio's Call shape: (method string, args, reply).
 type transport struct{}
 
 func (t *transport) Call(method string, args any, reply any) error {
 	return nil
 }
 
-// BatchReply mirrors the batched protocol's reply struct whose stale
-// Found field caused the original corruption.
+// BatchReply mirrors the batched protocol's reply struct; the private
+// cursor would vanish on the wire.
 //
 //lint:wire
 type BatchReply struct {
 	Found   bool
 	Results []int
+	cursor  int // want `unexported field cursor`
 }
 
 //lint:wire
 type BatchArgs struct {
 	Ops []int
+}
+
+// CallArgs/CallReply carry no annotation: wirecheck discovers them as
+// concrete operands of the Call site below.
+type CallArgs struct {
+	Payload any // want `interface-typed`
+}
+
+type CallReply struct {
+	seq   int // want `unexported field seq`
+	Items []itemRow
+}
+
+// itemRow is reached transitively through CallReply.Items.
+type itemRow struct {
+	key string // want `unexported field key`
+	Val int
+}
+
+func exec(t *transport) error {
+	var a CallArgs
+	var r CallReply
+	return t.Call("Stage.Exec", &a, &r)
+}
+
+// execBatch keeps the annotated pair live at a call site too.
+func (h *handle) execBatch() error {
+	h.bargs.Ops = append(h.bargs.Ops[:0], 1)
+	return h.t.Call("Stage.Batch", &h.bargs, &h.breply)
 }
 
 type handle struct {
@@ -33,61 +61,7 @@ type handle struct {
 	breply BatchReply
 }
 
-// execStale is the original bug: h.breply keeps the previous reply's
-// fields wherever the new encoding elides them.
-func (h *handle) execStale() error {
-	h.bargs.Ops = append(h.bargs.Ops[:0], 1)
-	return h.t.Call("Stage.Batch", &h.bargs, &h.breply) // want `decode target h.breply is reused`
-}
-
-// execReset zeroes the reused target directly.
-func (h *handle) execReset() error {
-	h.breply = BatchReply{}
-	return h.t.Call("Stage.Batch", &h.bargs, &h.breply)
-}
-
-func resetReply(r *BatchReply) { *r = BatchReply{} }
-
-// execHelperReset resets through a helper taking the target's address —
-// the repaired shape the real client uses.
-func (h *handle) execHelperReset() error {
-	resetReply(&h.breply)
-	return h.t.Call("Stage.Batch", &h.bargs, &h.breply)
-}
-
-// decodeLoop decodes into a loop-hoisted local: iteration two reuses
-// iteration one's fields.
-func decodeLoop(dec *gob.Decoder) {
-	var msg BatchReply
-	for i := 0; i < 3; i++ {
-		_ = dec.Decode(&msg) // want `decode target msg is reused`
-	}
-}
-
-// decodeLoopReset zeroes inside the loop: each iteration starts fresh.
-func decodeLoopReset(dec *gob.Decoder) {
-	var msg BatchReply
-	for i := 0; i < 3; i++ {
-		msg = BatchReply{}
-		_ = dec.Decode(&msg)
-	}
-}
-
-// decodeFresh decodes exactly once into a fresh local: fine.
-func decodeFresh(dec *gob.Decoder) int {
-	var msg BatchReply
-	_ = dec.Decode(&msg)
-	return len(msg.Results)
-}
-
-// decodeTwice reuses the same local for a second message.
-func decodeTwice(dec *gob.Decoder) {
-	var msg BatchReply
-	_ = dec.Decode(&msg)
-	_ = dec.Decode(&msg) // want `decode target msg is reused`
-}
-
-// badWire carries every field shape gob mangles or rejects.
+// badWire carries every field shape the codec mangles or rejects.
 //
 //lint:wire
 type badWire struct {

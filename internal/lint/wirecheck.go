@@ -1,44 +1,36 @@
 package lint
 
 import (
-	"bytes"
 	"go/ast"
-	"go/printer"
 	"go/token"
 	"go/types"
 )
 
-// WireCheck guards the gob wire surface. gob has two sharp edges the
-// control protocol has already been cut on:
+// WireCheck guards the control protocol's wire-struct surface. The
+// binary frame codec (like gob before it) only moves exported fields,
+// and cannot carry interface values, channels or funcs — a field of one
+// of those shapes silently vanishes from (or breaks) the wire. Wire
+// structs must therefore keep every field exported and concretely
+// typed.
 //
-//   - Zero-field elision: a zero field is not encoded, and Decode leaves
-//     fields absent from the stream untouched. Decoding into a reused
-//     target therefore resurrects the previous message's values — the
-//     exact stale-reply corruption fixed in the batched protocol. Any
-//     reused decode target (a struct field, or a local decoded into
-//     repeatedly) must be zeroed before each Decode; -fix inserts the
-//     reset mechanically.
-//   - Silent field drops: unexported fields are skipped without error,
-//     and interface-typed values (including map values) fail at runtime
-//     unless concretely registered. Wire structs must carry neither.
+// Wire types are discovered two ways: explicit //lint:wire annotations,
+// and concrete args/replies at "Call"-shaped RPC sites (method named
+// Call taking (string, args, reply)); the field graph is then closed
+// transitively across packages.
 //
-// Wire types are discovered three ways: explicit //lint:wire
-// annotations, concrete args/replies at "Call"-shaped RPC sites
-// (method named Call taking (string, args, reply)), and direct
-// gob.Encoder/Decoder use; the field graph is then closed transitively
-// across packages.
+// The zero-before-decode half of this analyzer retired with the gob
+// wire path: the binary codec writes every schema field explicitly, so
+// decoding into a reused target cannot resurrect a previous message's
+// values.
 var WireCheck = &Analyzer{
 	Name: "wirecheck",
-	Doc:  "gob wire structs stay gob-safe; reused decode targets are zeroed before Decode",
+	Doc:  "control-protocol wire structs carry only exported, concretely typed fields",
 	Run:  runWireCheck,
 }
 
 func runWireCheck(pass *Pass) {
 	checkWireStructs(pass)
-	checkDecodeTargets(pass)
 }
-
-// ---- wire-struct field safety ----
 
 // checkWireStructs closes the wire-type graph from this package's roots
 // and validates every reachable struct's fields.
@@ -54,7 +46,7 @@ func checkWireStructs(pass *Pass) {
 }
 
 // collectWireRoots finds the package's wire root types in deterministic
-// order: annotated types first, then RPC/gob call-site operands.
+// order: annotated types first, then RPC call-site operands.
 func collectWireRoots(pass *Pass) []*types.Named {
 	var roots []*types.Named
 	add := func(t types.Type) {
@@ -82,9 +74,6 @@ func collectWireRoots(pass *Pass) []*types.Named {
 			if isCallShaped(pass.Pkg, call) {
 				add(pass.Pkg.TypesInfo.Types[call.Args[1]].Type)
 				add(pass.Pkg.TypesInfo.Types[call.Args[2]].Type)
-			}
-			if which := gobCodecCall(pass.Pkg, call); which != "" && len(call.Args) == 1 {
-				add(pass.Pkg.TypesInfo.Types[call.Args[0]].Type)
 			}
 			return true
 		})
@@ -151,13 +140,13 @@ func walkWireType(pass *Pass, named *types.Named, seen map[*typeFact]bool) {
 			}
 			if !name.IsExported() {
 				pass.Reportf(name.Pos(),
-					"wire struct %s has unexported field %s; gob silently drops it on the wire", typeName, name.Name)
+					"wire struct %s has unexported field %s; the wire codec only carries exported fields", typeName, name.Name)
 			}
 		}
 		if ft == nil {
 			continue
 		}
-		reportGobUnsafe(pass, field.Pos(), typeName, fieldName(field), ft)
+		reportWireUnsafe(pass, field.Pos(), typeName, fieldName(field), ft)
 		walkWireFieldType(pass, ft, seen)
 	}
 }
@@ -183,21 +172,22 @@ func walkWireFieldType(pass *Pass, t types.Type, seen map[*typeFact]bool) {
 	}
 }
 
-// reportGobUnsafe flags field types gob cannot carry faithfully.
-func reportGobUnsafe(pass *Pass, pos token.Pos, typeName, field string, t types.Type) {
+// reportWireUnsafe flags field types the wire codec cannot carry
+// faithfully.
+func reportWireUnsafe(pass *Pass, pos token.Pos, typeName, field string, t types.Type) {
 	switch u := t.Underlying().(type) {
 	case *types.Interface:
 		pass.Reportf(pos,
-			"wire struct %s field %s is interface-typed; gob needs concrete registered types on the wire", typeName, field)
+			"wire struct %s field %s is interface-typed; the wire codec needs concrete types", typeName, field)
 	case *types.Map:
 		if types.IsInterface(u.Elem().Underlying()) {
 			pass.Reportf(pos,
-				"wire struct %s field %s is a map with interface values; gob cannot decode them without registration", typeName, field)
+				"wire struct %s field %s is a map with interface values; the wire codec cannot encode them", typeName, field)
 		}
 	case *types.Chan:
-		pass.Reportf(pos, "wire struct %s field %s is a channel; gob cannot encode it", typeName, field)
+		pass.Reportf(pos, "wire struct %s field %s is a channel; the wire codec cannot encode it", typeName, field)
 	case *types.Signature:
-		pass.Reportf(pos, "wire struct %s field %s is a func; gob cannot encode it", typeName, field)
+		pass.Reportf(pos, "wire struct %s field %s is a func; the wire codec cannot encode it", typeName, field)
 	}
 }
 
@@ -223,213 +213,9 @@ func embeddedName(expr ast.Expr) *ast.Ident {
 	return nil
 }
 
-// ---- reused decode targets ----
-
-// decodeSite is one place a wire message is decoded into a target: the
-// reply argument of a Call-shaped RPC, or a gob Decode argument.
-type decodeSite struct {
-	call   *ast.CallExpr
-	target ast.Expr // expression under & (selector or ident)
-	text   string   // rendered target, for reset matching
-}
-
-// resetEvent is a statement that plausibly zeroes a target before use:
-// an assignment to it, or passing its address to a helper.
-type resetEvent struct {
-	text string
-	pos  token.Pos
-}
-
-// checkDecodeTargets enforces the reset-before-Decode rule per function.
-func checkDecodeTargets(pass *Pass) {
-	for _, f := range pass.Pkg.Files {
-		inspectFunctions(f, func(name string, body *ast.BlockStmt) {
-			checkDecodeTargetsIn(pass, name, body)
-		})
-	}
-}
-
-func checkDecodeTargetsIn(pass *Pass, fn string, body *ast.BlockStmt) {
-	var sites []decodeSite
-	var resets []resetEvent
-	siteCalls := make(map[*ast.CallExpr]bool)
-
-	ast.Inspect(body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		var targetArg ast.Expr
-		if isCallShaped(pass.Pkg, call) {
-			targetArg = call.Args[2]
-		} else if which := gobCodecCall(pass.Pkg, call); which == "Decode" && len(call.Args) == 1 {
-			targetArg = call.Args[0]
-		}
-		if targetArg == nil {
-			return true
-		}
-		target := addressedExpr(targetArg)
-		if target == nil {
-			return true
-		}
-		siteCalls[call] = true
-		sites = append(sites, decodeSite{call: call, target: target, text: exprText(target)})
-		return true
-	})
-	if len(sites) == 0 {
-		return
-	}
-
-	// Reset events: assignments to any expression, and &expr passed to
-	// any call that is not itself a decode site (resetReply(&h.breply)).
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch node := n.(type) {
-		case *ast.AssignStmt:
-			for _, lhs := range node.Lhs {
-				resets = append(resets, resetEvent{text: exprText(lhs), pos: node.Pos()})
-			}
-		case *ast.CallExpr:
-			if siteCalls[node] {
-				return true
-			}
-			for _, arg := range node.Args {
-				if target := addressedExpr(arg); target != nil {
-					resets = append(resets, resetEvent{text: exprText(target), pos: node.Pos()})
-				}
-			}
-		}
-		return true
-	})
-
-	for i, site := range sites {
-		searchStart, reused, why := classifyDecodeTarget(pass, body, sites, i)
-		if !reused {
-			continue
-		}
-		callPos := site.call.Pos()
-		ok := false
-		for _, r := range resets {
-			if r.text == site.text && r.pos >= searchStart && r.pos < callPos {
-				ok = true
-				break
-			}
-		}
-		if ok {
-			continue
-		}
-		fix := decodeResetFix(pass, site)
-		reset := "reset it first"
-		if tn := targetTypeName(pass, site.target); tn != "" {
-			reset = "reset it with " + site.text + " = " + tn + "{} first"
-		}
-		pass.ReportfFix(callPos, fix,
-			"decode target %s is reused (%s) but not zeroed before this decode; gob leaves absent fields stale — %s",
-			site.text, why, reset)
-	}
-}
-
-// classifyDecodeTarget decides whether a site's target can hold stale
-// state from a previous decode, and from which position a reset counts.
-func classifyDecodeTarget(pass *Pass, body *ast.BlockStmt, sites []decodeSite, i int) (searchStart token.Pos, reused bool, why string) {
-	site := sites[i]
-	loop := innermostLoop(body, site.call.Pos())
-	switch t := ast.Unparen(site.target).(type) {
-	case *ast.SelectorExpr:
-		// A field outlives the call by construction.
-		if loop != nil {
-			return loop.Body.Pos(), true, "a struct field decoded in a loop"
-		}
-		return body.Pos(), true, "a struct field that persists across calls"
-	case *ast.Ident:
-		v, _ := pass.Pkg.TypesInfo.Uses[t].(*types.Var)
-		if v == nil {
-			return 0, false, ""
-		}
-		if loop != nil && v.Pos() < loop.Pos() {
-			return loop.Body.Pos(), true, "a local declared outside the decode loop"
-		}
-		for j := 0; j < i; j++ {
-			if sites[j].text == site.text {
-				return sites[j].call.Pos(), true, "decoded into earlier in this function"
-			}
-		}
-	}
-	return 0, false, ""
-}
-
-// loopStmt is a for or range statement body span.
-type loopStmt struct {
-	Body *ast.BlockStmt
-	pos  token.Pos
-}
-
-func (l *loopStmt) Pos() token.Pos { return l.pos }
-
-// innermostLoop finds the innermost for/range statement containing pos.
-func innermostLoop(body *ast.BlockStmt, pos token.Pos) *loopStmt {
-	var found *loopStmt
-	ast.Inspect(body, func(n ast.Node) bool {
-		if n == nil || pos < n.Pos() || pos >= n.End() {
-			return n == body // keep walking from the root only
-		}
-		switch s := n.(type) {
-		case *ast.ForStmt:
-			if pos >= s.Body.Pos() && pos < s.Body.End() {
-				found = &loopStmt{Body: s.Body, pos: s.Pos()}
-			}
-		case *ast.RangeStmt:
-			if pos >= s.Body.Pos() && pos < s.Body.End() {
-				found = &loopStmt{Body: s.Body, pos: s.Pos()}
-			}
-		}
-		return true
-	})
-	return found
-}
-
-// decodeResetFix builds the insertion that zeroes the target on the
-// line above the decode call. nil when the target's type cannot be
-// named from the call site.
-func decodeResetFix(pass *Pass, site decodeSite) *Fix {
-	typeName := targetTypeName(pass, site.target)
-	if typeName == "" {
-		return nil
-	}
-	off := lineStartOffset(pass.Pkg.Fset, site.call.Pos())
-	p := pass.Pkg.Fset.Position(site.call.Pos())
-	return &Fix{
-		Path:    p.Filename,
-		Offset:  off,
-		Insert:  site.text + " = " + typeName + "{}\n",
-		Summary: "zero " + site.text + " before decode",
-	}
-}
-
-// targetTypeName renders the target's type as it is spellable in the
-// call site's package, or "" for types a composite literal cannot name.
-func targetTypeName(pass *Pass, target ast.Expr) string {
-	t := pass.Pkg.TypesInfo.Types[target].Type
-	if t == nil {
-		return ""
-	}
-	switch t.Underlying().(type) {
-	case *types.Struct, *types.Map, *types.Slice, *types.Array:
-	default:
-		return ""
-	}
-	return types.TypeString(t, func(p *types.Package) string {
-		if p == pass.Pkg.Types {
-			return ""
-		}
-		return p.Name()
-	})
-}
-
-// ---- shared helpers ----
-
 // isCallShaped reports whether call is an RPC dispatch: a method named
-// Call taking (method string, args, reply) — net/rpc's Client.Call and
-// the rpcio Transport share this shape.
+// Call taking (method string, args, reply) — the rpcio Transport's
+// shape.
 func isCallShaped(pkg *Package, call *ast.CallExpr) bool {
 	if len(call.Args) != 3 {
 		return false
@@ -448,45 +234,4 @@ func isCallShaped(pkg *Package, call *ast.CallExpr) bool {
 	}
 	first, ok := sig.Params().At(0).Type().Underlying().(*types.Basic)
 	return ok && first.Info()&types.IsString != 0
-}
-
-// gobCodecCall reports "Encode"/"Decode" when call is a method on
-// encoding/gob's Encoder/Decoder, "" otherwise.
-func gobCodecCall(pkg *Package, call *ast.CallExpr) string {
-	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !ok {
-		return ""
-	}
-	fn, ok := pkg.TypesInfo.Uses[sel.Sel].(*types.Func)
-	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/gob" {
-		return ""
-	}
-	if fn.Name() == "Encode" || fn.Name() == "Decode" {
-		return fn.Name()
-	}
-	return ""
-}
-
-// addressedExpr returns the expression under a & operator when it is a
-// selector or identifier — the decode-target shapes the reset rule can
-// reason about.
-func addressedExpr(arg ast.Expr) ast.Expr {
-	u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
-	if !ok || u.Op != token.AND {
-		return nil
-	}
-	switch ast.Unparen(u.X).(type) {
-	case *ast.SelectorExpr, *ast.Ident:
-		return ast.Unparen(u.X)
-	}
-	return nil
-}
-
-// exprText renders an expression to source text for reset matching.
-func exprText(expr ast.Expr) string {
-	var buf bytes.Buffer
-	if err := printer.Fprint(&buf, token.NewFileSet(), expr); err != nil {
-		return ""
-	}
-	return buf.String()
 }

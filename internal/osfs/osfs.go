@@ -1,0 +1,680 @@
+// Package osfs implements the interposed POSIX boundary against a real
+// operating-system directory tree: every posix.Request lands as actual
+// syscalls on the kernel file system hosting the root. It is the
+// "real-workload onramp" backend — mounted beside localfs and the PFS
+// model, it lets unmodified applications drive PADLL's rate-limited
+// stage with genuine I/O, so passthrough overhead (§IV-A) can be
+// measured against the kernel instead of an in-memory model.
+//
+// The file system is rooted: virtual paths are cleaned lexically (".."
+// cannot climb above the root, exactly like localfs and os.DirFS) and
+// then joined onto the host root. Absolute symlink targets are rewritten
+// into the root on creation and back out on readlink, so a link to
+// "/shared/data" stays inside the sandbox. Relative symlink targets are
+// stored verbatim and — as with os.DirFS — a hostile pre-existing tree
+// could use them to escape; roots handed to New should be trusted
+// directories.
+//
+// Descriptors are virtualized through an fd table exactly like
+// mount.Router's: the application sees small integers allocated here,
+// never the kernel's, so fd-based follow-ups (read, fstat, readdir
+// streaming, close) translate to the right *os.File.
+package osfs
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"padll/internal/clock"
+	"padll/internal/posix"
+)
+
+// handle is one virtual-descriptor-table entry.
+type handle struct {
+	f     *os.File
+	isDir bool
+	// dirSnapshot holds the entry list captured at opendir time, for
+	// fd-based one-at-a-time readdir streaming.
+	dirSnapshot []posix.DirEntry
+	dirPos      int
+}
+
+// FS executes interposed requests against a rooted OS directory. It is
+// safe for concurrent use: the lock guards only the fd table, and all
+// I/O happens outside it on the kernel's own synchronization.
+type FS struct {
+	root string
+	clk  clock.Clock
+
+	mu     sync.Mutex
+	fds    map[int]*handle
+	nextFD int
+}
+
+var _ posix.FileSystem = (*FS)(nil)
+
+// New returns a file system rooted at dir, which must exist and be a
+// directory. The clock stamps modification times the boundary sets
+// explicitly (utime), keeping simulated-clock runs deterministic.
+func New(dir string, clk clock.Clock) (*FS, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	info, err := os.Stat(abs)
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	if !info.IsDir() {
+		return nil, posix.ErrNotDir
+	}
+	return &FS{root: abs, clk: clk, fds: make(map[int]*handle), nextFD: 3}, nil
+}
+
+// Root returns the host directory backing the virtual namespace.
+func (o *FS) Root() string { return o.root }
+
+// clean canonicalizes a virtual path; empty and relative paths are
+// rooted at "/". path.Clean resolves every ".." lexically, so the result
+// can never name anything above "/".
+func clean(p string) string {
+	if p == "" {
+		return "/"
+	}
+	if !strings.HasPrefix(p, "/") {
+		p = "/" + p
+	}
+	return path.Clean(p)
+}
+
+// resolve maps a virtual path onto the host tree.
+func (o *FS) resolve(p string) string {
+	p = clean(p)
+	if p == "/" {
+		return o.root
+	}
+	return filepath.Join(o.root, filepath.FromSlash(p[1:]))
+}
+
+// virtualize maps a host path back into the virtual namespace when it
+// lies under the root; ok is false otherwise.
+func (o *FS) virtualize(host string) (string, bool) {
+	if host == o.root {
+		return "/", true
+	}
+	prefix := o.root + string(filepath.Separator)
+	if !strings.HasPrefix(host, prefix) {
+		return "", false
+	}
+	return "/" + filepath.ToSlash(host[len(prefix):]), true
+}
+
+// openFlags translates boundary open flags to the os package's.
+func openFlags(flags int) int {
+	var out int
+	switch flags & (posix.ORdOnly | posix.OWrOnly | posix.ORdWr) {
+	case posix.OWrOnly:
+		out = os.O_WRONLY
+	case posix.ORdWr:
+		out = os.O_RDWR
+	default:
+		out = os.O_RDONLY
+	}
+	if flags&posix.OCreate != 0 {
+		out |= os.O_CREATE
+	}
+	if flags&posix.OExcl != 0 {
+		out |= os.O_EXCL
+	}
+	if flags&posix.OTrunc != 0 {
+		out |= os.O_TRUNC
+	}
+	if flags&posix.OAppend != 0 {
+		out |= os.O_APPEND
+	}
+	return out
+}
+
+// mapErr lowers an OS error onto the boundary sentinels, preserving the
+// detailed message and both error identities (see posix.FromFSError).
+func mapErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	switch {
+	case isErrno(err, errnoNotDir):
+		return posix.ErrNotDir
+	case isErrno(err, errnoIsDir):
+		return posix.ErrIsDir
+	case isErrno(err, errnoNotEmpty):
+		return posix.ErrNotEmpty
+	case isErrno(err, errnoXDev):
+		return posix.ErrCrossDevice
+	case isErrno(err, errnoNoSpace):
+		return posix.ErrNoSpace
+	case isErrno(err, errnoNoAttr):
+		return posix.ErrNoAttr
+	}
+	return posix.FromFSError(err)
+}
+
+// lookupFD resolves a virtual descriptor.
+func (o *FS) lookupFD(fd int) (*handle, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	h, ok := o.fds[fd]
+	if !ok {
+		return nil, posix.ErrBadFD
+	}
+	return h, nil
+}
+
+// insertFD allocates a virtual descriptor for h.
+func (o *FS) insertFD(h *handle) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	fd := o.nextFD
+	o.nextFD++
+	o.fds[fd] = h
+	return fd
+}
+
+// removeFD releases a virtual descriptor, returning its handle.
+func (o *FS) removeFD(fd int) (*handle, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	h, ok := o.fds[fd]
+	if !ok {
+		return nil, posix.ErrBadFD
+	}
+	delete(o.fds, fd)
+	return h, nil
+}
+
+// OpenFDs reports the number of live virtual descriptors (leak tests).
+func (o *FS) OpenFDs() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.fds)
+}
+
+// infoFor converts one os.FileInfo, filling the platform fields (inode,
+// nlink, uid, gid) where the host exposes them.
+func infoFor(info fs.FileInfo) posix.FileInfo {
+	fi := posix.FileInfoFromFS(info)
+	ino, nlink, uid, gid, ok := sysFields(info)
+	if ok {
+		fi.Inode, fi.Nlink, fi.UID, fi.GID = ino, nlink, uid, gid
+	}
+	return fi
+}
+
+// Apply implements posix.FileSystem, dispatching all 42 operations onto
+// the kernel.
+func (o *FS) Apply(req *posix.Request) (*posix.Reply, error) {
+	switch req.Op {
+	// ---- metadata ----
+	case posix.OpOpen, posix.OpOpen64, posix.OpCreat:
+		return o.open(req)
+	case posix.OpClose, posix.OpClosedir:
+		return o.close(req.FD)
+	case posix.OpStat, posix.OpGetAttr:
+		return o.stat(req.Path, os.Stat)
+	case posix.OpLStat:
+		return o.stat(req.Path, os.Lstat)
+	case posix.OpFStat:
+		return o.fstat(req.FD)
+	case posix.OpSetAttr, posix.OpChmod:
+		return o.chmod(req.Path, req.Mode)
+	case posix.OpChown:
+		return o.chown(req)
+	case posix.OpUtime:
+		return o.utime(req.Path)
+	case posix.OpStatFS, posix.OpFStatFS:
+		return o.statfs()
+	case posix.OpRename:
+		return o.rename(req.Path, req.NewPath)
+	case posix.OpUnlink:
+		return o.unlink(req.Path)
+	case posix.OpLink:
+		return o.link(req.Path, req.NewPath)
+	case posix.OpSymlink:
+		return o.symlink(req.Path, req.NewPath)
+	case posix.OpReadlink:
+		return o.readlink(req.Path)
+	case posix.OpAccess:
+		return o.access(req.Path)
+	case posix.OpMknod:
+		return o.mknod(req.Path, req.Mode)
+
+	// ---- directory management ----
+	case posix.OpMkdir:
+		return o.mkdir(req.Path, req.Mode)
+	case posix.OpRmdir:
+		return o.rmdir(req.Path)
+	case posix.OpOpendir:
+		return o.opendir(req.Path)
+	case posix.OpReaddir:
+		return o.readdir(req)
+
+	// ---- data ----
+	case posix.OpRead:
+		return o.read(req.FD, req.Size, -1)
+	case posix.OpPRead:
+		return o.read(req.FD, req.Size, req.Offset)
+	case posix.OpWrite:
+		return o.write(req.FD, req.Data, req.Size, -1)
+	case posix.OpPWrite:
+		return o.write(req.FD, req.Data, req.Size, req.Offset)
+	case posix.OpLSeek:
+		return o.lseek(req.FD, req.Offset, req.Flags)
+	case posix.OpFSync, posix.OpFDataSync:
+		return o.fsync(req.FD)
+	case posix.OpSync:
+		return &posix.Reply{}, nil // kernel-wide sync is out of scope
+	case posix.OpTruncate:
+		return o.truncate(req.Path, req.Size)
+	case posix.OpFTruncate:
+		return o.ftruncate(req.FD, req.Size)
+
+	// ---- extended attributes ----
+	case posix.OpSetXAttr:
+		return o.setxattr(req.Path, req.Name, req.Value)
+	case posix.OpGetXAttr, posix.OpLGetXAttr:
+		return o.getxattr(req.Path, req.Name)
+	case posix.OpFGetXAttr:
+		return o.fgetxattr(req.FD, req.Name)
+	case posix.OpListXAttr:
+		return o.listxattr(req.Path)
+	case posix.OpRemoveXAttr:
+		return o.removexattr(req.Path, req.Name)
+	}
+	return nil, posix.ErrNotSupported
+}
+
+func (o *FS) open(req *posix.Request) (*posix.Reply, error) {
+	f, err := os.OpenFile(o.resolve(req.Path), openFlags(req.Flags), os.FileMode(req.Mode.Perm()))
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	fd := o.insertFD(&handle{f: f})
+	return &posix.Reply{FD: fd}, nil
+}
+
+func (o *FS) close(fd int) (*posix.Reply, error) {
+	h, err := o.removeFD(fd)
+	if err != nil {
+		return nil, err
+	}
+	if cerr := h.f.Close(); cerr != nil {
+		return nil, mapErr(cerr)
+	}
+	return &posix.Reply{}, nil
+}
+
+func (o *FS) stat(p string, statf func(string) (os.FileInfo, error)) (*posix.Reply, error) {
+	info, err := statf(o.resolve(p))
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	return &posix.Reply{Info: infoFor(info)}, nil
+}
+
+func (o *FS) fstat(fd int) (*posix.Reply, error) {
+	h, err := o.lookupFD(fd)
+	if err != nil {
+		return nil, err
+	}
+	info, serr := h.f.Stat()
+	if serr != nil {
+		return nil, mapErr(serr)
+	}
+	return &posix.Reply{Info: infoFor(info)}, nil
+}
+
+func (o *FS) chmod(p string, mode posix.FileMode) (*posix.Reply, error) {
+	if err := os.Chmod(o.resolve(p), os.FileMode(mode.Perm())); err != nil {
+		return nil, mapErr(err)
+	}
+	return &posix.Reply{}, nil
+}
+
+func (o *FS) chown(req *posix.Request) (*posix.Reply, error) {
+	// uid/gid travel in the spare numeric fields, as all backends expect.
+	if err := os.Chown(o.resolve(req.Path), int(req.Offset), int(req.Size)); err != nil {
+		return nil, mapErr(err)
+	}
+	return &posix.Reply{}, nil
+}
+
+func (o *FS) utime(p string) (*posix.Reply, error) {
+	now := o.clk.Now()
+	if err := os.Chtimes(o.resolve(p), now, now); err != nil {
+		return nil, mapErr(err)
+	}
+	return &posix.Reply{}, nil
+}
+
+func (o *FS) rename(oldP, newP string) (*posix.Reply, error) {
+	if err := os.Rename(o.resolve(oldP), o.resolve(newP)); err != nil {
+		return nil, mapErr(err)
+	}
+	return &posix.Reply{}, nil
+}
+
+func (o *FS) unlink(p string) (*posix.Reply, error) {
+	host := o.resolve(p)
+	info, err := os.Lstat(host)
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	if info.IsDir() {
+		return nil, posix.ErrIsDir // unlink(2) refuses directories
+	}
+	if rerr := os.Remove(host); rerr != nil {
+		return nil, mapErr(rerr)
+	}
+	return &posix.Reply{}, nil
+}
+
+func (o *FS) link(oldP, newP string) (*posix.Reply, error) {
+	if err := os.Link(o.resolve(oldP), o.resolve(newP)); err != nil {
+		return nil, mapErr(err)
+	}
+	return &posix.Reply{}, nil
+}
+
+func (o *FS) symlink(target, linkP string) (*posix.Reply, error) {
+	// Absolute virtual targets are pinned inside the root; relative
+	// targets are stored verbatim, as ln -s would.
+	host := target
+	if strings.HasPrefix(target, "/") {
+		host = o.resolve(target)
+	}
+	if err := os.Symlink(host, o.resolve(linkP)); err != nil {
+		return nil, mapErr(err)
+	}
+	return &posix.Reply{}, nil
+}
+
+func (o *FS) readlink(p string) (*posix.Reply, error) {
+	target, err := os.Readlink(o.resolve(p))
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	if v, ok := o.virtualize(target); ok {
+		target = v // undo the absolute-target pinning
+	}
+	return &posix.Reply{Data: []byte(target)}, nil
+}
+
+func (o *FS) access(p string) (*posix.Reply, error) {
+	if _, err := os.Stat(o.resolve(p)); err != nil {
+		return nil, mapErr(err)
+	}
+	return &posix.Reply{}, nil
+}
+
+func (o *FS) mknod(p string, mode posix.FileMode) (*posix.Reply, error) {
+	f, err := os.OpenFile(o.resolve(p), os.O_CREATE|os.O_EXCL|os.O_WRONLY, os.FileMode(mode.Perm()))
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	if cerr := f.Close(); cerr != nil {
+		return nil, mapErr(cerr)
+	}
+	return &posix.Reply{}, nil
+}
+
+func (o *FS) mkdir(p string, mode posix.FileMode) (*posix.Reply, error) {
+	if err := os.Mkdir(o.resolve(p), os.FileMode(mode.Perm())); err != nil {
+		return nil, mapErr(err)
+	}
+	return &posix.Reply{}, nil
+}
+
+func (o *FS) rmdir(p string) (*posix.Reply, error) {
+	host := o.resolve(p)
+	info, err := os.Lstat(host)
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	if !info.IsDir() {
+		return nil, posix.ErrNotDir
+	}
+	if rerr := os.Remove(host); rerr != nil {
+		return nil, mapErr(rerr)
+	}
+	return &posix.Reply{}, nil
+}
+
+// snapshotDir reads and sorts a directory's entries.
+func snapshotDir(f *os.File) ([]posix.DirEntry, error) {
+	des, err := f.ReadDir(-1)
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	entries := make([]posix.DirEntry, 0, len(des))
+	for _, de := range des {
+		e := posix.DirEntryFromFS(de)
+		if info, ierr := de.Info(); ierr == nil {
+			if ino, _, _, _, ok := sysFields(info); ok {
+				e.Inode = ino
+			}
+		}
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	return entries, nil
+}
+
+func (o *FS) opendir(p string) (*posix.Reply, error) {
+	f, err := os.Open(o.resolve(p))
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	info, serr := f.Stat()
+	if serr != nil || !info.IsDir() {
+		_ = f.Close() // refusing the open; nothing to report on top
+		if serr != nil {
+			return nil, mapErr(serr)
+		}
+		return nil, posix.ErrNotDir
+	}
+	snap, derr := snapshotDir(f)
+	if derr != nil {
+		_ = f.Close()
+		return nil, derr
+	}
+	fd := o.insertFD(&handle{f: f, isDir: true, dirSnapshot: snap})
+	return &posix.Reply{FD: fd}, nil
+}
+
+// readdir supports both path-based full listing and fd-based streaming
+// (one entry per call, as libc readdir does).
+func (o *FS) readdir(req *posix.Request) (*posix.Reply, error) {
+	if req.Path != "" {
+		f, err := os.Open(o.resolve(req.Path))
+		if err != nil {
+			return nil, mapErr(err)
+		}
+		info, serr := f.Stat()
+		if serr != nil || !info.IsDir() {
+			_ = f.Close()
+			if serr != nil {
+				return nil, mapErr(serr)
+			}
+			return nil, posix.ErrNotDir
+		}
+		entries, derr := snapshotDir(f)
+		if cerr := f.Close(); derr == nil && cerr != nil {
+			derr = mapErr(cerr)
+		}
+		if derr != nil {
+			return nil, derr
+		}
+		return &posix.Reply{Entries: entries}, nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	h, ok := o.fds[req.FD]
+	if !ok || !h.isDir {
+		return nil, posix.ErrBadFD
+	}
+	if h.dirPos >= len(h.dirSnapshot) {
+		return &posix.Reply{}, nil // end of directory
+	}
+	e := h.dirSnapshot[h.dirPos]
+	h.dirPos++
+	return &posix.Reply{Entries: []posix.DirEntry{e}}, nil
+}
+
+func (o *FS) read(fd int, size, offset int64) (*posix.Reply, error) {
+	h, err := o.lookupFD(fd)
+	if err != nil {
+		return nil, err
+	}
+	if h.isDir {
+		return nil, posix.ErrBadFD
+	}
+	if size <= 0 {
+		return &posix.Reply{}, nil
+	}
+	buf := make([]byte, size)
+	var n int
+	var rerr error
+	if offset < 0 {
+		n, rerr = h.f.Read(buf)
+	} else {
+		n, rerr = h.f.ReadAt(buf, offset)
+	}
+	if rerr != nil && !errors.Is(rerr, io.EOF) {
+		return nil, mapErr(rerr)
+	}
+	return &posix.Reply{N: int64(n), Data: buf[:n]}, nil
+}
+
+func (o *FS) write(fd int, data []byte, size, offset int64) (*posix.Reply, error) {
+	h, err := o.lookupFD(fd)
+	if err != nil {
+		return nil, err
+	}
+	if h.isDir {
+		return nil, posix.ErrBadFD
+	}
+	if data == nil && size > 0 {
+		// Size-only modelling: synthesize a zero payload of the given
+		// size so workload generators need not materialize buffers.
+		data = make([]byte, size)
+	}
+	var n int
+	var werr error
+	if offset < 0 {
+		n, werr = h.f.Write(data)
+	} else {
+		n, werr = h.f.WriteAt(data, offset)
+	}
+	if werr != nil {
+		return nil, mapErr(werr)
+	}
+	return &posix.Reply{N: int64(n)}, nil
+}
+
+func (o *FS) lseek(fd int, offset int64, whence int) (*posix.Reply, error) {
+	h, err := o.lookupFD(fd)
+	if err != nil {
+		return nil, err
+	}
+	if whence < io.SeekStart || whence > io.SeekEnd {
+		return nil, posix.ErrInvalid
+	}
+	np, serr := h.f.Seek(offset, whence)
+	if serr != nil {
+		return nil, mapErr(serr)
+	}
+	return &posix.Reply{N: np}, nil
+}
+
+func (o *FS) fsync(fd int) (*posix.Reply, error) {
+	h, err := o.lookupFD(fd)
+	if err != nil {
+		return nil, err
+	}
+	if serr := h.f.Sync(); serr != nil {
+		return nil, mapErr(serr)
+	}
+	return &posix.Reply{}, nil
+}
+
+func (o *FS) truncate(p string, size int64) (*posix.Reply, error) {
+	if size < 0 {
+		return nil, posix.ErrInvalid
+	}
+	if err := os.Truncate(o.resolve(p), size); err != nil {
+		return nil, mapErr(err)
+	}
+	return &posix.Reply{}, nil
+}
+
+func (o *FS) ftruncate(fd int, size int64) (*posix.Reply, error) {
+	h, err := o.lookupFD(fd)
+	if err != nil {
+		return nil, err
+	}
+	if size < 0 {
+		return nil, posix.ErrInvalid
+	}
+	if terr := h.f.Truncate(size); terr != nil {
+		return nil, mapErr(terr)
+	}
+	return &posix.Reply{}, nil
+}
+
+func (o *FS) setxattr(p, name string, value []byte) (*posix.Reply, error) {
+	if err := setxattr(o.resolve(p), name, value); err != nil {
+		return nil, mapErr(err)
+	}
+	return &posix.Reply{}, nil
+}
+
+func (o *FS) getxattr(p, name string) (*posix.Reply, error) {
+	v, err := getxattr(o.resolve(p), name)
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	return &posix.Reply{Data: v}, nil
+}
+
+func (o *FS) fgetxattr(fd int, name string) (*posix.Reply, error) {
+	h, err := o.lookupFD(fd)
+	if err != nil {
+		return nil, err
+	}
+	v, xerr := getxattr(h.f.Name(), name)
+	if xerr != nil {
+		return nil, mapErr(xerr)
+	}
+	return &posix.Reply{Data: v}, nil
+}
+
+func (o *FS) listxattr(p string) (*posix.Reply, error) {
+	names, err := listxattr(o.resolve(p))
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	return &posix.Reply{Names: names}, nil
+}
+
+func (o *FS) removexattr(p, name string) (*posix.Reply, error) {
+	if err := removexattr(o.resolve(p), name); err != nil {
+		return nil, mapErr(err)
+	}
+	return &posix.Reply{}, nil
+}

@@ -1,0 +1,108 @@
+//go:build linux
+
+package osfs
+
+import (
+	"errors"
+	"io/fs"
+	"syscall"
+
+	"padll/internal/posix"
+)
+
+// errno constants the portable error mapper keys on.
+const (
+	errnoNotDir   = syscall.ENOTDIR
+	errnoIsDir    = syscall.EISDIR
+	errnoNotEmpty = syscall.ENOTEMPTY
+	errnoXDev     = syscall.EXDEV
+	errnoNoSpace  = syscall.ENOSPC
+	errnoNoAttr   = syscall.ENODATA
+)
+
+// isErrno reports whether err carries the given kernel errno.
+func isErrno(err error, want syscall.Errno) bool {
+	var errno syscall.Errno
+	return errors.As(err, &errno) && errno == want
+}
+
+// sysFields extracts the platform stat fields io/fs does not model.
+func sysFields(info fs.FileInfo) (ino uint64, nlink, uid, gid int, ok bool) {
+	st, isStat := info.Sys().(*syscall.Stat_t)
+	if !isStat || st == nil {
+		return 0, 0, 0, 0, false
+	}
+	return st.Ino, int(st.Nlink), int(st.Uid), int(st.Gid), true
+}
+
+// statfs fills the boundary's file-system stat payload from statfs(2).
+func (o *FS) statfs() (*posix.Reply, error) {
+	var st syscall.Statfs_t
+	if err := syscall.Statfs(o.root, &st); err != nil {
+		return nil, mapErr(err)
+	}
+	bsize := st.Bsize
+	if bsize <= 0 {
+		bsize = 4096
+	}
+	return &posix.Reply{Stat: posix.FSStat{
+		TotalBytes: int64(st.Blocks) * bsize,
+		FreeBytes:  int64(st.Bavail) * bsize,
+		TotalFiles: int64(st.Files),
+		FreeFiles:  int64(st.Ffree),
+	}}, nil
+}
+
+// setxattr writes one extended attribute.
+func setxattr(path, name string, value []byte) error {
+	return syscall.Setxattr(path, name, value, 0)
+}
+
+// getxattr reads one extended attribute, growing the buffer as needed.
+func getxattr(path, name string) ([]byte, error) {
+	size := 256
+	for {
+		buf := make([]byte, size)
+		n, err := syscall.Getxattr(path, name, buf)
+		if err == syscall.ERANGE {
+			size *= 2
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		return buf[:n], nil
+	}
+}
+
+// listxattr returns the attribute names on path.
+func listxattr(path string) ([]string, error) {
+	size := 256
+	for {
+		buf := make([]byte, size)
+		n, err := syscall.Listxattr(path, buf)
+		if err == syscall.ERANGE {
+			size *= 2
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		// The kernel returns NUL-separated, NUL-terminated names.
+		var names []string
+		for start, i := 0, 0; i < n; i++ {
+			if buf[i] == 0 {
+				if i > start {
+					names = append(names, string(buf[start:i]))
+				}
+				start = i + 1
+			}
+		}
+		return names, nil
+	}
+}
+
+// removexattr deletes one extended attribute.
+func removexattr(path, name string) error {
+	return syscall.Removexattr(path, name)
+}

@@ -1,0 +1,40 @@
+//go:build !linux
+
+package osfs
+
+import (
+	"io/fs"
+
+	"padll/internal/posix"
+)
+
+// Portable fallbacks for platforms without the Linux syscall surface the
+// backend uses for errno discrimination, raw stat fields, statfs and
+// extended attributes. The core 42-op boundary still works; only the
+// platform extras degrade.
+
+type errnoKey int
+
+const (
+	errnoNotDir errnoKey = iota
+	errnoIsDir
+	errnoNotEmpty
+	errnoXDev
+	errnoNoSpace
+	errnoNoAttr
+)
+
+func isErrno(error, errnoKey) bool { return false }
+
+func sysFields(fs.FileInfo) (ino uint64, nlink, uid, gid int, ok bool) {
+	return 0, 0, 0, 0, false
+}
+
+func (o *FS) statfs() (*posix.Reply, error) {
+	return &posix.Reply{}, nil
+}
+
+func setxattr(string, string, []byte) error   { return posix.ErrNotSupported }
+func getxattr(string, string) ([]byte, error) { return nil, posix.ErrNotSupported }
+func listxattr(string) ([]string, error)      { return nil, posix.ErrNotSupported }
+func removexattr(string, string) error        { return posix.ErrNotSupported }

@@ -24,7 +24,6 @@
 package rpcio
 
 import (
-	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -179,15 +178,10 @@ func NewAggHandle(t Transport) *AggHandle { return &AggHandle{t: t} }
 // DialAgg connects to an aggregator's control service over TCP on the
 // binary frame codec. aggID names the aggregator on a multiplexed
 // (ServeMux) endpoint; empty addresses the endpoint's default channel.
-// The aggregator protocol has no gob form, so WithCodec(CodecGob) is
-// rejected.
 func DialAgg(addr, aggID string, opts ...DialOption) (*AggHandle, error) {
 	cfg := defaultDialConfig()
 	for _, o := range opts {
 		o(&cfg)
-	}
-	if cfg.codec == CodecGob {
-		return nil, fmt.Errorf("rpcio: aggregator protocol is frames-only; gob has no Agg methods")
 	}
 	cfg.stageID = aggID
 	t := newFrameTransport(addr, cfg)

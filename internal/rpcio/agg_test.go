@@ -133,12 +133,6 @@ func TestAggServiceOverMuxTCP(t *testing.T) {
 	}
 }
 
-func TestDialAggRejectsGob(t *testing.T) {
-	if _, err := DialAgg("127.0.0.1:1", "agg-x", WithCodec(CodecGob)); err == nil {
-		t.Fatal("DialAgg with CodecGob should fail: the aggregator protocol has no gob form")
-	}
-}
-
 // TestAggChannelMismatchErrors pins the cross-tier error paths: stage
 // methods on an aggregator channel and agg methods on a stage channel
 // must both fail loudly rather than misdispatch.

@@ -435,13 +435,11 @@ func (ds *DeltaState) CollectCounts() (fulls, deltas uint64) { return ds.fulls, 
 // ---- handle-side batched API ----
 
 // resetReply zeroes the handle's reusable reply in place while keeping
-// slice capacity. This is a wire-correctness requirement, not an
-// optimization: gob omits zero-valued fields on encode and leaves
-// absent fields untouched on decode, so any residue from the previous
-// round — a stale Full flag, old Results booleans, queue values in
-// backing arrays the decoder reuses — would silently merge into the
-// next decoded reply. Elements are cleared up to capacity because gob
-// decodes into the existing backing array whenever it is large enough.
+// slice capacity. Under the retired gob wire this was a correctness
+// requirement (absent fields were left untouched on decode); the binary
+// codec overwrites every schema field, so today the reset guarantees a
+// clean reply even on error paths that decode nothing, and clears
+// residue past the decoded length in backing arrays the decoder reuses.
 func resetReply(r *BatchReply) {
 	results := r.Results[:cap(r.Results)]
 	for i := range results {

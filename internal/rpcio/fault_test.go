@@ -146,8 +146,9 @@ func TestRedialAfterConnectionDeath(t *testing.T) {
 }
 
 func TestDuplicatedResponsesDoNotBreakCalls(t *testing.T) {
-	// net/rpc tolerates a duplicated response message (unknown sequence
-	// numbers are discarded); the gob stream must stay aligned.
+	// A duplicated response either desynchronizes the frame stream or is
+	// discarded as an unknown stream ID; calls must keep succeeding via
+	// redial either way.
 	stg, h := flakyServedStage(t, Flakiness{DupEvery: 1})
 	if err := h.ApplyRule(policy.Rule{ID: "cap", Rate: 100}); err != nil {
 		t.Fatal(err)
@@ -218,13 +219,13 @@ func TestHealthRoundTripCarriesDegradedState(t *testing.T) {
 		t.Fatal(err)
 	}
 	if st.Seq != 7 {
-		t.Errorf("Seq = %d, want 7 (echo lost over gob)", st.Seq)
+		t.Errorf("Seq = %d, want 7 (echo lost over the wire)", st.Seq)
 	}
 	if st.Info.StageID != "s1" {
 		t.Errorf("Info = %+v", st.Info)
 	}
 	if !st.Degraded {
-		t.Error("Degraded flag lost over gob")
+		t.Error("Degraded flag lost over the wire")
 	}
 	if st.DegradedSeconds != 90 {
 		t.Errorf("DegradedSeconds = %v, want 90", st.DegradedSeconds)
@@ -250,7 +251,7 @@ func TestProbeController(t *testing.T) {
 	}
 }
 
-func TestStageStatsDegradedSurvivesGob(t *testing.T) {
+func TestStageStatsDegradedSurvivesWire(t *testing.T) {
 	// stage.Stats gained Degraded/DegradedSeconds; the Collect RPC reply
 	// must carry them.
 	clk := clock.NewSim(epoch)
@@ -274,7 +275,7 @@ func TestStageStatsDegradedSurvivesGob(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !st.Degraded || st.DegradedSeconds != 30 {
-		t.Errorf("Collect over gob = Degraded %v DegradedSeconds %v, want true/30", st.Degraded, st.DegradedSeconds)
+		t.Errorf("Collect over the wire = Degraded %v DegradedSeconds %v, want true/30", st.Degraded, st.DegradedSeconds)
 	}
 }
 

@@ -24,9 +24,9 @@ type Flakiness struct {
 	// the peer keeps waiting for a message that never arrives, which is
 	// what per-call deadlines exist to catch.
 	DropEvery int
-	// DupEvery writes every Nth chunk twice (0 = never). On a gob stream
-	// the duplicate desynchronizes decoding — the client sees a decode
-	// error and must redial.
+	// DupEvery writes every Nth chunk twice (0 = never). The duplicate
+	// desynchronizes the frame stream — the client sees a framing or
+	// decode error and must redial.
 	DupEvery int
 	// DelayEvery sleeps Delay before every Nth written chunk (0 = never).
 	DelayEvery int

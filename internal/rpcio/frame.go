@@ -9,7 +9,7 @@
 // by a flaky wire, or stragglers from a timed-out call — are consumed
 // and dropped, never misdelivered.
 //
-// Failure handling mirrors tcpTransport: every call runs under the
+// Failure handling: every call runs under the
 // transport's deadline on its injected clock, a timeout or I/O error
 // kills the whole connection (completing every pending call with the
 // error), and the next call redials under seeded backoff. RemoteError
@@ -414,8 +414,7 @@ func frameStart(b []byte) []byte {
 // touches memory conn.Write may still be reading. On timeout the whole
 // connection is killed — a late reply on a stream with no waiter would
 // be discarded by the demux loop, but the connection's framing state
-// can no longer be trusted to be timely, exactly as tcpTransport treats
-// a stalled gob exchange.
+// can no longer be trusted to be timely.
 func (t *frameTransport) roundTrip(fc *frameConn, call *frameCall, m methodID, channel uint32) error {
 	stream, err := fc.register(call)
 	if err != nil {
@@ -499,8 +498,8 @@ func (t *frameTransport) callOnce(fc *frameConn, m methodID, args, reply any) er
 	}
 }
 
-// Call implements Transport with redial + retry, mirroring
-// tcpTransport: transport errors invalidate the connection and retry
+// Call implements Transport with redial + retry:
+// transport errors invalidate the connection and retry
 // under seeded backoff; RemoteError (the peer answered "no") is
 // returned as-is.
 func (t *frameTransport) Call(method string, args, reply any) error {

@@ -11,10 +11,9 @@
 // frames, so a steady-state collect allocates nothing on the server
 // side either.
 //
-// ServeService speaks both protocols on one listener during the gob →
-// binary migration: the first four bytes of a fresh connection are
-// sniffed, and wireMagic routes to the frame handler while anything
-// else replays into a net/rpc gob session.
+// The frame protocol is the listener's only wire: the legacy gob
+// compatibility sniffing was removed when that path's one-release
+// migration window closed.
 package rpcio
 
 import (
@@ -22,7 +21,6 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"net/rpc"
 	"sync"
 	"sync/atomic"
 
@@ -289,45 +287,4 @@ func (fs *FrameServer) handleAggCall(svc *AggService, s *frameSession, h frameHe
 		return appendErrorPayload(reply[:frameHeaderLen], err.Error()), frameError
 	}
 	return out, frameReply
-}
-
-// prefixConn replays already-sniffed bytes before reading from the
-// underlying connection.
-type prefixConn struct {
-	net.Conn
-	pre []byte
-}
-
-func (c *prefixConn) Read(p []byte) (int, error) {
-	if len(c.pre) > 0 {
-		n := copy(p, c.pre)
-		c.pre = c.pre[n:]
-		return n, nil
-	}
-	return c.Conn.Read(p)
-}
-
-// sniffServe reads a connection's first four bytes and routes it:
-// wireMagic selects the frame protocol, anything else replays into the
-// net/rpc gob server. srv may be nil on frames-only listeners.
-func sniffServe(conn net.Conn, fs *FrameServer, srv *rpc.Server) {
-	var head [4]byte
-	n, err := io.ReadFull(conn, head[:])
-	if err != nil {
-		// The peer hung up before identifying its protocol; with a
-		// partial prefix there is no protocol to speak.
-		_ = conn.Close()
-		return
-	}
-	pc := &prefixConn{Conn: conn, pre: head[:n]}
-	if binary.LittleEndian.Uint32(head[:]) == wireMagic {
-		fs.serveFrameConn(pc)
-		_ = conn.Close()
-		return
-	}
-	if srv == nil {
-		_ = conn.Close()
-		return
-	}
-	srv.ServeConn(pc)
 }

@@ -1,7 +1,9 @@
 // Package rpcio provides the wire between PADLL's control plane and its
 // data-plane stages. The paper uses gRPC (§III-C); this implementation
-// uses the standard library's net/rpc over TCP with gob encoding, which
-// preserves the same structure: every stage exposes a typed control
+// uses a versioned binary frame protocol over TCP (wirecodec.go) for
+// stage and aggregator traffic, with stdlib net/rpc kept for the
+// low-rate registrar channel. The structure is the same: every stage
+// exposes a typed control
 // service (install rule, retune rate, collect statistics), and the
 // control plane exposes a registration service stages dial when their job
 // starts (§III-B "orchestrating stages from the same job").
@@ -272,38 +274,29 @@ func ServeStage(l net.Listener, stg *stage.Stage, opts ...ServeOption) (stop fun
 // ServeService is ServeStage for a caller-built StageService — the form
 // to use when the caller also wants the service (for Served counters or
 // a Loopback transport onto the same generation state). The listener
-// speaks both wire protocols: each accepted connection's first bytes
-// are sniffed, routing binary-framed clients (DialStage's default) to
-// the frame handler and gob clients (CodecGob, pre-upgrade peers) into
-// a net/rpc session.
+// speaks the binary frame protocol only; the legacy gob wire's
+// compatibility window has closed.
 func ServeService(l net.Listener, svc *StageService, opts ...ServeOption) (stop func()) {
 	var cfg serveConfig
 	for _, o := range opts {
 		o(&cfg)
 	}
-	srv := rpc.NewServer()
-	// Registration cannot fail: StageService's method set is valid by
-	// construction.
-	if err := srv.RegisterName("Stage", svc); err != nil {
-		panic(fmt.Sprintf("rpcio: register stage service: %v", err))
-	}
 	fs := NewFrameServer()
 	fs.Add(svc)
-	return serveBounded(l, func(conn net.Conn) { sniffServe(conn, fs, srv) }, cfg.maxConns)
+	return serveBounded(l, func(conn net.Conn) { fs.serveFrameConn(conn) }, cfg.maxConns)
 }
 
 // ServeMux serves many stages' services behind one listener over the
 // frame protocol: clients resolve a stage ID to a channel with the
 // attach handshake and multiplex all their calls over one connection
 // per endpoint. Register services with fs.Add before or after this
-// call. The listener is frames-only (a gob peer cannot name a stage);
-// gob clients belong on per-stage ServeService listeners.
+// call.
 func ServeMux(l net.Listener, fs *FrameServer, opts ...ServeOption) (stop func()) {
 	var cfg serveConfig
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return serveBounded(l, func(conn net.Conn) { sniffServe(conn, fs, nil) }, cfg.maxConns)
+	return serveBounded(l, func(conn net.Conn) { fs.serveFrameConn(conn) }, cfg.maxConns)
 }
 
 // Default deadlines for control-plane RPCs. A single hung peer must
@@ -330,24 +323,15 @@ type StageHandle struct {
 	dstate DeltaState
 }
 
-// DialStage connects to a stage's control service over TCP. The default
-// wire is the versioned binary frame codec, multiplexed: every handle
-// to the same endpoint address shares one TCP connection (frames carry
-// stream IDs; a demux goroutine routes replies). WithCodec(CodecGob)
-// selects the legacy net/rpc+gob wire, one connection per handle, for
-// peers that have not upgraded. WithMuxStage routes calls to a named
-// stage on a multi-stage (ServeMux) endpoint.
+// DialStage connects to a stage's control service over TCP. The wire is
+// the versioned binary frame codec, multiplexed: every handle to the
+// same endpoint address shares one TCP connection (frames carry stream
+// IDs; a demux goroutine routes replies). WithMuxStage routes calls to
+// a named stage on a multi-stage (ServeMux) endpoint.
 func DialStage(addr string, opts ...DialOption) (*StageHandle, error) {
 	cfg := defaultDialConfig()
 	for _, o := range opts {
 		o(&cfg)
-	}
-	if cfg.codec == CodecGob {
-		t := newTCPTransport(addr, cfg)
-		if _, err := t.ensureClient(); err != nil {
-			return nil, err
-		}
-		return &StageHandle{t: t}, nil
 	}
 	t := newFrameTransport(addr, cfg)
 	if _, err := t.ensureConn(); err != nil {

@@ -1,21 +1,18 @@
 // Transport abstraction for the control plane's stage-facing wire.
 //
 // The paper's control plane talks gRPC to its stages (§III-C); this
-// reproduction's default wire is net/rpc+gob over TCP. Both are
-// request/response transports, and everything above them — the typed
-// StageHandle API, the batched delta protocol, the controller — only
-// needs "issue one named call, get one reply". Transport captures that
-// contract so the same control plane can run over a real socket
-// (tcpTransport) or dispatch straight into an in-process StageService
+// reproduction's wire is the versioned binary frame protocol over TCP.
+// Both are request/response transports, and everything above them — the
+// typed StageHandle API, the batched delta protocol, the controller —
+// only needs "issue one named call, get one reply". Transport captures
+// that contract so the same control plane can run over a real socket
+// (frameTransport) or dispatch straight into an in-process StageService
 // (Loopback) with zero serialization, which is what sim-clock tests,
 // the chaos harness, and thousand-stage benchmarks want.
 package rpcio
 
 import (
-	"errors"
 	"fmt"
-	"net"
-	"net/rpc"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,68 +44,12 @@ type WireStats struct {
 	BytesWritten uint64
 }
 
-// countingConn wraps a TCP connection and adds its traffic to the
-// owning transport's byte counters, giving experiments an exact
-// bytes-on-wire measure without packet capture.
-type countingConn struct {
-	net.Conn
-	r, w *atomic.Uint64
-}
-
-func (c *countingConn) Read(p []byte) (int, error) {
-	n, err := c.Conn.Read(p)
-	c.r.Add(uint64(n))
-	return n, err
-}
-
-func (c *countingConn) Write(p []byte) (int, error) {
-	n, err := c.Conn.Write(p)
-	c.w.Add(uint64(n))
-	return n, err
-}
-
-// tcpTransport is the production transport: net/rpc+gob over TCP,
-// hardened against a flaky wire. Every call runs under a deadline, a
-// broken connection is transparently redialed (every stage RPC is
-// idempotent), and retries follow a seeded exponential backoff on the
-// transport's clock.
-type tcpTransport struct {
-	addr    string
-	clk     clock.Clock
-	timeout time.Duration // per-call deadline (0 = unbounded)
-	dialTO  time.Duration // per-dial deadline
-	backoff Backoff
-
-	calls        atomic.Uint64
-	bytesRead    atomic.Uint64
-	bytesWritten atomic.Uint64
-
-	mu     sync.Mutex
-	client *rpc.Client
-	closed bool
-}
-
-// Codec selects a handle's wire encoding.
-type Codec uint8
-
-const (
-	// CodecBinary is the versioned binary frame codec (wirecodec.go):
-	// explicit field encoding, zero-allocation steady state, and
-	// connection multiplexing. The default.
-	CodecBinary Codec = iota
-	// CodecGob is the legacy net/rpc+gob wire, kept for one release so
-	// mixed fleets interoperate and the equivalence property tests can
-	// diff the two implementations.
-	CodecGob
-)
-
 // dialConfig is the resolved option set behind DialStage.
 type dialConfig struct {
 	clk     clock.Clock
 	timeout time.Duration
 	dialTO  time.Duration
 	backoff Backoff
-	codec   Codec
 	stageID string
 	dialer  *frameDialer
 }
@@ -146,163 +87,12 @@ func WithHandleClock(clk clock.Clock) DialOption {
 	return func(c *dialConfig) { c.clk = clk }
 }
 
-// WithCodec selects the wire encoding (default CodecBinary).
-func WithCodec(codec Codec) DialOption {
-	return func(c *dialConfig) { c.codec = codec }
-}
-
 // WithMuxStage names the stage to address on a multi-stage (ServeMux)
 // endpoint: the handle resolves the ID to a frame channel with the
 // attach handshake and shares the endpoint's one connection with every
-// other handle. Binary codec only.
+// other handle.
 func WithMuxStage(stageID string) DialOption {
 	return func(c *dialConfig) { c.stageID = stageID }
-}
-
-func newTCPTransport(addr string, cfg dialConfig) *tcpTransport {
-	return &tcpTransport{
-		addr:    addr,
-		clk:     cfg.clk,
-		timeout: cfg.timeout,
-		dialTO:  cfg.dialTO,
-		backoff: cfg.backoff,
-	}
-}
-
-// Addr implements Transport.
-func (t *tcpTransport) Addr() string { return t.addr }
-
-// WireStats implements Transport.
-func (t *tcpTransport) WireStats() WireStats {
-	return WireStats{
-		Calls:        t.calls.Load(),
-		BytesRead:    t.bytesRead.Load(),
-		BytesWritten: t.bytesWritten.Load(),
-	}
-}
-
-// ensureClient returns the live connection, dialing a fresh one when the
-// previous call invalidated it.
-func (t *tcpTransport) ensureClient() (*rpc.Client, error) {
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
-		return nil, fmt.Errorf("rpcio: stage %s: connection closed", t.addr)
-	}
-	if t.client != nil {
-		c := t.client
-		t.mu.Unlock()
-		return c, nil
-	}
-	t.mu.Unlock()
-
-	conn, err := net.DialTimeout("tcp", t.addr, t.dialTO)
-	if err != nil {
-		return nil, fmt.Errorf("rpcio: dial stage %s: %w", t.addr, err)
-	}
-	c := rpc.NewClient(&countingConn{Conn: conn, r: &t.bytesRead, w: &t.bytesWritten})
-
-	t.mu.Lock()
-	switch {
-	case t.closed:
-		t.mu.Unlock()
-		_ = c.Close()
-		return nil, fmt.Errorf("rpcio: stage %s: connection closed", t.addr)
-	case t.client != nil:
-		// A concurrent caller won the redial race; use its connection.
-		existing := t.client
-		t.mu.Unlock()
-		_ = c.Close()
-		return existing, nil
-	default:
-		t.client = c
-		t.mu.Unlock()
-		return c, nil
-	}
-}
-
-// invalidate drops c as the transport's connection (if it still is) and
-// closes it, so the next call redials.
-func (t *tcpTransport) invalidate(c *rpc.Client) {
-	t.mu.Lock()
-	if t.client == c {
-		t.client = nil
-	}
-	t.mu.Unlock()
-	// Double closes from racing invalidations only return ErrShutdown.
-	_ = c.Close()
-}
-
-// callOnce performs one RPC attempt under the transport's deadline.
-func (t *tcpTransport) callOnce(c *rpc.Client, method string, args, reply any) error {
-	t.calls.Add(1)
-	if t.timeout <= 0 {
-		return c.Call(method, args, reply)
-	}
-	call := c.Go(method, args, reply, make(chan *rpc.Call, 1))
-	select {
-	case <-call.Done:
-		return call.Error
-	case <-t.clk.After(t.timeout):
-		// A late reply on this connection would be ambiguous; the only
-		// safe recovery is to kill it, which also resolves the pending
-		// call instead of leaking its goroutine.
-		t.invalidate(c)
-		<-call.Done
-		if call.Error == nil {
-			return nil // the reply raced the deadline and won
-		}
-		return fmt.Errorf("rpcio: %s to stage %s: deadline %v exceeded: %w",
-			method, t.addr, t.timeout, call.Error)
-	}
-}
-
-// Call implements Transport with redial + retry.
-func (t *tcpTransport) Call(method string, args, reply any) error {
-	r := newRetrier(t.backoff)
-	for {
-		c, err := t.ensureClient()
-		if err == nil {
-			err = t.callOnce(c, method, args, reply)
-			if err == nil {
-				return nil
-			}
-			var se rpc.ServerError
-			if errors.As(err, &se) {
-				// The wire worked; the stage itself refused. Retrying an
-				// application error is wrong.
-				return err
-			}
-			t.invalidate(c)
-		}
-		if t.isClosed() {
-			return err
-		}
-		d, ok := r.delay()
-		if !ok {
-			return err
-		}
-		t.clk.Sleep(d)
-	}
-}
-
-func (t *tcpTransport) isClosed() bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.closed
-}
-
-// Close implements Transport.
-func (t *tcpTransport) Close() error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.closed = true
-	if t.client == nil {
-		return nil
-	}
-	err := t.client.Close()
-	t.client = nil
-	return err
 }
 
 // LoopbackAddr is what Loopback transports report from Addr.

@@ -35,8 +35,7 @@
 // fingerprint in wireSchemaFingerprints (wire_registry_test.go computes
 // the fingerprint and fails until both move together). Peers reject
 // frames whose version byte differs from their own; there is no
-// in-place negotiation — mixed fleets run the gob codec (CodecGob)
-// until both sides upgrade.
+// in-place negotiation — mixed fleets upgrade both sides together.
 package rpcio
 
 import (

@@ -341,15 +341,16 @@ func TestDecoderRejectsTrailingGarbage(t *testing.T) {
 	}
 }
 
-// TestCodecEquivalenceProperty is the cross-codec analogue of
-// TestDeltaCollectMatchesDirectCollect: one stage served over TCP, one
-// binary-codec handle and one gob handle collecting it, and a direct
-// in-process Collect as ground truth. After every mutation all three
-// snapshots must be gob-byte-identical. Halfway through, the server is
-// torn down and rebuilt on the same port with a fresh stage (same ID):
-// both live handles must redial, detect the epoch change, resync with a
-// full snapshot, and converge again.
-func TestCodecEquivalenceProperty(t *testing.T) {
+// TestHandleEquivalenceProperty is the multi-handle analogue of
+// TestDeltaCollectMatchesDirectCollect: one stage served over TCP, two
+// independent handles collecting it (each with its own delta state over
+// the shared multiplexed connection), and a direct in-process Collect
+// as ground truth. After every mutation all three snapshots must be
+// byte-identical under a canonical encoding. Halfway through, the
+// server is torn down and rebuilt on the same port with a fresh stage
+// (same ID): both live handles must redial, detect the epoch change,
+// resync with a full snapshot, and converge again.
+func TestHandleEquivalenceProperty(t *testing.T) {
 	clk := clock.NewSim(epoch)
 	info := stage.Info{StageID: "s1", JobID: "j1", Hostname: "n1", PID: 7, User: "u"}
 	stg := stage.New(info, clk)
@@ -365,11 +366,11 @@ func TestCodecEquivalenceProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer hBin.Close()
-	hGob, err := DialStage(addr, WithCodec(CodecGob))
+	hAlt, err := DialStage(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer hGob.Close()
+	defer hAlt.Close()
 
 	checkConverged := func(step string) {
 		t.Helper()
@@ -378,15 +379,15 @@ func TestCodecEquivalenceProperty(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: binary collect: %v", step, err)
 		}
-		stGob, err := hGob.CollectDelta()
+		stAlt, err := hAlt.CollectDelta()
 		if err != nil {
-			t.Fatalf("%s: gob collect: %v", step, err)
+			t.Fatalf("%s: second-handle collect: %v", step, err)
 		}
 		if got := gobBytes(t, stBin); !reflect.DeepEqual(got, want) {
 			t.Fatalf("%s: binary snapshot diverged from direct Collect:\nbin:    %+v\ndirect: %+v", step, stBin, stg.Collect())
 		}
-		if got := gobBytes(t, stGob); !reflect.DeepEqual(got, want) {
-			t.Fatalf("%s: gob snapshot diverged from direct Collect:\ngob:    %+v\ndirect: %+v", step, stGob, stg.Collect())
+		if got := gobBytes(t, stAlt); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: second handle diverged from direct Collect:\nalt:    %+v\ndirect: %+v", step, stAlt, stg.Collect())
 		}
 	}
 
@@ -401,12 +402,12 @@ func TestCodecEquivalenceProperty(t *testing.T) {
 			clk.Advance(2 * time.Second)
 		},
 		func() {
-			if _, err := hGob.SetRate("r1", 999); err != nil {
+			if _, err := hAlt.SetRate("r1", 999); err != nil {
 				t.Fatal(err)
 			}
 		},
 		func() {
-			if err := hGob.ApplyRule(maxRule("r2")); err != nil {
+			if err := hAlt.ApplyRule(maxRule("r2")); err != nil {
 				t.Fatal(err)
 			}
 		},
@@ -454,7 +455,7 @@ func TestCodecEquivalenceProperty(t *testing.T) {
 
 	// Both handles must have resynced via at least one full snapshot
 	// (initial + post-restart) and still be collecting incrementally.
-	for name, h := range map[string]*StageHandle{"binary": hBin, "gob": hGob} {
+	for name, h := range map[string]*StageHandle{"first": hBin, "second": hAlt} {
 		fulls, deltas := h.CollectCounts()
 		if fulls < 2 {
 			t.Errorf("%s handle: %d full resyncs across restart, want >= 2", name, fulls)

@@ -1,0 +1,128 @@
+package vfs
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"padll/internal/clock"
+	"padll/internal/osfs"
+)
+
+// The overhead benchmarks quantify the paper's passthrough claim (§IV-A)
+// for the io/fs onramp: the same operations through app → vfs → osfs →
+// kernel versus direct os.* calls. The deltas are what an unmodified
+// application pays for interposition before any rate limiting engages.
+
+// benchTree builds a small source-tree-shaped fixture on the host.
+func benchTree(b *testing.B) string {
+	b.Helper()
+	root := b.TempDir()
+	for _, d := range []string{"src", "src/pkg", "docs"} {
+		if err := os.Mkdir(filepath.Join(root, d), 0o755); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, f := range []string{"README.md", "src/main.go", "src/pkg/util.go", "src/pkg/util_test.go", "docs/guide.txt"} {
+		if err := os.WriteFile(filepath.Join(root, f), []byte("payload for "+f), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return root
+}
+
+func benchBridge(b *testing.B, root string) *FS {
+	b.Helper()
+	backend, err := osfs.New(root, clock.NewReal())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return New(backend)
+}
+
+func BenchmarkOSBridgeStat(b *testing.B) {
+	v := benchBridge(b, benchTree(b))
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := v.Stat("src/pkg/util.go"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkOSDirectStat(b *testing.B) {
+	root := benchTree(b)
+	target := filepath.Join(root, "src", "pkg", "util.go")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := os.Stat(target); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkOSBridgeReadFile(b *testing.B) {
+	v := benchBridge(b, benchTree(b))
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := v.ReadFile("src/main.go"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkOSDirectReadFile(b *testing.B) {
+	root := benchTree(b)
+	target := filepath.Join(root, "src", "main.go")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := os.ReadFile(target); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// walkAndStat is the build-tool access pattern: enumerate everything,
+// stat every file.
+func walkAndStat(b *testing.B, fsys fs.FS) {
+	b.Helper()
+	err := fs.WalkDir(fsys, ".", func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			if _, ierr := d.Info(); ierr != nil {
+				return ierr
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkOSBridgeWalkDir(b *testing.B) {
+	v := benchBridge(b, benchTree(b))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		walkAndStat(b, v)
+	}
+}
+
+func BenchmarkOSDirectWalkDir(b *testing.B) {
+	fsys := os.DirFS(benchTree(b))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		walkAndStat(b, fsys)
+	}
+}

@@ -47,10 +47,12 @@ import (
 	"padll/internal/interpose"
 	"padll/internal/monitor"
 	"padll/internal/mount"
+	"padll/internal/osfs"
 	"padll/internal/policy"
 	"padll/internal/posix"
 	"padll/internal/rpcio"
 	"padll/internal/stage"
+	"padll/internal/vfs"
 )
 
 // Re-exported building blocks. Aliases keep the internal packages as the
@@ -87,6 +89,14 @@ type (
 	RoundStats = control.RoundStats
 	// ServiceStats counts what a stage's control service has served.
 	ServiceStats = rpcio.ServiceStats
+	// VFS bridges any FileSystem onto Go's io/fs contract (fs.FS,
+	// fs.ReadDirFS, fs.StatFS, fs.ReadFileFS, fs.SubFS plus os-style
+	// write extensions), so stock library code runs over the data plane.
+	VFS = vfs.FS
+	// VFSFile is an open write-capable file on a VFS.
+	VFSFile = vfs.File
+	// VFSOption configures a VFS (see VFSWithJob).
+	VFSOption = vfs.Option
 )
 
 // Open flags and common constants, re-exported for call sites.
@@ -119,25 +129,27 @@ const (
 // policing (ActionDrop) rule.
 var ErrRateLimited = stage.ErrRateLimited
 
-// Codec selects the control-plane wire encoding of a stage connection.
-type Codec = rpcio.Codec
+// WireVersion is the binary frame protocol version this build speaks —
+// the control plane's only wire since the legacy gob path's one-release
+// compatibility window closed. Decoders reject frames from any other
+// version rather than guessing at field layouts.
+const WireVersion = rpcio.WireVersion
 
-const (
-	// CodecBinary is the versioned zero-copy binary frame protocol —
-	// the default: one multiplexed TCP connection per endpoint, explicit
-	// per-struct field encoding, no reflection.
-	CodecBinary = rpcio.CodecBinary
-	// CodecGob is the legacy net/rpc+gob wire, kept for one release so
-	// mixed fleets can upgrade incrementally; servers speak both and
-	// sniff the protocol per connection.
-	CodecGob = rpcio.CodecGob
+// NewVFS wraps any FileSystem — a raw backend, a DataPlane, or a full
+// interposed stack — as an io/fs file system. Prefer DataPlane.FS when
+// bridging a data plane: it stamps the stage's job context for request
+// differentiation.
+func NewVFS(target FileSystem, opts ...VFSOption) *VFS { return vfs.New(target, opts...) }
 
-	// WireVersion is the binary frame protocol version this build
-	// speaks. Decoders reject frames from any other version, forcing
-	// mixed fleets through the gob compatibility path instead of
-	// guessing at field layouts.
-	WireVersion = rpcio.WireVersion
-)
+// VFSWithJob stamps job differentiation context onto every bridged
+// request.
+func VFSWithJob(jobID, user string, pid int) VFSOption { return vfs.WithJob(jobID, user, pid) }
+
+// NewOSBackend returns a FileSystem executing requests against the real
+// OS tree rooted at dir (which must exist): the "real-workload onramp"
+// backend. Virtual paths are confined to the root; mount it with
+// MountPFS to rate limit actual kernel I/O.
+func NewOSBackend(dir string) (FileSystem, error) { return osfs.New(dir, clock.NewReal()) }
 
 // ParseRule parses a rule in DSL form, e.g.
 // "limit id:open-cap job:job1 op:open rate:10k burst:500".
@@ -262,6 +274,15 @@ func NewDataPlane(info JobInfo, mounts ...MountSpec) (*DataPlane, error) {
 func (dp *DataPlane) Client() *Client {
 	info := dp.stg.Info()
 	return posix.NewClient(dp.shim).WithJob(info.JobID, info.User, info.PID)
+}
+
+// FS returns an io/fs view of the data plane: every Open, ReadDir, Stat
+// or WalkDir step issued through it is classified and rate limited like
+// any other interposed call, stamped with the stage's job context.
+func (dp *DataPlane) FS(opts ...VFSOption) *VFS {
+	info := dp.stg.Info()
+	merged := append([]VFSOption{VFSWithJob(info.JobID, info.User, info.PID)}, opts...)
+	return vfs.New(dp.shim, merged...)
 }
 
 // RawClient returns a POSIX client that enters the mount router below
