@@ -43,27 +43,39 @@ fuzz-smoke:
 # land in BENCH_stage.json / BENCH_control.json so runs can be diffed
 # against the committed baselines. The fleet benchmarks run at the
 # default CPU count only: they measure wall-clock rounds over live
-# sockets, not CPU-parallel hot paths.
+# sockets, not CPU-parallel hot paths. -count=3 gives the baseline the
+# same minimum-of-three estimate bench-diff uses on the fresh side, so
+# the gate never compares against a single unlucky (or lucky) sample.
 bench:
-	$(GO) test -run='^$$' -bench=. -benchmem -cpu=1,4,8 -json $(BENCH_PKGS) \
+	$(GO) test -run='^$$' -bench=. -benchmem -cpu=1,4,8 -count=3 -json $(BENCH_PKGS) \
 		| $(GO) run ./cmd/padll-benchfmt -raw BENCH_stage.json
-	$(GO) test -run='^$$' -bench=. -benchmem -json $(BENCH_CONTROL_PKGS) \
+	$(GO) test -run='^$$' -bench=. -benchmem -count=3 -json $(BENCH_CONTROL_PKGS) \
 		| $(GO) run ./cmd/padll-benchfmt -raw BENCH_control.json
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
-# Re-run the control-plane fleet benchmarks and fail on >15% regression
-# in ns/op or wireB/round against the committed BENCH_control.json
-# baseline (refresh baselines with `make bench`). This is the tripwire
-# that keeps the binary codec's latency and wire-byte wins locked in.
-# -count=3 with padll-benchfmt keeping each benchmark's fastest run
-# filters scheduler-contention noise, which only ever inflates ns/op.
+# Re-run the benchmarks and fail on regression in ns/op, allocs/op or
+# wireB/round against the committed BENCH_control.json /
+# BENCH_stage.json baselines (refresh with `make bench`). This is the
+# tripwire that keeps the binary codec's wire wins and the alloc-free
+# request path locked in. The deterministic units — allocs/op and
+# wireB/round — are gated strictly at 15%. Wall-clock ns/op swings
+# tens of percent between steal/thermal windows on a shared box
+# (-count=3 keeping the fastest run filters in-window noise, not
+# cross-window drift), so cross-window ns/op is a
+# catastrophic-regression tripwire at 50%, and the interposition-tax
+# claims that actually matter are gated as SAME-RUN ratios — bridged
+# vs direct ns/op from one capture window — which host-speed drift
+# cancels out of. Steady-state ratios on an idle box are ~1.2x/1.2x/
+# 1.1x (stat/walk/readfile); the limits leave noise margin while still
+# catching any real regression, which costs microseconds, not percent.
 bench-diff:
 	$(GO) test -run='^$$' -bench=. -benchmem -count=3 -json $(BENCH_CONTROL_PKGS) \
-		| $(GO) run ./cmd/padll-benchfmt -diff BENCH_control.json
-	$(GO) test -run='^$$' -bench=. -benchmem -count=3 -cpu=4 -json ./internal/vfs/... \
-		| $(GO) run ./cmd/padll-benchfmt -diff BENCH_stage.json
+		| $(GO) run ./cmd/padll-benchfmt -diff BENCH_control.json -ns-tolerance 0.5
+	$(GO) test -run='^$$' -bench=. -benchmem -count=3 -cpu=4 -json $(BENCH_PKGS) \
+		| $(GO) run ./cmd/padll-benchfmt -diff BENCH_stage.json -ns-tolerance 0.5 \
+			-ratio 'BenchmarkOSBridgeStat-4/BenchmarkOSDirectStat-4<=1.6,BenchmarkOSBridgeWalkDir-4/BenchmarkOSDirectWalkDir-4<=1.6,BenchmarkOSBridgeReadFile-4/BenchmarkOSDirectReadFile-4<=1.6'
 
 # One-iteration pass over every hot-path and control-plane benchmark:
 # catches bitrot (compile errors, panics, b.Fatal) without paying for
@@ -102,9 +114,11 @@ fix-smoke:
 	@echo "fix-smoke: -diff idempotent, no fixes pending"
 
 # The full gate: formatting, vet, padll-lint (plus self-lint and the
-# -fix dry-run smoke), build, race-enabled tests, the doubled
-# control-plane race pass, and a one-iteration benchmark smoke so the
-# hot-path benches can't rot.
+# -fix dry-run smoke), build, race-enabled tests, a plain-mode pass
+# over the packages whose AllocsPerRun guards skip under -race (race
+# instrumentation defeats escape analysis, so alloc counts only mean
+# anything uninstrumented), the doubled control-plane race pass, and a
+# one-iteration benchmark smoke so the hot-path benches can't rot.
 ci:
 	@unformatted="$$(gofmt -l .)"; \
 	if [ -n "$$unformatted" ]; then \
@@ -115,6 +129,7 @@ ci:
 	$(MAKE) fix-smoke
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(GO) test ./internal/posix/... ./internal/vfs/... ./internal/stage/...
 	$(MAKE) race
 	$(MAKE) bench-smoke
 	$(MAKE) bench-diff

@@ -97,6 +97,9 @@ func TestRenderKeepsFastestOfRepeatedRuns(t *testing.T) {
 	if got["BenchmarkRepeat"]["ns/op"] != 2000 || got["BenchmarkRepeat"]["wireB/round"] != 510 {
 		t.Errorf("recorded %v, want the fastest run (2000 ns/op, 510 wireB/round)", got["BenchmarkRepeat"])
 	}
+	if got["BenchmarkRepeat"][nsMaxKey] != 3000 {
+		t.Errorf("recorded %v ns/op.max, want the slowest sample (3000) for spread gating", got["BenchmarkRepeat"][nsMaxKey])
+	}
 }
 
 func TestDiffFlagsRegressionsOnly(t *testing.T) {
@@ -117,19 +120,130 @@ func TestDiffFlagsRegressionsOnly(t *testing.T) {
 		"BenchmarkSteady": {"ns/op": 5500, "wireB/round": 200},
 		"BenchmarkNew":    {"ns/op": 1}, // no baseline: ignored
 	}
-	if n, err := diff(path, fresh, 0.15); err != nil || n != 0 {
+	if n, err := diff(path, fresh, 0.15, 0.15); err != nil || n != 0 {
 		t.Errorf("diff = %d regressions, err %v; want 0, nil", n, err)
 	}
 
 	// Blow the budget on one ns/op and one wireB/round.
 	fresh["BenchmarkSteady"] = map[string]float64{"ns/op": 6000, "wireB/round": 200}
 	fresh["BenchmarkFast"] = map[string]float64{"ns/op": 500, "wireB/round": 150}
-	if n, err := diff(path, fresh, 0.15); err != nil || n != 2 {
+	if n, err := diff(path, fresh, 0.15, 0.15); err != nil || n != 2 {
 		t.Errorf("diff = %d regressions, err %v; want 2, nil", n, err)
 	}
 
 	// Nothing comparable must be an error, not a silent pass.
-	if _, err := diff(path, map[string]map[string]float64{}, 0.15); err == nil {
+	if _, err := diff(path, map[string]map[string]float64{}, 0.15, 0.15); err == nil {
 		t.Error("diff with no overlap passed; want an error")
+	}
+}
+
+// TestDiffNsNoiseFloor pins the absolute slack on ns/op: a sub-10ns
+// wobble on a single-digit-ns benchmark is timer noise and must not
+// trip the gate, while a delta past the floor still does — and the
+// floor never applies to the deterministic allocs/op unit.
+func TestDiffNsNoiseFloor(t *testing.T) {
+	baseline := stream(t, map[string]string{
+		"BenchmarkTiny": "  100\t  8 ns/op\t  0 allocs/op",
+	})
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, []byte(baseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// +30% relative but only +2.4ns absolute: inside the floor.
+	fresh := map[string]map[string]float64{
+		"BenchmarkTiny": {"ns/op": 10.4, "allocs/op": 0},
+	}
+	if n, err := diff(path, fresh, 0.15, 0.15); err != nil || n != 0 {
+		t.Errorf("diff = %d regressions, err %v; want 0 (2.4ns wobble is noise)", n, err)
+	}
+
+	// +12ns absolute: past the floor, a real slowdown.
+	fresh["BenchmarkTiny"] = map[string]float64{"ns/op": 20, "allocs/op": 0}
+	if n, err := diff(path, fresh, 0.15, 0.15); err != nil || n != 1 {
+		t.Errorf("diff = %d regressions, err %v; want 1 (12ns past the floor)", n, err)
+	}
+
+	// One new allocation on a zero-alloc path must trip regardless of
+	// how small the benchmark is — but a zero baseline is skipped, so
+	// seed the baseline at one alloc and regress to two.
+	baseline = stream(t, map[string]string{
+		"BenchmarkTiny": "  100\t  8 ns/op\t  1 allocs/op",
+	})
+	if err := os.WriteFile(path, []byte(baseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh["BenchmarkTiny"] = map[string]float64{"ns/op": 8, "allocs/op": 2}
+	if n, err := diff(path, fresh, 0.15, 0.15); err != nil || n != 1 {
+		t.Errorf("diff = %d regressions, err %v; want 1 (allocs/op has no noise floor)", n, err)
+	}
+}
+
+// TestDiffSpreadWidensNsTolerance pins the variance-aware gate: a
+// wall-clock benchmark whose own -count=N samples swing 30% in-window
+// cannot fail on a 20% min-to-min delta, while the same delta on a
+// tight-spread benchmark still trips — and spread never loosens the
+// deterministic units.
+func TestDiffSpreadWidensNsTolerance(t *testing.T) {
+	baseline := stream(t, map[string]string{
+		"BenchmarkFleet": "  100\t  1000000 ns/op\t  200 wireB/round",
+	})
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, []byte(baseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// +20% min-to-min, but the fresh samples spread 1.2M..1.56M (30%):
+	// inside the benchmark's own variance, not a regression.
+	fresh := map[string]map[string]float64{
+		"BenchmarkFleet": {"ns/op": 1200000, nsMaxKey: 1560000, "wireB/round": 200},
+	}
+	if n, err := diff(path, fresh, 0.15, 0.15); err != nil || n != 0 {
+		t.Errorf("diff = %d regressions, err %v; want 0 (delta within measured spread)", n, err)
+	}
+
+	// Same +20% with a tight 2% spread: a real slowdown.
+	fresh["BenchmarkFleet"] = map[string]float64{"ns/op": 1200000, nsMaxKey: 1224000, "wireB/round": 200}
+	if n, err := diff(path, fresh, 0.15, 0.15); err != nil || n != 1 {
+		t.Errorf("diff = %d regressions, err %v; want 1 (tight spread keeps the gate)", n, err)
+	}
+
+	// Spread must not excuse wireB/round: bytes on the wire are
+	// deterministic whatever the scheduler does.
+	fresh["BenchmarkFleet"] = map[string]float64{"ns/op": 1000000, nsMaxKey: 2000000, "wireB/round": 300}
+	if n, err := diff(path, fresh, 0.15, 0.15); err != nil || n != 1 {
+		t.Errorf("diff = %d regressions, err %v; want 1 (wire bytes gated strictly)", n, err)
+	}
+}
+
+// TestRatioGates pins the same-run ratio mechanism: parse errors are
+// loud, limits gate the fresh run's own ns/op quotients, and a missing
+// benchmark is an error rather than a silently dissolved gate.
+func TestRatioGates(t *testing.T) {
+	specs, err := parseRatios("BenchA/BenchB<=1.5, BenchC/BenchB <= 2")
+	if err != nil || len(specs) != 2 {
+		t.Fatalf("parseRatios = %v, %v; want 2 specs", specs, err)
+	}
+	if specs[0] != (ratioSpec{"BenchA", "BenchB", 1.5}) {
+		t.Errorf("spec[0] = %+v", specs[0])
+	}
+	for _, bad := range []string{"BenchA<=1.5", "BenchA/BenchB", "A/B<=zero", "/B<=1", "A/B<=-1"} {
+		if _, err := parseRatios(bad); err == nil {
+			t.Errorf("parseRatios(%q) accepted", bad)
+		}
+	}
+
+	fresh := map[string]map[string]float64{
+		"BenchA": {"ns/op": 120},
+		"BenchB": {"ns/op": 100},
+		"BenchC": {"ns/op": 250},
+	}
+	// A/B = 1.2 within 1.5; C/B = 2.5 past 2.
+	if n, err := gateRatios(specs, fresh); err != nil || n != 1 {
+		t.Errorf("gateRatios = %d exceeded, err %v; want 1", n, err)
+	}
+	delete(fresh, "BenchC")
+	if _, err := gateRatios(specs, fresh); err == nil {
+		t.Error("gateRatios with a missing benchmark passed; want an error")
 	}
 }

@@ -166,7 +166,7 @@ func (fs *FS) Stats() Stats {
 // Apply implements posix.FileSystem: it consults the fault schedules in
 // order (first injected error wins, delays accumulate) and otherwise
 // forwards to the wrapped backend.
-func (fs *FS) Apply(req *posix.Request) (*posix.Reply, error) {
+func (fs *FS) Apply(req *posix.Request, rep *posix.Reply) error {
 	off := fs.clk.Now().Sub(fs.start)
 
 	fs.mu.Lock()
@@ -200,7 +200,7 @@ func (fs *FS) Apply(req *posix.Request) (*posix.Reply, error) {
 		fs.clk.Sleep(delay)
 	}
 	if injected != nil {
-		return nil, injected
+		return injected
 	}
-	return fs.inner.Apply(req)
+	return fs.inner.Apply(req, rep)
 }

@@ -45,15 +45,15 @@ func TestErrorWindowFollowsSimClock(t *testing.T) {
 	prepare(t, backend, "/a")
 	fs := Wrap(backend, clk, ErrorWindow(posix.ErrIO, 10*time.Second, 20*time.Second))
 
-	if _, err := fs.Apply(getattr("/a")); err != nil {
+	if _, err := posix.Do(fs, getattr("/a")); err != nil {
 		t.Fatalf("before window: %v", err)
 	}
 	clk.Advance(10 * time.Second)
-	if _, err := fs.Apply(getattr("/a")); !errors.Is(err, posix.ErrIO) {
+	if _, err := posix.Do(fs, getattr("/a")); !errors.Is(err, posix.ErrIO) {
 		t.Fatalf("inside window: got %v, want ErrIO", err)
 	}
 	clk.Advance(10 * time.Second)
-	if _, err := fs.Apply(getattr("/a")); err != nil {
+	if _, err := posix.Do(fs, getattr("/a")); err != nil {
 		t.Fatalf("after window: %v", err)
 	}
 	st := fs.Stats()
@@ -74,7 +74,7 @@ func TestEveryNthRestrictedToClass(t *testing.T) {
 
 	var failures int
 	for i := 0; i < 6; i++ {
-		if _, err := fs.Apply(getattr("/a")); errors.Is(err, posix.ErrNoSpace) {
+		if _, err := posix.Do(fs, getattr("/a")); errors.Is(err, posix.ErrNoSpace) {
 			failures++
 		} else if err != nil {
 			t.Fatalf("call %d: %v", i, err)
@@ -85,13 +85,13 @@ func TestEveryNthRestrictedToClass(t *testing.T) {
 	}
 	// Directory-class traffic must pass untouched and must not advance the
 	// metadata fault's counter.
-	if _, err := fs.Apply(&posix.Request{Op: posix.OpMkdir, Path: "/d", Mode: 0o755}); err != nil {
+	if _, err := posix.Do(fs, &posix.Request{Op: posix.OpMkdir, Path: "/d", Mode: 0o755}); err != nil {
 		t.Fatalf("mkdir: %v", err)
 	}
-	if _, err := fs.Apply(getattr("/a")); err != nil {
+	if _, err := posix.Do(fs, getattr("/a")); err != nil {
 		t.Fatalf("7th metadata call (odd hit) should pass: %v", err)
 	}
-	if _, err := fs.Apply(getattr("/a")); !errors.Is(err, posix.ErrNoSpace) {
+	if _, err := posix.Do(fs, getattr("/a")); !errors.Is(err, posix.ErrNoSpace) {
 		t.Fatalf("8th metadata call should fail: got %v", err)
 	}
 }
@@ -102,16 +102,16 @@ func TestPathPrefixScoping(t *testing.T) {
 	prepare(t, backend, "/scratch/x", "/home/x")
 	fs := Wrap(backend, clk, Fault{PathPrefix: "/scratch", Err: posix.ErrIO})
 
-	if _, err := fs.Apply(getattr("/scratch/x")); !errors.Is(err, posix.ErrIO) {
+	if _, err := posix.Do(fs, getattr("/scratch/x")); !errors.Is(err, posix.ErrIO) {
 		t.Fatalf("/scratch/x: got %v, want ErrIO", err)
 	}
-	if _, err := fs.Apply(getattr("/home/x")); err != nil {
+	if _, err := posix.Do(fs, getattr("/home/x")); err != nil {
 		t.Fatalf("/home/x: %v", err)
 	}
 	// Prefix matching is path-component aware: /scratchy is not under
 	// /scratch.
 	prepare(t, backend, "/scratchy")
-	if _, err := fs.Apply(getattr("/scratchy")); err != nil {
+	if _, err := posix.Do(fs, getattr("/scratchy")); err != nil {
 		t.Fatalf("/scratchy: %v", err)
 	}
 }
@@ -124,7 +124,7 @@ func TestLatencySpikeSleepsOnInjectedClock(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		_, err := fs.Apply(getattr("/a"))
+		_, err := posix.Do(fs, getattr("/a"))
 		done <- err
 	}()
 	// The call must park on the simulated clock, not complete.
@@ -159,7 +159,7 @@ func TestScheduleIsDeterministic(t *testing.T) {
 			ErrorWindow(posix.ErrNoSpace, 5*time.Second, 8*time.Second))
 		var outcomes []bool
 		for i := 0; i < 20; i++ {
-			_, err := fs.Apply(getattr("/a"))
+			_, err := posix.Do(fs, getattr("/a"))
 			outcomes = append(outcomes, err != nil)
 			clk.Advance(time.Second)
 		}
@@ -179,15 +179,15 @@ func TestAddAndClearAtRuntime(t *testing.T) {
 	prepare(t, backend, "/a")
 	fs := Wrap(backend, clk)
 
-	if _, err := fs.Apply(getattr("/a")); err != nil {
+	if _, err := posix.Do(fs, getattr("/a")); err != nil {
 		t.Fatalf("no faults: %v", err)
 	}
 	fs.Add(Fault{Err: posix.ErrIO})
-	if _, err := fs.Apply(getattr("/a")); !errors.Is(err, posix.ErrIO) {
+	if _, err := posix.Do(fs, getattr("/a")); !errors.Is(err, posix.ErrIO) {
 		t.Fatalf("after Add: got %v, want ErrIO", err)
 	}
 	fs.Clear()
-	if _, err := fs.Apply(getattr("/a")); err != nil {
+	if _, err := posix.Do(fs, getattr("/a")); err != nil {
 		t.Fatalf("after Clear: %v", err)
 	}
 }

@@ -202,9 +202,9 @@ func TestIssuedTimestampStamped(t *testing.T) {
 	fs := localfs.New(clk)
 	stg := stage.New(stage.Info{StageID: "s"}, clk)
 	var seen time.Time
-	probe := posix.FileSystemFunc(func(req *posix.Request) (*posix.Reply, error) {
+	probe := posix.FileSystemFunc(func(req *posix.Request, rep *posix.Reply) error {
 		seen = req.Issued
-		return fs.Apply(req)
+		return fs.Apply(req, rep)
 	})
 	shim := New(probe, stg, clk)
 	c := posix.NewClient(shim)

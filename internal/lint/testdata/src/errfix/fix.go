@@ -14,7 +14,7 @@ import (
 
 type fakeFS struct{}
 
-func (fakeFS) Apply(req *posix.Request) (*posix.Reply, error) { return &posix.Reply{}, nil }
+func (fakeFS) Apply(req *posix.Request, rep *posix.Reply) error { return nil }
 
 var _ posix.FileSystem = fakeFS{}
 
@@ -32,8 +32,8 @@ func deferredOutputClose() error {
 	return err
 }
 
-func dropApply(fs fakeFS, req *posix.Request) {
-	fs.Apply(req) // want `posix\.FileSystem Apply error discarded`
+func dropApply(fs fakeFS, req *posix.Request, rep *posix.Reply) {
+	fs.Apply(req, rep) // want `posix\.FileSystem Apply error discarded`
 }
 
 func dropRPC(h *rpcio.StageHandle) {

@@ -179,89 +179,89 @@ func spinFor(d time.Duration) {
 }
 
 // Apply implements posix.FileSystem, dispatching all 42 operations.
-func (fs *FS) Apply(req *posix.Request) (*posix.Reply, error) {
+func (fs *FS) Apply(req *posix.Request, rep *posix.Reply) error {
 	if fs.serviceTime > 0 {
 		fs.emulateServiceTime(fs.serviceTime)
 	}
 	switch req.Op {
 	// ---- metadata ----
 	case posix.OpOpen, posix.OpOpen64, posix.OpCreat:
-		return fs.open(req)
+		return fs.open(req, rep)
 	case posix.OpClose:
-		return fs.close(req.FD)
+		return fs.close(req.FD, rep)
 	case posix.OpStat, posix.OpLStat, posix.OpGetAttr:
-		return fs.stat(req.Path)
+		return fs.stat(req.Path, rep)
 	case posix.OpFStat:
-		return fs.fstat(req.FD)
+		return fs.fstat(req.FD, rep)
 	case posix.OpSetAttr, posix.OpChmod:
-		return fs.chmod(req.Path, req.Mode)
+		return fs.chmod(req.Path, req.Mode, rep)
 	case posix.OpChown:
-		return fs.chown(req)
+		return fs.chown(req, rep)
 	case posix.OpUtime:
-		return fs.utime(req.Path)
+		return fs.utime(req.Path, rep)
 	case posix.OpStatFS, posix.OpFStatFS:
-		return fs.statfs()
+		return fs.statfs(rep)
 	case posix.OpRename:
-		return fs.rename(req.Path, req.NewPath)
+		return fs.rename(req.Path, req.NewPath, rep)
 	case posix.OpUnlink:
-		return fs.unlink(req.Path)
+		return fs.unlink(req.Path, rep)
 	case posix.OpLink:
-		return fs.link(req.Path, req.NewPath)
+		return fs.link(req.Path, req.NewPath, rep)
 	case posix.OpSymlink:
-		return fs.symlink(req.Path, req.NewPath)
+		return fs.symlink(req.Path, req.NewPath, rep)
 	case posix.OpReadlink:
-		return fs.readlink(req.Path)
+		return fs.readlink(req.Path, rep)
 	case posix.OpAccess:
-		return fs.access(req.Path)
+		return fs.access(req.Path, rep)
 	case posix.OpMknod:
-		return fs.mknod(req.Path, req.Mode)
+		return fs.mknod(req.Path, req.Mode, rep)
 
 	// ---- directory management ----
 	case posix.OpMkdir:
-		return fs.mkdir(req.Path, req.Mode)
+		return fs.mkdir(req.Path, req.Mode, rep)
 	case posix.OpRmdir:
-		return fs.rmdir(req.Path)
+		return fs.rmdir(req.Path, rep)
 	case posix.OpOpendir:
-		return fs.opendir(req.Path)
+		return fs.opendir(req.Path, rep)
 	case posix.OpReaddir:
-		return fs.readdir(req)
+		return fs.readdir(req, rep)
 	case posix.OpClosedir:
-		return fs.close(req.FD)
+		return fs.close(req.FD, rep)
 
 	// ---- data ----
 	case posix.OpRead:
-		return fs.read(req.FD, req.Size, -1)
+		return fs.read(req.FD, req.Size, -1, rep)
 	case posix.OpPRead:
-		return fs.read(req.FD, req.Size, req.Offset)
+		return fs.read(req.FD, req.Size, req.Offset, rep)
 	case posix.OpWrite:
-		return fs.write(req.FD, req.Data, req.Size, -1)
+		return fs.write(req.FD, req.Data, req.Size, -1, rep)
 	case posix.OpPWrite:
-		return fs.write(req.FD, req.Data, req.Size, req.Offset)
+		return fs.write(req.FD, req.Data, req.Size, req.Offset, rep)
 	case posix.OpLSeek:
-		return fs.lseek(req.FD, req.Offset, req.Flags)
+		return fs.lseek(req.FD, req.Offset, req.Flags, rep)
 	case posix.OpFSync, posix.OpFDataSync, posix.OpSync:
-		return &posix.Reply{}, nil // data is already "durable" in memory
+		return nil // data is already "durable" in memory
 	case posix.OpTruncate:
-		return fs.truncate(req.Path, req.Size)
+		return fs.truncate(req.Path, req.Size, rep)
 	case posix.OpFTruncate:
-		return fs.ftruncate(req.FD, req.Size)
+		return fs.ftruncate(req.FD, req.Size, rep)
 
 	// ---- extended attributes ----
 	case posix.OpSetXAttr:
-		return fs.setxattr(req.Path, req.Name, req.Value)
+		return fs.setxattr(req.Path, req.Name, req.Value, rep)
 	case posix.OpGetXAttr, posix.OpLGetXAttr:
-		return fs.getxattr(req.Path, req.Name)
+		return fs.getxattr(req.Path, req.Name, rep)
 	case posix.OpFGetXAttr:
-		return fs.fgetxattr(req.FD, req.Name)
+		return fs.fgetxattr(req.FD, req.Name, rep)
 	case posix.OpListXAttr:
-		return fs.listxattr(req.Path)
+		return fs.listxattr(req.Path, rep)
 	case posix.OpRemoveXAttr:
-		return fs.removexattr(req.Path, req.Name)
+		return fs.removexattr(req.Path, req.Name, rep)
 	}
-	return nil, posix.ErrNotSupported
+	return posix.ErrNotSupported
 }
 
-func (fs *FS) open(req *posix.Request) (*posix.Reply, error) {
+func (fs *FS) open(req *posix.Request, rep *posix.Reply) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	p := clean(req.Path)
@@ -269,10 +269,10 @@ func (fs *FS) open(req *posix.Request) (*posix.Reply, error) {
 	switch {
 	case err == nil:
 		if req.Flags&posix.OExcl != 0 && req.Flags&posix.OCreate != 0 {
-			return nil, posix.ErrExist
+			return posix.ErrExist
 		}
 		if n.isDir() && req.Flags&(posix.OWrOnly|posix.ORdWr) != 0 {
-			return nil, posix.ErrIsDir
+			return posix.ErrIsDir
 		}
 		if req.Flags&posix.OTrunc != 0 && !n.isDir() {
 			fs.usedBytes -= int64(len(n.data))
@@ -282,7 +282,7 @@ func (fs *FS) open(req *posix.Request) (*posix.Reply, error) {
 	case err == posix.ErrNotExist && req.Flags&posix.OCreate != 0:
 		parent, leaf, perr := fs.lookupParent(p)
 		if perr != nil {
-			return nil, perr
+			return perr
 		}
 		n = &node{
 			name:    leaf,
@@ -296,7 +296,7 @@ func (fs *FS) open(req *posix.Request) (*posix.Reply, error) {
 		parent.modTime = fs.clk.Now()
 		fs.usedFiles++
 	default:
-		return nil, err
+		return err
 	}
 	fd := fs.nextFD
 	fs.nextFD++
@@ -305,106 +305,110 @@ func (fs *FS) open(req *posix.Request) (*posix.Reply, error) {
 		of.offset = int64(len(n.data))
 	}
 	fs.fds[fd] = of
-	return &posix.Reply{FD: fd}, nil
+	rep.FD = fd
+	return nil
 }
 
-func (fs *FS) close(fd int) (*posix.Reply, error) {
+func (fs *FS) close(fd int, rep *posix.Reply) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if _, ok := fs.fds[fd]; !ok {
-		return nil, posix.ErrBadFD
+		return posix.ErrBadFD
 	}
 	delete(fs.fds, fd)
-	return &posix.Reply{}, nil
+	return nil
 }
 
-func (fs *FS) stat(p string) (*posix.Reply, error) {
+func (fs *FS) stat(p string, rep *posix.Reply) error {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
 	n, err := fs.lookup(p)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	return &posix.Reply{Info: fs.infoFor(n)}, nil
+	rep.Info = fs.infoFor(n)
+	return nil
 }
 
-func (fs *FS) fstat(fd int) (*posix.Reply, error) {
+func (fs *FS) fstat(fd int, rep *posix.Reply) error {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
 	of, ok := fs.fds[fd]
 	if !ok {
-		return nil, posix.ErrBadFD
+		return posix.ErrBadFD
 	}
-	return &posix.Reply{Info: fs.infoFor(of.n)}, nil
+	rep.Info = fs.infoFor(of.n)
+	return nil
 }
 
-func (fs *FS) chmod(p string, mode posix.FileMode) (*posix.Reply, error) {
+func (fs *FS) chmod(p string, mode posix.FileMode, rep *posix.Reply) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	n, err := fs.lookup(p)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	n.mode = (n.mode & posix.ModeDir) | mode.Perm()
 	n.modTime = fs.clk.Now()
-	return &posix.Reply{}, nil
+	return nil
 }
 
-func (fs *FS) chown(req *posix.Request) (*posix.Reply, error) {
+func (fs *FS) chown(req *posix.Request, rep *posix.Reply) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	n, err := fs.lookup(req.Path)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	n.uid, n.gid = int(req.Offset), int(req.Size) // uid/gid carried in spare fields
 	n.modTime = fs.clk.Now()
-	return &posix.Reply{}, nil
+	return nil
 }
 
-func (fs *FS) utime(p string) (*posix.Reply, error) {
+func (fs *FS) utime(p string, rep *posix.Reply) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	n, err := fs.lookup(p)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	n.modTime = fs.clk.Now()
-	return &posix.Reply{}, nil
+	return nil
 }
 
-func (fs *FS) statfs() (*posix.Reply, error) {
+func (fs *FS) statfs(rep *posix.Reply) error {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
-	return &posix.Reply{Stat: posix.FSStat{
+	rep.Stat = posix.FSStat{
 		TotalBytes: fs.totalBytes,
 		FreeBytes:  fs.totalBytes - fs.usedBytes,
 		TotalFiles: fs.totalFiles,
 		FreeFiles:  fs.totalFiles - fs.usedFiles,
-	}}, nil
+	}
+	return nil
 }
 
-func (fs *FS) rename(oldP, newP string) (*posix.Reply, error) {
+func (fs *FS) rename(oldP, newP string, rep *posix.Reply) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	oldParent, oldLeaf, err := fs.lookupParent(oldP)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	n, ok := oldParent.children[oldLeaf]
 	if !ok {
-		return nil, posix.ErrNotExist
+		return posix.ErrNotExist
 	}
 	newParent, newLeaf, err := fs.lookupParent(newP)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if existing, ok := newParent.children[newLeaf]; ok {
 		if existing.isDir() && len(existing.children) > 0 {
-			return nil, posix.ErrNotEmpty
+			return posix.ErrNotEmpty
 		}
 		if existing.isDir() && !n.isDir() {
-			return nil, posix.ErrIsDir
+			return posix.ErrIsDir
 		}
 		fs.usedFiles--
 		fs.usedBytes -= int64(len(existing.data))
@@ -414,22 +418,22 @@ func (fs *FS) rename(oldP, newP string) (*posix.Reply, error) {
 	newParent.children[newLeaf] = n
 	now := fs.clk.Now()
 	oldParent.modTime, newParent.modTime, n.modTime = now, now, now
-	return &posix.Reply{}, nil
+	return nil
 }
 
-func (fs *FS) unlink(p string) (*posix.Reply, error) {
+func (fs *FS) unlink(p string, rep *posix.Reply) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	parent, leaf, err := fs.lookupParent(p)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	n, ok := parent.children[leaf]
 	if !ok {
-		return nil, posix.ErrNotExist
+		return posix.ErrNotExist
 	}
 	if n.isDir() {
-		return nil, posix.ErrIsDir
+		return posix.ErrIsDir
 	}
 	n.nlink--
 	delete(parent.children, leaf)
@@ -438,41 +442,41 @@ func (fs *FS) unlink(p string) (*posix.Reply, error) {
 		fs.usedFiles--
 		fs.usedBytes -= int64(len(n.data))
 	}
-	return &posix.Reply{}, nil
+	return nil
 }
 
-func (fs *FS) link(oldP, newP string) (*posix.Reply, error) {
+func (fs *FS) link(oldP, newP string, rep *posix.Reply) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	n, err := fs.lookup(oldP)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if n.isDir() {
-		return nil, posix.ErrIsDir
+		return posix.ErrIsDir
 	}
 	parent, leaf, err := fs.lookupParent(newP)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if _, exists := parent.children[leaf]; exists {
-		return nil, posix.ErrExist
+		return posix.ErrExist
 	}
 	n.nlink++
 	parent.children[leaf] = n
 	parent.modTime = fs.clk.Now()
-	return &posix.Reply{}, nil
+	return nil
 }
 
-func (fs *FS) symlink(target, linkP string) (*posix.Reply, error) {
+func (fs *FS) symlink(target, linkP string, rep *posix.Reply) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	parent, leaf, err := fs.lookupParent(linkP)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if _, exists := parent.children[leaf]; exists {
-		return nil, posix.ErrExist
+		return posix.ErrExist
 	}
 	n := &node{
 		name:    leaf,
@@ -485,40 +489,41 @@ func (fs *FS) symlink(target, linkP string) (*posix.Reply, error) {
 	}
 	parent.children[leaf] = n
 	fs.usedFiles++
-	return &posix.Reply{}, nil
+	return nil
 }
 
-func (fs *FS) readlink(p string) (*posix.Reply, error) {
+func (fs *FS) readlink(p string, rep *posix.Reply) error {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
 	n, err := fs.lookup(p)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if n.xattrs == nil || n.xattrs["system.symlink"] == nil {
-		return nil, posix.ErrInvalid
+		return posix.ErrInvalid
 	}
-	return &posix.Reply{Data: append([]byte(nil), n.data...)}, nil
+	rep.Data = append(rep.Data[:0], n.data...)
+	return nil
 }
 
-func (fs *FS) access(p string) (*posix.Reply, error) {
+func (fs *FS) access(p string, rep *posix.Reply) error {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
 	if _, err := fs.lookup(p); err != nil {
-		return nil, err
+		return err
 	}
-	return &posix.Reply{}, nil
+	return nil
 }
 
-func (fs *FS) mknod(p string, mode posix.FileMode) (*posix.Reply, error) {
+func (fs *FS) mknod(p string, mode posix.FileMode, rep *posix.Reply) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	parent, leaf, err := fs.lookupParent(p)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if _, exists := parent.children[leaf]; exists {
-		return nil, posix.ErrExist
+		return posix.ErrExist
 	}
 	parent.children[leaf] = &node{
 		name:    leaf,
@@ -529,18 +534,18 @@ func (fs *FS) mknod(p string, mode posix.FileMode) (*posix.Reply, error) {
 	}
 	parent.modTime = fs.clk.Now()
 	fs.usedFiles++
-	return &posix.Reply{}, nil
+	return nil
 }
 
-func (fs *FS) mkdir(p string, mode posix.FileMode) (*posix.Reply, error) {
+func (fs *FS) mkdir(p string, mode posix.FileMode, rep *posix.Reply) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	parent, leaf, err := fs.lookupParent(p)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if _, exists := parent.children[leaf]; exists {
-		return nil, posix.ErrExist
+		return posix.ErrExist
 	}
 	parent.children[leaf] = &node{
 		name:     leaf,
@@ -552,118 +557,132 @@ func (fs *FS) mkdir(p string, mode posix.FileMode) (*posix.Reply, error) {
 	}
 	parent.modTime = fs.clk.Now()
 	fs.usedFiles++
-	return &posix.Reply{}, nil
+	return nil
 }
 
-func (fs *FS) rmdir(p string) (*posix.Reply, error) {
+func (fs *FS) rmdir(p string, rep *posix.Reply) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	parent, leaf, err := fs.lookupParent(p)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	n, ok := parent.children[leaf]
 	if !ok {
-		return nil, posix.ErrNotExist
+		return posix.ErrNotExist
 	}
 	if !n.isDir() {
-		return nil, posix.ErrNotDir
+		return posix.ErrNotDir
 	}
 	if len(n.children) > 0 {
-		return nil, posix.ErrNotEmpty
+		return posix.ErrNotEmpty
 	}
 	delete(parent.children, leaf)
 	parent.modTime = fs.clk.Now()
 	fs.usedFiles--
-	return &posix.Reply{}, nil
+	return nil
 }
 
 func (fs *FS) snapshotDir(n *node) []posix.DirEntry {
-	entries := make([]posix.DirEntry, 0, len(n.children))
+	return fs.appendDir(make([]posix.DirEntry, 0, len(n.children)), n)
+}
+
+// appendDir appends n's sorted listing to entries, reusing its capacity;
+// path-based readdir fills reply scratch with it instead of allocating a
+// snapshot per call.
+func (fs *FS) appendDir(entries []posix.DirEntry, n *node) []posix.DirEntry {
+	base := len(entries)
 	for name, child := range n.children {
 		entries = append(entries, posix.DirEntry{Name: name, IsDir: child.isDir(), Inode: child.inode})
 	}
-	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	tail := entries[base:]
+	sort.Slice(tail, func(i, j int) bool { return tail[i].Name < tail[j].Name })
 	return entries
 }
 
-func (fs *FS) opendir(p string) (*posix.Reply, error) {
+func (fs *FS) opendir(p string, rep *posix.Reply) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	n, err := fs.lookup(p)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if !n.isDir() {
-		return nil, posix.ErrNotDir
+		return posix.ErrNotDir
 	}
 	fd := fs.nextFD
 	fs.nextFD++
 	fs.fds[fd] = &openFile{n: n, isDir: true, dirSnapshot: fs.snapshotDir(n)}
-	return &posix.Reply{FD: fd}, nil
+	rep.FD = fd
+	return nil
 }
 
 // readdir supports both path-based full listing and fd-based streaming
 // (one entry per call, as libc readdir does).
-func (fs *FS) readdir(req *posix.Request) (*posix.Reply, error) {
+func (fs *FS) readdir(req *posix.Request, rep *posix.Reply) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if req.Path != "" {
 		n, err := fs.lookup(req.Path)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if !n.isDir() {
-			return nil, posix.ErrNotDir
+			return posix.ErrNotDir
 		}
-		return &posix.Reply{Entries: fs.snapshotDir(n)}, nil
+		rep.Entries = fs.appendDir(rep.Entries[:0], n)
+		return nil
 	}
 	of, ok := fs.fds[req.FD]
 	if !ok || !of.isDir {
-		return nil, posix.ErrBadFD
+		return posix.ErrBadFD
 	}
 	if of.offset >= int64(len(of.dirSnapshot)) {
-		return &posix.Reply{}, nil // end of directory
+		return nil // end of directory
 	}
 	e := of.dirSnapshot[of.offset]
 	of.offset++
-	return &posix.Reply{Entries: []posix.DirEntry{e}}, nil
+	rep.Entries = append(rep.Entries[:0], e)
+	return nil
 }
 
-func (fs *FS) read(fd int, size, offset int64) (*posix.Reply, error) {
+func (fs *FS) read(fd int, size, offset int64, rep *posix.Reply) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	of, ok := fs.fds[fd]
 	if !ok || of.isDir {
-		return nil, posix.ErrBadFD
+		return posix.ErrBadFD
 	}
 	pos := offset
 	if pos < 0 {
 		pos = of.offset
 	}
 	if pos >= int64(len(of.n.data)) || size <= 0 {
-		return &posix.Reply{N: 0, Data: nil}, nil
+		rep.N = 0
+		rep.Data = nil
+		return nil
 	}
 	end := pos + size
 	if end > int64(len(of.n.data)) {
 		end = int64(len(of.n.data))
 	}
-	data := append([]byte(nil), of.n.data[pos:end]...)
+	rep.Data = append(rep.Data[:0], of.n.data[pos:end]...)
 	if offset < 0 {
 		of.offset = end
 	}
-	return &posix.Reply{N: int64(len(data)), Data: data}, nil
+	rep.N = int64(len(rep.Data))
+	return nil
 }
 
-func (fs *FS) write(fd int, data []byte, size, offset int64) (*posix.Reply, error) {
+func (fs *FS) write(fd int, data []byte, size, offset int64, rep *posix.Reply) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	of, ok := fs.fds[fd]
 	if !ok || of.isDir {
-		return nil, posix.ErrBadFD
+		return posix.ErrBadFD
 	}
 	if of.flags&(posix.OWrOnly|posix.ORdWr) == 0 {
-		return nil, posix.ErrBadFD
+		return posix.ErrBadFD
 	}
 	if data == nil && size > 0 {
 		// Size-only modelling: synthesize a zero payload of the given size
@@ -689,15 +708,16 @@ func (fs *FS) write(fd int, data []byte, size, offset int64) (*posix.Reply, erro
 	if offset < 0 {
 		of.offset = end
 	}
-	return &posix.Reply{N: int64(len(data))}, nil
+	rep.N = int64(len(data))
+	return nil
 }
 
-func (fs *FS) lseek(fd int, offset int64, whence int) (*posix.Reply, error) {
+func (fs *FS) lseek(fd int, offset int64, whence int, rep *posix.Reply) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	of, ok := fs.fds[fd]
 	if !ok {
-		return nil, posix.ErrBadFD
+		return posix.ErrBadFD
 	}
 	var base int64
 	switch whence {
@@ -707,42 +727,43 @@ func (fs *FS) lseek(fd int, offset int64, whence int) (*posix.Reply, error) {
 	case 2: // SEEK_END
 		base = int64(len(of.n.data))
 	default:
-		return nil, posix.ErrInvalid
+		return posix.ErrInvalid
 	}
 	np := base + offset
 	if np < 0 {
-		return nil, posix.ErrInvalid
+		return posix.ErrInvalid
 	}
 	of.offset = np
-	return &posix.Reply{N: np}, nil
+	rep.N = np
+	return nil
 }
 
-func (fs *FS) truncate(p string, size int64) (*posix.Reply, error) {
+func (fs *FS) truncate(p string, size int64, rep *posix.Reply) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	n, err := fs.lookup(p)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	return fs.truncateNode(n, size)
+	return fs.truncateNode(n, size, rep)
 }
 
-func (fs *FS) ftruncate(fd int, size int64) (*posix.Reply, error) {
+func (fs *FS) ftruncate(fd int, size int64, rep *posix.Reply) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	of, ok := fs.fds[fd]
 	if !ok {
-		return nil, posix.ErrBadFD
+		return posix.ErrBadFD
 	}
-	return fs.truncateNode(of.n, size)
+	return fs.truncateNode(of.n, size, rep)
 }
 
-func (fs *FS) truncateNode(n *node, size int64) (*posix.Reply, error) {
+func (fs *FS) truncateNode(n *node, size int64, rep *posix.Reply) error {
 	if n.isDir() {
-		return nil, posix.ErrIsDir
+		return posix.ErrIsDir
 	}
 	if size < 0 {
-		return nil, posix.ErrInvalid
+		return posix.ErrInvalid
 	}
 	old := int64(len(n.data))
 	switch {
@@ -755,78 +776,80 @@ func (fs *FS) truncateNode(n *node, size int64) (*posix.Reply, error) {
 	}
 	fs.usedBytes += size - old
 	n.modTime = fs.clk.Now()
-	return &posix.Reply{}, nil
+	return nil
 }
 
-func (fs *FS) setxattr(p, name string, value []byte) (*posix.Reply, error) {
+func (fs *FS) setxattr(p, name string, value []byte, rep *posix.Reply) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	n, err := fs.lookup(p)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if n.xattrs == nil {
 		n.xattrs = make(map[string][]byte)
 	}
 	n.xattrs[name] = append([]byte(nil), value...)
-	return &posix.Reply{}, nil
+	return nil
 }
 
-func (fs *FS) getxattr(p, name string) (*posix.Reply, error) {
+func (fs *FS) getxattr(p, name string, rep *posix.Reply) error {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
 	n, err := fs.lookup(p)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	v, ok := n.xattrs[name]
 	if !ok {
-		return nil, posix.ErrNoAttr
+		return posix.ErrNoAttr
 	}
-	return &posix.Reply{Data: append([]byte(nil), v...)}, nil
+	rep.Data = append(rep.Data[:0], v...)
+	return nil
 }
 
-func (fs *FS) fgetxattr(fd int, name string) (*posix.Reply, error) {
+func (fs *FS) fgetxattr(fd int, name string, rep *posix.Reply) error {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
 	of, ok := fs.fds[fd]
 	if !ok {
-		return nil, posix.ErrBadFD
+		return posix.ErrBadFD
 	}
 	v, ok := of.n.xattrs[name]
 	if !ok {
-		return nil, posix.ErrNoAttr
+		return posix.ErrNoAttr
 	}
-	return &posix.Reply{Data: append([]byte(nil), v...)}, nil
+	rep.Data = append(rep.Data[:0], v...)
+	return nil
 }
 
-func (fs *FS) listxattr(p string) (*posix.Reply, error) {
+func (fs *FS) listxattr(p string, rep *posix.Reply) error {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
 	n, err := fs.lookup(p)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	names := make([]string, 0, len(n.xattrs))
+	base := len(rep.Names)
 	for k := range n.xattrs {
-		names = append(names, k)
+		rep.Names = append(rep.Names, k)
 	}
-	sort.Strings(names)
-	return &posix.Reply{Names: names}, nil
+	sort.Strings(rep.Names[base:])
+	return nil
 }
 
-func (fs *FS) removexattr(p, name string) (*posix.Reply, error) {
+func (fs *FS) removexattr(p, name string, rep *posix.Reply) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	n, err := fs.lookup(p)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if _, ok := n.xattrs[name]; !ok {
-		return nil, posix.ErrNoAttr
+		return posix.ErrNoAttr
 	}
 	delete(n.xattrs, name)
-	return &posix.Reply{}, nil
+	return nil
 }
 
 // OpenFDs returns the number of open descriptors (for leak tests).

@@ -214,13 +214,13 @@ func TestOpendirStreamingReaddir(t *testing.T) {
 	}
 	mustCreat(t, c, "/d/a")
 	mustCreat(t, c, "/d/b")
-	rep, err := fs.Apply(&posix.Request{Op: posix.OpOpendir, Path: "/d"})
+	rep, err := posix.Do(fs, &posix.Request{Op: posix.OpOpendir, Path: "/d"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	var names []string
 	for {
-		r, err := fs.Apply(&posix.Request{Op: posix.OpReaddir, FD: rep.FD})
+		r, err := posix.Do(fs, &posix.Request{Op: posix.OpReaddir, FD: rep.FD})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -232,7 +232,7 @@ func TestOpendirStreamingReaddir(t *testing.T) {
 	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
 		t.Errorf("streamed names = %v", names)
 	}
-	if _, err := fs.Apply(&posix.Request{Op: posix.OpClosedir, FD: rep.FD}); err != nil {
+	if _, err := posix.Do(fs, &posix.Request{Op: posix.OpClosedir, FD: rep.FD}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -298,7 +298,7 @@ func TestHardLink(t *testing.T) {
 		t.Fatal(err)
 	}
 	mustClose(t, c, fd)
-	if _, err := fs.Apply(&posix.Request{Op: posix.OpLink, Path: "/a", NewPath: "/b"}); err != nil {
+	if _, err := posix.Do(fs, &posix.Request{Op: posix.OpLink, Path: "/a", NewPath: "/b"}); err != nil {
 		t.Fatal(err)
 	}
 	info, err := c.Stat("/b")
@@ -319,17 +319,17 @@ func TestHardLink(t *testing.T) {
 func TestSymlinkReadlink(t *testing.T) {
 	fs, c := newFS()
 	mustClose(t, c, mustCreat(t, c, "/target"))
-	if _, err := fs.Apply(&posix.Request{Op: posix.OpSymlink, Path: "/target", NewPath: "/ln"}); err != nil {
+	if _, err := posix.Do(fs, &posix.Request{Op: posix.OpSymlink, Path: "/target", NewPath: "/ln"}); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := fs.Apply(&posix.Request{Op: posix.OpReadlink, Path: "/ln"})
+	rep, err := posix.Do(fs, &posix.Request{Op: posix.OpReadlink, Path: "/ln"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if string(rep.Data) != "/target" {
 		t.Errorf("readlink = %q", rep.Data)
 	}
-	if _, err := fs.Apply(&posix.Request{Op: posix.OpReadlink, Path: "/target"}); err != posix.ErrInvalid {
+	if _, err := posix.Do(fs, &posix.Request{Op: posix.OpReadlink, Path: "/target"}); err != posix.ErrInvalid {
 		t.Errorf("readlink on regular file err = %v", err)
 	}
 }
@@ -418,14 +418,14 @@ func TestChmodChownUtime(t *testing.T) {
 	if info.Mode.Perm() != 0o600 {
 		t.Errorf("mode = %o", info.Mode.Perm())
 	}
-	if _, err := fs.Apply(&posix.Request{Op: posix.OpChown, Path: "/f", Offset: 7, Size: 8}); err != nil {
+	if _, err := posix.Do(fs, &posix.Request{Op: posix.OpChown, Path: "/f", Offset: 7, Size: 8}); err != nil {
 		t.Fatal(err)
 	}
 	info, _ = c.Stat("/f")
 	if info.UID != 7 || info.GID != 8 {
 		t.Errorf("uid/gid = %d/%d", info.UID, info.GID)
 	}
-	if _, err := fs.Apply(&posix.Request{Op: posix.OpUtime, Path: "/f"}); err != nil {
+	if _, err := posix.Do(fs, &posix.Request{Op: posix.OpUtime, Path: "/f"}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -435,13 +435,13 @@ func TestAccessAndMknod(t *testing.T) {
 	if err := c.Access("/nope", 0); err != posix.ErrNotExist {
 		t.Errorf("access missing = %v", err)
 	}
-	if _, err := fs.Apply(&posix.Request{Op: posix.OpMknod, Path: "/dev0", Mode: 0o644}); err != nil {
+	if _, err := posix.Do(fs, &posix.Request{Op: posix.OpMknod, Path: "/dev0", Mode: 0o644}); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.Access("/dev0", 0); err != nil {
 		t.Errorf("access mknod'd file: %v", err)
 	}
-	if _, err := fs.Apply(&posix.Request{Op: posix.OpMknod, Path: "/dev0", Mode: 0o644}); err != posix.ErrExist {
+	if _, err := posix.Do(fs, &posix.Request{Op: posix.OpMknod, Path: "/dev0", Mode: 0o644}); err != posix.ErrExist {
 		t.Errorf("duplicate mknod = %v", err)
 	}
 }
@@ -498,7 +498,7 @@ func TestSizeOnlyWriteModel(t *testing.T) {
 	fs, c := newFS()
 	fd := mustCreat(t, c, "/f")
 	// Workload generators pass Size without Data.
-	rep, err := fs.Apply(&posix.Request{Op: posix.OpWrite, FD: fd, Size: 4096})
+	rep, err := posix.Do(fs, &posix.Request{Op: posix.OpWrite, FD: fd, Size: 4096})
 	if err != nil || rep.N != 4096 {
 		t.Fatalf("size-only write: n=%d err=%v", rep.N, err)
 	}
@@ -515,7 +515,7 @@ func TestWriteSyncOps(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, op := range []posix.Op{posix.OpFDataSync, posix.OpSync} {
-		if _, err := fs.Apply(&posix.Request{Op: op, FD: fd}); err != nil {
+		if _, err := posix.Do(fs, &posix.Request{Op: op, FD: fd}); err != nil {
 			t.Errorf("%v: %v", op, err)
 		}
 	}

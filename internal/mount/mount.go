@@ -153,27 +153,32 @@ func closesFD(op posix.Op) bool {
 
 // Apply implements posix.FileSystem: it resolves the target mount,
 // rewrites paths and descriptors, forwards the request, and maintains the
-// virtual descriptor table.
-func (r *Router) Apply(req *posix.Request) (*posix.Reply, error) {
+// virtual descriptor table. The rewritten copy lives on pooled scratch so
+// routing adds no per-call allocation.
+func (r *Router) Apply(req *posix.Request, rep *posix.Reply) error {
 	var m *Mount
-	fwd := *req // shallow copy; we rewrite Path/NewPath/FD
+	fwd := posix.GetRequest()
+	*fwd = *req // shallow copy; we rewrite Path/NewPath/FD
 
 	if req.Path != "" {
 		r.mu.RLock()
 		m = r.resolveLocked(req.Path)
 		r.mu.RUnlock()
 		if m == nil {
-			return nil, posix.ErrNotExist
+			posix.PutRequest(fwd)
+			return posix.ErrNotExist
 		}
 		fwd.Path = relativize(m, req.Path)
 		if req.NewPath != "" {
 			nm := r.Resolve(req.NewPath)
 			if nm == nil {
-				return nil, posix.ErrNotExist
+				posix.PutRequest(fwd)
+				return posix.ErrNotExist
 			}
 			if nm != m {
 				// rename/link across mounts is EXDEV, as in POSIX.
-				return nil, posix.ErrCrossDevice
+				posix.PutRequest(fwd)
+				return posix.ErrCrossDevice
 			}
 			fwd.NewPath = relativize(m, req.NewPath)
 		}
@@ -182,15 +187,17 @@ func (r *Router) Apply(req *posix.Request) (*posix.Reply, error) {
 		e, ok := r.fds[req.FD]
 		r.mu.RUnlock()
 		if !ok {
-			return nil, posix.ErrBadFD
+			posix.PutRequest(fwd)
+			return posix.ErrBadFD
 		}
 		m = e.mount
 		fwd.FD = e.backendFD
 	}
 
-	rep, err := m.FS.Apply(&fwd)
+	err := m.FS.Apply(fwd, rep)
+	posix.PutRequest(fwd)
 	if err != nil {
-		return rep, err
+		return err
 	}
 
 	if opensFD(req.Op) {
@@ -199,16 +206,15 @@ func (r *Router) Apply(req *posix.Request) (*posix.Reply, error) {
 		r.nextFD++
 		r.fds[vfd] = fdEntry{mount: m, backendFD: rep.FD}
 		r.mu.Unlock()
-		out := *rep
-		out.FD = vfd
-		return &out, nil
+		rep.FD = vfd // virtualize in place; the backend fd stays private
+		return nil
 	}
 	if closesFD(req.Op) {
 		r.mu.Lock()
 		delete(r.fds, req.FD)
 		r.mu.Unlock()
 	}
-	return rep, nil
+	return nil
 }
 
 // Mounts returns a copy of the mount table (longest prefix first).

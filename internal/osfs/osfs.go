@@ -39,6 +39,7 @@ import (
 // handle is one virtual-descriptor-table entry.
 type handle struct {
 	f     *os.File
+	name  string // display name for fstat (base of the virtual path)
 	isDir bool
 	// dirSnapshot holds the entry list captured at opendir time, for
 	// fd-based one-at-a-time readdir streaming.
@@ -101,6 +102,30 @@ func (o *FS) resolve(p string) string {
 		return o.root
 	}
 	return filepath.Join(o.root, filepath.FromSlash(p[1:]))
+}
+
+// pathBufs pools NUL-terminated host-path scratch for the raw-syscall
+// fast paths, so a steady-state stat costs zero allocations.
+var pathBufs = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
+// appendHost appends the NUL-terminated host path for the cleaned
+// virtual path p into buf (for raw syscalls that want a C string). Only
+// used on platforms where the virtual separator is the host separator.
+func (o *FS) appendHost(buf []byte, p string) []byte {
+	buf = append(buf[:0], o.root...)
+	if p != "/" {
+		buf = append(buf, p...)
+	}
+	return append(buf, 0)
+}
+
+// leafName returns the display name of the cleaned virtual path p: the
+// base of the host path it resolves to, without allocating.
+func (o *FS) leafName(p string) string {
+	if p == "/" {
+		return filepath.Base(o.root)
+	}
+	return p[strings.LastIndexByte(p, '/')+1:]
 }
 
 // virtualize maps a host path back into the virtual namespace when it
@@ -218,180 +243,211 @@ func infoFor(info fs.FileInfo) posix.FileInfo {
 
 // Apply implements posix.FileSystem, dispatching all 42 operations onto
 // the kernel.
-func (o *FS) Apply(req *posix.Request) (*posix.Reply, error) {
+func (o *FS) Apply(req *posix.Request, rep *posix.Reply) error {
 	switch req.Op {
 	// ---- metadata ----
 	case posix.OpOpen, posix.OpOpen64, posix.OpCreat:
-		return o.open(req)
+		return o.open(req, rep)
 	case posix.OpClose, posix.OpClosedir:
-		return o.close(req.FD)
+		return o.close(req.FD, rep)
 	case posix.OpStat, posix.OpGetAttr:
-		return o.stat(req.Path, os.Stat)
+		return o.stat(req.Path, true, rep)
 	case posix.OpLStat:
-		return o.stat(req.Path, os.Lstat)
+		return o.stat(req.Path, false, rep)
 	case posix.OpFStat:
-		return o.fstat(req.FD)
+		return o.fstat(req.FD, rep)
 	case posix.OpSetAttr, posix.OpChmod:
-		return o.chmod(req.Path, req.Mode)
+		return o.chmod(req.Path, req.Mode, rep)
 	case posix.OpChown:
-		return o.chown(req)
+		return o.chown(req, rep)
 	case posix.OpUtime:
-		return o.utime(req.Path)
+		return o.utime(req.Path, rep)
 	case posix.OpStatFS, posix.OpFStatFS:
-		return o.statfs()
+		return o.statfs(rep)
 	case posix.OpRename:
-		return o.rename(req.Path, req.NewPath)
+		return o.rename(req.Path, req.NewPath, rep)
 	case posix.OpUnlink:
-		return o.unlink(req.Path)
+		return o.unlink(req.Path, rep)
 	case posix.OpLink:
-		return o.link(req.Path, req.NewPath)
+		return o.link(req.Path, req.NewPath, rep)
 	case posix.OpSymlink:
-		return o.symlink(req.Path, req.NewPath)
+		return o.symlink(req.Path, req.NewPath, rep)
 	case posix.OpReadlink:
-		return o.readlink(req.Path)
+		return o.readlink(req.Path, rep)
 	case posix.OpAccess:
-		return o.access(req.Path)
+		return o.access(req.Path, rep)
 	case posix.OpMknod:
-		return o.mknod(req.Path, req.Mode)
+		return o.mknod(req.Path, req.Mode, rep)
 
 	// ---- directory management ----
 	case posix.OpMkdir:
-		return o.mkdir(req.Path, req.Mode)
+		return o.mkdir(req.Path, req.Mode, rep)
 	case posix.OpRmdir:
-		return o.rmdir(req.Path)
+		return o.rmdir(req.Path, rep)
 	case posix.OpOpendir:
-		return o.opendir(req.Path)
+		return o.opendir(req.Path, rep)
 	case posix.OpReaddir:
-		return o.readdir(req)
+		return o.readdir(req, rep)
 
 	// ---- data ----
 	case posix.OpRead:
-		return o.read(req.FD, req.Size, -1)
+		return o.read(req.FD, req.Size, -1, rep)
 	case posix.OpPRead:
-		return o.read(req.FD, req.Size, req.Offset)
+		return o.read(req.FD, req.Size, req.Offset, rep)
 	case posix.OpWrite:
-		return o.write(req.FD, req.Data, req.Size, -1)
+		return o.write(req.FD, req.Data, req.Size, -1, rep)
 	case posix.OpPWrite:
-		return o.write(req.FD, req.Data, req.Size, req.Offset)
+		return o.write(req.FD, req.Data, req.Size, req.Offset, rep)
 	case posix.OpLSeek:
-		return o.lseek(req.FD, req.Offset, req.Flags)
+		return o.lseek(req.FD, req.Offset, req.Flags, rep)
 	case posix.OpFSync, posix.OpFDataSync:
-		return o.fsync(req.FD)
+		return o.fsync(req.FD, rep)
 	case posix.OpSync:
-		return &posix.Reply{}, nil // kernel-wide sync is out of scope
+		return nil // kernel-wide sync is out of scope
 	case posix.OpTruncate:
-		return o.truncate(req.Path, req.Size)
+		return o.truncate(req.Path, req.Size, rep)
 	case posix.OpFTruncate:
-		return o.ftruncate(req.FD, req.Size)
+		return o.ftruncate(req.FD, req.Size, rep)
 
 	// ---- extended attributes ----
 	case posix.OpSetXAttr:
-		return o.setxattr(req.Path, req.Name, req.Value)
+		return o.setxattr(req.Path, req.Name, req.Value, rep)
 	case posix.OpGetXAttr, posix.OpLGetXAttr:
-		return o.getxattr(req.Path, req.Name)
+		return o.getxattr(req.Path, req.Name, rep)
 	case posix.OpFGetXAttr:
-		return o.fgetxattr(req.FD, req.Name)
+		return o.fgetxattr(req.FD, req.Name, rep)
 	case posix.OpListXAttr:
-		return o.listxattr(req.Path)
+		return o.listxattr(req.Path, rep)
 	case posix.OpRemoveXAttr:
-		return o.removexattr(req.Path, req.Name)
+		return o.removexattr(req.Path, req.Name, rep)
 	}
-	return nil, posix.ErrNotSupported
+	return posix.ErrNotSupported
 }
 
-func (o *FS) open(req *posix.Request) (*posix.Reply, error) {
-	f, err := os.OpenFile(o.resolve(req.Path), openFlags(req.Flags), os.FileMode(req.Mode.Perm()))
+func (o *FS) open(req *posix.Request, rep *posix.Reply) error {
+	p := clean(req.Path)
+	f, err := os.OpenFile(o.resolve(p), openFlags(req.Flags), os.FileMode(req.Mode.Perm()))
 	if err != nil {
-		return nil, mapErr(err)
+		return mapErr(err)
 	}
-	fd := o.insertFD(&handle{f: f})
-	return &posix.Reply{FD: fd}, nil
+	fd := o.insertFD(&handle{f: f, name: o.leafName(p)})
+	rep.FD = fd
+	return nil
 }
 
-func (o *FS) close(fd int) (*posix.Reply, error) {
+func (o *FS) close(fd int, rep *posix.Reply) error {
 	h, err := o.removeFD(fd)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if cerr := h.f.Close(); cerr != nil {
-		return nil, mapErr(cerr)
+		return mapErr(cerr)
 	}
-	return &posix.Reply{}, nil
+	return nil
 }
 
-func (o *FS) stat(p string, statf func(string) (os.FileInfo, error)) (*posix.Reply, error) {
+// stat resolves and stats p; follow selects stat(2) vs lstat(2)
+// semantics. On Linux it runs as one raw fstatat on pooled path scratch
+// — no allocations — which is what keeps the bridged-Stat budget at the
+// two unavoidable caller-side allocations.
+func (o *FS) stat(p string, follow bool, rep *posix.Reply) error {
+	if hasFastStat {
+		p = clean(p)
+		bp := pathBufs.Get().(*[]byte)
+		*bp = o.appendHost(*bp, p)
+		err := statInto(*bp, follow, &rep.Info)
+		pathBufs.Put(bp)
+		if err != nil {
+			return mapErr(err)
+		}
+		rep.Info.Name = o.leafName(p)
+		return nil
+	}
+	statf := os.Stat
+	if !follow {
+		statf = os.Lstat
+	}
 	info, err := statf(o.resolve(p))
 	if err != nil {
-		return nil, mapErr(err)
+		return mapErr(err)
 	}
-	return &posix.Reply{Info: infoFor(info)}, nil
+	rep.Info = infoFor(info)
+	return nil
 }
 
-func (o *FS) fstat(fd int) (*posix.Reply, error) {
+func (o *FS) fstat(fd int, rep *posix.Reply) error {
 	h, err := o.lookupFD(fd)
 	if err != nil {
-		return nil, err
+		return err
+	}
+	if hasRawFstat {
+		if ferr := fstatInto(h.f.Fd(), &rep.Info); ferr != nil {
+			return mapErr(ferr)
+		}
+		rep.Info.Name = h.name
+		return nil
 	}
 	info, serr := h.f.Stat()
 	if serr != nil {
-		return nil, mapErr(serr)
+		return mapErr(serr)
 	}
-	return &posix.Reply{Info: infoFor(info)}, nil
+	rep.Info = infoFor(info)
+	return nil
 }
 
-func (o *FS) chmod(p string, mode posix.FileMode) (*posix.Reply, error) {
+func (o *FS) chmod(p string, mode posix.FileMode, rep *posix.Reply) error {
 	if err := os.Chmod(o.resolve(p), os.FileMode(mode.Perm())); err != nil {
-		return nil, mapErr(err)
+		return mapErr(err)
 	}
-	return &posix.Reply{}, nil
+	return nil
 }
 
-func (o *FS) chown(req *posix.Request) (*posix.Reply, error) {
+func (o *FS) chown(req *posix.Request, rep *posix.Reply) error {
 	// uid/gid travel in the spare numeric fields, as all backends expect.
 	if err := os.Chown(o.resolve(req.Path), int(req.Offset), int(req.Size)); err != nil {
-		return nil, mapErr(err)
+		return mapErr(err)
 	}
-	return &posix.Reply{}, nil
+	return nil
 }
 
-func (o *FS) utime(p string) (*posix.Reply, error) {
+func (o *FS) utime(p string, rep *posix.Reply) error {
 	now := o.clk.Now()
 	if err := os.Chtimes(o.resolve(p), now, now); err != nil {
-		return nil, mapErr(err)
+		return mapErr(err)
 	}
-	return &posix.Reply{}, nil
+	return nil
 }
 
-func (o *FS) rename(oldP, newP string) (*posix.Reply, error) {
+func (o *FS) rename(oldP, newP string, rep *posix.Reply) error {
 	if err := os.Rename(o.resolve(oldP), o.resolve(newP)); err != nil {
-		return nil, mapErr(err)
+		return mapErr(err)
 	}
-	return &posix.Reply{}, nil
+	return nil
 }
 
-func (o *FS) unlink(p string) (*posix.Reply, error) {
+func (o *FS) unlink(p string, rep *posix.Reply) error {
 	host := o.resolve(p)
 	info, err := os.Lstat(host)
 	if err != nil {
-		return nil, mapErr(err)
+		return mapErr(err)
 	}
 	if info.IsDir() {
-		return nil, posix.ErrIsDir // unlink(2) refuses directories
+		return posix.ErrIsDir // unlink(2) refuses directories
 	}
 	if rerr := os.Remove(host); rerr != nil {
-		return nil, mapErr(rerr)
+		return mapErr(rerr)
 	}
-	return &posix.Reply{}, nil
+	return nil
 }
 
-func (o *FS) link(oldP, newP string) (*posix.Reply, error) {
+func (o *FS) link(oldP, newP string, rep *posix.Reply) error {
 	if err := os.Link(o.resolve(oldP), o.resolve(newP)); err != nil {
-		return nil, mapErr(err)
+		return mapErr(err)
 	}
-	return &posix.Reply{}, nil
+	return nil
 }
 
-func (o *FS) symlink(target, linkP string) (*posix.Reply, error) {
+func (o *FS) symlink(target, linkP string, rep *posix.Reply) error {
 	// Absolute virtual targets are pinned inside the root; relative
 	// targets are stored verbatim, as ln -s would.
 	host := target
@@ -399,175 +455,175 @@ func (o *FS) symlink(target, linkP string) (*posix.Reply, error) {
 		host = o.resolve(target)
 	}
 	if err := os.Symlink(host, o.resolve(linkP)); err != nil {
-		return nil, mapErr(err)
+		return mapErr(err)
 	}
-	return &posix.Reply{}, nil
+	return nil
 }
 
-func (o *FS) readlink(p string) (*posix.Reply, error) {
+func (o *FS) readlink(p string, rep *posix.Reply) error {
 	target, err := os.Readlink(o.resolve(p))
 	if err != nil {
-		return nil, mapErr(err)
+		return mapErr(err)
 	}
 	if v, ok := o.virtualize(target); ok {
 		target = v // undo the absolute-target pinning
 	}
-	return &posix.Reply{Data: []byte(target)}, nil
+	rep.Data = []byte(target)
+	return nil
 }
 
-func (o *FS) access(p string) (*posix.Reply, error) {
+func (o *FS) access(p string, rep *posix.Reply) error {
 	if _, err := os.Stat(o.resolve(p)); err != nil {
-		return nil, mapErr(err)
+		return mapErr(err)
 	}
-	return &posix.Reply{}, nil
+	return nil
 }
 
-func (o *FS) mknod(p string, mode posix.FileMode) (*posix.Reply, error) {
+func (o *FS) mknod(p string, mode posix.FileMode, rep *posix.Reply) error {
 	f, err := os.OpenFile(o.resolve(p), os.O_CREATE|os.O_EXCL|os.O_WRONLY, os.FileMode(mode.Perm()))
 	if err != nil {
-		return nil, mapErr(err)
+		return mapErr(err)
 	}
 	if cerr := f.Close(); cerr != nil {
-		return nil, mapErr(cerr)
+		return mapErr(cerr)
 	}
-	return &posix.Reply{}, nil
+	return nil
 }
 
-func (o *FS) mkdir(p string, mode posix.FileMode) (*posix.Reply, error) {
+func (o *FS) mkdir(p string, mode posix.FileMode, rep *posix.Reply) error {
 	if err := os.Mkdir(o.resolve(p), os.FileMode(mode.Perm())); err != nil {
-		return nil, mapErr(err)
+		return mapErr(err)
 	}
-	return &posix.Reply{}, nil
+	return nil
 }
 
-func (o *FS) rmdir(p string) (*posix.Reply, error) {
+func (o *FS) rmdir(p string, rep *posix.Reply) error {
 	host := o.resolve(p)
 	info, err := os.Lstat(host)
 	if err != nil {
-		return nil, mapErr(err)
+		return mapErr(err)
 	}
 	if !info.IsDir() {
-		return nil, posix.ErrNotDir
+		return posix.ErrNotDir
 	}
 	if rerr := os.Remove(host); rerr != nil {
-		return nil, mapErr(rerr)
+		return mapErr(rerr)
 	}
-	return &posix.Reply{}, nil
+	return nil
 }
 
-// snapshotDir reads and sorts a directory's entries.
-func snapshotDir(f *os.File) ([]posix.DirEntry, error) {
-	des, err := f.ReadDir(-1)
+// appendDir appends f's entries onto entries, sorted by name. The
+// platform listing (raw getdents64 on Linux) reports names, types and
+// inodes in one pass, so no per-entry stat is paid; it also fails with
+// ENOTDIR on non-directory targets, which is why neither opendir nor the
+// path readdir needs a verifying stat of its own.
+func appendDir(entries []posix.DirEntry, f *os.File) ([]posix.DirEntry, error) {
+	base := len(entries)
+	entries, err := appendDirents(entries, f)
 	if err != nil {
-		return nil, mapErr(err)
+		return entries, mapErr(err)
 	}
-	entries := make([]posix.DirEntry, 0, len(des))
-	for _, de := range des {
-		e := posix.DirEntryFromFS(de)
-		if info, ierr := de.Info(); ierr == nil {
-			if ino, _, _, _, ok := sysFields(info); ok {
-				e.Inode = ino
-			}
-		}
-		entries = append(entries, e)
-	}
-	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	tail := entries[base:]
+	sort.Slice(tail, func(i, j int) bool { return tail[i].Name < tail[j].Name })
 	return entries, nil
 }
 
-func (o *FS) opendir(p string) (*posix.Reply, error) {
+// snapshotDir reads and sorts a directory's entries into an owned slice
+// (opendir handles retain their snapshot across readdir calls).
+func snapshotDir(f *os.File) ([]posix.DirEntry, error) {
+	return appendDir(nil, f)
+}
+
+func (o *FS) opendir(p string, rep *posix.Reply) error {
+	p = clean(p)
 	f, err := os.Open(o.resolve(p))
 	if err != nil {
-		return nil, mapErr(err)
+		return mapErr(err)
 	}
-	info, serr := f.Stat()
-	if serr != nil || !info.IsDir() {
-		_ = f.Close() // refusing the open; nothing to report on top
-		if serr != nil {
-			return nil, mapErr(serr)
-		}
-		return nil, posix.ErrNotDir
-	}
+	// No verifying stat: listing a non-directory fails with ENOTDIR,
+	// which maps to the same refusal one syscall cheaper.
 	snap, derr := snapshotDir(f)
 	if derr != nil {
 		_ = f.Close()
-		return nil, derr
+		return derr
 	}
-	fd := o.insertFD(&handle{f: f, isDir: true, dirSnapshot: snap})
-	return &posix.Reply{FD: fd}, nil
+	fd := o.insertFD(&handle{f: f, name: o.leafName(p), isDir: true, dirSnapshot: snap})
+	rep.FD = fd
+	return nil
 }
 
 // readdir supports both path-based full listing and fd-based streaming
 // (one entry per call, as libc readdir does).
-func (o *FS) readdir(req *posix.Request) (*posix.Reply, error) {
+func (o *FS) readdir(req *posix.Request, rep *posix.Reply) error {
 	if req.Path != "" {
 		f, err := os.Open(o.resolve(req.Path))
 		if err != nil {
-			return nil, mapErr(err)
+			return mapErr(err)
 		}
-		info, serr := f.Stat()
-		if serr != nil || !info.IsDir() {
-			_ = f.Close()
-			if serr != nil {
-				return nil, mapErr(serr)
-			}
-			return nil, posix.ErrNotDir
-		}
-		entries, derr := snapshotDir(f)
+		entries, derr := appendDir(rep.Entries[:0], f)
 		if cerr := f.Close(); derr == nil && cerr != nil {
 			derr = mapErr(cerr)
 		}
 		if derr != nil {
-			return nil, derr
+			return derr
 		}
-		return &posix.Reply{Entries: entries}, nil
+		rep.Entries = entries
+		return nil
 	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	h, ok := o.fds[req.FD]
 	if !ok || !h.isDir {
-		return nil, posix.ErrBadFD
+		return posix.ErrBadFD
 	}
 	if h.dirPos >= len(h.dirSnapshot) {
-		return &posix.Reply{}, nil // end of directory
+		return nil // end of directory
 	}
 	e := h.dirSnapshot[h.dirPos]
 	h.dirPos++
-	return &posix.Reply{Entries: []posix.DirEntry{e}}, nil
+	rep.Entries = append(rep.Entries[:0], e)
+	return nil
 }
 
-func (o *FS) read(fd int, size, offset int64) (*posix.Reply, error) {
+func (o *FS) read(fd int, size, offset int64, rep *posix.Reply) error {
 	h, err := o.lookupFD(fd)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if h.isDir {
-		return nil, posix.ErrBadFD
+		return posix.ErrBadFD
 	}
 	if size <= 0 {
-		return &posix.Reply{}, nil
+		return nil
 	}
-	buf := make([]byte, size)
+	if need := int(size); cap(rep.Data) >= need {
+		rep.Data = rep.Data[:need]
+	} else {
+		rep.Data = make([]byte, need)
+	}
 	var n int
 	var rerr error
 	if offset < 0 {
-		n, rerr = h.f.Read(buf)
+		n, rerr = h.f.Read(rep.Data)
 	} else {
-		n, rerr = h.f.ReadAt(buf, offset)
+		n, rerr = h.f.ReadAt(rep.Data, offset)
 	}
 	if rerr != nil && !errors.Is(rerr, io.EOF) {
-		return nil, mapErr(rerr)
+		rep.Data = rep.Data[:0]
+		return mapErr(rerr)
 	}
-	return &posix.Reply{N: int64(n), Data: buf[:n]}, nil
+	rep.N = int64(n)
+	rep.Data = rep.Data[:n]
+	return nil
 }
 
-func (o *FS) write(fd int, data []byte, size, offset int64) (*posix.Reply, error) {
+func (o *FS) write(fd int, data []byte, size, offset int64, rep *posix.Reply) error {
 	h, err := o.lookupFD(fd)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if h.isDir {
-		return nil, posix.ErrBadFD
+		return posix.ErrBadFD
 	}
 	if data == nil && size > 0 {
 		// Size-only modelling: synthesize a zero payload of the given
@@ -582,99 +638,104 @@ func (o *FS) write(fd int, data []byte, size, offset int64) (*posix.Reply, error
 		n, werr = h.f.WriteAt(data, offset)
 	}
 	if werr != nil {
-		return nil, mapErr(werr)
+		return mapErr(werr)
 	}
-	return &posix.Reply{N: int64(n)}, nil
+	rep.N = int64(n)
+	return nil
 }
 
-func (o *FS) lseek(fd int, offset int64, whence int) (*posix.Reply, error) {
+func (o *FS) lseek(fd int, offset int64, whence int, rep *posix.Reply) error {
 	h, err := o.lookupFD(fd)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if whence < io.SeekStart || whence > io.SeekEnd {
-		return nil, posix.ErrInvalid
+		return posix.ErrInvalid
 	}
 	np, serr := h.f.Seek(offset, whence)
 	if serr != nil {
-		return nil, mapErr(serr)
+		return mapErr(serr)
 	}
-	return &posix.Reply{N: np}, nil
+	rep.N = np
+	return nil
 }
 
-func (o *FS) fsync(fd int) (*posix.Reply, error) {
+func (o *FS) fsync(fd int, rep *posix.Reply) error {
 	h, err := o.lookupFD(fd)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if serr := h.f.Sync(); serr != nil {
-		return nil, mapErr(serr)
+		return mapErr(serr)
 	}
-	return &posix.Reply{}, nil
+	return nil
 }
 
-func (o *FS) truncate(p string, size int64) (*posix.Reply, error) {
+func (o *FS) truncate(p string, size int64, rep *posix.Reply) error {
 	if size < 0 {
-		return nil, posix.ErrInvalid
+		return posix.ErrInvalid
 	}
 	if err := os.Truncate(o.resolve(p), size); err != nil {
-		return nil, mapErr(err)
+		return mapErr(err)
 	}
-	return &posix.Reply{}, nil
+	return nil
 }
 
-func (o *FS) ftruncate(fd int, size int64) (*posix.Reply, error) {
+func (o *FS) ftruncate(fd int, size int64, rep *posix.Reply) error {
 	h, err := o.lookupFD(fd)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if size < 0 {
-		return nil, posix.ErrInvalid
+		return posix.ErrInvalid
 	}
 	if terr := h.f.Truncate(size); terr != nil {
-		return nil, mapErr(terr)
+		return mapErr(terr)
 	}
-	return &posix.Reply{}, nil
+	return nil
 }
 
-func (o *FS) setxattr(p, name string, value []byte) (*posix.Reply, error) {
+func (o *FS) setxattr(p, name string, value []byte, rep *posix.Reply) error {
 	if err := setxattr(o.resolve(p), name, value); err != nil {
-		return nil, mapErr(err)
+		return mapErr(err)
 	}
-	return &posix.Reply{}, nil
+	return nil
 }
 
-func (o *FS) getxattr(p, name string) (*posix.Reply, error) {
+func (o *FS) getxattr(p, name string, rep *posix.Reply) error {
 	v, err := getxattr(o.resolve(p), name)
 	if err != nil {
-		return nil, mapErr(err)
+		return mapErr(err)
 	}
-	return &posix.Reply{Data: v}, nil
+	rep.Data = v
+	return nil
 }
 
-func (o *FS) fgetxattr(fd int, name string) (*posix.Reply, error) {
+func (o *FS) fgetxattr(fd int, name string, rep *posix.Reply) error {
 	h, err := o.lookupFD(fd)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	v, xerr := getxattr(h.f.Name(), name)
 	if xerr != nil {
-		return nil, mapErr(xerr)
+		return mapErr(xerr)
 	}
-	return &posix.Reply{Data: v}, nil
+	rep.Data = v
+	return nil
 }
 
-func (o *FS) listxattr(p string) (*posix.Reply, error) {
+func (o *FS) listxattr(p string, rep *posix.Reply) error {
 	names, err := listxattr(o.resolve(p))
 	if err != nil {
-		return nil, mapErr(err)
+		return mapErr(err)
 	}
-	return &posix.Reply{Names: names}, nil
+	rep.Names = names
+	return nil
 }
 
-func (o *FS) removexattr(p, name string) (*posix.Reply, error) {
+func (o *FS) removexattr(p, name string, rep *posix.Reply) error {
 	if err := removexattr(o.resolve(p), name); err != nil {
-		return nil, mapErr(err)
+		return mapErr(err)
 	}
-	return &posix.Reply{}, nil
+	return nil
 }

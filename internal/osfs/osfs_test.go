@@ -74,15 +74,15 @@ func TestCreateWriteReadClose(t *testing.T) {
 
 func TestSizeOnlyWriteSynthesizesZeros(t *testing.T) {
 	o, root := newFS(t)
-	fd, err := o.Apply(&posix.Request{Op: posix.OpOpen, Path: "/z", Flags: posix.OCreate | posix.OWrOnly, Mode: 0o644})
+	fd, err := posix.Do(o, &posix.Request{Op: posix.OpOpen, Path: "/z", Flags: posix.OCreate | posix.OWrOnly, Mode: 0o644})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := o.Apply(&posix.Request{Op: posix.OpWrite, FD: fd.FD, Size: 128})
+	rep, err := posix.Do(o, &posix.Request{Op: posix.OpWrite, FD: fd.FD, Size: 128})
 	if err != nil || rep.N != 128 {
 		t.Fatalf("size-only write: n=%d err=%v", rep.N, err)
 	}
-	if _, err := o.Apply(&posix.Request{Op: posix.OpClose, FD: fd.FD}); err != nil {
+	if _, err := posix.Do(o, &posix.Request{Op: posix.OpClose, FD: fd.FD}); err != nil {
 		t.Fatal(err)
 	}
 	info, err := os.Stat(filepath.Join(root, "z"))
@@ -233,7 +233,7 @@ func TestRenameLinkSymlink(t *testing.T) {
 	if fi, err := c.Stat("/ln"); err != nil || fi.Size != 1 {
 		t.Errorf("stat through symlink: %+v err=%v", fi, err)
 	}
-	rep, err := o.Apply(&posix.Request{Op: posix.OpLStat, Path: "/ln"})
+	rep, err := posix.Do(o, &posix.Request{Op: posix.OpLStat, Path: "/ln"})
 	if err != nil || rep.Info.Size == 1 {
 		t.Errorf("lstat must not follow: %+v err=%v", rep, err)
 	}
@@ -318,7 +318,7 @@ func TestChmodChownUtimeTruncate(t *testing.T) {
 
 func TestStatFS(t *testing.T) {
 	o, _ := newFS(t)
-	rep, err := o.Apply(&posix.Request{Op: posix.OpStatFS, Path: "/"})
+	rep, err := posix.Do(o, &posix.Request{Op: posix.OpStatFS, Path: "/"})
 	if err != nil {
 		t.Fatalf("statfs: %v", err)
 	}
@@ -375,7 +375,7 @@ func TestBadFDAndInvalid(t *testing.T) {
 	if err := c.Truncate("/nope/deeper", -1); !errors.Is(err, posix.ErrInvalid) {
 		t.Errorf("negative truncate: %v", err)
 	}
-	if _, err := o.Apply(&posix.Request{Op: posix.OpLSeek, FD: 99}); !errors.Is(err, posix.ErrBadFD) {
+	if _, err := posix.Do(o, &posix.Request{Op: posix.OpLSeek, FD: 99}); !errors.Is(err, posix.ErrBadFD) {
 		t.Errorf("lseek bad fd: %v", err)
 	}
 }

@@ -1,0 +1,96 @@
+//go:build linux && (amd64 || arm64)
+
+package osfs
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"syscall"
+	"unsafe"
+
+	"padll/internal/posix"
+)
+
+// Raw-syscall fast paths for the little-endian Linux targets the data
+// plane runs on. The point of this file is the interposition tax: an
+// os.Stat costs a path copy plus a boxed fileStat per call, which is
+// most of what a bridged stat pays over a direct one. Issuing fstatat(2)
+// and getdents64(2) ourselves, on pooled NUL-terminated path scratch,
+// makes the backend's metadata hot paths allocation-free.
+
+// hasFastStat gates the raw fstatat path in FS.stat.
+const hasFastStat = true
+
+const (
+	atFDCWD           = -0x64
+	atSymlinkNofollow = 0x100
+	direntBufSize     = 8 << 10
+	direntNameOff     = 19 // offsetof(linux_dirent64, d_name)
+)
+
+// statInto stats the NUL-terminated host path into fi without
+// allocating. follow selects stat(2) vs lstat(2) semantics.
+func statInto(host []byte, follow bool, fi *posix.FileInfo) error {
+	var st syscall.Stat_t
+	var flags uintptr
+	if !follow {
+		flags = atSymlinkNofollow
+	}
+	dirfd := atFDCWD
+	_, _, errno := syscall.Syscall6(sysFstatat, uintptr(dirfd),
+		uintptr(unsafe.Pointer(&host[0])), uintptr(unsafe.Pointer(&st)), flags, 0, 0)
+	if errno != 0 {
+		return errno
+	}
+	fillInfo(fi, &st)
+	return nil
+}
+
+// appendDirents appends f's raw directory entries (unsorted, without
+// "." and "..") using getdents64, so names, types and inodes arrive in
+// one pass instead of one lstat per entry. Listing a non-directory
+// fails with ENOTDIR, which doubles as the opendir type check.
+func appendDirents(entries []posix.DirEntry, f *os.File) ([]posix.DirEntry, error) {
+	fd := int(f.Fd())
+	buf := make([]byte, direntBufSize)
+	for {
+		n, err := syscall.ReadDirent(fd, buf)
+		if err != nil {
+			return entries, err
+		}
+		if n <= 0 {
+			return entries, nil
+		}
+		b := buf[:n]
+		for len(b) >= direntNameOff {
+			ino := binary.LittleEndian.Uint64(b)
+			reclen := int(binary.LittleEndian.Uint16(b[16:]))
+			typ := b[18]
+			if reclen < direntNameOff || reclen > len(b) {
+				break // malformed record; stop parsing this batch
+			}
+			nameb := b[direntNameOff:reclen]
+			if i := bytes.IndexByte(nameb, 0); i >= 0 {
+				nameb = nameb[:i]
+			}
+			b = b[reclen:]
+			if len(nameb) == 0 {
+				continue
+			}
+			name := string(nameb)
+			if name == "." || name == ".." {
+				continue
+			}
+			isDir := typ == syscall.DT_DIR
+			if typ == syscall.DT_UNKNOWN {
+				// Filesystems that do not fill d_type force one lstat.
+				if info, lerr := os.Lstat(filepath.Join(f.Name(), name)); lerr == nil {
+					isDir = info.IsDir()
+				}
+			}
+			entries = append(entries, posix.DirEntry{Name: name, IsDir: isDir, Inode: ino})
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"io/fs"
 	"syscall"
+	"time"
 
 	"padll/internal/posix"
 )
@@ -35,22 +36,53 @@ func sysFields(info fs.FileInfo) (ino uint64, nlink, uid, gid int, ok bool) {
 	return st.Ino, int(st.Nlink), int(st.Uid), int(st.Gid), true
 }
 
+// fillInfo copies the raw stat structure into the boundary payload.
+// Name is not derivable from the structure; the caller sets it.
+func fillInfo(fi *posix.FileInfo, st *syscall.Stat_t) {
+	m := posix.FileMode(st.Mode & 0o777)
+	if st.Mode&syscall.S_IFMT == syscall.S_IFDIR {
+		m |= posix.ModeDir
+	}
+	fi.Size = st.Size
+	fi.Mode = m
+	fi.ModTime = time.Unix(int64(st.Mtim.Sec), int64(st.Mtim.Nsec))
+	fi.Inode = st.Ino
+	fi.Nlink = int(st.Nlink)
+	fi.UID = int(st.Uid)
+	fi.GID = int(st.Gid)
+}
+
+// hasRawFstat gates the fd-based raw stat path in FS.fstat.
+const hasRawFstat = true
+
+// fstatInto stats an open descriptor into fi without allocating (the
+// os.File.Stat equivalent boxes a fresh fileStat per call).
+func fstatInto(fd uintptr, fi *posix.FileInfo) error {
+	var st syscall.Stat_t
+	if err := syscall.Fstat(int(fd), &st); err != nil {
+		return err
+	}
+	fillInfo(fi, &st)
+	return nil
+}
+
 // statfs fills the boundary's file-system stat payload from statfs(2).
-func (o *FS) statfs() (*posix.Reply, error) {
+func (o *FS) statfs(rep *posix.Reply) error {
 	var st syscall.Statfs_t
 	if err := syscall.Statfs(o.root, &st); err != nil {
-		return nil, mapErr(err)
+		return mapErr(err)
 	}
 	bsize := st.Bsize
 	if bsize <= 0 {
 		bsize = 4096
 	}
-	return &posix.Reply{Stat: posix.FSStat{
+	rep.Stat = posix.FSStat{
 		TotalBytes: int64(st.Blocks) * bsize,
 		FreeBytes:  int64(st.Bavail) * bsize,
 		TotalFiles: int64(st.Files),
 		FreeFiles:  int64(st.Ffree),
-	}}, nil
+	}
+	return nil
 }
 
 // setxattr writes one extended attribute.

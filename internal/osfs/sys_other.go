@@ -30,9 +30,14 @@ func sysFields(fs.FileInfo) (ino uint64, nlink, uid, gid int, ok bool) {
 	return 0, 0, 0, 0, false
 }
 
-func (o *FS) statfs() (*posix.Reply, error) {
-	return &posix.Reply{}, nil
+func (o *FS) statfs(*posix.Reply) error {
+	return nil
 }
+
+// hasRawFstat gates the fd-based raw stat path in FS.fstat.
+const hasRawFstat = false
+
+func fstatInto(uintptr, *posix.FileInfo) error { return posix.ErrNotSupported }
 
 func setxattr(string, string, []byte) error   { return posix.ErrNotSupported }
 func getxattr(string, string) ([]byte, error) { return nil, posix.ErrNotSupported }

@@ -1,0 +1,8 @@
+//go:build linux && arm64
+
+package osfs
+
+import "syscall"
+
+// sysFstatat is the fstatat(2) trap number on this architecture.
+const sysFstatat = uintptr(syscall.SYS_FSTATAT)

@@ -280,82 +280,86 @@ func (p *PFS) stripeExtent(layout []int, offset, size int64) []stripeSegment {
 }
 
 // Apply implements posix.FileSystem.
-func (p *PFS) Apply(req *posix.Request) (*posix.Reply, error) {
+func (p *PFS) Apply(req *posix.Request, rep *posix.Reply) error {
 	// All metadata-like operations pay the MDS before touching the
 	// namespace; pure data operations bypass it (their open already did).
 	if req.Op.IsMetadataLike() {
 		if err := p.mds().serve(req.Op, req.Path); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	switch req.Op {
 	case posix.OpOpen, posix.OpOpen64, posix.OpCreat:
-		return p.open(req)
+		return p.open(req, rep)
 	case posix.OpClose, posix.OpClosedir:
-		return p.closeFD(req.FD)
+		return p.closeFD(req.FD, rep)
 	case posix.OpStat, posix.OpLStat, posix.OpGetAttr:
-		return p.stat(req.Path)
+		return p.stat(req.Path, rep)
 	case posix.OpFStat:
-		return p.fstat(req.FD)
+		return p.fstat(req.FD, rep)
 	case posix.OpSetAttr, posix.OpChmod, posix.OpChown, posix.OpUtime:
-		return p.setattr(req)
+		return p.setattr(req, rep)
 	case posix.OpStatFS, posix.OpFStatFS:
-		return p.statfs()
+		return p.statfs(rep)
 	case posix.OpRename:
-		return p.rename(req.Path, req.NewPath)
+		return p.rename(req.Path, req.NewPath, rep)
 	case posix.OpUnlink:
-		return p.unlink(req.Path)
+		return p.unlink(req.Path, rep)
 	case posix.OpLink:
-		return p.link(req.Path, req.NewPath)
+		return p.link(req.Path, req.NewPath, rep)
 	case posix.OpSymlink:
-		return p.symlink(req.Path, req.NewPath)
+		return p.symlink(req.Path, req.NewPath, rep)
 	case posix.OpReadlink:
-		return p.readlink(req.Path)
+		return p.readlink(req.Path, rep)
 	case posix.OpAccess:
-		return p.access(req.Path)
+		return p.access(req.Path, rep)
 	case posix.OpMknod:
-		return p.mknod(req.Path, req.Mode)
+		return p.mknod(req.Path, req.Mode, rep)
 	case posix.OpMkdir:
-		return p.mkdir(req.Path, req.Mode)
+		return p.mkdir(req.Path, req.Mode, rep)
 	case posix.OpRmdir:
-		return p.rmdir(req.Path)
+		return p.rmdir(req.Path, rep)
 	case posix.OpOpendir:
-		return p.open(&posix.Request{Op: posix.OpOpen, Path: req.Path, Flags: posix.ORdOnly})
+		fwd := posix.GetRequest()
+		fwd.Op, fwd.Path, fwd.Flags = posix.OpOpen, req.Path, posix.ORdOnly
+		err := p.open(fwd, rep)
+		posix.PutRequest(fwd)
+		return err
 	case posix.OpReaddir:
-		return p.readdir(req.Path)
+		return p.readdir(req.Path, rep)
 
 	case posix.OpRead:
-		return p.read(req.FD, req.Size, -1)
+		return p.read(req.FD, req.Size, -1, rep)
 	case posix.OpPRead:
-		return p.read(req.FD, req.Size, req.Offset)
+		return p.read(req.FD, req.Size, req.Offset, rep)
 	case posix.OpWrite:
-		return p.write(req.FD, req.Data, req.Size, -1)
+		return p.write(req.FD, req.Data, req.Size, -1, rep)
 	case posix.OpPWrite:
-		return p.write(req.FD, req.Data, req.Size, req.Offset)
+		return p.write(req.FD, req.Data, req.Size, req.Offset, rep)
 	case posix.OpLSeek:
-		return p.lseek(req.FD, req.Offset, req.Flags)
+		return p.lseek(req.FD, req.Offset, req.Flags, rep)
 	case posix.OpFSync, posix.OpFDataSync, posix.OpSync:
-		return &posix.Reply{}, nil
+		return nil
 	case posix.OpTruncate:
-		return p.truncate(req.Path, req.Size)
+		return p.truncate(req.Path, req.Size, rep)
 	case posix.OpFTruncate:
-		return p.ftruncate(req.FD, req.Size)
+		return p.ftruncate(req.FD, req.Size, rep)
 
 	case posix.OpSetXAttr:
-		return p.setxattr(req.Path, req.Name, req.Value)
+		return p.setxattr(req.Path, req.Name, req.Value, rep)
 	case posix.OpGetXAttr, posix.OpLGetXAttr:
-		return p.getxattr(req.Path, req.Name)
+		return p.getxattr(req.Path, req.Name, rep)
 	case posix.OpFGetXAttr:
-		return p.fgetxattr(req.FD, req.Name)
+		return p.fgetxattr(req.FD, req.Name, rep)
 	case posix.OpListXAttr:
-		return p.listxattr(req.Path)
+		return p.listxattr(req.Path, rep)
 	case posix.OpRemoveXAttr:
-		return p.removexattr(req.Path, req.Name)
+		return p.removexattr(req.Path, req.Name, rep)
 	}
-	return nil, posix.ErrNotSupported
+	return posix.ErrNotSupported
 }
 
-func (p *PFS) open(req *posix.Request) (*posix.Reply, error) {
+func (p *PFS) open(req *posix.Request, rep *posix.Reply) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	pth := cleanPath(req.Path)
@@ -363,10 +367,10 @@ func (p *PFS) open(req *posix.Request) (*posix.Reply, error) {
 	switch {
 	case err == nil:
 		if req.Flags&posix.OExcl != 0 && req.Flags&posix.OCreate != 0 {
-			return nil, posix.ErrExist
+			return posix.ErrExist
 		}
 		if n.isDir() && req.Flags&(posix.OWrOnly|posix.ORdWr) != 0 {
-			return nil, posix.ErrIsDir
+			return posix.ErrIsDir
 		}
 		if req.Flags&posix.OTrunc != 0 && !n.isDir() {
 			p.truncateLocked(n, 0)
@@ -374,7 +378,7 @@ func (p *PFS) open(req *posix.Request) (*posix.Reply, error) {
 	case err == posix.ErrNotExist && (req.Flags&posix.OCreate != 0 || req.Op == posix.OpCreat):
 		parent, leaf, perr := p.lookupParent(pth)
 		if perr != nil {
-			return nil, perr
+			return perr
 		}
 		p.nextInode++
 		n = &pnode{
@@ -388,7 +392,7 @@ func (p *PFS) open(req *posix.Request) (*posix.Reply, error) {
 		parent.children[leaf] = n
 		parent.modTime = p.clk.Now()
 	default:
-		return nil, err
+		return err
 	}
 	fd := p.nextFD
 	p.nextFD++
@@ -397,87 +401,91 @@ func (p *PFS) open(req *posix.Request) (*posix.Reply, error) {
 		of.offset = n.size
 	}
 	p.fds[fd] = of
-	return &posix.Reply{FD: fd}, nil
+	rep.FD = fd
+	return nil
 }
 
-func (p *PFS) closeFD(fd int) (*posix.Reply, error) {
+func (p *PFS) closeFD(fd int, rep *posix.Reply) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if _, ok := p.fds[fd]; !ok {
-		return nil, posix.ErrBadFD
+		return posix.ErrBadFD
 	}
 	delete(p.fds, fd)
-	return &posix.Reply{}, nil
+	return nil
 }
 
-func (p *PFS) stat(pth string) (*posix.Reply, error) {
+func (p *PFS) stat(pth string, rep *posix.Reply) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	n, err := p.lookup(pth)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	return &posix.Reply{Info: p.infoFor(n)}, nil
+	rep.Info = p.infoFor(n)
+	return nil
 }
 
-func (p *PFS) fstat(fd int) (*posix.Reply, error) {
+func (p *PFS) fstat(fd int, rep *posix.Reply) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	of, ok := p.fds[fd]
 	if !ok {
-		return nil, posix.ErrBadFD
+		return posix.ErrBadFD
 	}
-	return &posix.Reply{Info: p.infoFor(of.n)}, nil
+	rep.Info = p.infoFor(of.n)
+	return nil
 }
 
-func (p *PFS) setattr(req *posix.Request) (*posix.Reply, error) {
+func (p *PFS) setattr(req *posix.Request, rep *posix.Reply) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	n, err := p.lookup(req.Path)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if req.Op == posix.OpSetAttr || req.Op == posix.OpChmod {
 		n.mode = (n.mode & posix.ModeDir) | req.Mode.Perm()
 	}
 	n.modTime = p.clk.Now()
-	return &posix.Reply{}, nil
+	return nil
 }
 
-func (p *PFS) statfs() (*posix.Reply, error) {
+func (p *PFS) statfs(rep *posix.Reply) error {
 	var used int64
 	for _, o := range p.osts {
 		used += o.usedBytes.Load()
 	}
-	return &posix.Reply{Stat: posix.FSStat{
+	rep.Stat = posix.FSStat{
 		TotalBytes: p.cfg.TotalCapacityBytes,
 		FreeBytes:  p.cfg.TotalCapacityBytes - used,
 		TotalFiles: 1 << 32,
 		FreeFiles:  1<<32 - int64(p.nextInode),
-	}}, nil
+	}
+	return nil
 }
 
-func (p *PFS) rename(oldP, newP string) (*posix.Reply, error) {
+func (p *PFS) rename(oldP, newP string, rep *posix.Reply) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	oldParent, oldLeaf, err := p.lookupParent(oldP)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	n, ok := oldParent.children[oldLeaf]
 	if !ok {
-		return nil, posix.ErrNotExist
+		return posix.ErrNotExist
 	}
 	newParent, newLeaf, err := p.lookupParent(newP)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if existing, ok := newParent.children[newLeaf]; ok {
 		if existing.isDir() && len(existing.children) > 0 {
-			return nil, posix.ErrNotEmpty
+			return posix.ErrNotEmpty
 		}
 		if existing.isDir() && !n.isDir() {
-			return nil, posix.ErrIsDir
+			return posix.ErrIsDir
 		}
 		p.removeDataLocked(existing)
 	}
@@ -486,22 +494,22 @@ func (p *PFS) rename(oldP, newP string) (*posix.Reply, error) {
 	newParent.children[newLeaf] = n
 	now := p.clk.Now()
 	oldParent.modTime, newParent.modTime, n.modTime = now, now, now
-	return &posix.Reply{}, nil
+	return nil
 }
 
-func (p *PFS) unlink(pth string) (*posix.Reply, error) {
+func (p *PFS) unlink(pth string, rep *posix.Reply) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	parent, leaf, err := p.lookupParent(pth)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	n, ok := parent.children[leaf]
 	if !ok {
-		return nil, posix.ErrNotExist
+		return posix.ErrNotExist
 	}
 	if n.isDir() {
-		return nil, posix.ErrIsDir
+		return posix.ErrIsDir
 	}
 	n.nlink--
 	delete(parent.children, leaf)
@@ -509,7 +517,7 @@ func (p *PFS) unlink(pth string) (*posix.Reply, error) {
 	if n.nlink <= 0 {
 		p.removeDataLocked(n)
 	}
-	return &posix.Reply{}, nil
+	return nil
 }
 
 // removeDataLocked frees a file's OST objects.
@@ -520,37 +528,37 @@ func (p *PFS) removeDataLocked(n *pnode) {
 	n.size = 0
 }
 
-func (p *PFS) link(oldP, newP string) (*posix.Reply, error) {
+func (p *PFS) link(oldP, newP string, rep *posix.Reply) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	n, err := p.lookup(oldP)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if n.isDir() {
-		return nil, posix.ErrIsDir
+		return posix.ErrIsDir
 	}
 	parent, leaf, err := p.lookupParent(newP)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if _, exists := parent.children[leaf]; exists {
-		return nil, posix.ErrExist
+		return posix.ErrExist
 	}
 	n.nlink++
 	parent.children[leaf] = n
-	return &posix.Reply{}, nil
+	return nil
 }
 
-func (p *PFS) symlink(target, linkP string) (*posix.Reply, error) {
+func (p *PFS) symlink(target, linkP string, rep *posix.Reply) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	parent, leaf, err := p.lookupParent(linkP)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if _, exists := parent.children[leaf]; exists {
-		return nil, posix.ErrExist
+		return posix.ErrExist
 	}
 	p.nextInode++
 	parent.children[leaf] = &pnode{
@@ -561,41 +569,42 @@ func (p *PFS) symlink(target, linkP string) (*posix.Reply, error) {
 		nlink:   1,
 		xattrs:  map[string][]byte{"system.symlink": []byte(target)},
 	}
-	return &posix.Reply{}, nil
+	return nil
 }
 
-func (p *PFS) readlink(pth string) (*posix.Reply, error) {
+func (p *PFS) readlink(pth string, rep *posix.Reply) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	n, err := p.lookup(pth)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	target, ok := n.xattrs["system.symlink"]
 	if !ok {
-		return nil, posix.ErrInvalid
+		return posix.ErrInvalid
 	}
-	return &posix.Reply{Data: append([]byte(nil), target...)}, nil
+	rep.Data = append([]byte(nil), target...)
+	return nil
 }
 
-func (p *PFS) access(pth string) (*posix.Reply, error) {
+func (p *PFS) access(pth string, rep *posix.Reply) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if _, err := p.lookup(pth); err != nil {
-		return nil, err
+		return err
 	}
-	return &posix.Reply{}, nil
+	return nil
 }
 
-func (p *PFS) mknod(pth string, mode posix.FileMode) (*posix.Reply, error) {
+func (p *PFS) mknod(pth string, mode posix.FileMode, rep *posix.Reply) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	parent, leaf, err := p.lookupParent(pth)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if _, exists := parent.children[leaf]; exists {
-		return nil, posix.ErrExist
+		return posix.ErrExist
 	}
 	p.nextInode++
 	parent.children[leaf] = &pnode{
@@ -603,72 +612,73 @@ func (p *PFS) mknod(pth string, mode posix.FileMode) (*posix.Reply, error) {
 		modTime: p.clk.Now(), nlink: 1,
 		layout: p.pickOSTs(p.cfg.DefaultStripeCount),
 	}
-	return &posix.Reply{}, nil
+	return nil
 }
 
-func (p *PFS) mkdir(pth string, mode posix.FileMode) (*posix.Reply, error) {
+func (p *PFS) mkdir(pth string, mode posix.FileMode, rep *posix.Reply) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	parent, leaf, err := p.lookupParent(pth)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if _, exists := parent.children[leaf]; exists {
-		return nil, posix.ErrExist
+		return posix.ErrExist
 	}
 	p.nextInode++
 	parent.children[leaf] = &pnode{
 		name: leaf, mode: posix.ModeDir | mode.Perm(), inode: p.nextInode,
 		children: make(map[string]*pnode), modTime: p.clk.Now(), nlink: 2,
 	}
-	return &posix.Reply{}, nil
+	return nil
 }
 
-func (p *PFS) rmdir(pth string) (*posix.Reply, error) {
+func (p *PFS) rmdir(pth string, rep *posix.Reply) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	parent, leaf, err := p.lookupParent(pth)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	n, ok := parent.children[leaf]
 	if !ok {
-		return nil, posix.ErrNotExist
+		return posix.ErrNotExist
 	}
 	if !n.isDir() {
-		return nil, posix.ErrNotDir
+		return posix.ErrNotDir
 	}
 	if len(n.children) > 0 {
-		return nil, posix.ErrNotEmpty
+		return posix.ErrNotEmpty
 	}
 	delete(parent.children, leaf)
-	return &posix.Reply{}, nil
+	return nil
 }
 
-func (p *PFS) readdir(pth string) (*posix.Reply, error) {
+func (p *PFS) readdir(pth string, rep *posix.Reply) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	n, err := p.lookup(pth)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if !n.isDir() {
-		return nil, posix.ErrNotDir
+		return posix.ErrNotDir
 	}
 	entries := make([]posix.DirEntry, 0, len(n.children))
 	for name, child := range n.children {
 		entries = append(entries, posix.DirEntry{Name: name, IsDir: child.isDir(), Inode: child.inode})
 	}
 	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
-	return &posix.Reply{Entries: entries}, nil
+	rep.Entries = entries
+	return nil
 }
 
-func (p *PFS) read(fd int, size, offset int64) (*posix.Reply, error) {
+func (p *PFS) read(fd int, size, offset int64, rep *posix.Reply) error {
 	p.mu.Lock()
 	of, ok := p.fds[fd]
 	if !ok {
 		p.mu.Unlock()
-		return nil, posix.ErrBadFD
+		return posix.ErrBadFD
 	}
 	n := of.n
 	pos := offset
@@ -677,7 +687,7 @@ func (p *PFS) read(fd int, size, offset int64) (*posix.Reply, error) {
 	}
 	if pos >= n.size || size <= 0 {
 		p.mu.Unlock()
-		return &posix.Reply{}, nil
+		return nil
 	}
 	if pos+size > n.size {
 		size = n.size - pos
@@ -693,7 +703,7 @@ func (p *PFS) read(fd int, size, offset int64) (*posix.Reply, error) {
 	for _, seg := range segs {
 		data, err := p.osts[layout[seg.stripe]].read(inode, seg.stripe, seg.objOffset, seg.length)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Sparse regions read back as zeros.
 		if int64(len(data)) < seg.length {
@@ -706,19 +716,21 @@ func (p *PFS) read(fd int, size, offset int64) (*posix.Reply, error) {
 		of.offset = pos + size
 		p.mu.Unlock()
 	}
-	return &posix.Reply{N: int64(len(buf)), Data: buf}, nil
+	rep.N = int64(len(buf))
+	rep.Data = buf
+	return nil
 }
 
-func (p *PFS) write(fd int, data []byte, size, offset int64) (*posix.Reply, error) {
+func (p *PFS) write(fd int, data []byte, size, offset int64, rep *posix.Reply) error {
 	p.mu.Lock()
 	of, ok := p.fds[fd]
 	if !ok {
 		p.mu.Unlock()
-		return nil, posix.ErrBadFD
+		return posix.ErrBadFD
 	}
 	if of.flags&(posix.OWrOnly|posix.ORdWr) == 0 {
 		p.mu.Unlock()
-		return nil, posix.ErrBadFD
+		return posix.ErrBadFD
 	}
 	if data == nil && size > 0 {
 		data = make([]byte, size)
@@ -740,7 +752,7 @@ func (p *PFS) write(fd int, data []byte, size, offset int64) (*posix.Reply, erro
 	for _, seg := range segs {
 		chunk := data[written : written+seg.length]
 		if err := p.osts[layout[seg.stripe]].write(inode, seg.stripe, seg.objOffset, chunk); err != nil {
-			return nil, err
+			return err
 		}
 		written += seg.length
 	}
@@ -755,15 +767,16 @@ func (p *PFS) write(fd int, data []byte, size, offset int64) (*posix.Reply, erro
 		of.offset = end
 	}
 	p.mu.Unlock()
-	return &posix.Reply{N: written}, nil
+	rep.N = written
+	return nil
 }
 
-func (p *PFS) lseek(fd int, offset int64, whence int) (*posix.Reply, error) {
+func (p *PFS) lseek(fd int, offset int64, whence int, rep *posix.Reply) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	of, ok := p.fds[fd]
 	if !ok {
-		return nil, posix.ErrBadFD
+		return posix.ErrBadFD
 	}
 	var base int64
 	switch whence {
@@ -773,45 +786,46 @@ func (p *PFS) lseek(fd int, offset int64, whence int) (*posix.Reply, error) {
 	case 2:
 		base = of.n.size
 	default:
-		return nil, posix.ErrInvalid
+		return posix.ErrInvalid
 	}
 	np := base + offset
 	if np < 0 {
-		return nil, posix.ErrInvalid
+		return posix.ErrInvalid
 	}
 	of.offset = np
-	return &posix.Reply{N: np}, nil
+	rep.N = np
+	return nil
 }
 
-func (p *PFS) truncate(pth string, size int64) (*posix.Reply, error) {
+func (p *PFS) truncate(pth string, size int64, rep *posix.Reply) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	n, err := p.lookup(pth)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if n.isDir() {
-		return nil, posix.ErrIsDir
+		return posix.ErrIsDir
 	}
 	if size < 0 {
-		return nil, posix.ErrInvalid
+		return posix.ErrInvalid
 	}
 	p.truncateLocked(n, size)
-	return &posix.Reply{}, nil
+	return nil
 }
 
-func (p *PFS) ftruncate(fd int, size int64) (*posix.Reply, error) {
+func (p *PFS) ftruncate(fd int, size int64, rep *posix.Reply) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	of, ok := p.fds[fd]
 	if !ok {
-		return nil, posix.ErrBadFD
+		return posix.ErrBadFD
 	}
 	if size < 0 {
-		return nil, posix.ErrInvalid
+		return posix.ErrInvalid
 	}
 	p.truncateLocked(of.n, size)
-	return &posix.Reply{}, nil
+	return nil
 }
 
 func (p *PFS) truncateLocked(n *pnode, size int64) {
@@ -836,75 +850,78 @@ func (p *PFS) truncateLocked(n *pnode, size int64) {
 	n.modTime = p.clk.Now()
 }
 
-func (p *PFS) setxattr(pth, name string, value []byte) (*posix.Reply, error) {
+func (p *PFS) setxattr(pth, name string, value []byte, rep *posix.Reply) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	n, err := p.lookup(pth)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if n.xattrs == nil {
 		n.xattrs = make(map[string][]byte)
 	}
 	n.xattrs[name] = append([]byte(nil), value...)
-	return &posix.Reply{}, nil
+	return nil
 }
 
-func (p *PFS) getxattr(pth, name string) (*posix.Reply, error) {
+func (p *PFS) getxattr(pth, name string, rep *posix.Reply) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	n, err := p.lookup(pth)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	v, ok := n.xattrs[name]
 	if !ok {
-		return nil, posix.ErrNoAttr
+		return posix.ErrNoAttr
 	}
-	return &posix.Reply{Data: append([]byte(nil), v...)}, nil
+	rep.Data = append([]byte(nil), v...)
+	return nil
 }
 
-func (p *PFS) fgetxattr(fd int, name string) (*posix.Reply, error) {
+func (p *PFS) fgetxattr(fd int, name string, rep *posix.Reply) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	of, ok := p.fds[fd]
 	if !ok {
-		return nil, posix.ErrBadFD
+		return posix.ErrBadFD
 	}
 	v, ok := of.n.xattrs[name]
 	if !ok {
-		return nil, posix.ErrNoAttr
+		return posix.ErrNoAttr
 	}
-	return &posix.Reply{Data: append([]byte(nil), v...)}, nil
+	rep.Data = append([]byte(nil), v...)
+	return nil
 }
 
-func (p *PFS) listxattr(pth string) (*posix.Reply, error) {
+func (p *PFS) listxattr(pth string, rep *posix.Reply) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	n, err := p.lookup(pth)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	names := make([]string, 0, len(n.xattrs))
 	for k := range n.xattrs {
 		names = append(names, k)
 	}
 	sort.Strings(names)
-	return &posix.Reply{Names: names}, nil
+	rep.Names = names
+	return nil
 }
 
-func (p *PFS) removexattr(pth, name string) (*posix.Reply, error) {
+func (p *PFS) removexattr(pth, name string, rep *posix.Reply) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	n, err := p.lookup(pth)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if _, ok := n.xattrs[name]; !ok {
-		return nil, posix.ErrNoAttr
+		return posix.ErrNoAttr
 	}
 	delete(n.xattrs, name)
-	return &posix.Reply{}, nil
+	return nil
 }
 
 // LayoutOf returns the OST indices a file is striped across (for tests

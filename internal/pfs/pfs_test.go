@@ -403,10 +403,10 @@ func TestSymlinkOnPFS(t *testing.T) {
 	p, c := newPFS()
 	fd, _ := c.Creat("/t", 0o644)
 	c.Close(fd)
-	if _, err := p.Apply(&posix.Request{Op: posix.OpSymlink, Path: "/t", NewPath: "/l"}); err != nil {
+	if _, err := posix.Do(p, &posix.Request{Op: posix.OpSymlink, Path: "/t", NewPath: "/l"}); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := p.Apply(&posix.Request{Op: posix.OpReadlink, Path: "/l"})
+	rep, err := posix.Do(p, &posix.Request{Op: posix.OpReadlink, Path: "/l"})
 	if err != nil || string(rep.Data) != "/t" {
 		t.Fatalf("readlink = %q, %v", rep.Data, err)
 	}

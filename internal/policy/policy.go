@@ -101,6 +101,22 @@ func (m *Matcher) Matches(req *posix.Request) bool {
 	return true
 }
 
+// SplitsDir reports whether the matcher can distinguish two request
+// paths that share the directory prefix dir (dir must include its
+// trailing slash). Matches tests paths in two arms: the slash-terminated
+// prefix test, whose outcome is a function of dir alone, and the exact
+// equality test, which depends on the leaf precisely when PathPrefix
+// itself names an entry directly inside dir (no further slash after the
+// dir prefix). Classification caches keyed by (attributes, dir) must
+// refuse to memoize a directory any candidate rule splits.
+func (m *Matcher) SplitsDir(dir string) bool {
+	if m.PathPrefix == "" {
+		return false
+	}
+	return strings.HasPrefix(m.PathPrefix, dir) &&
+		!strings.ContainsRune(m.PathPrefix[len(dir):], '/')
+}
+
 // CouldMatchOp reports whether a request carrying op can possibly satisfy
 // the matcher's op/class constraints. It evaluates only the attributes
 // known from the operation type, so it can be decided per-op ahead of

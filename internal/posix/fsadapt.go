@@ -54,13 +54,33 @@ func (i fsInfo) Sys() any { return i.fi }
 // FSInfo adapts the stat payload to the io/fs interface.
 func (fi FileInfo) FSInfo() fs.FileInfo { return fsInfo{fi} }
 
+// FSInfoView is a reusable fs.FileInfo over an embedded boundary payload.
+// FSInfo boxes a fresh value on every call; a view embedded in a
+// longer-lived struct (a direntry slab, a file handle) is filled in place
+// and handed out as &view — the interface holds a pointer, so repeated
+// Info() calls add zero allocations. The payload must not be refilled
+// while a returned interface is still in use.
+type FSInfoView struct{ I FileInfo }
+
+func (v *FSInfoView) Name() string       { return v.I.Name }
+func (v *FSInfoView) Size() int64        { return v.I.Size }
+func (v *FSInfoView) Mode() fs.FileMode  { return v.I.Mode.FSMode() }
+func (v *FSInfoView) ModTime() time.Time { return v.I.ModTime }
+func (v *FSInfoView) IsDir() bool        { return v.I.Mode.IsDir() }
+
+// Sys exposes the boundary-level FileInfo, matching fsInfo.Sys.
+func (v *FSInfoView) Sys() any { return v.I }
+
 // FileInfoFromFS converts a standard fs.FileInfo (e.g. from os.Stat) to
 // the boundary's stat payload. Inode, Nlink, UID and GID are not part of
 // the io/fs contract and are left zero; OS-backed file systems fill them
 // from the platform stat structure.
 func FileInfoFromFS(info fs.FileInfo) FileInfo {
-	if fi, ok := info.(fsInfo); ok {
+	switch fi := info.(type) {
+	case fsInfo:
 		return fi.fi // round trip: recover the original payload
+	case *FSInfoView:
+		return fi.I
 	}
 	return FileInfo{
 		Name:    info.Name(),

@@ -165,12 +165,17 @@ func TestRequestString(t *testing.T) {
 	}
 }
 
-// recorder is a FileSystem double that records the last request.
-type recorder struct{ last *Request }
+// recorder is a FileSystem double that records the last request. It
+// copies the request: the client recycles req into a pool as soon as
+// Apply returns, so retaining the pointer would observe the reset.
+type recorder struct{ last Request }
 
-func (r *recorder) Apply(req *Request) (*Reply, error) {
-	r.last = req
-	return &Reply{FD: 7, N: int64(len(req.Data)), Data: []byte("x")}, nil
+func (r *recorder) Apply(req *Request, rep *Reply) error {
+	r.last = *req
+	rep.FD = 7
+	rep.N = int64(len(req.Data))
+	rep.Data = append(rep.Data[:0], 'x')
+	return nil
 }
 
 func TestClientStampsJobContext(t *testing.T) {

@@ -1,0 +1,5 @@
+//go:build !race
+
+package posix
+
+const raceEnabled = false

@@ -3,6 +3,7 @@ package posix
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -122,18 +123,119 @@ func (r *Request) String() string {
 	}
 }
 
+// Package-level zero values so //lint:hotpath-annotated resets assign
+// instead of building composite literals on the hot path.
+var (
+	zeroRequest Request
+	zeroInfo    FileInfo
+	zeroStat    FSStat
+)
+
+// Reset clears the request for reuse. Slices are dropped, not truncated:
+// a Request never owns its payloads (Data/Value belong to the caller), so
+// retaining capacity here would pin caller memory in the pool.
+//
+//lint:hotpath
+func (r *Request) Reset() { *r = zeroRequest }
+
+// Reset clears the reply for reuse while keeping slice capacity, so a
+// pooled Reply amortizes its Entries/Data/Names backing arrays across
+// requests. Callers that hand a reply slice to application code must
+// detach it (nil the field) before resetting, or the next user of the
+// scratch will scribble over it.
+//
+//lint:hotpath
+func (r *Reply) Reset() {
+	r.FD = 0
+	r.N = 0
+	r.Info = zeroInfo
+	r.Stat = zeroStat
+	if r.Entries != nil {
+		r.Entries = r.Entries[:0]
+	}
+	if r.Data != nil {
+		r.Data = r.Data[:0]
+	}
+	if r.Names != nil {
+		r.Names = r.Names[:0]
+	}
+}
+
 // FileSystem is the boundary every layer of the PADLL stack implements:
 // concrete backends (the local file system model, the PFS client), the
 // interposition shim that wraps them, and test doubles. A single generic
 // entry point keeps the shim's per-call interception table trivial to
 // compose while the Client type restores a typed API for applications.
+//
+// Ownership contract (the alloc-free lifecycle depends on it):
+//
+//   - The caller owns req and rep for the duration of the call; rep
+//     arrives Reset (zero scalar fields, zero-length slices). The callee
+//     must not retain either pointer — or any slice reachable from them —
+//     past its return.
+//   - The callee fills reply slices by appending into the caller's
+//     scratch (rep.Entries = append(rep.Entries[:0], ...)); it must never
+//     alias backend-owned memory into rep, because the caller may mutate
+//     or recycle the reply as soon as Apply returns.
+//   - A caller that exposes a reply slice beyond its own frame (Client
+//     returning rep.Data, say) detaches it by nil-ing the field before
+//     the reply goes back in a pool.
 type FileSystem interface {
-	// Apply executes one POSIX request and returns its reply.
-	Apply(req *Request) (*Reply, error)
+	// Apply executes one POSIX request into the caller-provided reply.
+	Apply(req *Request, rep *Reply) error
+}
+
+// Do applies req against fs with a freshly allocated reply — the
+// convenient two-value form for cold callers and tests. Hot paths use
+// pooled replies through Client instead.
+func Do(fs FileSystem, req *Request) (*Reply, error) {
+	rep := new(Reply)
+	if err := fs.Apply(req, rep); err != nil {
+		return nil, err
+	}
+	return rep, nil
 }
 
 // FileSystemFunc adapts a function to the FileSystem interface.
-type FileSystemFunc func(req *Request) (*Reply, error)
+type FileSystemFunc func(req *Request, rep *Reply) error
 
 // Apply implements FileSystem.
-func (f FileSystemFunc) Apply(req *Request) (*Reply, error) { return f(req) }
+func (f FileSystemFunc) Apply(req *Request, rep *Reply) error { return f(req, rep) }
+
+// Request/Reply scratch pools. Interface dispatch makes every *Request
+// and *Reply escape at the FileSystem boundary, so per-call stack
+// allocation is off the table; pooling is the next best thing and keeps
+// the steady-state request path at zero allocations. Exported so layers
+// that forward rewritten copies (mount.Router) share the same scratch.
+var (
+	requestPool = sync.Pool{New: func() any { return new(Request) }}
+	replyPool   = sync.Pool{New: func() any { return new(Reply) }}
+)
+
+// GetRequest returns a zeroed request from the scratch pool.
+//
+//lint:hotpath
+func GetRequest() *Request { return requestPool.Get().(*Request) }
+
+// PutRequest resets the request and returns it to the pool. The caller
+// must not touch it afterwards.
+//
+//lint:hotpath
+func PutRequest(r *Request) {
+	r.Reset()
+	requestPool.Put(r)
+}
+
+// GetReply returns a reply from the scratch pool, already Reset.
+//
+//lint:hotpath
+func GetReply() *Reply { return replyPool.Get().(*Reply) }
+
+// PutReply resets the reply (keeping slice capacity) and returns it to
+// the pool. Detach any slice handed to application code first.
+//
+//lint:hotpath
+func PutReply(r *Reply) {
+	r.Reset()
+	replyPool.Put(r)
+}

@@ -23,6 +23,7 @@ package stage
 import (
 	"errors"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -140,6 +141,110 @@ type snapshot struct {
 	perOp [posix.NumOps][]*entry
 	// byID indexes entries by rule ID for Collect/QueueSeries.
 	byID map[string]*entry
+	// cache memoizes classification results keyed by (op, job, user,
+	// parent directory). Its generation tag is the snapshot itself:
+	// every control-plane mutation publishes a fresh snapshot with a
+	// fresh empty cache, so entries are valid exactly as long as the
+	// snapshot is the published one — invalidation by construction,
+	// with no per-entry version counters on the request path.
+	cache [cacheSlots]atomic.Pointer[cacheEntry]
+}
+
+// cacheSlots sizes the classification memo (power of two; 512 pointers
+// = 4KiB per published snapshot).
+const cacheSlots = 512
+
+// cacheEntry is one memoized classification. e == nil records the
+// (valid) result "no rule matches requests with this key".
+type cacheEntry struct {
+	op    posix.Op
+	jobID string
+	user  string
+	dir   string
+	e     *entry
+}
+
+// dirOf returns p's directory prefix including the trailing slash; ok
+// is false for paths with no slash, which are not worth memoizing.
+//
+//lint:hotpath
+func dirOf(p string) (string, bool) {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' {
+			return p[:i+1], true
+		}
+	}
+	return "", false
+}
+
+// cacheHash is FNV-1a over the classification key.
+//
+//lint:hotpath
+func cacheHash(op posix.Op, jobID, user, dir string) uint32 {
+	const prime = 16777619
+	h := uint32(2166136261)
+	h = (h ^ uint32(op)) * prime
+	for i := 0; i < len(jobID); i++ {
+		h = (h ^ uint32(jobID[i])) * prime
+	}
+	h = (h ^ 0xff) * prime
+	for i := 0; i < len(user); i++ {
+		h = (h ^ uint32(user[i])) * prime
+	}
+	h = (h ^ 0xff) * prime
+	for i := 0; i < len(dir); i++ {
+		h = (h ^ uint32(dir[i])) * prime
+	}
+	return h
+}
+
+// classifyCached is classify behind the generation-tagged memo. Rule
+// matching depends on the request only through (op, job, user) and the
+// path — and the path only through its directory prefix, except when a
+// rule's PathPrefix names an entry directly inside that directory
+// (Matcher.SplitsDir); such keys are classified directly and never
+// memoized. A hit is one hash and one atomic load: no lock, no
+// allocation, and no rule-list walk.
+//
+//lint:hotpath
+func (sn *snapshot) classifyCached(req *posix.Request) *entry {
+	dir, ok := dirOf(req.Path)
+	if !ok {
+		return sn.classify(req)
+	}
+	slot := &sn.cache[cacheHash(req.Op, req.JobID, req.User, dir)&(cacheSlots-1)]
+	if ce := slot.Load(); ce != nil &&
+		ce.op == req.Op && ce.dir == dir && ce.jobID == req.JobID && ce.user == req.User {
+		return ce.e
+	}
+	return sn.fillCache(slot, req, dir)
+}
+
+// fillCache classifies req directly and, when sound, memoizes the
+// result into slot. Losing a racing store is fine: both entries are
+// derived from this same immutable snapshot.
+//
+//lint:coldpath one allocation per (snapshot, key); amortized across every subsequent hit
+func (sn *snapshot) fillCache(slot *atomic.Pointer[cacheEntry], req *posix.Request, dir string) *entry {
+	e := sn.classify(req)
+	candidates := sn.all
+	if req.Op.Valid() {
+		candidates = sn.perOp[req.Op]
+	}
+	for _, cand := range candidates {
+		if cand.rule.Match.SplitsDir(dir) {
+			return e // two leaves in dir may classify differently
+		}
+	}
+	slot.Store(&cacheEntry{
+		op:    req.Op,
+		jobID: req.JobID,
+		user:  req.User,
+		// Clone: dir aliases req.Path, whose backing the caller owns.
+		dir: strings.Clone(dir),
+		e:   e,
+	})
+	return e
 }
 
 // classify returns the entry of the most specific matching rule, or nil.
@@ -480,7 +585,7 @@ func (s *Stage) SetRate(ruleID string, rate float64) bool {
 //
 //lint:hotpath
 func (s *Stage) Enforce(req *posix.Request) error {
-	e := s.snap.Load().classify(req)
+	e := s.snap.Load().classifyCached(req)
 	if e == nil {
 		s.passthrough.AddAt(1, s.hotNow())
 		s.markActive()
@@ -558,7 +663,7 @@ func (s *Stage) Offer(req *posix.Request, n float64, dt time.Duration) float64 {
 	if n <= 0 {
 		return 0
 	}
-	e := s.snap.Load().classify(req)
+	e := s.snap.Load().classifyCached(req)
 	if e == nil {
 		s.ptMu.Lock()
 		add := carry(&s.ptRem, n)

@@ -1,0 +1,5 @@
+//go:build !race
+
+package vfs
+
+const raceEnabled = false

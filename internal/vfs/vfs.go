@@ -26,6 +26,7 @@ import (
 	"io/fs"
 	"path"
 	"strings"
+	"sync"
 
 	"padll/internal/clock"
 	"padll/internal/posix"
@@ -77,11 +78,14 @@ type stamper struct {
 	clk    clock.Clock
 }
 
-func (s stamper) Apply(req *posix.Request) (*posix.Reply, error) {
+// Apply stamps Issued and forwards; it adds zero allocations.
+//
+//lint:hotpath
+func (s stamper) Apply(req *posix.Request, rep *posix.Reply) error {
 	if s.clk != nil && req.Issued.IsZero() {
 		req.Issued = s.clk.Now()
 	}
-	return s.target.Apply(req)
+	return s.target.Apply(req, rep)
 }
 
 // New wraps target as an io/fs file system.
@@ -188,59 +192,115 @@ func (v *FS) ReadDir(name string) ([]fs.DirEntry, error) {
 	if err != nil {
 		return nil, err
 	}
-	entries, err := v.c.Readdir(p)
-	if err != nil {
-		return nil, pathErr("readdir", name, err)
+	scratch := readdirScratch.Get().(*[]posix.DirEntry)
+	entries, rerr := v.c.ReaddirInto(p, (*scratch)[:0])
+	*scratch = entries[:0]
+	if rerr != nil {
+		readdirScratch.Put(scratch)
+		return nil, pathErr("readdir", name, rerr)
 	}
-	out := make([]fs.DirEntry, len(entries))
-	for i, e := range entries {
-		out[i] = v.dirEntry(p, e)
-	}
+	out := v.entrySlab(p, entries)
+	readdirScratch.Put(scratch)
 	return out, nil
 }
 
-// dirEntry adapts one readdir result with a lazy stat against dir/name.
-func (v *FS) dirEntry(dir string, e posix.DirEntry) fs.DirEntry {
-	child := dir + "/" + e.Name
-	if dir == "/" {
-		child = "/" + e.Name
+// readdirScratch holds reusable boundary readdir buffers; the entries are
+// copied into the returned slab before the buffer goes back in the pool.
+var readdirScratch = sync.Pool{New: func() any { return new([]posix.DirEntry) }}
+
+// entrySlab adapts a listing in two allocations total (one entry slab,
+// one interface slice) instead of a closure pair per entry.
+func (v *FS) entrySlab(dir string, entries []posix.DirEntry) []fs.DirEntry {
+	if len(entries) == 0 {
+		return nil
 	}
-	name := e.Name
-	return posix.FSDirEntry(e, func() (posix.FileInfo, error) {
-		fi, err := v.c.Stat(child)
-		if err != nil {
-			return posix.FileInfo{}, posix.ToFSError(err)
-		}
-		fi.Name = name
-		return fi, nil
-	})
+	slab := make([]dirEnt, len(entries))
+	out := make([]fs.DirEntry, len(entries))
+	for i, e := range entries {
+		slab[i] = dirEnt{v: v, dir: dir, e: e}
+		out[i] = &slab[i]
+	}
+	return out
 }
 
-// ReadFile implements fs.ReadFileFS.
+// dirEnt is one slab-allocated directory entry. Info stats lazily —
+// on an interposed stack each call is one more classified, rate-limited
+// getattr, exactly the per-entry stat storm fs.WalkDir-based tools
+// generate — and fills the embedded view, so repeated Info calls on the
+// same entry add nothing.
+type dirEnt struct {
+	v    *FS
+	dir  string
+	e    posix.DirEntry
+	info posix.FSInfoView
+}
+
+var _ fs.DirEntry = (*dirEnt)(nil)
+
+func (d *dirEnt) Name() string { return d.e.Name }
+func (d *dirEnt) IsDir() bool  { return d.e.IsDir }
+
+func (d *dirEnt) Type() fs.FileMode {
+	if d.e.IsDir {
+		return fs.ModeDir
+	}
+	return 0
+}
+
+func (d *dirEnt) Info() (fs.FileInfo, error) {
+	child := d.dir + "/" + d.e.Name
+	if d.dir == "/" {
+		child = "/" + d.e.Name
+	}
+	fi, err := d.v.c.Stat(child)
+	if err != nil {
+		return nil, posix.ToFSError(err)
+	}
+	fi.Name = d.e.Name
+	d.info.I = fi
+	return &d.info, nil
+}
+
+// ReadFile implements fs.ReadFileFS: one fstat sizes one result buffer,
+// and every boundary read lands directly in it.
 func (v *FS) ReadFile(name string) ([]byte, error) {
-	f, err := v.Open(name)
+	p, err := v.resolve("open", name)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	// Size the chunk from the stat payload so small files cost one
-	// boundary read of their own size, not a fixed large buffer.
-	size := int64(512)
-	if fi, serr := f.Stat(); serr == nil && fi.Size() > size {
-		size = fi.Size()
+	fd, err := v.c.Open(p, posix.ORdOnly, 0)
+	if err != nil {
+		return nil, pathErr("open", name, err)
 	}
-	var buf []byte
-	chunk := make([]byte, size)
+	size := int64(0)
+	if fi, serr := v.c.FStat(fd); serr == nil {
+		if fi.Mode.IsDir() {
+			_ = v.c.Close(fd)
+			return nil, pathErr("read", name, posix.ErrIsDir)
+		}
+		size = fi.Size
+	}
+	// +1 capacity lets the EOF probe land without growing the buffer.
+	buf := make([]byte, 0, size+1)
 	for {
-		n, err := f.Read(chunk)
-		buf = append(buf, chunk[:n]...)
-		if errors.Is(err, io.EOF) {
-			return buf, nil
+		if len(buf) == cap(buf) {
+			// The file grew past the stat size; extend and keep going.
+			buf = append(buf, 0)[:len(buf)]
 		}
-		if err != nil {
-			return nil, err
+		n, rerr := v.c.ReadInto(fd, buf[len(buf):cap(buf)])
+		if rerr != nil {
+			_ = v.c.Close(fd)
+			return nil, pathErr("read", name, rerr)
+		}
+		buf = buf[:len(buf)+n]
+		if n == 0 {
+			break
 		}
 	}
+	if cerr := v.c.Close(fd); cerr != nil {
+		return nil, pathErr("close", name, cerr)
+	}
+	return buf, nil
 }
 
 // WriteFile writes data to name, creating or truncating it, like
@@ -429,14 +489,14 @@ func (f *File) Read(p []byte) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}
-	data, err := f.fs.c.Read(f.fd, int64(len(p)))
+	n, err := f.fs.c.ReadInto(f.fd, p)
 	if err != nil {
 		return 0, pathErr("read", f.name, err)
 	}
-	if len(data) == 0 {
+	if n == 0 {
 		return 0, io.EOF
 	}
-	return copy(p, data), nil
+	return n, nil
 }
 
 // ReadAt implements io.ReaderAt.
@@ -444,11 +504,10 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	if f.closed {
 		return 0, pathErr("read", f.name, posix.ErrBadFD)
 	}
-	data, err := f.fs.c.PRead(f.fd, int64(len(p)), off)
+	n, err := f.fs.c.PReadInto(f.fd, p, off)
 	if err != nil {
 		return 0, pathErr("read", f.name, err)
 	}
-	n := copy(p, data)
 	if n < len(p) {
 		return n, io.EOF
 	}
@@ -522,6 +581,8 @@ type dirFile struct {
 	name   string
 	path   string
 	closed bool
+	// scratch collects raw boundary entries, reused across ReadDir calls.
+	scratch []posix.DirEntry
 }
 
 var _ fs.ReadDirFile = (*dirFile)(nil)
@@ -551,21 +612,23 @@ func (d *dirFile) ReadDir(n int) ([]fs.DirEntry, error) {
 	if d.closed {
 		return nil, pathErr("readdir", d.name, posix.ErrBadFD)
 	}
-	var out []fs.DirEntry
-	for n <= 0 || len(out) < n {
+	d.scratch = d.scratch[:0]
+	var rerr error
+	for n <= 0 || len(d.scratch) < n {
 		e, ok, err := d.fs.c.ReaddirFD(d.fd)
 		if err != nil {
-			return out, pathErr("readdir", d.name, err)
+			rerr = pathErr("readdir", d.name, err)
+			break
 		}
 		if !ok {
-			if n > 0 && len(out) == 0 {
+			if rerr == nil && n > 0 && len(d.scratch) == 0 {
 				return nil, io.EOF
 			}
-			return out, nil
+			break
 		}
-		out = append(out, d.fs.dirEntry(d.path, e))
+		d.scratch = append(d.scratch, e)
 	}
-	return out, nil
+	return d.fs.entrySlab(d.path, d.scratch), rerr
 }
 
 // Close implements fs.File.

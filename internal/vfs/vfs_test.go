@@ -205,9 +205,9 @@ func TestIssuedStamping(t *testing.T) {
 	start := time.Unix(1700000000, 0)
 	clk := clock.NewSim(start)
 	var seen []time.Time
-	spy := applyFunc(func(req *posix.Request) (*posix.Reply, error) {
+	spy := applyFunc(func(req *posix.Request, rep *posix.Reply) error {
 		seen = append(seen, req.Issued)
-		return localfs.New(clk).Apply(req)
+		return localfs.New(clk).Apply(req, rep)
 	})
 	v := New(spy, WithClock(clk), WithJob("job-a", "alice", 42))
 	if _, err := v.Stat("."); err != nil {
@@ -218,9 +218,9 @@ func TestIssuedStamping(t *testing.T) {
 	}
 }
 
-type applyFunc func(*posix.Request) (*posix.Reply, error)
+type applyFunc func(*posix.Request, *posix.Reply) error
 
-func (f applyFunc) Apply(req *posix.Request) (*posix.Reply, error) { return f(req) }
+func (f applyFunc) Apply(req *posix.Request, rep *posix.Reply) error { return f(req, rep) }
 
 // TestJobContextStamping verifies differentiation labels reach the
 // backend on every bridged request.
@@ -229,11 +229,11 @@ func TestJobContextStamping(t *testing.T) {
 	backend := localfs.New(clk)
 	var mu sync.Mutex
 	jobs := map[string]bool{}
-	spy := applyFunc(func(req *posix.Request) (*posix.Reply, error) {
+	spy := applyFunc(func(req *posix.Request, rep *posix.Reply) error {
 		mu.Lock()
 		jobs[req.JobID] = true
 		mu.Unlock()
-		return backend.Apply(req)
+		return backend.Apply(req, rep)
 	})
 	v := New(spy, WithJob("tensorflow-1443", "alice", 7), WithTenant("ml"))
 	if err := v.WriteFile("f", []byte("x"), 0o644); err != nil {

@@ -294,7 +294,7 @@ func (dp *DataPlane) RawClient() *Client { return posix.NewClient(dp.router) }
 
 // Apply implements FileSystem so a DataPlane can stand anywhere a backend
 // does.
-func (dp *DataPlane) Apply(req *Request) (*Reply, error) { return dp.shim.Apply(req) }
+func (dp *DataPlane) Apply(req *Request, rep *Reply) error { return dp.shim.Apply(req, rep) }
 
 // ApplyRule installs or updates a local rule.
 func (dp *DataPlane) ApplyRule(r Rule) { dp.stg.ApplyRule(r) }
